@@ -1,0 +1,54 @@
+"""Shared helpers for the experiment benchmarks."""
+
+import repro
+from repro.datagen import WarehouseConfig, load_warehouse
+
+AGE_MODEL_DDL = """
+CREATE MINING MODEL [{name}] (
+    [Customer ID] LONG KEY,
+    [Gender]      TEXT DISCRETE,
+    [Age]         DOUBLE DISCRETIZED(EQUAL_COUNT, 3) PREDICT,
+    [Product Purchases] TABLE([Product Name] TEXT KEY)
+) USING {algorithm}
+"""
+
+AGE_MODEL_TRAIN = """
+INSERT INTO [{name}] ([Customer ID], [Gender], [Age],
+    [Product Purchases]([Product Name]))
+SHAPE {{SELECT [Customer ID], Gender, Age FROM Customers
+        ORDER BY [Customer ID]}}
+APPEND ({{SELECT CustID, [Product Name] FROM Sales ORDER BY CustID}}
+        RELATE [Customer ID] TO CustID) AS [Product Purchases]
+"""
+
+AGE_MODEL_SCORE = """
+SELECT t.[Customer ID], [{name}].[Age] AS predicted
+FROM [{name}] NATURAL PREDICTION JOIN
+    (SHAPE {{SELECT [Customer ID], Gender FROM Customers
+             ORDER BY [Customer ID]}}
+     APPEND ({{SELECT CustID, [Product Name] FROM Sales ORDER BY CustID}}
+             RELATE [Customer ID] TO CustID) AS [Product Purchases]) AS t
+"""
+
+
+def make_warehouse(customers, seed=7):
+    """Fresh connection with a generated warehouse loaded."""
+    connection = repro.connect()
+    data = load_warehouse(connection.database,
+                          WarehouseConfig(customers=customers, seed=seed))
+    return connection, data
+
+
+def bucket_accuracy(connection, model_name):
+    """Share of customers whose predicted Age bucket matches the truth."""
+    truth = dict(connection.execute(
+        "SELECT [Customer ID], Age FROM Customers").rows)
+    target = connection.model(model_name).space.for_column("Age")
+    scored = connection.execute(AGE_MODEL_SCORE.format(name=model_name))
+    hits = 0
+    for customer_id, predicted in scored.rows:
+        expected = target.discretizer.label(
+            target.discretizer.bucket_of(truth[customer_id]))
+        if predicted == expected:
+            hits += 1
+    return hits / len(scored)

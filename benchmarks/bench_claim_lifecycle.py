@@ -1,0 +1,94 @@
+"""Experiment C2 — "deployment becomes as easy as writing SQL queries".
+
+Paper (section 2): the four key operations on a mining model — define,
+populate, predict, browse — each map to one SQL-metaphor statement.  This
+bench times each single-statement operation on a 2000-customer warehouse,
+plus the management statements (DELETE FROM = reset, DROP), regenerating
+the life-cycle table of DESIGN.md.
+"""
+
+import pytest
+
+from _helpers import (
+    AGE_MODEL_DDL,
+    AGE_MODEL_SCORE,
+    AGE_MODEL_TRAIN,
+    make_warehouse,
+)
+
+PREDICT_ONE = """
+SELECT [{name}].[Age] FROM [{name}] NATURAL PREDICTION JOIN
+    (SELECT 'Male' AS Gender) AS t
+"""
+
+
+@pytest.fixture(scope="module")
+def trained():
+    connection, _ = make_warehouse(2000)
+    connection.execute(AGE_MODEL_DDL.format(
+        name="C2", algorithm="Microsoft_Decision_Trees"))
+    connection.execute(AGE_MODEL_TRAIN.format(name="C2"))
+    return connection
+
+
+def test_bench_c2_define(benchmark):
+    connection, _ = make_warehouse(1)
+    state = {"round": 0}
+
+    def define():
+        name = f"C2 def {state['round']}"
+        state["round"] += 1
+        connection.execute(AGE_MODEL_DDL.format(
+            name=name, algorithm="Microsoft_Decision_Trees"))
+
+    benchmark.pedantic(define, rounds=20, iterations=1)
+
+
+def test_bench_c2_populate(benchmark):
+    connection, _ = make_warehouse(2000)
+    connection.execute(AGE_MODEL_DDL.format(
+        name="C2", algorithm="Microsoft_Decision_Trees"))
+
+    def populate():
+        connection.execute("DELETE FROM MINING MODEL [C2]")
+        return connection.execute(AGE_MODEL_TRAIN.format(name="C2"))
+
+    count = benchmark.pedantic(populate, rounds=3, iterations=1)
+    assert count == 2000
+    benchmark.extra_info["cases"] = count
+
+
+def test_bench_c2_predict_batch(benchmark, trained):
+    result = benchmark(trained.execute, AGE_MODEL_SCORE.format(name="C2"))
+    assert len(result) == 2000
+    benchmark.extra_info["cases"] = len(result)
+
+
+def test_bench_c2_predict_singleton(benchmark, trained):
+    result = benchmark(trained.execute, PREDICT_ONE.format(name="C2"))
+    assert len(result) == 1
+
+
+def test_bench_c2_browse_content(benchmark, trained):
+    result = benchmark(trained.execute, "SELECT * FROM [C2].CONTENT")
+    assert len(result) >= 2
+    benchmark.extra_info["nodes"] = len(result)
+
+
+def test_c2_each_operation_is_one_statement(trained):
+    """The qualitative claim itself: one statement per life-cycle step."""
+    operations = {
+        "define": AGE_MODEL_DDL.format(name="C2 X",
+                                       algorithm="Decision_Trees_101"),
+        "populate": AGE_MODEL_TRAIN.format(name="C2 X"),
+        "predict": AGE_MODEL_SCORE.format(name="C2 X"),
+        "browse": "SELECT * FROM [C2 X].CONTENT",
+        "reset": "DELETE FROM MINING MODEL [C2 X]",
+        "drop": "DROP MINING MODEL [C2 X]",
+    }
+    from repro.core.provider import split_statements
+    print("\nC2: one statement per operation")
+    for operation, statement in operations.items():
+        assert len(split_statements(statement)) == 1
+        trained.execute(statement)
+        print(f"  {operation:8s}: OK (single statement)")

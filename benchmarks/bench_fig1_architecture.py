@@ -1,0 +1,73 @@
+"""Experiment F1 — Figure 1: the layered provider architecture.
+
+Paper Figure 1: the "core" relational engine exposes plain OLE DB (SQL);
+the analysis server exposes OLE DB DM on top of it.  This experiment checks
+the layering *structurally* — the relational engine alone speaks SQL but
+refuses DMX; the provider accepts both and routes mining names through its
+own catalog — and measures the dispatch overhead the mining layer adds to
+plain SQL (it should be negligible).
+"""
+
+import pytest
+
+import repro
+from repro.errors import Error
+from repro.sqlstore import Database
+
+
+@pytest.fixture(scope="module")
+def layered():
+    connection = repro.connect()
+    connection.execute("CREATE TABLE T (a LONG, b TEXT)")
+    connection.execute("INSERT INTO T VALUES " + ", ".join(
+        f"({i}, 'x{i % 7}')" for i in range(500)))
+    return connection
+
+
+def test_figure1_layering():
+    """The structural claim: DMX lives above, not inside, the SQL engine."""
+    engine = Database()
+    engine.execute("CREATE TABLE T (a LONG)")
+    engine.execute("INSERT INTO T VALUES (1)")
+    assert engine.execute("SELECT COUNT(*) FROM T").single_value() == 1
+
+    # The bare engine refuses mining statements...
+    with pytest.raises(Error):
+        engine.execute("DROP MINING MODEL m")
+
+    # ...while the provider exposes both surfaces over the same engine.
+    connection = repro.connect()
+    connection.execute("CREATE TABLE T (a LONG, b TEXT)")
+    connection.execute("CREATE MINING MODEL M (a LONG KEY, b TEXT "
+                       "DISCRETE) USING Repro_Decision_Trees")
+    models = connection.execute(
+        "SELECT MODEL_NAME FROM $SYSTEM.MINING_MODELS")
+    assert models.column_values("MODEL_NAME") == ["M"]
+    # The engine underneath is still the plain SQL engine.
+    assert connection.execute("SELECT COUNT(*) FROM T").single_value() == 0
+    print("\nF1: engine=SQL-only, provider=SQL+DMX over the same engine "
+          "(Figure 1 layering holds)")
+
+
+def test_bench_sql_through_bare_engine(benchmark):
+    engine = Database()
+    engine.execute("CREATE TABLE T (a LONG, b TEXT)")
+    for i in range(500):
+        engine.table("T").insert((i, f"x{i % 7}"))
+    result = benchmark(
+        engine.execute,
+        "SELECT b, COUNT(*) AS n FROM T GROUP BY b ORDER BY n DESC")
+    assert len(result) == 7
+
+
+def test_bench_sql_through_provider(benchmark, layered):
+    result = benchmark(
+        layered.execute,
+        "SELECT b, COUNT(*) AS n FROM T GROUP BY b ORDER BY n DESC")
+    assert len(result) == 7
+
+
+def test_bench_schema_rowset_query(benchmark, layered):
+    result = benchmark(
+        layered.execute, "SELECT * FROM $SYSTEM.MINING_SERVICES")
+    assert len(result) == 8

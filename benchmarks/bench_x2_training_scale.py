@@ -1,0 +1,55 @@
+"""Experiment X2 — training scalability of the INSERT INTO path.
+
+Sweeps the caseset size and times the full populate pipeline (SHAPE the
+source tables -> bind -> encode -> train) for the two most-used services.
+Expected shape: near-linear growth in the caseset size — the path streams
+cases, it never materialises cross products.
+"""
+
+import pytest
+
+from _helpers import AGE_MODEL_DDL, AGE_MODEL_TRAIN, make_warehouse
+
+SCALES = [500, 1000, 2000, 4000, 8000]
+SERVICES = ["Microsoft_Decision_Trees", "Microsoft_Naive_Bayes"]
+
+
+@pytest.mark.parametrize("customers", SCALES)
+@pytest.mark.parametrize("service", SERVICES)
+def test_bench_x2_training(benchmark, service, customers):
+    connection, _ = make_warehouse(customers)
+    name = f"X2 {service} {customers}"
+    connection.execute(AGE_MODEL_DDL.format(name=name, algorithm=service))
+
+    def train():
+        connection.execute(f"DELETE FROM MINING MODEL [{name}]")
+        return connection.execute(AGE_MODEL_TRAIN.format(name=name))
+
+    rounds = 3 if customers <= 2000 else 1
+    cases = benchmark.pedantic(train, rounds=rounds, iterations=1)
+    assert cases == customers
+    benchmark.extra_info.update({"service": service,
+                                 "customers": customers})
+
+
+def test_x2_shape_scales_linearly():
+    """Doubling the caseset should not quadruple SHAPE time."""
+    import time
+
+    timings = {}
+    for customers in (1000, 4000):
+        connection, _ = make_warehouse(customers)
+        start = time.perf_counter()
+        rowset = connection.execute("""
+            SHAPE {SELECT [Customer ID], Gender, Age FROM Customers
+                   ORDER BY [Customer ID]}
+            APPEND ({SELECT CustID, [Product Name] FROM Sales
+                     ORDER BY CustID}
+                    RELATE [Customer ID] TO CustID) AS P
+        """)
+        timings[customers] = time.perf_counter() - start
+        assert len(rowset) == customers
+    ratio = timings[4000] / timings[1000]
+    print(f"\nX2 SHAPE scaling: 1000 -> {timings[1000]*1e3:.0f} ms, "
+          f"4000 -> {timings[4000]*1e3:.0f} ms (x{ratio:.1f} for 4x data)")
+    assert ratio < 10.0  # generous bound: no quadratic blow-up

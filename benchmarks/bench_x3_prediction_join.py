@@ -1,0 +1,85 @@
+"""Experiment X3 — PREDICTION JOIN throughput.
+
+Times the prediction surface end-to-end (section 3.3): batch NATURAL joins,
+batch explicit-ON joins (the paper's own query shape), singleton lookups,
+and UDF-heavy projections.  Reported: cases/second per form.
+"""
+
+import pytest
+
+from _helpers import AGE_MODEL_DDL, AGE_MODEL_TRAIN, make_warehouse
+
+NATURAL_BATCH = """
+SELECT t.[Customer ID], [X3].[Age]
+FROM [X3] NATURAL PREDICTION JOIN
+    (SHAPE {SELECT [Customer ID], Gender FROM Customers
+            ORDER BY [Customer ID]}
+     APPEND ({SELECT CustID, [Product Name] FROM Sales ORDER BY CustID}
+             RELATE [Customer ID] TO CustID) AS [Product Purchases]) AS t
+"""
+
+ON_BATCH = """
+SELECT t.[Customer ID], [X3].[Age]
+FROM [X3] PREDICTION JOIN
+    (SHAPE {SELECT [Customer ID], Gender FROM Customers
+            ORDER BY [Customer ID]}
+     APPEND ({SELECT CustID, [Product Name] FROM Sales ORDER BY CustID}
+             RELATE [Customer ID] TO CustID) AS [Product Purchases]) AS t
+ON [X3].Gender = t.Gender AND
+   [X3].[Product Purchases].[Product Name] =
+       t.[Product Purchases].[Product Name]
+"""
+
+SINGLETON = """
+SELECT [X3].[Age] FROM [X3] NATURAL PREDICTION JOIN
+    (SELECT 'Female' AS Gender) AS t
+"""
+
+UDF_HEAVY = """
+SELECT t.[Customer ID], [X3].[Age], PredictProbability([Age]),
+       PredictSupport([Age]), PredictHistogram([Age]),
+       RangeMid([Age])
+FROM [X3] NATURAL PREDICTION JOIN
+    (SELECT [Customer ID], Gender FROM Customers
+     ORDER BY [Customer ID]) AS t
+"""
+
+
+@pytest.fixture(scope="module")
+def trained():
+    connection, _ = make_warehouse(2000)
+    connection.execute(AGE_MODEL_DDL.format(
+        name="X3", algorithm="Microsoft_Decision_Trees"))
+    connection.execute(AGE_MODEL_TRAIN.format(name="X3"))
+    return connection
+
+
+def test_bench_x3_natural_batch(benchmark, trained):
+    result = benchmark(trained.execute, NATURAL_BATCH)
+    assert len(result) == 2000
+    benchmark.extra_info["cases"] = len(result)
+
+
+def test_bench_x3_on_clause_batch(benchmark, trained):
+    result = benchmark(trained.execute, ON_BATCH)
+    assert len(result) == 2000
+    benchmark.extra_info["cases"] = len(result)
+
+
+def test_bench_x3_singleton(benchmark, trained):
+    result = benchmark(trained.execute, SINGLETON)
+    assert len(result) == 1
+
+
+def test_bench_x3_udf_heavy_projection(benchmark, trained):
+    result = benchmark(trained.execute, UDF_HEAVY)
+    assert len(result) == 2000
+    benchmark.extra_info["udfs_per_row"] = 4
+
+
+def test_x3_natural_and_on_agree(trained):
+    natural = trained.execute(NATURAL_BATCH)
+    explicit = trained.execute(ON_BATCH)
+    assert natural.rows == explicit.rows
+    print(f"\nX3: NATURAL and explicit-ON joins agree on all "
+          f"{len(natural)} cases")

@@ -1,0 +1,86 @@
+"""Experiment X8 — ablation of the tree regularisation knobs.
+
+DESIGN.md calls for ablation benches on design choices; the decision-tree
+service exposes two growth controls through the USING clause —
+MINIMUM_SUPPORT (smallest admissible child) and COMPLEXITY_PENALTY (gain
+tax per extra child).  This sweep quantifies the accuracy/size trade-off
+they buy on the warehouse task, and verifies the monotone shape: looser
+settings grow strictly larger trees, and extreme regularisation collapses
+to the prior (majority bucket).
+"""
+
+import pytest
+
+from _helpers import (
+    AGE_MODEL_DDL,
+    AGE_MODEL_TRAIN,
+    bucket_accuracy,
+    make_warehouse,
+)
+
+SETTINGS = [
+    ("loose", "MINIMUM_SUPPORT = 5,  COMPLEXITY_PENALTY = 0.0"),
+    ("default", "MINIMUM_SUPPORT = 10, COMPLEXITY_PENALTY = 0.1"),
+    ("tight", "MINIMUM_SUPPORT = 80, COMPLEXITY_PENALTY = 0.5"),
+    ("extreme", "MINIMUM_SUPPORT = 5000, COMPLEXITY_PENALTY = 10.0"),
+]
+
+
+@pytest.fixture(scope="module")
+def connection():
+    conn, _ = make_warehouse(3000, seed=47)
+    return conn
+
+
+def tree_leaves(connection, name):
+    rowset = connection.execute(
+        f"SELECT COUNT(*) FROM [{name}].CONTENT "
+        f"WHERE CHILDREN_CARDINALITY = 0")
+    return rowset.single_value()
+
+
+@pytest.mark.parametrize("label,parameters", SETTINGS,
+                         ids=[s[0] for s in SETTINGS])
+def test_bench_x8_setting(benchmark, connection, label, parameters):
+    name = f"X8 {label}"
+    connection.execute(AGE_MODEL_DDL.format(
+        name=name,
+        algorithm=f"Microsoft_Decision_Trees({parameters})"))
+
+    def train():
+        connection.execute(f"DELETE FROM MINING MODEL [{name}]")
+        return connection.execute(AGE_MODEL_TRAIN.format(name=name))
+
+    benchmark.pedantic(train, rounds=3, iterations=1)
+    accuracy = bucket_accuracy(connection, name)
+    leaves = tree_leaves(connection, name)
+    benchmark.extra_info.update({"setting": label,
+                                 "accuracy": round(accuracy, 4),
+                                 "leaves": leaves})
+    print(f"\nX8 {label:8s} ({parameters}): {leaves:4d} leaves, "
+          f"accuracy {accuracy:.1%}")
+
+
+def test_x8_regularisation_shapes_hold(connection):
+    results = {}
+    for label, parameters in SETTINGS:
+        name = f"X8 {label}"
+        if not connection.provider.has_model(name):
+            connection.execute(AGE_MODEL_DDL.format(
+                name=name,
+                algorithm=f"Microsoft_Decision_Trees({parameters})"))
+        if not connection.model(name).is_trained:
+            connection.execute(AGE_MODEL_TRAIN.format(name=name))
+        results[label] = (tree_leaves(connection, name),
+                          bucket_accuracy(connection, name))
+    print("\nX8 summary:", {k: f"{l} leaves / {a:.1%}"
+                            for k, (l, a) in results.items()})
+    # Monotone tree size under tightening regularisation.
+    assert results["loose"][0] >= results["default"][0] >= \
+        results["tight"][0] >= results["extreme"][0]
+    # Extreme regularisation collapses to a stump (root only).
+    assert results["extreme"][0] <= 2
+    # The defaults must not lose badly to the loose setting (no heavy
+    # underfit) and must beat the collapsed stump.
+    assert results["default"][1] >= results["loose"][1] - 0.05
+    assert results["default"][1] > results["extreme"][1]

@@ -1,0 +1,17 @@
+"""Fixtures for the experiment benchmarks (helpers live in _helpers.py)."""
+
+import os
+import sys
+
+import pytest
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+from _helpers import make_warehouse  # noqa: E402
+
+
+@pytest.fixture
+def warehouse_1k():
+    connection, _ = make_warehouse(1000)
+    yield connection
+    connection.close()

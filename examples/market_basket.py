@@ -1,0 +1,93 @@
+"""Market-basket analysis: association rules over nested purchase tables.
+
+The paper motivates predictions that are "a collection of predictions, such
+as 'the set of products that the customer is likely to buy'".  This example
+builds an association model over the Sales nested table, browses its
+itemsets and rules through the content graph, and produces per-customer
+recommendations with PredictAssociation and TopCount.
+
+Run:  python examples/market_basket.py
+"""
+
+import repro
+from repro.datagen import WarehouseConfig, load_warehouse
+
+
+def main() -> None:
+    conn = repro.connect()
+    load_warehouse(conn.database, WarehouseConfig(customers=2000, seed=11))
+
+    conn.execute("""
+        CREATE MINING MODEL [Market Basket] (
+            [Customer ID] LONG KEY,
+            [Product Purchases] TABLE(
+                [Product Name] TEXT KEY,
+                [Product Type] TEXT DISCRETE RELATED TO [Product Name]
+            ) PREDICT
+        ) USING Microsoft_Association_Rules(
+            MINIMUM_SUPPORT = 0.03, MINIMUM_PROBABILITY = 0.4)
+    """)
+    conn.execute("""
+        INSERT INTO [Market Basket] ([Customer ID],
+            [Product Purchases]([Product Name], [Product Type]))
+        SHAPE {SELECT [Customer ID] FROM Customers ORDER BY [Customer ID]}
+        APPEND ({SELECT CustID, [Product Name], [Product Type] FROM Sales
+                 ORDER BY CustID}
+                RELATE [Customer ID] TO CustID) AS [Product Purchases]
+    """)
+
+    # -- frequent itemsets and rules from the content graph -----------------
+    itemsets = conn.execute("""
+        SELECT TOP 8 NODE_CAPTION, NODE_SUPPORT
+        FROM [Market Basket].CONTENT
+        WHERE NODE_TYPE_NAME = 'ItemSet'
+        ORDER BY NODE_SUPPORT DESC
+    """)
+    print("Top frequent itemsets:")
+    print(itemsets.pretty())
+
+    rules = conn.execute("""
+        SELECT TOP 8 NODE_CAPTION, NODE_PROBABILITY AS confidence,
+               NODE_SUPPORT
+        FROM [Market Basket].CONTENT
+        WHERE NODE_TYPE_NAME = 'Rule'
+        ORDER BY NODE_PROBABILITY DESC
+    """)
+    print("\nStrongest rules:")
+    print(rules.pretty())
+
+    # -- recommendations for three baskets -----------------------------------
+    recommendations = conn.execute("""
+        SELECT t.[Customer ID],
+               TopCount(PredictAssociation([Product Purchases]),
+                        [$PROBABILITY], 3) AS [Top 3]
+        FROM [Market Basket] NATURAL PREDICTION JOIN
+            (SHAPE {SELECT [Customer ID] FROM Customers
+                    WHERE [Customer ID] <= 3 ORDER BY [Customer ID]}
+             APPEND ({SELECT CustID, [Product Name] FROM Sales
+                      ORDER BY CustID}
+                     RELATE [Customer ID] TO CustID)
+                    AS [Product Purchases]) AS t
+    """)
+    print("\nPer-customer top-3 recommendations:")
+    print(recommendations.pretty())
+
+    # -- the same, flattened for export to a plain table ----------------------
+    flat = conn.execute("""
+        SELECT FLATTENED t.[Customer ID],
+               TopCount(PredictAssociation([Product Purchases]),
+                        [$PROBABILITY], 2) AS [Rec]
+        FROM [Market Basket] NATURAL PREDICTION JOIN
+            (SHAPE {SELECT [Customer ID] FROM Customers
+                    WHERE [Customer ID] <= 3 ORDER BY [Customer ID]}
+             APPEND ({SELECT CustID, [Product Name] FROM Sales
+                      ORDER BY CustID}
+                     RELATE [Customer ID] TO CustID)
+                    AS [Product Purchases]) AS t
+    """)
+    print("\nFLATTENED recommendations (one row per item):")
+    print(flat.pretty())
+
+
+if __name__ == "__main__":
+    main()

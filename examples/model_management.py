@@ -1,0 +1,120 @@
+"""Model management: the life-cycle and deployment story of the paper.
+
+Section 1: "once a model is generated, how to store, maintain, and refresh
+it as data in the warehouse is updated, how to programmatically use the
+model to do predictions on other data sets, and how to browse models ...
+such deployment and management of models remains one of the most important
+tasks."
+
+This example walks the full life cycle with nothing but commands:
+
+* discover provider capabilities from the schema rowsets;
+* define a model, train it, and *refresh* it with a second INSERT as new
+  warehouse rows arrive;
+* compare algorithms by swapping the USING clause on an identical
+  definition (the pluggability claim);
+* reset with DELETE FROM, re-train, and DROP;
+* chain predictions into a plain SQL table — deployment as a query.
+
+Run:  python examples/model_management.py
+"""
+
+import repro
+from repro.datagen import WarehouseConfig, load_warehouse
+
+MODEL_DDL = """
+CREATE MINING MODEL [{name}] (
+    [Customer ID] LONG KEY,
+    [Gender]      TEXT DISCRETE,
+    [Age]         DOUBLE DISCRETIZED(EQUAL_COUNT, 4) PREDICT,
+    [Product Purchases] TABLE([Product Name] TEXT KEY)
+) USING {algorithm}
+"""
+
+TRAIN = """
+INSERT INTO [{name}] ([Customer ID], [Gender], [Age],
+    [Product Purchases]([Product Name]))
+SHAPE {{SELECT [Customer ID], Gender, Age FROM Customers
+        WHERE [Customer ID] {predicate} ORDER BY [Customer ID]}}
+APPEND ({{SELECT CustID, [Product Name] FROM Sales ORDER BY CustID}}
+        RELATE [Customer ID] TO CustID) AS [Product Purchases]
+"""
+
+SCORE = """
+SELECT t.[Customer ID], [{name}].[Age] AS predicted,
+       PredictProbability([Age]) AS p
+FROM [{name}] NATURAL PREDICTION JOIN
+    (SHAPE {{SELECT [Customer ID], Gender FROM Customers
+             ORDER BY [Customer ID]}}
+     APPEND ({{SELECT CustID, [Product Name] FROM Sales ORDER BY CustID}}
+             RELATE [Customer ID] TO CustID) AS [Product Purchases]) AS t
+"""
+
+
+def main() -> None:
+    conn = repro.connect()
+    load_warehouse(conn.database, WarehouseConfig(customers=1200, seed=21))
+
+    # -- capability discovery -------------------------------------------------
+    print("Provider services:")
+    print(conn.execute(
+        "SELECT SERVICE_NAME, PREDICTS_DISCRETE, PREDICTS_CONTINUOUS "
+        "FROM $SYSTEM.MINING_SERVICES").pretty())
+
+    # -- define + initial training on the first half of the warehouse ---------
+    conn.execute(MODEL_DDL.format(name="Age Model",
+                                  algorithm="Microsoft_Decision_Trees"))
+    first = conn.execute(TRAIN.format(name="Age Model", predicate="<= 600"))
+    print(f"\nInitial training: {first} cases")
+
+    # -- refresh: new data arrives, INSERT again (accumulates + retrains) -----
+    second = conn.execute(TRAIN.format(name="Age Model", predicate="> 600"))
+    model = conn.model("Age Model")
+    print(f"Refresh: +{second} cases -> model now holds "
+          f"{model.case_count} cases across {model.insert_count} inserts")
+
+    # -- pluggability: same definition, different services ---------------------
+    print("\nAccuracy of the same definition under different services:")
+    truth = dict(conn.execute(
+        "SELECT [Customer ID], Age FROM Customers").rows)
+    for algorithm in ("Microsoft_Decision_Trees", "Microsoft_Naive_Bayes",
+                      "Microsoft_Clustering"):
+        name = f"Age via {algorithm}"
+        conn.execute(MODEL_DDL.format(name=name, algorithm=algorithm))
+        conn.execute(TRAIN.format(name=name, predicate=">= 1"))
+        scored = conn.execute(SCORE.format(name=name))
+        target = conn.model(name).space.for_column("Age")
+        hits = sum(
+            1 for customer_id, predicted, _ in scored.rows
+            if predicted is not None and
+            target.discretizer.label(
+                target.discretizer.bucket_of(truth[customer_id]))
+            == predicted)
+        print(f"  {algorithm:30s} bucket accuracy "
+              f"{hits / len(scored):.1%}")
+
+    # -- deployment: predictions INTO a plain table via SQL --------------------
+    conn.execute("CREATE TABLE [Scored Customers] "
+                 "([Customer ID] LONG, [Predicted Age] TEXT, P DOUBLE)")
+    scored = conn.execute(SCORE.format(name="Age Model"))
+    table = conn.database.table("Scored Customers")
+    table.insert_many(scored.rows)
+    print("\nDeployed predictions into [Scored Customers]:")
+    print(conn.execute(
+        "SELECT [Predicted Age], COUNT(*) AS customers, AVG(P) AS avg_p "
+        "FROM [Scored Customers] GROUP BY [Predicted Age] "
+        "ORDER BY customers DESC").pretty())
+
+    # -- reset and drop ----------------------------------------------------------
+    conn.execute("DELETE FROM MINING MODEL [Age Model]")
+    print(f"\nAfter DELETE FROM: trained = "
+          f"{conn.model('Age Model').is_trained}")
+    conn.execute("DROP MINING MODEL [Age Model]")
+    remaining = conn.execute(
+        "SELECT MODEL_NAME FROM $SYSTEM.MINING_MODELS")
+    print("Models remaining after DROP:",
+          [row[0] for row in remaining.rows])
+
+
+if __name__ == "__main__":
+    main()

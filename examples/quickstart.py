@@ -1,0 +1,133 @@
+"""Quickstart: the paper's running example, end to end.
+
+Recreates section 3 of Netz et al. (ICDE 2001) verbatim:
+
+1. the three warehouse tables of section 3.1 (Customers, Sales,
+   Car Ownership), including the exact Customer ID 1 of Table 1;
+2. Table 1 itself — the flattened 12-row join vs. the 1-case nested rowset;
+3. ``CREATE MINING MODEL [Age Prediction] ... USING [Decision_Trees_101]``;
+4. ``INSERT INTO ... SHAPE ... APPEND ... RELATE`` training;
+5. the ``PREDICTION JOIN`` query of section 3.3, plus prediction UDFs;
+6. content browsing via ``SELECT * FROM [Age Prediction].CONTENT``.
+
+Run:  python examples/quickstart.py
+"""
+
+import repro
+from repro.datagen import WarehouseConfig, load_warehouse
+
+
+def main() -> None:
+    conn = repro.connect()
+
+    # -- 1. the warehouse (paper customer #1 + 999 synthetic ones) ---------
+    load_warehouse(conn.database, WarehouseConfig(customers=1000))
+    print("Tables:", ", ".join(sorted(
+        t.name for t in conn.database.tables.values())))
+
+    # -- 2. Table 1: flattened join vs. nested caseset ---------------------
+    flattened = conn.execute("""
+        SELECT c.[Customer ID], c.Gender, c.[Hair Color], c.Age,
+               s.[Product Name], s.Quantity, s.[Product Type],
+               o.Car, o.[Car Prob]
+        FROM Customers c
+        JOIN Sales s ON c.[Customer ID] = s.CustID
+        JOIN [Car Ownership] o ON c.[Customer ID] = o.CustID
+        WHERE c.[Customer ID] = 1
+    """)
+    print(f"\nFlattened 3-way join for Customer ID 1: {len(flattened)} rows "
+          f"with heavy replication.")
+    print("(The paper claims 'this join query will return a table of 12 "
+          "rows', but Table 1's own data - 4 purchases x 2 cars x 1 "
+          "customer - joins to 8; see EXPERIMENTS.md, experiment T1.)")
+
+    nested = conn.execute("""
+        SHAPE {SELECT [Customer ID], Gender, [Hair Color], Age,
+                      [Age Prob] FROM Customers WHERE [Customer ID] = 1}
+        APPEND ({SELECT CustID, [Product Name], Quantity, [Product Type]
+                 FROM Sales} RELATE [Customer ID] TO CustID)
+               AS [Product Purchases],
+               ({SELECT CustID, Car, [Car Prob] FROM [Car Ownership]}
+                RELATE [Customer ID] TO CustID) AS [Car Ownership]
+    """)
+    print(f"Nested caseset for the same customer: {len(nested)} case")
+    print(nested.pretty())
+
+    # -- 3. CREATE MINING MODEL (section 3.2, verbatim incl. % comments) ---
+    conn.execute("""
+        CREATE MINING MODEL [Age Prediction] (
+        %Name of Model
+            [Customer ID] LONG KEY,
+            [Gender]      TEXT DISCRETE,
+            [Age]         DOUBLE DISCRETIZED PREDICT,  %prediction column
+            [Product Purchases] TABLE(
+                [Product Name] TEXT KEY,
+                [Quantity]     DOUBLE NORMAL CONTINUOUS,
+                [Product Type] TEXT DISCRETE RELATED TO [Product Name]
+            )
+        ) USING [Decision_Trees_101]
+        %Mining Algorithm used
+    """)
+
+    # -- 4. INSERT INTO: populate from the SHAPEd caseset (section 3.3) ----
+    trained = conn.execute("""
+        INSERT INTO [Age Prediction] ([Customer ID], [Gender], [Age],
+            [Product Purchases]([Product Name], [Quantity], [Product Type]))
+        SHAPE
+            {SELECT [Customer ID], [Gender], [Age] FROM Customers
+             ORDER BY [Customer ID]}
+        APPEND (
+            {SELECT [CustID], [Product Name], [Quantity], [Product Type]
+             FROM Sales ORDER BY [CustID]}
+            RELATE [Customer ID] TO [CustID]) AS [Product Purchases]
+    """)
+    print(f"\nModel populated from {trained} cases.")
+
+    # -- 5. PREDICTION JOIN (section 3.3, verbatim ON clause) --------------
+    predictions = conn.execute("""
+        SELECT t.[Customer ID], [Age Prediction].[Age],
+               PredictProbability([Age]) AS [Probability],
+               PredictHistogram([Age])   AS [Histogram]
+        FROM [Age Prediction]
+        PREDICTION JOIN (SHAPE {
+            SELECT [Customer ID], [Gender] FROM Customers
+            WHERE [Customer ID] <= 5 ORDER BY [Customer ID]}
+        APPEND ({SELECT [CustID], [Product Name], [Quantity] FROM Sales
+                 ORDER BY [CustID]}
+            RELATE [Customer ID] TO [CustID]) AS [Product Purchases]) AS t
+        ON [Age Prediction].Gender = t.Gender AND
+           [Age Prediction].[Product Purchases].[Product Name] =
+               t.[Product Purchases].[Product Name] AND
+           [Age Prediction].[Product Purchases].[Quantity] =
+               t.[Product Purchases].[Quantity]
+    """)
+    print("\nPredicted age buckets (the Age column is DISCRETIZED):")
+    print(predictions.pretty())
+
+    # The RangeMid UDF maps the predicted bucket back to a number.
+    midpoints = conn.execute("""
+        SELECT t.[Customer ID], RangeMin([Age]) AS lo,
+               RangeMid([Age]) AS mid, RangeMax([Age]) AS hi
+        FROM [Age Prediction] NATURAL PREDICTION JOIN
+            (SELECT [Customer ID], Gender FROM Customers
+             WHERE [Customer ID] <= 5) AS t
+    """)
+    print("\nPredicted bucket ranges:")
+    print(midpoints.pretty())
+
+    # -- 6. browse the content graph (section 3.3) -------------------------
+    content = conn.execute("""
+        SELECT TOP 8 NODE_UNIQUE_NAME, NODE_TYPE_NAME, NODE_CAPTION,
+               NODE_SUPPORT
+        FROM [Age Prediction].CONTENT
+    """)
+    print("\nModel content (decision tree as a directed graph):")
+    print(content.pretty())
+
+    models = conn.execute("SELECT * FROM $SYSTEM.MINING_MODELS")
+    print("\n$SYSTEM.MINING_MODELS:")
+    print(models.pretty())
+
+
+if __name__ == "__main__":
+    main()

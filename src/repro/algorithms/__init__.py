@@ -1,0 +1,36 @@
+"""Pluggable mining services (system S9).
+
+The paper's design goal is an API that lets "any algorithm plug in"; this
+package provides the plug-in surface (:class:`MiningAlgorithm`,
+:func:`register_algorithm`) and seven from-scratch reference algorithms:
+decision trees, naive Bayes, EM clustering, k-means, Apriori association
+rules, linear regression, and Markov-chain sequence clustering.
+"""
+
+from repro.algorithms.base import (
+    AttributePrediction,
+    CasePrediction,
+    MiningAlgorithm,
+    PredictionBucket,
+)
+from repro.algorithms.attributes import Attribute, AttributeSpace, Observation
+from repro.algorithms.registry import (
+    algorithm_services,
+    create_algorithm,
+    register_algorithm,
+    resolve_algorithm,
+)
+
+__all__ = [
+    "AttributePrediction",
+    "CasePrediction",
+    "MiningAlgorithm",
+    "PredictionBucket",
+    "Attribute",
+    "AttributeSpace",
+    "Observation",
+    "algorithm_services",
+    "create_algorithm",
+    "register_algorithm",
+    "resolve_algorithm",
+]

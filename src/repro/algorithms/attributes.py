@@ -1,0 +1,466 @@
+"""The attribute space: the case representation every algorithm consumes.
+
+The paper's pluggability story rests on giving any algorithm the same view of
+a case.  ``AttributeSpace`` compiles a model's column tree into a flat list of
+:class:`Attribute` and encodes each :class:`MappedCase` into an
+:class:`Observation` (a value vector plus weights):
+
+* scalar ATTRIBUTE/RELATION columns become categorical or continuous
+  attributes (DISCRETIZED columns are bucketed by the fitted discretizer;
+  MODEL_EXISTENCE_ONLY columns become present/absent booleans);
+* each frequent key value of a nested table becomes an *existence* attribute
+  ("does this case contain TV?") — the paper's "truth table" reading of a
+  model, where a case is characterised by which nested rows it contains;
+* non-key CONTINUOUS columns of a nested table become per-item value
+  attributes ("Quantity of TV"), missing when the item is absent;
+* PROBABILITY qualifiers become per-attribute observation confidences and
+  SUPPORT qualifiers become case weights (section 3.2.1).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from repro.errors import TrainError
+from repro.core.bindings import MappedCase
+from repro.core.columns import (
+    AttributeType,
+    ContentRole,
+    ModelColumn,
+    ModelDefinition,
+)
+from repro.algorithms.discretization import Discretizer, fit_discretizer
+from repro.algorithms.statistics import CategoricalDistribution, GaussianStats
+
+CATEGORICAL = "categorical"
+CONTINUOUS = "continuous"
+
+DEFAULT_MAXIMUM_STATES = 100
+DEFAULT_MAXIMUM_ITEMS = 500
+
+
+class Attribute:
+    """One dimension of the attribute space."""
+
+    def __init__(self, index: int, name: str, kind: str,
+                 is_input: bool, is_output: bool,
+                 column: Optional[ModelColumn] = None,
+                 table: Optional[ModelColumn] = None,
+                 key_value: Any = None,
+                 value_column: Optional[ModelColumn] = None,
+                 categories: Optional[List[Any]] = None,
+                 discretizer: Optional[Discretizer] = None,
+                 is_existence: bool = False):
+        self.index = index
+        self.name = name
+        self.kind = kind
+        self.is_input = is_input
+        self.is_output = is_output
+        self.column = column          # scalar model column (if any)
+        self.table = table            # owning nested table (if any)
+        self.key_value = key_value    # nested item value for existence attrs
+        self.value_column = value_column  # nested value column, if per-item
+        self.categories = categories or []
+        self._category_index = {_norm(v): i
+                                for i, v in enumerate(self.categories)}
+        self.discretizer = discretizer
+        self.is_existence = is_existence
+
+    @property
+    def is_categorical(self) -> bool:
+        return self.kind == CATEGORICAL
+
+    @property
+    def cardinality(self) -> int:
+        return len(self.categories) if self.is_categorical else 0
+
+    def encode(self, value: Any) -> Optional[float]:
+        """Raw value -> internal representation (None = missing)."""
+        if value is None:
+            return None
+        if self.discretizer is not None:
+            return self.discretizer.bucket_of(float(value))
+        if self.is_categorical:
+            return self._category_index.get(_norm(value))
+        return float(value)
+
+    def decode(self, internal: Optional[float]) -> Any:
+        """Internal representation -> display value."""
+        if internal is None:
+            return None
+        if self.discretizer is not None:
+            return self.discretizer.label(int(internal))
+        if self.is_categorical:
+            index = int(internal)
+            if 0 <= index < len(self.categories):
+                return self.categories[index]
+            return None
+        return internal
+
+    def __repr__(self) -> str:
+        flags = []
+        if self.is_input:
+            flags.append("input")
+        if self.is_output:
+            flags.append("output")
+        return f"Attribute({self.index}, {self.name!r}, {self.kind}, {'/'.join(flags)})"
+
+
+def _norm(value: Any) -> Any:
+    """Category identity: case-insensitive for strings, numeric-widened."""
+    if isinstance(value, str):
+        return value.upper()
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, (int, float)):
+        return float(value)
+    return value
+
+
+class Observation:
+    """One encoded case: value vector, case weight, optional confidences.
+
+    ``sequences`` holds, per nested table with a SEQUENCE_TIME column, the
+    case's state values in time order (used by the sequence service).
+    """
+
+    __slots__ = ("values", "weight", "confidences", "case_key", "sequences")
+
+    def __init__(self, values: List[Optional[float]], weight: float = 1.0,
+                 confidences: Optional[Dict[int, float]] = None,
+                 case_key: Any = None,
+                 sequences: Optional[Dict[str, List[Any]]] = None):
+        self.values = values
+        self.weight = weight
+        self.confidences = confidences or {}
+        self.case_key = case_key
+        self.sequences = sequences or {}
+
+    def confidence(self, index: int) -> float:
+        return self.confidences.get(index, 1.0)
+
+    def effective_weight(self, index: int) -> float:
+        """Weight of this observation for one attribute (weight x confidence)."""
+        return self.weight * self.confidences.get(index, 1.0)
+
+
+class AttributeSpace:
+    """Fitted attribute dictionary + encoder for one mining model."""
+
+    def __init__(self, definition: ModelDefinition):
+        self.definition = definition
+        self.attributes: List[Attribute] = []
+        self.case_count = 0
+        self.total_weight = 0.0
+        self.marginals: List[Any] = []  # CategoricalDistribution | GaussianStats
+        self.relations: Dict[Tuple[str, str], Dict[Any, Any]] = {}
+        self._by_name: Dict[str, Attribute] = {}
+        maximum_states = definition.parameters.get("MAXIMUM_STATES",
+                                                   DEFAULT_MAXIMUM_STATES)
+        maximum_items = definition.parameters.get("MAXIMUM_ITEMS",
+                                                  DEFAULT_MAXIMUM_ITEMS)
+        self.maximum_states = int(maximum_states)
+        self.maximum_items = int(maximum_items)
+
+    # -- fitting --------------------------------------------------------------
+
+    def fit(self, cases: List[MappedCase]) -> None:
+        """Build the attribute dictionary from training cases."""
+        if not cases:
+            raise TrainError(
+                f"model {self.definition.name!r}: the training caseset is "
+                f"empty")
+        self.case_count = len(cases)
+        scalar_columns = [
+            c for c in self.definition.scalar_attributes()]
+        observed: Dict[str, CategoricalDistribution] = {}
+        numeric_values: Dict[str, List[float]] = {}
+        for column in scalar_columns:
+            observed[column.name.upper()] = CategoricalDistribution()
+            numeric_values[column.name.upper()] = []
+
+        item_counts: Dict[str, CategoricalDistribution] = {
+            t.name.upper(): CategoricalDistribution()
+            for t in self.definition.nested_tables()}
+        relation_maps: Dict[Tuple[str, str], Dict[Any, Any]] = {}
+
+        for case in cases:
+            weight = case.weight()
+            self.total_weight += weight
+            for column in scalar_columns:
+                key = column.name.upper()
+                value = case.scalars.get(key)
+                if column.model_existence_only:
+                    observed[key].add(value is not None, weight)
+                    continue
+                if value is None:
+                    continue
+                if column.attribute_type in (AttributeType.CONTINUOUS,
+                                             AttributeType.DISCRETIZED):
+                    numeric_values[key].append(float(value))
+                else:
+                    observed[key].add(value, weight)
+            for table in self.definition.nested_tables():
+                key_column = table.key_column()
+                table_key = table.name.upper()
+                for row in case.tables.get(table_key, []):
+                    item = row.get(key_column.name.upper())
+                    if item is None:
+                        continue
+                    item_counts[table_key].add(item, weight)
+                    for nested in table.nested_columns:
+                        if nested.role is ContentRole.RELATION and \
+                                nested.related_to and \
+                                nested.related_to.upper() == \
+                                key_column.name.upper():
+                            relation_value = row.get(nested.name.upper())
+                            if relation_value is not None:
+                                relation_maps.setdefault(
+                                    (table_key, nested.name.upper()), {})[
+                                    _norm(item)] = relation_value
+
+        self.relations = relation_maps
+        self._build_attributes(scalar_columns, observed, numeric_values,
+                               item_counts)
+        self._fit_marginals(cases)
+
+    def _build_attributes(self, scalar_columns, observed, numeric_values,
+                          item_counts) -> None:
+        for column in scalar_columns:
+            key = column.name.upper()
+            if column.model_existence_only:
+                self._add(Attribute(
+                    len(self.attributes), column.name, CATEGORICAL,
+                    is_input=column.is_input, is_output=column.is_output,
+                    column=column, categories=[False, True]))
+                continue
+            if column.attribute_type is AttributeType.DISCRETIZED:
+                if not numeric_values[key]:
+                    raise TrainError(
+                        f"column {column.name!r} has no non-NULL training "
+                        f"values to discretize")
+                discretizer = fit_discretizer(
+                    numeric_values[key], column.discretization_method,
+                    column.discretization_buckets)
+                categories = [discretizer.label(b)
+                              for b in range(discretizer.bucket_count)]
+                self._add(Attribute(
+                    len(self.attributes), column.name, CATEGORICAL,
+                    is_input=column.is_input, is_output=column.is_output,
+                    column=column, categories=categories,
+                    discretizer=discretizer))
+            elif column.attribute_type is AttributeType.CONTINUOUS:
+                self._add(Attribute(
+                    len(self.attributes), column.name, CONTINUOUS,
+                    is_input=column.is_input, is_output=column.is_output,
+                    column=column))
+            else:
+                states = [value for value, _ in
+                          observed[key].sorted_items()[:self.maximum_states]]
+                # Deterministic category order: by descending frequency.
+                self._add(Attribute(
+                    len(self.attributes), column.name, CATEGORICAL,
+                    is_input=column.is_input, is_output=column.is_output,
+                    column=column, categories=states))
+
+        for table in self.definition.nested_tables():
+            table_key = table.name.upper()
+            key_column = table.key_column()
+            items = [value for value, _ in
+                     item_counts[table_key].sorted_items()
+                     [:self.maximum_items]]
+            value_columns = [
+                c for c in table.nested_columns
+                if c.role is ContentRole.ATTRIBUTE and
+                c.attribute_type is AttributeType.CONTINUOUS]
+            for item in items:
+                self._add(Attribute(
+                    len(self.attributes), f"{table.name}({item})",
+                    CATEGORICAL, is_input=table.is_input,
+                    is_output=table.predict, table=table,
+                    key_value=item, categories=[False, True],
+                    is_existence=True))
+                for value_column in value_columns:
+                    self._add(Attribute(
+                        len(self.attributes),
+                        f"{table.name}({item}).{value_column.name}",
+                        CONTINUOUS,
+                        is_input=table.is_input and value_column.is_input,
+                        is_output=table.predict and value_column.predict,
+                        table=table, key_value=item,
+                        value_column=value_column))
+            setattr(table, "_fitted_key_column", key_column)
+
+        if not self.attributes:
+            raise TrainError(
+                f"model {self.definition.name!r} has no attributes to mine "
+                f"(every column is a KEY or qualifier)")
+
+    def _fit_marginals(self, cases: List[MappedCase]) -> None:
+        self.marginals = []
+        for attribute in self.attributes:
+            if attribute.is_categorical:
+                self.marginals.append(CategoricalDistribution())
+            else:
+                self.marginals.append(GaussianStats())
+        for observation in self.encode_many(cases):
+            for attribute, marginal in zip(self.attributes, self.marginals):
+                value = observation.values[attribute.index]
+                if value is None:
+                    continue
+                weight = observation.effective_weight(attribute.index)
+                marginal.add(value, weight)
+
+    def _add(self, attribute: Attribute) -> None:
+        self.attributes.append(attribute)
+        self._by_name[attribute.name.upper()] = attribute
+
+    # -- lookup ---------------------------------------------------------------
+
+    def by_name(self, name: str) -> Optional[Attribute]:
+        return self._by_name.get(name.upper())
+
+    def for_column(self, column_name: str) -> Optional[Attribute]:
+        """The attribute backing a top-level scalar model column."""
+        return self._by_name.get(column_name.upper())
+
+    def inputs(self) -> List[Attribute]:
+        return [a for a in self.attributes if a.is_input]
+
+    def outputs(self) -> List[Attribute]:
+        return [a for a in self.attributes if a.is_output]
+
+    def existence_attributes(self, table_name: str) -> List[Attribute]:
+        return [a for a in self.attributes
+                if a.is_existence and a.table is not None and
+                a.table.name.upper() == table_name.upper()]
+
+    def covers(self, case: MappedCase) -> bool:
+        """True if the case encodes without losing information.
+
+        Used by the incremental-maintenance path: a case with an unseen
+        category, an unseen nested item, or a value outside a discretizer's
+        fitted range requires a full refit of the attribute space.
+        """
+        for column in self.definition.scalar_attributes():
+            value = case.scalars.get(column.name.upper())
+            if value is None or column.model_existence_only:
+                continue
+            attribute = self.by_name(column.name)
+            if attribute is None:
+                return False
+            if attribute.discretizer is not None:
+                if not (attribute.discretizer.minimum <= float(value) <=
+                        attribute.discretizer.maximum):
+                    return False
+            elif attribute.is_categorical and \
+                    attribute.encode(value) is None:
+                return False
+        for table in self.definition.nested_tables():
+            key_name = table.key_column().name.upper()
+            known = {_norm(a.key_value)
+                     for a in self.existence_attributes(table.name)}
+            for row in case.tables.get(table.name.upper(), []):
+                item = row.get(key_name)
+                if item is not None and _norm(item) not in known:
+                    return False
+        return True
+
+    def absorb(self, observations: List["Observation"],
+               case_count: int) -> None:
+        """Update marginals/counters for incrementally-absorbed cases."""
+        self.case_count += case_count
+        for observation in observations:
+            self.total_weight += observation.weight
+            for attribute, marginal in zip(self.attributes, self.marginals):
+                value = observation.values[attribute.index]
+                if value is not None:
+                    marginal.add(
+                        value, observation.effective_weight(attribute.index))
+
+    # -- encoding -------------------------------------------------------------
+
+    def encode(self, case: MappedCase) -> Observation:
+        values: List[Optional[float]] = [None] * len(self.attributes)
+        confidences: Dict[int, float] = {}
+        case_key = None
+        key_column = self.definition.case_key()
+        if key_column is not None:
+            case_key = case.scalars.get(key_column.name.upper())
+
+        nested_index: Dict[str, Dict[Any, Dict[str, Any]]] = {}
+        for table in self.definition.nested_tables():
+            table_key = table.name.upper()
+            key_name = table.key_column().name.upper()
+            rows = {}
+            for row in case.tables.get(table_key, []):
+                item = row.get(key_name)
+                if item is not None:
+                    rows[_norm(item)] = row
+            nested_index[table_key] = rows
+
+        for attribute in self.attributes:
+            if attribute.table is not None:
+                table_key = attribute.table.name.upper()
+                row = nested_index[table_key].get(_norm(attribute.key_value))
+                if attribute.is_existence:
+                    values[attribute.index] = 1.0 if row is not None else 0.0
+                    if row is not None:
+                        qualifier = row.get("__QUALIFIERS__", {})
+                        key_name = attribute.table.key_column().name.upper()
+                        probability = qualifier.get(key_name, {}).get(
+                            "PROBABILITY")
+                        if probability is not None:
+                            confidences[attribute.index] = float(probability)
+                elif row is not None:
+                    value = row.get(attribute.value_column.name.upper())
+                    if value is not None:
+                        values[attribute.index] = float(value)
+                continue
+            column = attribute.column
+            raw = case.scalars.get(column.name.upper())
+            if column.model_existence_only:
+                values[attribute.index] = attribute.encode(raw is not None)
+            else:
+                values[attribute.index] = attribute.encode(raw)
+            qualifiers = case.qualifiers.get(column.name.upper(), {})
+            probability = qualifiers.get("PROBABILITY")
+            if probability is not None:
+                confidences[attribute.index] = float(probability)
+
+        sequences: Dict[str, List[Any]] = {}
+        for table in self.definition.nested_tables():
+            time_column = next(
+                (c for c in table.nested_columns
+                 if c.sequence_time or
+                 c.attribute_type is AttributeType.SEQUENCE_TIME), None)
+            if time_column is None:
+                continue
+            state_column = self.sequence_state_column(table)
+            rows = case.tables.get(table.name.upper(), [])
+            ordered = sorted(
+                (row for row in rows
+                 if row.get(time_column.name.upper()) is not None),
+                key=lambda row: row[time_column.name.upper()])
+            sequences[table.name.upper()] = [
+                row.get(state_column.name.upper()) for row in ordered]
+
+        return Observation(values, weight=case.weight(),
+                           confidences=confidences, case_key=case_key,
+                           sequences=sequences)
+
+    @staticmethod
+    def sequence_state_column(table: ModelColumn) -> ModelColumn:
+        """The column whose values form the sequence states.
+
+        The first non-key DISCRETE attribute if one exists, otherwise the
+        nested table's KEY (market-basket-style sequences of items).
+        """
+        for column in table.nested_columns:
+            if column.role is ContentRole.ATTRIBUTE and \
+                    column.attribute_type is AttributeType.DISCRETE:
+                return column
+        return table.key_column()
+
+    def encode_many(self, cases: Iterable[MappedCase]) -> List[Observation]:
+        return [self.encode(case) for case in cases]

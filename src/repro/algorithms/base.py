@@ -1,0 +1,223 @@
+"""The mining-service plug-in interface and prediction result types.
+
+A mining algorithm is "plugged in" (paper section 1) by subclassing
+:class:`MiningAlgorithm` and registering it; the provider routes the USING
+clause to the registry.  Algorithms receive the fitted
+:class:`~repro.algorithms.attributes.AttributeSpace` and encoded
+observations, and answer predictions as :class:`CasePrediction` objects from
+which the prediction UDFs (Predict, PredictProbability, PredictHistogram,
+...) extract their values.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Dict, List, Optional
+
+from repro.errors import CapabilityError, NotTrainedError, SchemaError
+from repro.algorithms.attributes import Attribute, AttributeSpace, Observation
+from repro.algorithms.statistics import CategoricalDistribution, GaussianStats
+from repro.core.content import ContentNode
+
+
+class PredictionBucket:
+    """One histogram entry of a prediction (paper section 3.2.4)."""
+
+    __slots__ = ("value", "probability", "support", "variance")
+
+    def __init__(self, value: Any, probability: float, support: float,
+                 variance: Optional[float] = None):
+        self.value = value
+        self.probability = probability
+        self.support = support
+        self.variance = variance
+
+    def __repr__(self) -> str:
+        return (f"PredictionBucket({self.value!r}, p={self.probability:.4f}, "
+                f"support={self.support:g})")
+
+
+class AttributePrediction:
+    """The full prediction for one attribute: best estimate plus histogram.
+
+    "Predictions may convey not only simple information such as 'estimated
+    age is 21' but ... additional statistical information ... a histogram
+    provides multiple possible prediction values, each accompanied by a
+    probability and other statistics."
+    """
+
+    def __init__(self, attribute: Attribute, value: Any,
+                 probability: Optional[float], support: float,
+                 variance: Optional[float],
+                 histogram: List[PredictionBucket]):
+        self.attribute = attribute
+        self.value = value
+        self.probability = probability
+        self.support = support
+        self.variance = variance
+        self.histogram = histogram
+
+    @classmethod
+    def from_categorical(cls, attribute: Attribute,
+                         distribution: CategoricalDistribution,
+                         decode: bool = True) -> "AttributePrediction":
+        """Build from a weighted value distribution over internal codes."""
+        histogram = []
+        for internal, weight in distribution.sorted_items():
+            value = attribute.decode(internal) if decode else internal
+            probability = weight / distribution.total if distribution.total \
+                else 0.0
+            histogram.append(PredictionBucket(value, probability, weight))
+        if histogram:
+            best = histogram[0]
+            return cls(attribute, best.value, best.probability,
+                       best.support, None, histogram)
+        return cls(attribute, None, 0.0, 0.0, None, [])
+
+    @classmethod
+    def from_gaussian(cls, attribute: Attribute,
+                      stats: GaussianStats) -> "AttributePrediction":
+        if stats.sum_weight <= 0:
+            return cls(attribute, None, None, 0.0, None, [])
+        bucket = PredictionBucket(stats.mean, 1.0, stats.sum_weight,
+                                  stats.variance)
+        return cls(attribute, stats.mean, None, stats.sum_weight,
+                   stats.variance, [bucket])
+
+    def __repr__(self) -> str:
+        return (f"AttributePrediction({self.attribute.name!r}, "
+                f"{self.value!r}, p={self.probability})")
+
+
+class CasePrediction:
+    """Predictions for every output attribute of one case."""
+
+    def __init__(self):
+        self._by_index: Dict[int, AttributePrediction] = {}
+        self.cluster_id: Optional[int] = None
+        self.cluster_probabilities: List[float] = []
+        self.cluster_distances: List[float] = []
+        # Per nested-table recommendation histograms (association models):
+        # upper-cased table name -> ranked PredictionBucket list.
+        self.recommendations: Dict[str, List[PredictionBucket]] = {}
+
+    def set(self, prediction: AttributePrediction) -> None:
+        self._by_index[prediction.attribute.index] = prediction
+
+    def get(self, attribute: Attribute) -> Optional[AttributePrediction]:
+        return self._by_index.get(attribute.index)
+
+    def attributes(self) -> List[int]:
+        return list(self._by_index)
+
+    def __iter__(self):
+        return iter(self._by_index.values())
+
+
+class MiningAlgorithm(abc.ABC):
+    """Base class for pluggable mining services.
+
+    Subclasses declare a ``SERVICE_NAME`` (the canonical USING name),
+    optional ``ALIASES``, capability flags, and ``SUPPORTED_PARAMETERS``
+    (name -> default).  The provider validates USING-clause parameters
+    against that declaration, which is how the paper's "schema rowsets
+    describe the capabilities and limitations of the provider" surfaces.
+    """
+
+    SERVICE_NAME: str = ""
+    DISPLAY_NAME: str = ""
+    ALIASES: tuple = ()
+    SERVICE_TYPE_ID: int = 0
+    PREDICTS_DISCRETE: bool = True
+    PREDICTS_CONTINUOUS: bool = True
+    SUPPORTS_NESTED_TABLES: bool = True
+    SUPPORTS_INCREMENTAL: bool = False
+    SUPPORTED_PARAMETERS: Dict[str, Any] = {}
+
+    def __init__(self, parameters: Optional[Dict[str, Any]] = None):
+        parameters = dict(parameters or {})
+        # Shared, space-level parameters are accepted by every service.
+        shared = {"MAXIMUM_STATES", "MAXIMUM_ITEMS"}
+        unknown = [name for name in parameters
+                   if name not in self.SUPPORTED_PARAMETERS
+                   and name not in shared]
+        if unknown:
+            raise SchemaError(
+                f"algorithm {self.SERVICE_NAME} does not support "
+                f"parameter(s) {', '.join(sorted(unknown))} (supported: "
+                f"{', '.join(sorted(self.SUPPORTED_PARAMETERS)) or 'none'})")
+        self.parameters = {**self.SUPPORTED_PARAMETERS, **parameters}
+        self.space: Optional[AttributeSpace] = None
+        self.trained = False
+
+    def param(self, name: str) -> Any:
+        return self.parameters[name]
+
+    # -- life cycle -----------------------------------------------------------
+
+    def train(self, space: AttributeSpace,
+              observations: List[Observation]) -> None:
+        """Consume the caseset (INSERT INTO semantics, section 3.3)."""
+        self.space = space
+        self._train(space, observations)
+        self.trained = True
+
+    def partial_train(self, observations: List[Observation]) -> None:
+        """Fold additional observations into an already-trained model.
+
+        Only services declaring ``SUPPORTS_INCREMENTAL`` implement this;
+        the provider falls back to a full refit otherwise (and whenever the
+        new cases contain values outside the fitted attribute space).
+        """
+        raise CapabilityError(
+            f"{self.SERVICE_NAME} does not support incremental "
+            f"maintenance; retrain with the full caseset")
+
+    def reset(self) -> None:
+        """DELETE FROM semantics: drop learned content, keep the definition."""
+        self.space = None
+        self.trained = False
+
+    def require_trained(self) -> None:
+        if not self.trained:
+            raise NotTrainedError(
+                f"model using {self.SERVICE_NAME} has not been trained "
+                f"(INSERT INTO it first)")
+
+    @abc.abstractmethod
+    def _train(self, space: AttributeSpace,
+               observations: List[Observation]) -> None:
+        """Algorithm-specific training."""
+
+    @abc.abstractmethod
+    def predict(self, observation: Observation) -> CasePrediction:
+        """Predict all output attributes for one encoded case."""
+
+    @abc.abstractmethod
+    def content_nodes(self) -> ContentNode:
+        """The model content graph (root node)."""
+
+    # -- shared helpers -------------------------------------------------------
+
+    def marginal_prediction(self, attribute: Attribute) -> AttributePrediction:
+        """Fallback prediction from the training marginals."""
+        self.require_trained()
+        marginal = self.space.marginals[attribute.index]
+        if attribute.is_categorical:
+            return AttributePrediction.from_categorical(attribute, marginal)
+        return AttributePrediction.from_gaussian(attribute, marginal)
+
+    def output_attributes(self) -> List[Attribute]:
+        self.require_trained()
+        return self.space.outputs()
+
+    def describe(self) -> Dict[str, Any]:
+        """Service self-description for the MINING_SERVICES schema rowset."""
+        return {
+            "SERVICE_NAME": self.SERVICE_NAME,
+            "DISPLAY_NAME": self.DISPLAY_NAME or self.SERVICE_NAME,
+            "PREDICTS_DISCRETE": self.PREDICTS_DISCRETE,
+            "PREDICTS_CONTINUOUS": self.PREDICTS_CONTINUOUS,
+            "SUPPORTS_NESTED_TABLES": self.SUPPORTS_NESTED_TABLES,
+            "SUPPORTS_INCREMENTAL": self.SUPPORTS_INCREMENTAL,
+        }

@@ -1,0 +1,215 @@
+"""Naive Bayes mining service.
+
+Predicts categorical targets from conditional independence: categorical
+inputs contribute multinomial likelihoods with Laplace smoothing, continuous
+inputs contribute Gaussian likelihoods fitted per target state.  Missing
+inputs simply drop out of the product — which again is what lets a
+PREDICTION JOIN present partial cases.
+
+Continuous *targets* are out of scope for this service (the provider's
+MINING_SERVICES rowset advertises ``PREDICTS_CONTINUOUS = False`` and the
+training call fails fast), demonstrating how OLE DB DM surfaces per-service
+capability limits.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Tuple
+
+from repro.errors import CapabilityError
+from repro.algorithms.attributes import Attribute, AttributeSpace, Observation
+from repro.algorithms.base import (
+    AttributePrediction,
+    CasePrediction,
+    MiningAlgorithm,
+)
+from repro.algorithms.statistics import (
+    CategoricalDistribution,
+    GaussianStats,
+    log_sum_exp,
+)
+from repro.core.content import (
+    NODE_DISTRIBUTION,
+    NODE_MODEL,
+    NODE_PREDICTABLE,
+    ContentNode,
+    DistributionRow,
+)
+
+
+class _TargetModel:
+    """Per-target conditional statistics."""
+
+    def __init__(self):
+        self.prior = CategoricalDistribution()
+        # (input_index, state) -> CategoricalDistribution of input values
+        self.categorical: Dict[Tuple[int, float], CategoricalDistribution] = {}
+        # (input_index, state) -> GaussianStats of input values
+        self.gaussian: Dict[Tuple[int, float], GaussianStats] = {}
+
+
+class NaiveBayesAlgorithm(MiningAlgorithm):
+    """Multinomial/Gaussian naive Bayes over the attribute space."""
+
+    SERVICE_NAME = "Repro_Naive_Bayes"
+    DISPLAY_NAME = "Naive Bayes (reproduction)"
+    ALIASES = ("Microsoft_Naive_Bayes", "Naive_Bayes")
+    SERVICE_TYPE_ID = 2
+    PREDICTS_DISCRETE = True
+    PREDICTS_CONTINUOUS = False
+    SUPPORTS_INCREMENTAL = True  # counts are additive (section 2's
+    # "support for incremental model maintenance" capability)
+    SUPPORTED_PARAMETERS = {
+        "SMOOTHING": 1.0,          # Laplace pseudo-count
+        "MINIMUM_DEPENDENCY_PROBABILITY": 0.0,
+    }
+
+    def __init__(self, parameters=None):
+        super().__init__(parameters)
+        self.models: Dict[int, _TargetModel] = {}
+        self._inputs: Dict[int, List[Attribute]] = {}
+
+    def _train(self, space: AttributeSpace,
+               observations: List[Observation]) -> None:
+        continuous_targets = [a.name for a in space.outputs()
+                              if not a.is_categorical]
+        if continuous_targets:
+            raise CapabilityError(
+                f"{self.SERVICE_NAME} cannot predict continuous "
+                f"attribute(s): {', '.join(continuous_targets)} "
+                f"(declare them DISCRETIZED, or use a tree/regression "
+                f"service)")
+        self.models = {}
+        self._inputs = {}
+        for target in space.outputs():
+            inputs = [a for a in space.inputs() if a.index != target.index]
+            self._inputs[target.index] = inputs
+            model = _TargetModel()
+            for observation in observations:
+                state = observation.values[target.index]
+                if state is None:
+                    continue
+                weight = observation.effective_weight(target.index)
+                model.prior.add(state, weight)
+                for attribute in inputs:
+                    value = observation.values[attribute.index]
+                    if value is None:
+                        continue
+                    key = (attribute.index, state)
+                    if attribute.is_categorical:
+                        model.categorical.setdefault(
+                            key, CategoricalDistribution()).add(value, weight)
+                    else:
+                        model.gaussian.setdefault(
+                            key, GaussianStats()).add(value, weight)
+            self.models[target.index] = model
+
+    def partial_train(self, observations: List[Observation]) -> None:
+        """Fold new observations into the counts (exactly equivalent to a
+        full retrain over the union, because every statistic is a sum)."""
+        self.require_trained()
+        for target_index, model in self.models.items():
+            for observation in observations:
+                state = observation.values[target_index]
+                if state is None:
+                    continue
+                weight = observation.effective_weight(target_index)
+                model.prior.add(state, weight)
+                for attribute in self._inputs[target_index]:
+                    value = observation.values[attribute.index]
+                    if value is None:
+                        continue
+                    key = (attribute.index, state)
+                    if attribute.is_categorical:
+                        model.categorical.setdefault(
+                            key, CategoricalDistribution()).add(value, weight)
+                    else:
+                        model.gaussian.setdefault(
+                            key, GaussianStats()).add(value, weight)
+
+    def predict(self, observation: Observation) -> CasePrediction:
+        self.require_trained()
+        result = CasePrediction()
+        smoothing = float(self.param("SMOOTHING"))
+        for target in self.space.outputs():
+            model = self.models[target.index]
+            states = list(model.prior.counts)
+            if not states:
+                result.set(self.marginal_prediction(target))
+                continue
+            log_scores = []
+            for state in states:
+                score = math.log(max(model.prior.probability(state), 1e-12))
+                for attribute in self._inputs[target.index]:
+                    value = observation.values[attribute.index]
+                    if value is None:
+                        continue
+                    key = (attribute.index, state)
+                    if attribute.is_categorical:
+                        conditional = model.categorical.get(key)
+                        if conditional is None:
+                            conditional = CategoricalDistribution()
+                        p = conditional.probability(
+                            value, smoothing=smoothing,
+                            cardinality=max(attribute.cardinality, 1))
+                        score += math.log(max(p, 1e-12))
+                    else:
+                        stats = model.gaussian.get(key)
+                        if stats is None or stats.sum_weight <= 0:
+                            continue
+                        score += math.log(max(stats.pdf(value), 1e-300))
+                log_scores.append(score)
+            normaliser = log_sum_exp(log_scores)
+            posterior = CategoricalDistribution()
+            for state, score in zip(states, log_scores):
+                posterior.add(state, math.exp(score - normaliser) *
+                              model.prior.total)
+            result.set(AttributePrediction.from_categorical(target,
+                                                            posterior))
+        return result
+
+    def content_nodes(self) -> ContentNode:
+        self.require_trained()
+        root = ContentNode("0", NODE_MODEL, self.space.definition.name,
+                           description="Naive Bayes model",
+                           support=self.space.total_weight, probability=1.0)
+        for position, (target_index, model) in enumerate(
+                sorted(self.models.items())):
+            target = self.space.attributes[target_index]
+            target_node = root.add_child(ContentNode(
+                f"0.{position}", NODE_PREDICTABLE, target.name,
+                description=f"Priors and conditionals for {target.name}",
+                support=model.prior.total, probability=1.0,
+                distribution=[
+                    DistributionRow(target.name, target.decode(state),
+                                    weight,
+                                    weight / model.prior.total
+                                    if model.prior.total else 0.0)
+                    for state, weight in model.prior.sorted_items()]))
+            for state_position, (state, state_weight) in enumerate(
+                    model.prior.sorted_items()):
+                rows = []
+                for attribute in self._inputs[target_index]:
+                    key = (attribute.index, state)
+                    if attribute.is_categorical and key in model.categorical:
+                        conditional = model.categorical[key]
+                        for value, weight in conditional.sorted_items()[:5]:
+                            rows.append(DistributionRow(
+                                attribute.name, attribute.decode(value),
+                                weight,
+                                weight / conditional.total
+                                if conditional.total else 0.0))
+                    elif key in model.gaussian:
+                        stats = model.gaussian[key]
+                        rows.append(DistributionRow(
+                            attribute.name, stats.mean, stats.sum_weight,
+                            1.0, stats.variance))
+                target_node.add_child(ContentNode(
+                    f"0.{position}.{state_position}", NODE_DISTRIBUTION,
+                    f"{target.name} = {target.decode(state)!r}",
+                    support=state_weight,
+                    probability=(state_weight / model.prior.total
+                                 if model.prior.total else 0.0),
+                    distribution=rows))
+        return root

@@ -1,0 +1,152 @@
+"""Weighted distribution statistics shared by the mining algorithms.
+
+Everything here supports *weighted* observations, because OLE DB DM cases may
+carry SUPPORT qualifiers (case replication factors) and PROBABILITY
+qualifiers (uncertain values) — section 3.2.1 of the paper.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+
+class CategoricalDistribution:
+    """Weighted value counts for a categorical attribute."""
+
+    def __init__(self):
+        self.counts: Dict[Any, float] = {}
+        self.total: float = 0.0
+
+    def add(self, value: Any, weight: float = 1.0) -> None:
+        if weight <= 0:
+            return
+        self.counts[value] = self.counts.get(value, 0.0) + weight
+        self.total += weight
+
+    def merge(self, other: "CategoricalDistribution") -> None:
+        for value, weight in other.counts.items():
+            self.counts[value] = self.counts.get(value, 0.0) + weight
+        self.total += other.total
+
+    def probability(self, value: Any, smoothing: float = 0.0,
+                    cardinality: int = 0) -> float:
+        """P(value), optionally Laplace-smoothed over ``cardinality`` states."""
+        denominator = self.total + smoothing * cardinality
+        if denominator <= 0:
+            return 0.0
+        return (self.counts.get(value, 0.0) + smoothing) / denominator
+
+    def most_likely(self) -> Tuple[Optional[Any], float]:
+        """(value, probability) of the modal value; (None, 0.0) if empty."""
+        if not self.counts or self.total <= 0:
+            return None, 0.0
+        value = max(self.counts, key=lambda v: (self.counts[v], _tiebreak(v)))
+        return value, self.counts[value] / self.total
+
+    def support(self, value: Any) -> float:
+        return self.counts.get(value, 0.0)
+
+    def entropy(self) -> float:
+        """Shannon entropy in bits."""
+        if self.total <= 0:
+            return 0.0
+        result = 0.0
+        for weight in self.counts.values():
+            if weight > 0:
+                p = weight / self.total
+                result -= p * math.log2(p)
+        return result
+
+    def gini(self) -> float:
+        if self.total <= 0:
+            return 0.0
+        return 1.0 - sum((w / self.total) ** 2 for w in self.counts.values())
+
+    def sorted_items(self) -> List[Tuple[Any, float]]:
+        """(value, weight) pairs, heaviest first, deterministic ties."""
+        return sorted(self.counts.items(),
+                      key=lambda item: (-item[1], _tiebreak(item[0])))
+
+    def __len__(self) -> int:
+        return len(self.counts)
+
+    def copy(self) -> "CategoricalDistribution":
+        clone = CategoricalDistribution()
+        clone.counts = dict(self.counts)
+        clone.total = self.total
+        return clone
+
+
+def _tiebreak(value: Any) -> str:
+    return "" if value is None else str(value)
+
+
+class GaussianStats:
+    """Weighted running mean/variance (West's weighted Welford update)."""
+
+    def __init__(self):
+        self.sum_weight: float = 0.0
+        self.mean: float = 0.0
+        self._m2: float = 0.0
+        self.minimum: Optional[float] = None
+        self.maximum: Optional[float] = None
+
+    def add(self, value: float, weight: float = 1.0) -> None:
+        if weight <= 0:
+            return
+        value = float(value)
+        self.sum_weight += weight
+        delta = value - self.mean
+        self.mean += (weight / self.sum_weight) * delta
+        self._m2 += weight * delta * (value - self.mean)
+        if self.minimum is None or value < self.minimum:
+            self.minimum = value
+        if self.maximum is None or value > self.maximum:
+            self.maximum = value
+
+    @property
+    def variance(self) -> float:
+        """Population-style weighted variance."""
+        if self.sum_weight <= 0:
+            return 0.0
+        return max(self._m2 / self.sum_weight, 0.0)
+
+    @property
+    def stdev(self) -> float:
+        return math.sqrt(self.variance)
+
+    def pdf(self, value: float, floor: float = 1e-6) -> float:
+        """Gaussian density with a variance floor for degenerate columns."""
+        variance = max(self.variance, floor)
+        coefficient = 1.0 / math.sqrt(2.0 * math.pi * variance)
+        exponent = -((float(value) - self.mean) ** 2) / (2.0 * variance)
+        return coefficient * math.exp(exponent)
+
+    def copy(self) -> "GaussianStats":
+        clone = GaussianStats()
+        clone.sum_weight = self.sum_weight
+        clone.mean = self.mean
+        clone._m2 = self._m2
+        clone.minimum = self.minimum
+        clone.maximum = self.maximum
+        return clone
+
+
+def entropy(probabilities: Iterable[float]) -> float:
+    """Shannon entropy (bits) of a probability vector (zeros ignored)."""
+    result = 0.0
+    for p in probabilities:
+        if p > 0:
+            result -= p * math.log2(p)
+    return result
+
+
+def log_sum_exp(values: List[float]) -> float:
+    """Numerically stable log(sum(exp(v)))."""
+    if not values:
+        return float("-inf")
+    peak = max(values)
+    if peak == float("-inf"):
+        return peak
+    return peak + math.log(sum(math.exp(v - peak) for v in values))

@@ -1,0 +1,13 @@
+"""The "mining outside the database" baseline (system S12)."""
+
+from repro.baseline.external_pipeline import (
+    ExternalMiningPipeline,
+    run_external_pipeline,
+    run_in_provider_pipeline,
+)
+
+__all__ = [
+    "ExternalMiningPipeline",
+    "run_external_pipeline",
+    "run_in_provider_pipeline",
+]

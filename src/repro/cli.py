@@ -1,0 +1,165 @@
+"""Interactive DMX shell (system S13): the deployment story, live.
+
+"Once the DMM is created and optimized, deployment within the enterprise
+becomes as easy as writing SQL queries."  ``dmxsh`` (or ``python -m repro``)
+is a tiny proof of that: a REPL speaking the full SQL+DMX surface against an
+in-memory provider, with optional demo data preloaded.
+
+Usage::
+
+    dmxsh [--demo N] [--script FILE]
+
+Commands end with ``;``.  Shell meta-commands: ``.help``, ``.models``,
+``.tables``, ``.quit``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional
+
+from repro.core.provider import Connection, connect, split_statements
+from repro.errors import Error
+from repro.sqlstore.rowset import Rowset
+
+BANNER = """\
+OLE DB for Data Mining shell (reproduction of Netz et al., ICDE 2001)
+Statements end with ';'.  Try:
+    SELECT * FROM $SYSTEM.MINING_SERVICES;
+    .help for meta-commands, .quit to leave.
+"""
+
+HELP = """\
+Meta-commands:
+    .help        this text
+    .models      list mining models
+    .tables      list tables and views
+    .describe M  render a trained model's content as a report
+    .quit        exit
+
+Statement surface (paper section 3):
+    CREATE MINING MODEL <name> (...) USING <algorithm>[(params)]
+    INSERT INTO <model> (...) SHAPE {...} APPEND ({...} RELATE a TO b) AS n
+    SELECT ... FROM <model> [NATURAL] PREDICTION JOIN (...) AS t [ON ...]
+    SELECT * FROM <model>.CONTENT | <model>.PMML
+    SELECT * FROM $SYSTEM.MINING_MODELS | MINING_COLUMNS | MINING_SERVICES
+    DELETE FROM MINING MODEL <name>;  DROP MINING MODEL <name>
+    EXPORT MINING MODEL <name> TO '<path>'
+    IMPORT MINING MODEL FROM '<path>' [AS <name>]
+    plus plain SQL: CREATE TABLE / INSERT / SELECT / UPDATE / DELETE / VIEWs
+"""
+
+
+def run_command(connection: Connection, command: str,
+                out=None) -> None:
+    """Execute one statement and print its result."""
+    out = out if out is not None else sys.stdout
+    result = connection.execute(command)
+    if isinstance(result, Rowset):
+        out.write(result.pretty() + "\n")
+        out.write(f"({len(result)} rows)\n")
+    else:
+        out.write(f"OK ({result} rows affected)\n")
+
+
+def run_meta(connection: Connection, command: str, out=None) -> bool:
+    """Handle a .meta command; returns False to exit the loop."""
+    out = out if out is not None else sys.stdout
+    word = command.strip().lower()
+    if word in (".quit", ".exit"):
+        return False
+    if word == ".help":
+        out.write(HELP)
+    elif word == ".models":
+        for model in connection.models():
+            out.write(f"{model!r}\n")
+        if not connection.models():
+            out.write("(no mining models)\n")
+    elif word.startswith(".describe"):
+        name = command.strip()[len(".describe"):].strip().strip("[]")
+        if not name:
+            out.write("usage: .describe <model name>\n")
+        else:
+            from repro.reporting import render_model
+            try:
+                out.write(render_model(connection.model(name)) + "\n")
+            except Error as exc:
+                out.write(f"error: {exc}\n")
+    elif word == ".tables":
+        database = connection.database
+        for name in sorted(database.tables):
+            out.write(f"table {database.tables[name].name} "
+                      f"({len(database.tables[name])} rows)\n")
+        for name in sorted(database.views):
+            out.write(f"view  {name}\n")
+        if not database.tables and not database.views:
+            out.write("(no tables)\n")
+    else:
+        out.write(f"unknown meta-command {command!r}; try .help\n")
+    return True
+
+
+def load_demo(connection: Connection, customers: int) -> None:
+    """Load the generated warehouse into the session (--demo N)."""
+    from repro.datagen import WarehouseConfig, load_warehouse
+    load_warehouse(connection.database,
+                   WarehouseConfig(customers=customers))
+    sys.stdout.write(
+        f"Loaded demo warehouse: Customers/Sales/[Car Ownership] with "
+        f"{customers} customers.\n")
+
+
+def repl(connection: Connection) -> None:
+    """Interactive loop: buffer lines until ';', run meta-commands."""
+    sys.stdout.write(BANNER)
+    buffer = ""
+    while True:
+        prompt = "dmx> " if not buffer else "...> "
+        try:
+            line = input(prompt)
+        except (EOFError, KeyboardInterrupt):
+            sys.stdout.write("\n")
+            return
+        if not buffer and line.strip().startswith("."):
+            if not run_meta(connection, line):
+                return
+            continue
+        buffer += line + "\n"
+        if ";" in line:
+            for command in split_statements(buffer):
+                try:
+                    run_command(connection, command)
+                except Error as exc:
+                    sys.stdout.write(f"error: {exc}\n")
+            buffer = ""
+
+
+def main(argv: Optional[list] = None) -> int:
+    """Entry point for ``dmxsh`` / ``python -m repro``."""
+    parser = argparse.ArgumentParser(
+        prog="dmxsh", description="OLE DB for Data Mining shell")
+    parser.add_argument("--demo", type=int, metavar="N", default=0,
+                        help="preload the demo warehouse with N customers")
+    parser.add_argument("--script", metavar="FILE",
+                        help="execute a ';'-separated DMX script and exit")
+    args = parser.parse_args(argv)
+
+    connection = connect()
+    if args.demo:
+        load_demo(connection, args.demo)
+    if args.script:
+        with open(args.script) as handle:
+            for command in split_statements(handle.read()):
+                try:
+                    run_command(connection, command)
+                except Error as exc:
+                    sys.stderr.write(f"error: {exc}\n")
+                    return 1
+        return 0
+    repl(connection)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

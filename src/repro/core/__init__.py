@@ -1,0 +1,29 @@
+"""The paper's primary contribution (systems S4-S8).
+
+``repro.core`` implements the OLE DB DM object model: mining models as
+first-class catalog objects with the CREATE / INSERT INTO / PREDICTION JOIN /
+SELECT-content / DELETE / DROP life cycle, prediction functions, the content
+graph, and the provider schema rowsets.
+"""
+
+from repro.core.columns import (
+    AttributeType,
+    ContentRole,
+    ModelColumn,
+    ModelDefinition,
+    compile_model_definition,
+)
+from repro.core.model import MiningModel
+from repro.core.provider import Provider, Connection, connect
+
+__all__ = [
+    "AttributeType",
+    "ContentRole",
+    "ModelColumn",
+    "ModelDefinition",
+    "compile_model_definition",
+    "MiningModel",
+    "Provider",
+    "Connection",
+    "connect",
+]

@@ -1,0 +1,139 @@
+"""Model content as a directed graph of typed nodes (paper section 3.3).
+
+"The most popular way to express DMM content is by viewing it as a directed
+graph" — decision trees, cluster sets, and rule sets all render into
+:class:`ContentNode` trees.  ``SELECT * FROM <model>.CONTENT`` exposes this
+graph through the MINING_MODEL_CONTENT schema rowset, and each node carries
+a PMML-inspired XML fragment, as the paper's reference provider did.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, List, Optional, Tuple
+from xml.sax.saxutils import escape as _escape
+
+
+def escape(text: str) -> str:
+    """XML-escape including double quotes (values go into attributes)."""
+    return _escape(text, {'"': "&quot;"})
+
+# NODE_TYPE codes follow the OLE DB DM specification's enumeration.
+NODE_MODEL = 1
+NODE_TREE = 2
+NODE_INTERIOR = 3
+NODE_DISTRIBUTION = 4
+NODE_CLUSTER = 5
+NODE_UNKNOWN = 6
+NODE_ITEMSET = 7
+NODE_RULE = 8
+NODE_PREDICTABLE = 9
+NODE_REGRESSION_ROOT = 10
+NODE_SEQUENCE = 13
+
+NODE_TYPE_NAMES = {
+    NODE_MODEL: "Model",
+    NODE_TREE: "Tree",
+    NODE_INTERIOR: "Interior",
+    NODE_DISTRIBUTION: "Distribution",
+    NODE_CLUSTER: "Cluster",
+    NODE_UNKNOWN: "Unknown",
+    NODE_ITEMSET: "ItemSet",
+    NODE_RULE: "Rule",
+    NODE_PREDICTABLE: "PredictableAttribute",
+    NODE_REGRESSION_ROOT: "RegressionTreeRoot",
+    NODE_SEQUENCE: "Sequence",
+}
+
+
+class DistributionRow:
+    """One row of a node's NODE_DISTRIBUTION nested table."""
+
+    __slots__ = ("attribute", "value", "support", "probability", "variance")
+
+    def __init__(self, attribute: str, value: Any, support: float,
+                 probability: float, variance: Optional[float] = None):
+        self.attribute = attribute
+        self.value = value
+        self.support = support
+        self.probability = probability
+        self.variance = variance
+
+    def as_tuple(self) -> Tuple:
+        return (self.attribute, self.value, self.support, self.probability,
+                self.variance)
+
+
+class ContentNode:
+    """One node of the model content graph."""
+
+    def __init__(self, node_id: str, node_type: int, caption: str,
+                 description: str = "", support: float = 0.0,
+                 probability: float = 0.0,
+                 marginal_rule: str = "",
+                 distribution: Optional[List[DistributionRow]] = None):
+        self.node_id = node_id
+        self.node_type = node_type
+        self.caption = caption
+        self.description = description
+        self.support = support
+        self.probability = probability
+        self.marginal_rule = marginal_rule
+        self.distribution: List[DistributionRow] = distribution or []
+        self.children: List["ContentNode"] = []
+        self.parent: Optional["ContentNode"] = None
+
+    def add_child(self, child: "ContentNode") -> "ContentNode":
+        child.parent = self
+        self.children.append(child)
+        return child
+
+    @property
+    def parent_id(self) -> str:
+        return self.parent.node_id if self.parent is not None else ""
+
+    @property
+    def node_type_name(self) -> str:
+        return NODE_TYPE_NAMES.get(self.node_type, "Unknown")
+
+    def walk(self) -> Iterator["ContentNode"]:
+        """Pre-order traversal of this node and its descendants."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def find(self, node_id: str) -> Optional["ContentNode"]:
+        for node in self.walk():
+            if node.node_id == node_id:
+                return node
+        return None
+
+    def leaf_count(self) -> int:
+        if not self.children:
+            return 1
+        return sum(child.leaf_count() for child in self.children)
+
+    def to_xml(self) -> str:
+        """PMML-inspired XML string for this node (paper section 4)."""
+        parts = [
+            f'<Node id="{escape(self.node_id)}" '
+            f'type="{self.node_type_name}" '
+            f'caption="{escape(self.caption)}" '
+            f'support="{self.support:g}" '
+            f'probability="{self.probability:g}">']
+        if self.description:
+            parts.append(f"  <Description>{escape(self.description)}"
+                         f"</Description>")
+        for row in self.distribution:
+            value = "" if row.value is None else str(row.value)
+            variance = "" if row.variance is None else f'{row.variance:g}'
+            parts.append(
+                f'  <Distribution attribute="{escape(row.attribute)}" '
+                f'value="{escape(value)}" support="{row.support:g}" '
+                f'probability="{row.probability:g}" '
+                f'variance="{variance}"/>')
+        parts.append("</Node>")
+        return "\n".join(parts)
+
+    def __repr__(self) -> str:
+        return (f"ContentNode({self.node_id!r}, {self.node_type_name}, "
+                f"{self.caption!r}, {len(self.children)} children)")

@@ -1,0 +1,134 @@
+"""The mining model object: a first-class, table-like catalog entity.
+
+Section 2 of the paper: a DMM "can be defined via the CREATE statement ...
+populated, possibly repeatedly via the INSERT INTO statement ... emptied
+(reset) via the DELETE statement" and "is populated by consuming a rowset but
+its own internal structure can be more abstract".  :class:`MiningModel`
+carries the compiled definition, the algorithm instance created from the
+USING clause, the fitted attribute space, and the learned content.
+
+Repeated INSERT INTO statements accumulate cases and refresh (retrain) the
+model over the union — the model-maintenance story the paper calls out as
+neglected by prior work.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.errors import NotTrainedError, TrainError
+from repro.core.bindings import MappedCase
+from repro.core.columns import ModelDefinition
+from repro.core.content import ContentNode
+from repro.algorithms.attributes import AttributeSpace, Observation
+from repro.algorithms.base import CasePrediction, MiningAlgorithm
+from repro.algorithms.registry import create_algorithm
+
+
+class MiningModel:
+    """One mining model in the provider catalog."""
+
+    def __init__(self, definition: ModelDefinition):
+        self.definition = definition
+        self.algorithm: MiningAlgorithm = create_algorithm(
+            definition.algorithm, definition.parameters)
+        self.space: Optional[AttributeSpace] = None
+        self.training_cases: List[MappedCase] = []
+        self.insert_count = 0       # number of INSERT INTO statements consumed
+        self._content_root: Optional[ContentNode] = None
+
+    @property
+    def name(self) -> str:
+        return self.definition.name
+
+    @property
+    def is_trained(self) -> bool:
+        return self.algorithm.trained
+
+    @property
+    def case_count(self) -> int:
+        return len(self.training_cases)
+
+    # -- life cycle -----------------------------------------------------------
+
+    def train(self, cases: List[MappedCase]) -> int:
+        """Consume a caseset (INSERT INTO semantics); returns cases consumed.
+
+        Cases accumulate across INSERT statements.  Services that declare
+        ``SUPPORTS_INCREMENTAL`` absorb the new cases into the existing
+        model when every case fits the fitted attribute space (same
+        categories, items, and discretizer ranges); otherwise — and for all
+        other services — the algorithm retrains over the full accumulated
+        caseset, so a second INSERT acts as a refresh with more data.
+        """
+        if not cases:
+            raise TrainError(
+                f"INSERT INTO {self.name!r}: the source produced no cases")
+        self.training_cases.extend(cases)
+        self.insert_count += 1
+        if self._absorb_incrementally(cases):
+            return len(cases)
+        self._refit()
+        return len(cases)
+
+    def _absorb_incrementally(self, cases: List[MappedCase]) -> bool:
+        if not (self.is_trained and self.space is not None and
+                self.algorithm.SUPPORTS_INCREMENTAL):
+            return False
+        if not all(self.space.covers(case) for case in cases):
+            return False
+        observations = self.space.encode_many(cases)
+        self.algorithm.partial_train(observations)
+        self.space.absorb(observations, len(cases))
+        self._content_root = None
+        return True
+
+    def _refit(self) -> None:
+        space = AttributeSpace(self.definition)
+        space.fit(self.training_cases)
+        observations = space.encode_many(self.training_cases)
+        self.algorithm.train(space, observations)
+        self.space = space
+        self._content_root = None
+
+    def reset(self) -> None:
+        """DELETE FROM semantics: drop content, keep the definition."""
+        self.training_cases = []
+        self.insert_count = 0
+        self.space = None
+        self._content_root = None
+        self.algorithm.reset()
+
+    def require_trained(self) -> None:
+        if not self.is_trained or self.space is None:
+            raise NotTrainedError(
+                f"model {self.name!r} is not populated; INSERT INTO it "
+                f"before predicting or browsing content")
+
+    # -- prediction -----------------------------------------------------------
+
+    def encode(self, case: MappedCase) -> Observation:
+        self.require_trained()
+        return self.space.encode(case)
+
+    def predict_case(self, case: MappedCase) -> CasePrediction:
+        self.require_trained()
+        return self.algorithm.predict(self.space.encode(case))
+
+    def predict_cases(self, cases: List[MappedCase]) -> List[CasePrediction]:
+        return [self.predict_case(case) for case in cases]
+
+    # -- content --------------------------------------------------------------
+
+    def content_root(self) -> ContentNode:
+        """The (cached) content graph of section 3.3."""
+        self.require_trained()
+        if self._content_root is None:
+            self._content_root = self.algorithm.content_nodes()
+        return self._content_root
+
+    def __repr__(self) -> str:
+        state = f"trained on {self.case_count} cases" if self.is_trained \
+            else "not trained"
+        return (f"MiningModel({self.name!r}, "
+                f"USING {self.algorithm.SERVICE_NAME}, {state})")

@@ -1,0 +1,132 @@
+"""Whole-provider persistence: tables, views, and trained models.
+
+The paper motivates OLE DB DM with the model *life cycle* — "how to store,
+maintain, and refresh" models.  PMML (``repro.pmml``) covers single-model
+interchange; this module snapshots an entire provider — base tables, views,
+and every mining model with its trained state — to one JSON document, so a
+warehouse-plus-models deployment can be saved and restored.
+
+The format is plain JSON (no pickle): table rows are serialised with a
+small type-tag scheme (dates/ISO), views as canonical SQL text, and models
+as their PMML documents.  ``load_provider`` rebuilds everything through the
+public construction paths, so a snapshot from one process version restores
+cleanly in another as long as the formats match (a ``format`` field is
+checked).
+"""
+
+from __future__ import annotations
+
+import datetime
+import json
+from typing import Any, Dict, List
+
+from repro.errors import Error
+from repro.lang.formatter import format_statement
+from repro.lang.parser import parse_statement
+from repro.sqlstore.engine import Database
+from repro.sqlstore.schema import ColumnSchema, TableSchema
+from repro.sqlstore.types import type_from_name
+
+FORMAT_VERSION = 1
+
+
+def _encode_value(value: Any) -> Any:
+    if isinstance(value, datetime.date):
+        return {"$date": value.isoformat()}
+    return value
+
+
+def _decode_value(value: Any) -> Any:
+    if isinstance(value, dict) and "$date" in value:
+        return datetime.date.fromisoformat(value["$date"])
+    return value
+
+
+def dump_provider(provider) -> str:
+    """Serialise a provider (tables + views + models) to a JSON string."""
+    from repro.pmml.writer import to_pmml
+
+    tables: List[dict] = []
+    for key in sorted(provider.database.tables):
+        table = provider.database.tables[key]
+        tables.append({
+            "name": table.schema.name,
+            "columns": [
+                {"name": column.name, "type": column.type.name,
+                 "nullable": column.nullable,
+                 "primary_key": column.primary_key}
+                for column in table.schema.columns],
+            "rows": [[_encode_value(v) for v in row]
+                     for row in table.rows],
+        })
+    views = {key: format_statement(select)
+             for key, select in sorted(provider.database.views.items())}
+    models = []
+    for model in provider.list_models():
+        if model.is_trained:
+            models.append({"trained": True, "pmml": to_pmml(model)})
+        else:
+            from repro.pmml.writer import definition_to_ddl
+            models.append({"trained": False,
+                           "ddl": definition_to_ddl(model.definition)})
+    return json.dumps({
+        "format": FORMAT_VERSION,
+        "kind": "repro-provider-snapshot",
+        "tables": tables,
+        "views": views,
+        "models": models,
+    })
+
+
+def load_provider(text: str):
+    """Rebuild a provider from :func:`dump_provider` output."""
+    from repro.core.provider import Provider
+    from repro.pmml.reader import read_pmml
+
+    try:
+        snapshot = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise Error(f"invalid provider snapshot: {exc}") from exc
+    if snapshot.get("kind") != "repro-provider-snapshot":
+        raise Error("not a provider snapshot document")
+    if snapshot.get("format") != FORMAT_VERSION:
+        raise Error(
+            f"snapshot format {snapshot.get('format')!r} is not supported "
+            f"(this build reads format {FORMAT_VERSION})")
+
+    provider = Provider()
+    for entry in snapshot["tables"]:
+        schema = TableSchema(entry["name"], [
+            ColumnSchema(column["name"], type_from_name(column["type"]),
+                         nullable=column["nullable"],
+                         primary_key=column["primary_key"])
+            for column in entry["columns"]])
+        table = provider.database.create_table(schema)
+        for row in entry["rows"]:
+            table.insert([_decode_value(v) for v in row])
+    for key, text_sql in snapshot["views"].items():
+        statement = parse_statement(text_sql)
+        provider.database.views[key.upper()] = statement
+    for entry in snapshot["models"]:
+        if entry["trained"]:
+            model = read_pmml(entry["pmml"])
+        else:
+            from repro.core.columns import compile_model_definition
+            from repro.core.model import MiningModel
+            definition = compile_model_definition(
+                parse_statement(entry["ddl"]))
+            model = MiningModel(definition)
+        provider.models[model.name.upper()] = model
+    return provider
+
+
+def save_provider(provider, path: str) -> None:
+    """Write a provider snapshot to ``path``."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(dump_provider(provider))
+
+
+def open_provider(path: str):
+    """Load a provider snapshot from ``path``."""
+    with open(path, encoding="utf-8") as handle:
+        return load_provider(handle.read())

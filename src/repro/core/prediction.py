@@ -1,0 +1,320 @@
+"""PREDICTION JOIN execution (paper section 3.3).
+
+"The basic operation of obtaining prediction on a dataset D using a DMM M is
+modeled as a 'prediction join' between D and M."  Execution:
+
+1. evaluate the source (a SHAPE block, sub-select, or table) into a rowset;
+2. bind each source row to a :class:`MappedCase` — by the ON clause's
+   equalities, or by column name for NATURAL PREDICTION JOIN;
+3. evaluate the select list per case: model-qualified column references
+   yield predicted values ("look up predicted values ... using the attribute
+   values of a case as a key for the join"), prediction UDFs run against the
+   case's :class:`CasePrediction`, and source-qualified references come from
+   the source row;
+4. apply WHERE / ORDER BY / TOP / DISTINCT, and FLATTENED if requested.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import BindError, PredictionError
+from repro.lang import ast_nodes as ast
+from repro.shaping.shape import execute_shape, flatten_rowset
+from repro.sqlstore.expressions import EvalContext, evaluate
+from repro.sqlstore.rowset import Rowset, RowsetColumn
+from repro.sqlstore.types import TABLE, infer_type
+from repro.sqlstore.values import group_key, sort_key
+from repro.core.bindings import (
+    MappedCase,
+    map_rowset,
+    map_rowset_with_pairs,
+)
+from repro.core.functions import PREDICTION_FUNCTIONS, PredictionScope
+
+
+class PredictionEvalContext(EvalContext):
+    """Expression context inside a prediction query.
+
+    Resolution order for column references:
+
+    1. ``<model>.<column>`` (or ``<model>.<table>.<column>``) — predicted
+       value of a model column;
+    2. ``<alias>.<column>`` / bare names — the source row;
+    3. bare names matching a model PREDICT column — predicted value.
+    """
+
+    def __init__(self, model, source_context: EvalContext,
+                 source_row: tuple, case: MappedCase):
+        super().__init__(source_context.columns, source_row)
+        self.subquery_executor = source_context.subquery_executor
+        self._subquery_cache = source_context._subquery_cache
+        self.model = model
+        self.scope = PredictionScope(
+            model, case, evaluator=lambda e: evaluate(e, self))
+
+    def resolve_column(self, ref: ast.ColumnRef) -> Any:
+        parts = ref.parts
+        if parts[0].upper() == self.model.name.upper():
+            if len(parts) == 1:
+                raise BindError(
+                    f"select a column of model {self.model.name!r}, e.g. "
+                    f"[{self.model.name}].[{self._first_output_name()}]")
+            return self._predicted_value(tuple(parts[1:]))
+        index = self.resolve_index(parts)
+        if index is not None:
+            return self.row[index]
+        if len(parts) == 1:
+            column = self.model.definition.find(parts[0])
+            if column is not None and not column.is_table:
+                return self._predicted_value((parts[0],))
+        raise BindError(
+            f"cannot resolve column {'.'.join(parts)!r} in prediction query")
+
+    def _first_output_name(self) -> str:
+        outputs = self.model.definition.output_columns()
+        return outputs[0].name if outputs else "<column>"
+
+    def _predicted_value(self, parts: Tuple[str, ...]) -> Any:
+        if len(parts) == 1:
+            column = self.model.definition.find(parts[0])
+            if column is None:
+                raise BindError(
+                    f"model {self.model.name!r} has no column {parts[0]!r}")
+            if column.is_table:
+                from repro.core.functions import fn_predict_association
+                return fn_predict_association(
+                    self.scope, [ast.ColumnRef(parts=(column.name,))])
+            attribute = self.model.space.for_column(column.name)
+            if attribute is None:
+                raise BindError(
+                    f"column {parts[0]!r} is not part of the trained "
+                    f"attribute space")
+            prediction = self.scope.prediction.get(attribute)
+            if prediction is None:
+                prediction = self.model.algorithm.marginal_prediction(
+                    attribute)
+            return prediction.value
+        raise BindError(
+            f"unsupported model column path "
+            f"{'.'.join((self.model.name,) + parts)!r} in a select list; "
+            f"use prediction functions for nested results")
+
+    def call_function(self, call: ast.FuncCall, evaluator) -> Any:
+        handler = PREDICTION_FUNCTIONS.get(call.name.upper())
+        if handler is not None:
+            return handler(self.scope, call.args)
+        return super().call_function(call, evaluator)
+
+
+def resolve_prediction_source(provider, source: ast.TableRef) \
+        -> Tuple[Rowset, Optional[str]]:
+    """Evaluate the right-hand side of PREDICTION JOIN into a rowset."""
+    if isinstance(source, ast.ShapeSource):
+        return execute_shape(source.shape, provider.database), source.alias
+    if isinstance(source, ast.SubquerySource):
+        return provider.database.execute_select(source.select), source.alias
+    if isinstance(source, ast.NamedTable):
+        relation = provider.database.resolve_table_ref(source)
+        columns = [column for _, column in relation.columns]
+        return Rowset(columns, relation.rows), source.alias or source.name
+    raise PredictionError(
+        f"unsupported PREDICTION JOIN source {type(source).__name__}")
+
+
+def split_on_condition(model_name: str, alias: Optional[str],
+                       condition: ast.Expr) \
+        -> List[Tuple[Tuple[str, ...], Tuple[str, ...]]]:
+    """Decompose the ON clause into (model_path, source_path) pairs."""
+    pairs = []
+
+    def strip(parts: Tuple[str, ...], head: Optional[str]) -> Tuple[str, ...]:
+        if head and parts and parts[0].upper() == head.upper():
+            return tuple(parts[1:])
+        return tuple(parts)
+
+    def walk(expr: ast.Expr) -> None:
+        if isinstance(expr, ast.BinaryOp) and expr.op == "AND":
+            walk(expr.left)
+            walk(expr.right)
+            return
+        if isinstance(expr, ast.BinaryOp) and expr.op == "=" and \
+                isinstance(expr.left, ast.ColumnRef) and \
+                isinstance(expr.right, ast.ColumnRef):
+            left, right = expr.left.parts, expr.right.parts
+            left_is_model = left[0].upper() == model_name.upper()
+            right_is_model = right[0].upper() == model_name.upper()
+            if left_is_model == right_is_model:
+                raise PredictionError(
+                    f"each ON equality must relate a model column to a "
+                    f"source column; got "
+                    f"{'.'.join(left)} = {'.'.join(right)}")
+            model_parts = left if left_is_model else right
+            source_parts = right if left_is_model else left
+            pairs.append((strip(model_parts, model_name),
+                          strip(source_parts, alias)))
+            return
+        raise PredictionError(
+            "the ON clause of PREDICTION JOIN must be a conjunction of "
+            "column equalities")
+
+    walk(condition)
+    return pairs
+
+
+def execute_prediction_select(provider,
+                              statement: ast.SelectStatement) -> Rowset:
+    join: ast.PredictionJoin = statement.from_clause
+    model = provider.model(join.model)
+    model.require_trained()
+    source_rowset, alias = resolve_prediction_source(provider, join.source)
+
+    if join.natural or join.condition is None:
+        cases = map_rowset(model.definition, source_rowset)
+    else:
+        pairs = split_on_condition(model.name, alias, join.condition)
+        cases = map_rowset_with_pairs(model.definition, source_rowset, pairs,
+                                      alias)
+
+    source_context = _source_context(source_rowset, alias)
+    source_context.subquery_executor = provider.database.execute_select
+    expanded = _expand_select_list(statement, model, source_rowset, alias)
+
+    output_rows: List[tuple] = []
+    for row, case in zip(source_rowset.rows, cases):
+        context = PredictionEvalContext(model, source_context, row, case)
+        if statement.where is not None and \
+                evaluate(statement.where, context) is not True:
+            continue
+        output_rows.append((
+            tuple(evaluate(expr, context) for expr, _ in expanded),
+            row, case))
+
+    columns = _column_metadata(expanded, output_rows)
+
+    if statement.distinct:
+        seen = set()
+        unique = []
+        for entry in output_rows:
+            key = tuple(group_key(v) if not isinstance(v, Rowset) else id(v)
+                        for v in entry[0])
+            if key not in seen:
+                seen.add(key)
+                unique.append(entry)
+        output_rows = unique
+
+    if statement.order_by:
+        names = [c.name.upper() for c in columns]
+
+        def order_key(entry):
+            values, row, case = entry
+            context = PredictionEvalContext(model, source_context, row, case)
+            key = []
+            for item in statement.order_by:
+                if isinstance(item.expr, ast.ColumnRef) and \
+                        len(item.expr.parts) == 1 and \
+                        item.expr.parts[0].upper() in names:
+                    value = values[names.index(item.expr.parts[0].upper())]
+                else:
+                    value = evaluate(item.expr, context)
+                key.append(sort_key(value))
+            return tuple(key)
+
+        keys = [order_key(entry) for entry in output_rows]
+        indexed = sorted(range(len(output_rows)),
+                         key=lambda i: _directional(keys[i],
+                                                    statement.order_by))
+        output_rows = [output_rows[i] for i in indexed]
+
+    rows = [entry[0] for entry in output_rows]
+    if statement.top is not None:
+        rows = rows[:statement.top]
+    result = Rowset(columns, rows)
+    if statement.flattened:
+        result = flatten_rowset(result)
+    return result
+
+
+def _directional(key: tuple, order_by) -> tuple:
+    adjusted = []
+    for part, item in zip(key, order_by):
+        if item.ascending:
+            adjusted.append(part)
+        else:
+            adjusted.append(_Reversed(part))
+    return tuple(adjusted)
+
+
+class _Reversed:
+    """Inverts comparison for DESC sort keys."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value):
+        self.value = value
+
+    def __lt__(self, other):
+        return other.value < self.value
+
+    def __eq__(self, other):
+        return self.value == other.value
+
+
+def _source_context(rowset: Rowset, alias: Optional[str]) -> EvalContext:
+    mapping: Dict[Tuple[str, ...], int] = {}
+    for index, column in enumerate(rowset.columns):
+        mapping.setdefault((column.name.upper(),), index)
+        if alias:
+            mapping.setdefault((alias.upper(), column.name.upper()), index)
+    return EvalContext(mapping)
+
+
+def _expand_select_list(statement, model, source_rowset,
+                        alias) -> List[Tuple[ast.Expr, str]]:
+    expanded: List[Tuple[ast.Expr, str]] = []
+    for position, item in enumerate(statement.select_list):
+        if isinstance(item.expr, ast.Star):
+            qualifier = item.expr.qualifier
+            if qualifier is None or (
+                    alias and qualifier.upper() == alias.upper()):
+                for column in source_rowset.columns:
+                    if column.nested_columns is None:
+                        expanded.append(
+                            (ast.ColumnRef(parts=(column.name,)),
+                             column.name))
+            if qualifier is None or \
+                    qualifier.upper() == model.name.upper():
+                for column in model.definition.output_columns():
+                    if not column.is_table:
+                        expanded.append(
+                            (ast.ColumnRef(parts=(model.name, column.name)),
+                             column.name))
+            continue
+        name = item.alias or _default_name(item.expr, position)
+        expanded.append((item.expr, name))
+    return expanded
+
+
+def _default_name(expr: ast.Expr, position: int) -> str:
+    if isinstance(expr, ast.ColumnRef):
+        return expr.parts[-1]
+    if isinstance(expr, ast.FuncCall):
+        return expr.name
+    return f"Expr{position + 1}"
+
+
+def _column_metadata(expanded, output_rows) -> List[RowsetColumn]:
+    columns = []
+    for position, (_, name) in enumerate(expanded):
+        sample = None
+        for entry in output_rows:
+            value = entry[0][position]
+            if value is not None:
+                sample = value
+                break
+        if isinstance(sample, Rowset):
+            columns.append(RowsetColumn(name, TABLE,
+                                        nested_columns=list(sample.columns)))
+        else:
+            columns.append(RowsetColumn(name, infer_type(sample)))
+    return columns

@@ -1,0 +1,315 @@
+"""The OLE DB DM provider: one command surface for SQL and DMX.
+
+:class:`Provider` owns the relational engine and the mining-model catalog
+and dispatches every statement — the "analysis server" box of the paper's
+Figure 1, layered on the relational engine through the engine's
+``external_resolver`` hook.  :class:`Connection` is the thin session facade
+(`connect()` creates one) that applications use, playing the role of an
+OLE DB session issuing command strings.
+
+Name resolution follows the paper's "model as table" analogy: INSERT INTO
+and DELETE FROM look the target up in the model catalog first, then fall
+back to base tables, so the same statement forms work on both.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.errors import BindError, CatalogError, Error
+from repro.lang import ast_nodes as ast
+from repro.lang.parser import parse_statement
+from repro.shaping.shape import execute_shape, flatten_rowset
+from repro.sqlstore.engine import Database, SourceRelation
+from repro.sqlstore.rowset import Rowset
+from repro.core.bindings import map_rowset
+from repro.core.columns import compile_model_definition
+from repro.core.model import MiningModel
+from repro.core.prediction import execute_prediction_select
+from repro.core.schema_rowsets import model_content_rowset, system_rowset
+
+
+class Provider:
+    """The provider: relational engine + mining-model catalog + dispatcher."""
+
+    def __init__(self):
+        self.database = Database(external_resolver=self._resolve_external)
+        self.models: Dict[str, MiningModel] = {}
+
+    # -- catalog ----------------------------------------------------------------
+
+    def model(self, name: str) -> MiningModel:
+        try:
+            return self.models[name.upper()]
+        except KeyError as exc:
+            raise BindError(f"no mining model named {name!r}") from exc
+
+    def has_model(self, name: str) -> bool:
+        return name.upper() in self.models
+
+    def list_models(self) -> List[MiningModel]:
+        return [self.models[key] for key in sorted(self.models)]
+
+    # -- dispatch ----------------------------------------------------------------
+
+    def execute(self, command: str) -> Any:
+        """Parse and execute one command; Rowset for queries, int for DML."""
+        return self.execute_ast(parse_statement(command))
+
+    def execute_ast(self, statement: ast.Statement) -> Any:
+        if isinstance(statement, ast.CreateMiningModelStatement):
+            return self._create_mining_model(statement)
+        if isinstance(statement, ast.InsertModelStatement):
+            return self._insert_model(statement)
+        if isinstance(statement, ast.InsertValuesStatement):
+            return self._insert_dispatch(statement)
+        if isinstance(statement, ast.DeleteModelStatement):
+            self.model(statement.name).reset()
+            return 0
+        if isinstance(statement, ast.DeleteStatement):
+            if self.has_model(statement.table):
+                if statement.where is not None:
+                    raise Error(
+                        f"DELETE FROM a mining model resets it entirely; "
+                        f"a WHERE clause is not supported "
+                        f"({statement.table!r} is a model)")
+                self.model(statement.table).reset()
+                return 0
+            return self.database.execute_ast(statement)
+        if isinstance(statement, ast.DropMiningModelStatement):
+            key = statement.name.upper()
+            if key in self.models:
+                del self.models[key]
+            elif not statement.if_exists:
+                raise CatalogError(
+                    f"no mining model named {statement.name!r}")
+            return 0
+        if isinstance(statement, ast.DropTableStatement):
+            if self.has_model(statement.name):
+                del self.models[statement.name.upper()]
+                return 0
+            return self.database.execute_ast(statement)
+        if isinstance(statement, ast.ExportModelStatement):
+            return self._export_model(statement)
+        if isinstance(statement, ast.ImportModelStatement):
+            return self._import_model(statement)
+        if isinstance(statement, ast.SelectStatement):
+            return self._execute_select(statement)
+        return self.database.execute_ast(statement)
+
+    # -- model life cycle ---------------------------------------------------------
+
+    def _create_mining_model(
+            self, statement: ast.CreateMiningModelStatement) -> int:
+        key = statement.name.upper()
+        if key in self.models:
+            raise CatalogError(
+                f"mining model {statement.name!r} already exists")
+        if self.database.has_table(statement.name):
+            raise CatalogError(
+                f"a table named {statement.name!r} already exists; model "
+                f"names share the table name space")
+        definition = compile_model_definition(statement)
+        self.models[key] = MiningModel(definition)
+        return 0
+
+    def _insert_model(self, statement: ast.InsertModelStatement) -> int:
+        model = self.model(statement.model)
+        if isinstance(statement.source, ast.ShapeExpr):
+            rowset = execute_shape(statement.source, self.database)
+        elif isinstance(statement.source, ast.SelectStatement):
+            rowset = self.database.execute_select(statement.source)
+        else:
+            raise Error("INSERT INTO a model requires a SHAPE or SELECT "
+                        "source")
+        cases = map_rowset(model.definition, rowset, statement.bindings)
+        return model.train(cases)
+
+    def _insert_dispatch(self, statement: ast.InsertValuesStatement) -> int:
+        """INSERT whose target may be a base table or a model (paper: a
+        model is 'analogous to a table in SQL')."""
+        if self.has_model(statement.table):
+            if statement.select is None:
+                raise Error(
+                    f"INSERT INTO mining model {statement.table!r} requires "
+                    f"a SELECT or SHAPE source, not VALUES")
+            bindings = [ast.BindingColumn(name)
+                        for name in statement.columns]
+            return self._insert_model(ast.InsertModelStatement(
+                model=statement.table, bindings=bindings,
+                source=statement.select))
+        return self.database.execute_ast(statement)
+
+    # -- SELECT ---------------------------------------------------------------------
+
+    def _execute_select(self, statement: ast.SelectStatement) -> Rowset:
+        if isinstance(statement.from_clause, ast.PredictionJoin):
+            return execute_prediction_select(self, statement)
+        result = self.database.execute_select(statement)
+        if statement.flattened:
+            result = flatten_rowset(result)
+        return result
+
+    def _resolve_external(self, ref: ast.TableRef) -> Optional[SourceRelation]:
+        """The engine's hook: models, SHAPE, $SYSTEM, <model>.CONTENT."""
+        if isinstance(ref, ast.ShapeSource):
+            rowset = execute_shape(ref.shape, self.database)
+            return SourceRelation.from_rowset(rowset, ref.alias)
+        if isinstance(ref, ast.SystemRowsetRef):
+            rowset = system_rowset(self, ref.rowset)
+            return SourceRelation.from_rowset(rowset, ref.alias or ref.rowset)
+        if isinstance(ref, ast.ModelContentRef):
+            model = self.model(ref.model)
+            if ref.facet == "CONTENT":
+                rowset = model_content_rowset(model)
+            elif ref.facet == "PMML":
+                from repro.pmml.writer import pmml_rowset
+                rowset = pmml_rowset(model)
+            elif ref.facet == "CASES":
+                rowset = self._model_cases_rowset(model)
+            else:  # pragma: no cover - parser restricts facets
+                raise BindError(f"unknown model facet {ref.facet!r}")
+            return SourceRelation.from_rowset(rowset, ref.alias or ref.model)
+        if isinstance(ref, ast.NamedTable) and self.has_model(ref.name):
+            raise Error(
+                f"{ref.name!r} is a mining model; query its content with "
+                f"SELECT * FROM [{ref.name}].CONTENT or predict with "
+                f"PREDICTION JOIN (section 3.3)")
+        return None
+
+    def _model_cases_rowset(self, model: MiningModel) -> Rowset:
+        """``<model>.CASES``: drill through to the accumulated caseset."""
+        model.require_trained()
+        from repro.sqlstore.rowset import RowsetColumn
+        from repro.sqlstore.types import TEXT
+        records = []
+        for case in model.training_cases:
+            record = {name: value for name, value in case.scalars.items()}
+            for table_name, rows in case.tables.items():
+                record[table_name] = ", ".join(
+                    str(row.get(model.definition.find(table_name)
+                                .key_column().name.upper()))
+                    for row in rows)
+            records.append(record)
+        return Rowset.from_dicts(records)
+
+    # -- PMML -------------------------------------------------------------------------
+
+    def _export_model(self, statement: ast.ExportModelStatement) -> int:
+        from repro.pmml.writer import write_pmml_file
+        model = self.model(statement.name)
+        write_pmml_file(model, statement.path)
+        return 0
+
+    def _import_model(self, statement: ast.ImportModelStatement) -> int:
+        from repro.pmml.reader import read_pmml_file
+        model = read_pmml_file(statement.path)
+        if statement.rename_to:
+            model.definition.name = statement.rename_to
+        key = model.name.upper()
+        if key in self.models:
+            raise CatalogError(
+                f"mining model {model.name!r} already exists; use "
+                f"IMPORT ... AS <new name>")
+        self.models[key] = model
+        return 0
+
+
+class Connection:
+    """A session on a provider (the OLE DB session/command analogue)."""
+
+    def __init__(self, provider: Optional[Provider] = None):
+        self.provider = provider or Provider()
+        self._closed = False
+
+    def execute(self, command: str) -> Any:
+        """Execute one SQL or DMX command string."""
+        if self._closed:
+            raise Error("connection is closed")
+        return self.provider.execute(command)
+
+    def execute_script(self, script: str) -> List[Any]:
+        """Execute ';'-separated statements; returns each result."""
+        results = []
+        for command in split_statements(script):
+            results.append(self.execute(command))
+        return results
+
+    @property
+    def database(self) -> Database:
+        return self.provider.database
+
+    def models(self) -> List[MiningModel]:
+        return self.provider.list_models()
+
+    def model(self, name: str) -> MiningModel:
+        return self.provider.model(name)
+
+    def close(self) -> None:
+        self._closed = True
+
+    def __enter__(self) -> "Connection":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def connect() -> Connection:
+    """Open a connection to a fresh in-memory OLE DB DM provider."""
+    return Connection()
+
+
+def split_statements(script: str) -> List[str]:
+    """Split a script on ';' outside strings, brackets, and comments."""
+    statements = []
+    current: List[str] = []
+    i = 0
+    text = script
+    while i < len(text):
+        ch = text[i]
+        if ch in "'\"":
+            quote = ch
+            current.append(ch)
+            i += 1
+            while i < len(text):
+                current.append(text[i])
+                if text[i] == quote:
+                    if i + 1 < len(text) and text[i + 1] == quote:
+                        current.append(text[i + 1])
+                        i += 2
+                        continue
+                    i += 1
+                    break
+                i += 1
+            continue
+        if ch == "[":
+            while i < len(text) and text[i] != "]":
+                current.append(text[i])
+                i += 1
+            continue
+        if ch == "-" and text[i:i + 2] == "--" or ch == "%" or \
+                text[i:i + 2] == "//":
+            while i < len(text) and text[i] != "\n":
+                current.append(text[i])
+                i += 1
+            continue
+        if text[i:i + 2] == "/*":
+            end = text.find("*/", i + 2)
+            end = len(text) if end < 0 else end + 2
+            current.append(text[i:end])
+            i = end
+            continue
+        if ch == ";":
+            statement = "".join(current).strip()
+            if statement:
+                statements.append(statement)
+            current = []
+            i += 1
+            continue
+        current.append(ch)
+        i += 1
+    statement = "".join(current).strip()
+    if statement:
+        statements.append(statement)
+    return statements

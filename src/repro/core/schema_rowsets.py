@@ -1,0 +1,246 @@
+"""OLE DB DM schema rowsets: the provider's self-description (section 2).
+
+"Schema rowsets specify the capabilities of an OLE DB DM provider ...
+supported capabilities (e.g. prediction, segmentation, sequence analysis,
+etc.), types of data distributions supported, limitations of the provider
+... Other schema rowsets provide metadata on the columns of a mining model,
+on its contents, and the supported services."
+
+Queryable as ``SELECT * FROM $SYSTEM.<rowset>``:
+
+* MINING_MODELS, MINING_COLUMNS — catalog metadata;
+* MINING_SERVICES, SERVICE_PARAMETERS — registered algorithm capabilities;
+* MINING_FUNCTIONS — the prediction UDF surface;
+* MINING_MODEL_CONTENT — the content graph of every populated model (also
+  reachable per-model as ``SELECT * FROM <model>.CONTENT``).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.errors import BindError
+from repro.sqlstore.rowset import Rowset, RowsetColumn
+from repro.sqlstore.types import BOOLEAN, DOUBLE, LONG, TEXT
+from repro.core.columns import ContentRole, ModelColumn
+from repro.core.content import ContentNode
+from repro.core.functions import PREDICTION_FUNCTIONS
+from repro.algorithms.registry import algorithm_services
+
+
+def mining_models_rowset(provider) -> Rowset:
+    columns = [
+        RowsetColumn("MODEL_NAME", TEXT),
+        RowsetColumn("SERVICE_NAME", TEXT),
+        RowsetColumn("IS_POPULATED", BOOLEAN),
+        RowsetColumn("CASE_COUNT", LONG),
+        RowsetColumn("INSERT_COUNT", LONG),
+        RowsetColumn("PREDICTION_ENTITIES", TEXT),
+    ]
+    rows = []
+    for model in provider.list_models():
+        outputs = ", ".join(c.name for c in
+                            model.definition.output_columns())
+        rows.append((model.name, model.algorithm.SERVICE_NAME,
+                     model.is_trained, model.case_count,
+                     model.insert_count, outputs))
+    return Rowset(columns, rows)
+
+
+def mining_columns_rowset(provider) -> Rowset:
+    columns = [
+        RowsetColumn("MODEL_NAME", TEXT),
+        RowsetColumn("COLUMN_NAME", TEXT),
+        RowsetColumn("NESTED_TABLE", TEXT),
+        RowsetColumn("DATA_TYPE", TEXT),
+        RowsetColumn("CONTENT_TYPE", TEXT),
+        RowsetColumn("IS_PREDICTABLE", BOOLEAN),
+        RowsetColumn("IS_INPUT", BOOLEAN),
+        RowsetColumn("IS_KEY", BOOLEAN),
+        RowsetColumn("RELATED_ATTRIBUTE", TEXT),
+        RowsetColumn("QUALIFIER", TEXT),
+        RowsetColumn("QUALIFIER_OF", TEXT),
+        RowsetColumn("DISTRIBUTION_HINT", TEXT),
+    ]
+    rows: List[tuple] = []
+    for model in provider.list_models():
+        for column in model.definition.columns:
+            rows.extend(_column_rows(model.name, column, None))
+    return Rowset(columns, rows)
+
+
+def _column_rows(model_name: str, column: ModelColumn,
+                 parent: Optional[str]) -> List[tuple]:
+    if column.is_table:
+        rows = [(model_name, column.name, parent, "TABLE", "TABLE",
+                 column.predict, column.is_input, False, None, None, None,
+                 None)]
+        for nested in column.nested_columns:
+            rows.extend(_column_rows(model_name, nested, column.name))
+        return rows
+    content = column.attribute_type.value if column.attribute_type else \
+        column.role.value
+    return [(model_name, column.name, parent,
+             column.data_type.name if column.data_type else None,
+             content if column.role is not ContentRole.KEY else "KEY",
+             column.predict, column.is_input,
+             column.role is ContentRole.KEY,
+             column.related_to, column.qualifier, column.qualifier_of,
+             column.distribution)]
+
+
+def mining_services_rowset(provider=None) -> Rowset:
+    columns = [
+        RowsetColumn("SERVICE_NAME", TEXT),
+        RowsetColumn("SERVICE_DISPLAY_NAME", TEXT),
+        RowsetColumn("PREDICTS_DISCRETE", BOOLEAN),
+        RowsetColumn("PREDICTS_CONTINUOUS", BOOLEAN),
+        RowsetColumn("SUPPORTS_NESTED_TABLES", BOOLEAN),
+        RowsetColumn("SUPPORTS_INCREMENTAL", BOOLEAN),
+        RowsetColumn("ALIASES", TEXT),
+    ]
+    rows = []
+    for service in algorithm_services():
+        rows.append((service.SERVICE_NAME,
+                     service.DISPLAY_NAME or service.SERVICE_NAME,
+                     service.PREDICTS_DISCRETE,
+                     service.PREDICTS_CONTINUOUS,
+                     service.SUPPORTS_NESTED_TABLES,
+                     service.SUPPORTS_INCREMENTAL,
+                     ", ".join(service.ALIASES)))
+    return Rowset(columns, rows)
+
+
+def service_parameters_rowset(provider=None) -> Rowset:
+    columns = [
+        RowsetColumn("SERVICE_NAME", TEXT),
+        RowsetColumn("PARAMETER_NAME", TEXT),
+        RowsetColumn("DEFAULT_VALUE", TEXT),
+    ]
+    rows = []
+    for service in algorithm_services():
+        for name, default in sorted(service.SUPPORTED_PARAMETERS.items()):
+            rows.append((service.SERVICE_NAME, name, str(default)))
+    return Rowset(columns, rows)
+
+
+_FUNCTION_DESCRIPTIONS = {
+    "PREDICT": ("scalar/table", "Best estimate of a model column; "
+                                "recommendations for TABLE columns"),
+    "PREDICTPROBABILITY": ("scalar", "Probability of the predicted (or a "
+                                     "given) value"),
+    "PREDICTSUPPORT": ("scalar", "Training support behind the prediction"),
+    "PREDICTVARIANCE": ("scalar", "Variance of a continuous prediction"),
+    "PREDICTSTDEV": ("scalar", "Standard deviation of a continuous "
+                               "prediction"),
+    "PREDICTHISTOGRAM": ("table", "Histogram of candidate values with "
+                                  "probability/support/variance"),
+    "PREDICTASSOCIATION": ("table", "Top recommended nested-table items"),
+    "CLUSTER": ("scalar", "1-based id of the most probable cluster"),
+    "CLUSTERPROBABILITY": ("scalar", "Posterior probability of a cluster"),
+    "CLUSTERDISTANCE": ("scalar", "Distance to a cluster"),
+    "RANGEMIN": ("scalar", "Lower bound of the predicted DISCRETIZED "
+                           "bucket"),
+    "RANGEMID": ("scalar", "Midpoint of the predicted DISCRETIZED bucket"),
+    "RANGEMAX": ("scalar", "Upper bound of the predicted DISCRETIZED "
+                           "bucket"),
+    "TOPCOUNT": ("table", "N rows with the largest rank value"),
+    "TOPSUM": ("table", "Smallest rank-sorted prefix summing past a "
+                        "threshold"),
+    "TOPPERCENT": ("table", "Smallest rank-sorted prefix covering a "
+                            "percentage of the total"),
+}
+
+
+def mining_functions_rowset(provider=None) -> Rowset:
+    columns = [
+        RowsetColumn("FUNCTION_NAME", TEXT),
+        RowsetColumn("RETURN_KIND", TEXT),
+        RowsetColumn("DESCRIPTION", TEXT),
+    ]
+    rows = []
+    for name in sorted(PREDICTION_FUNCTIONS):
+        kind, description = _FUNCTION_DESCRIPTIONS.get(
+            name, ("scalar", ""))
+        rows.append((name, kind, description))
+    return Rowset(columns, rows)
+
+
+# ---------------------------------------------------------------------------
+# MINING_MODEL_CONTENT
+# ---------------------------------------------------------------------------
+
+def _content_columns() -> List[RowsetColumn]:
+    distribution_columns = [
+        RowsetColumn("ATTRIBUTE_NAME", TEXT),
+        RowsetColumn("ATTRIBUTE_VALUE", TEXT),
+        RowsetColumn("SUPPORT", DOUBLE),
+        RowsetColumn("PROBABILITY", DOUBLE),
+        RowsetColumn("VARIANCE", DOUBLE),
+    ]
+    return [
+        RowsetColumn("MODEL_NAME", TEXT),
+        RowsetColumn("NODE_UNIQUE_NAME", TEXT),
+        RowsetColumn("PARENT_UNIQUE_NAME", TEXT),
+        RowsetColumn("NODE_TYPE", LONG),
+        RowsetColumn("NODE_TYPE_NAME", TEXT),
+        RowsetColumn("NODE_CAPTION", TEXT),
+        RowsetColumn("NODE_DESCRIPTION", TEXT),
+        RowsetColumn("CHILDREN_CARDINALITY", LONG),
+        RowsetColumn("NODE_SUPPORT", DOUBLE),
+        RowsetColumn("NODE_PROBABILITY", DOUBLE),
+        RowsetColumn("NODE_RULE", TEXT),
+        RowsetColumn("NODE_DISTRIBUTION",
+                     nested_columns=distribution_columns),
+    ]
+
+
+def _content_rows(model_name: str, root: ContentNode) -> List[tuple]:
+    distribution_columns = _content_columns()[-1].nested_columns
+    rows = []
+    for node in root.walk():
+        distribution = Rowset(
+            distribution_columns,
+            [(r.attribute,
+              None if r.value is None else str(r.value),
+              r.support, r.probability, r.variance)
+             for r in node.distribution])
+        rows.append((model_name, node.node_id, node.parent_id,
+                     node.node_type, node.node_type_name, node.caption,
+                     node.description, len(node.children), node.support,
+                     node.probability, node.to_xml(), distribution))
+    return rows
+
+
+def model_content_rowset(model) -> Rowset:
+    """``SELECT * FROM <model>.CONTENT``."""
+    return Rowset(_content_columns(),
+                  _content_rows(model.name, model.content_root()))
+
+
+def mining_model_content_rowset(provider) -> Rowset:
+    """``$SYSTEM.MINING_MODEL_CONTENT``: all populated models' graphs."""
+    rows: List[tuple] = []
+    for model in provider.list_models():
+        if model.is_trained:
+            rows.extend(_content_rows(model.name, model.content_root()))
+    return Rowset(_content_columns(), rows)
+
+
+SYSTEM_ROWSETS = {
+    "MINING_MODELS": mining_models_rowset,
+    "MINING_COLUMNS": mining_columns_rowset,
+    "MINING_SERVICES": mining_services_rowset,
+    "SERVICE_PARAMETERS": service_parameters_rowset,
+    "MINING_FUNCTIONS": mining_functions_rowset,
+    "MINING_MODEL_CONTENT": mining_model_content_rowset,
+}
+
+
+def system_rowset(provider, name: str) -> Rowset:
+    handler = SYSTEM_ROWSETS.get(name.upper())
+    if handler is None:
+        raise BindError(
+            f"unknown schema rowset $SYSTEM.{name} (available: "
+            f"{', '.join(sorted(SYSTEM_ROWSETS))})")
+    return handler(provider)

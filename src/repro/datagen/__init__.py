@@ -1,0 +1,17 @@
+"""Synthetic warehouse generator (system S11)."""
+
+from repro.datagen.warehouse import (
+    PAPER_CUSTOMER,
+    WarehouseConfig,
+    generate_warehouse,
+    load_paper_example,
+    load_warehouse,
+)
+
+__all__ = [
+    "PAPER_CUSTOMER",
+    "WarehouseConfig",
+    "generate_warehouse",
+    "load_paper_example",
+    "load_warehouse",
+]

@@ -1,0 +1,34 @@
+"""Model validation tooling: accuracy, confusion matrices, lift charts.
+
+The paper's deployment story implies a validation loop — train, score a
+held-out caseset through PREDICTION JOIN, compare against actuals.  This
+package provides that loop's measurement half (the "mining accuracy chart"
+of later SQL Server releases): classification and regression reports over
+(actual, predicted) pairs, decile lift charts over scored probabilities,
+and a convenience runner that scores a model via NATURAL PREDICTION JOIN
+and joins the results back to the truth.
+"""
+
+from repro.evaluation.validation import (
+    ClassificationReport,
+    RegressionReport,
+    LiftChart,
+    classification_report,
+    cross_validation_folds,
+    holdout_split,
+    lift_chart,
+    regression_report,
+    score_classifier,
+)
+
+__all__ = [
+    "ClassificationReport",
+    "RegressionReport",
+    "LiftChart",
+    "classification_report",
+    "cross_validation_folds",
+    "holdout_split",
+    "lift_chart",
+    "regression_report",
+    "score_classifier",
+]

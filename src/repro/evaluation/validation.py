@@ -1,0 +1,279 @@
+"""Validation primitives over (actual, predicted[, probability]) pairs."""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import Error
+
+
+# ---------------------------------------------------------------------------
+# Holdout splitting
+# ---------------------------------------------------------------------------
+
+def holdout_split(keys: Sequence[Any], test_fraction: float = 0.3,
+                  seed: int = 1) -> Tuple[List[Any], List[Any]]:
+    """Deterministically split case keys into (train, test).
+
+    Uses a multiplicative hash of each key's repr so the split is stable
+    across runs and independent of input order — the property you want
+    when the same split must be reproduced by a separate scoring pass.
+    """
+    if not 0.0 < test_fraction < 1.0:
+        raise Error("test_fraction must be in (0, 1)")
+    train, test = [], []
+    for key in keys:
+        bucket = (hash((repr(key), seed)) & 0x7FFFFFFF) / 0x7FFFFFFF
+        (test if bucket < test_fraction else train).append(key)
+    if not train or not test:
+        raise Error(
+            f"holdout split produced an empty side "
+            f"({len(train)} train / {len(test)} test); adjust the fraction")
+    return train, test
+
+
+def cross_validation_folds(keys: Sequence[Any], folds: int = 5,
+                           seed: int = 1) -> List[Tuple[List[Any],
+                                                        List[Any]]]:
+    """Deterministic k-fold partition: [(train_keys, test_keys), ...].
+
+    Every key lands in exactly one test fold; fold membership is a stable
+    hash of the key, so reruns and reordered inputs agree.
+    """
+    if folds < 2:
+        raise Error("cross validation needs at least 2 folds")
+    assignments: Dict[Any, int] = {
+        key: (hash((repr(key), seed)) & 0x7FFFFFFF) % folds
+        for key in keys}
+    result = []
+    for fold in range(folds):
+        test = [key for key in keys if assignments[key] == fold]
+        train = [key for key in keys if assignments[key] != fold]
+        if not test or not train:
+            raise Error(
+                f"fold {fold} is degenerate ({len(train)} train / "
+                f"{len(test)} test); use fewer folds or more cases")
+        result.append((train, test))
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Classification
+# ---------------------------------------------------------------------------
+
+class ClassificationReport:
+    """Accuracy, per-class precision/recall, and a confusion matrix."""
+
+    def __init__(self, pairs: Sequence[Tuple[Any, Any]]):
+        if not pairs:
+            raise Error("cannot build a report from zero scored cases")
+        self.count = len(pairs)
+        self.confusion: Dict[Tuple[Any, Any], int] = {}
+        correct = 0
+        for actual, predicted in pairs:
+            self.confusion[(actual, predicted)] = \
+                self.confusion.get((actual, predicted), 0) + 1
+            if actual == predicted:
+                correct += 1
+        self.accuracy = correct / self.count
+        self.classes = sorted(
+            {a for a, _ in self.confusion} | {p for _, p in self.confusion},
+            key=lambda v: ("", v) if v is None else (str(v),))
+
+    def support(self, value: Any) -> int:
+        """Number of cases whose actual class is ``value``."""
+        return sum(n for (actual, _), n in self.confusion.items()
+                   if actual == value)
+
+    def precision(self, value: Any) -> Optional[float]:
+        """Correct predictions of ``value`` / all predictions of it."""
+        predicted = sum(n for (_, p), n in self.confusion.items()
+                        if p == value)
+        if predicted == 0:
+            return None
+        return self.confusion.get((value, value), 0) / predicted
+
+    def recall(self, value: Any) -> Optional[float]:
+        """Correct predictions of ``value`` / all actual occurrences."""
+        actual = self.support(value)
+        if actual == 0:
+            return None
+        return self.confusion.get((value, value), 0) / actual
+
+    def f1(self, value: Any) -> Optional[float]:
+        """Harmonic mean of precision and recall (None if undefined)."""
+        precision = self.precision(value)
+        recall = self.recall(value)
+        if not precision or not recall:
+            return None
+        return 2 * precision * recall / (precision + recall)
+
+    def majority_baseline(self) -> float:
+        """Accuracy of always predicting the most common actual class."""
+        best = max(self.support(value) for value in self.classes)
+        return best / self.count
+
+    def pretty(self) -> str:
+        lines = [f"cases: {self.count}   accuracy: {self.accuracy:.3f}   "
+                 f"baseline: {self.majority_baseline():.3f}"]
+        header = "actual \\ predicted".ljust(20) + " ".join(
+            str(c).rjust(10) for c in self.classes)
+        lines.append(header)
+        for actual in self.classes:
+            cells = [str(self.confusion.get((actual, predicted), 0))
+                     .rjust(10) for predicted in self.classes]
+            lines.append(str(actual).ljust(20) + " ".join(cells))
+        for value in self.classes:
+            precision = self.precision(value)
+            recall = self.recall(value)
+            lines.append(
+                f"class {value!r:12} precision="
+                f"{'-' if precision is None else f'{precision:.3f}'} "
+                f"recall={'-' if recall is None else f'{recall:.3f}'} "
+                f"support={self.support(value)}")
+        return "\n".join(lines)
+
+
+def classification_report(
+        pairs: Sequence[Tuple[Any, Any]]) -> ClassificationReport:
+    """Build a :class:`ClassificationReport` from (actual, predicted)."""
+    return ClassificationReport(list(pairs))
+
+
+# ---------------------------------------------------------------------------
+# Regression
+# ---------------------------------------------------------------------------
+
+class RegressionReport:
+    """MAE, RMSE and R² over (actual, predicted) numeric pairs."""
+
+    def __init__(self, pairs: Sequence[Tuple[float, float]]):
+        cleaned = [(float(a), float(p)) for a, p in pairs
+                   if a is not None and p is not None]
+        if not cleaned:
+            raise Error("cannot build a report from zero scored cases")
+        self.count = len(cleaned)
+        errors = [a - p for a, p in cleaned]
+        self.mean_absolute_error = sum(abs(e) for e in errors) / self.count
+        self.root_mean_squared_error = math.sqrt(
+            sum(e * e for e in errors) / self.count)
+        mean_actual = sum(a for a, _ in cleaned) / self.count
+        total = sum((a - mean_actual) ** 2 for a, _ in cleaned)
+        residual = sum(e * e for e in errors)
+        self.r_squared = 1.0 - residual / total if total > 0 else 0.0
+
+    def pretty(self) -> str:
+        return (f"cases: {self.count}   "
+                f"MAE: {self.mean_absolute_error:.4f}   "
+                f"RMSE: {self.root_mean_squared_error:.4f}   "
+                f"R^2: {self.r_squared:.4f}")
+
+
+def regression_report(
+        pairs: Sequence[Tuple[float, float]]) -> RegressionReport:
+    """Build a :class:`RegressionReport` from (actual, predicted) pairs."""
+    return RegressionReport(list(pairs))
+
+
+# ---------------------------------------------------------------------------
+# Lift charts
+# ---------------------------------------------------------------------------
+
+class LiftChart:
+    """Decile lift of a scored binary outcome.
+
+    Cases are sorted by descending score; ``points`` holds, per decile
+    boundary, the cumulative fraction of all positive cases captured.  A
+    random model captures x% of positives in the top x% of cases; the lift
+    at a decile is captured / population fraction.
+    """
+
+    def __init__(self, scored: Sequence[Tuple[bool, float]],
+                 buckets: int = 10):
+        if not scored:
+            raise Error("cannot build a lift chart from zero scored cases")
+        if buckets < 1:
+            raise Error("lift chart needs at least one bucket")
+        ranked = sorted(scored, key=lambda pair: -pair[1])
+        self.count = len(ranked)
+        self.positives = sum(1 for hit, _ in ranked if hit)
+        if self.positives == 0:
+            raise Error("no positive cases; the lift chart is undefined")
+        self.points: List[Tuple[float, float]] = []
+        for bucket in range(1, buckets + 1):
+            cutoff = round(self.count * bucket / buckets)
+            captured = sum(1 for hit, _ in ranked[:cutoff] if hit)
+            self.points.append((cutoff / self.count,
+                                captured / self.positives))
+
+    def lift_at(self, population_fraction: float) -> float:
+        """Lift over random at the closest computed decile."""
+        point = min(self.points,
+                    key=lambda p: abs(p[0] - population_fraction))
+        return point[1] / point[0] if point[0] > 0 else 0.0
+
+    def area_over_random(self) -> float:
+        """Mean (captured - population) over the deciles; 0 for random."""
+        return sum(captured - population
+                   for population, captured in self.points) / \
+            len(self.points)
+
+    def pretty(self) -> str:
+        lines = [f"{self.positives}/{self.count} positives"]
+        for population, captured in self.points:
+            bar = "#" * int(captured * 40)
+            lines.append(f"  top {population:4.0%}: captured "
+                         f"{captured:6.1%}  lift "
+                         f"{captured / population:4.2f}  {bar}")
+        return "\n".join(lines)
+
+
+def lift_chart(scored: Sequence[Tuple[bool, float]],
+               buckets: int = 10) -> LiftChart:
+    """Build a :class:`LiftChart` from (is_positive, score) pairs."""
+    return LiftChart(list(scored), buckets)
+
+
+# ---------------------------------------------------------------------------
+# End-to-end scoring through PREDICTION JOIN
+# ---------------------------------------------------------------------------
+
+def score_classifier(connection, model_name: str, target_column: str,
+                     test_source_sql: str, key_column: str,
+                     actuals: Dict[Any, Any]):
+    """Score a model and return (report, lift chart or None).
+
+    ``test_source_sql`` is the source query/SHAPE for a NATURAL PREDICTION
+    JOIN; it must project ``key_column``.  ``actuals`` maps key values to
+    the true target values.  The lift chart is computed against the
+    modal actual class when probabilities are available.
+    """
+    from repro.lang.formatter import quote_ident
+
+    query = (
+        f"SELECT t.{quote_ident(key_column)}, "
+        f"{quote_ident(model_name)}.{quote_ident(target_column)}, "
+        f"PredictProbability({quote_ident(target_column)}) "
+        f"FROM {quote_ident(model_name)} NATURAL PREDICTION JOIN "
+        f"({test_source_sql}) AS t")
+    scored = connection.execute(query)
+    pairs = []
+    probability_rows = []
+    for key, predicted, probability in scored.rows:
+        if key not in actuals:
+            raise Error(f"no actual value for case key {key!r}")
+        pairs.append((actuals[key], predicted))
+        probability_rows.append((actuals[key], predicted, probability))
+    report = classification_report(pairs)
+
+    chart = None
+    modal = max(report.classes, key=report.support)
+    usable = [(actual == modal,
+               probability if predicted == modal
+               else 1.0 - (probability or 0.0))
+              for actual, predicted, probability in probability_rows
+              if probability is not None]
+    if usable and any(hit for hit, _ in usable):
+        chart = lift_chart(usable)
+    return report, chart

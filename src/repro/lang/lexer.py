@@ -1,0 +1,212 @@
+"""Tokenizer shared by the SQL and DMX parsers.
+
+Identifier syntax follows the paper's examples: bare identifiers
+(``Customers``) and bracket-delimited identifiers that may contain spaces
+(``[Age Prediction]``, ``[Product Purchases]``).  Keywords are not reserved at
+the lexer level; the parsers compare identifier spellings case-insensitively,
+which keeps contextual keywords (KEY, TABLE, PREDICT, ...) usable as column
+names when bracketed.
+
+Comment forms: ``--`` and ``//`` and ``%`` to end of line (the paper annotates
+its examples with ``%``), and ``/* ... */`` blocks.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Iterator, List, Optional
+
+from repro.errors import ParseError
+
+
+class TokenKind(enum.Enum):
+    IDENT = "IDENT"            # bare identifier (or contextual keyword)
+    BRACKET_IDENT = "BRACKET"  # [delimited identifier]
+    NUMBER = "NUMBER"
+    STRING = "STRING"
+    SYMBOL = "SYMBOL"
+    EOF = "EOF"
+
+
+# Multi-character symbols first so maximal munch works.
+_SYMBOLS = ("<>", "!=", "<=", ">=", "||",
+            "(", ")", "{", "}", ",", ".", ";", "=", "<", ">", "+", "-",
+            "*", "/", "$")
+
+
+class Token:
+    """One lexical token with its source position (1-based line/column)."""
+
+    __slots__ = ("kind", "value", "line", "column")
+
+    def __init__(self, kind: TokenKind, value, line: int, column: int):
+        self.kind = kind
+        self.value = value
+        self.line = line
+        self.column = column
+
+    @property
+    def upper(self) -> str:
+        """Case-folded spelling; used for keyword comparison."""
+        return self.value.upper() if isinstance(self.value, str) else ""
+
+    def is_keyword(self, *words: str) -> bool:
+        """True if this is a bare identifier spelling any of ``words``."""
+        return self.kind is TokenKind.IDENT and self.upper in words
+
+    def is_symbol(self, *symbols: str) -> bool:
+        return self.kind is TokenKind.SYMBOL and self.value in symbols
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind.name}, {self.value!r}, {self.line}:{self.column})"
+
+
+class Lexer:
+    """Single-pass tokenizer with position tracking."""
+
+    def __init__(self, text: str):
+        self.text = text
+        self.pos = 0
+        self.line = 1
+        self.column = 1
+
+    def _peek(self, offset: int = 0) -> str:
+        index = self.pos + offset
+        return self.text[index] if index < len(self.text) else ""
+
+    def _advance(self, count: int = 1) -> None:
+        for _ in range(count):
+            if self.pos < len(self.text):
+                if self.text[self.pos] == "\n":
+                    self.line += 1
+                    self.column = 1
+                else:
+                    self.column += 1
+                self.pos += 1
+
+    def _error(self, message: str) -> ParseError:
+        return ParseError(message, self.line, self.column)
+
+    def _skip_trivia(self) -> None:
+        while self.pos < len(self.text):
+            ch = self._peek()
+            if ch in " \t\r\n":
+                self._advance()
+            elif ch == "%" or (ch == "-" and self._peek(1) == "-") or \
+                    (ch == "/" and self._peek(1) == "/"):
+                while self.pos < len(self.text) and self._peek() != "\n":
+                    self._advance()
+            elif ch == "/" and self._peek(1) == "*":
+                self._advance(2)
+                while self.pos < len(self.text):
+                    if self._peek() == "*" and self._peek(1) == "/":
+                        self._advance(2)
+                        break
+                    self._advance()
+                else:
+                    raise self._error("unterminated /* comment")
+            else:
+                return
+
+    def next_token(self) -> Token:
+        self._skip_trivia()
+        line, column = self.line, self.column
+        if self.pos >= len(self.text):
+            return Token(TokenKind.EOF, "", line, column)
+        ch = self._peek()
+
+        if ch == "[":
+            return self._bracket_ident(line, column)
+        if ch in "'\"":
+            return self._string(ch, line, column)
+        if ch.isdigit() or (ch == "." and self._peek(1).isdigit()):
+            return self._number(line, column)
+        if ch.isalpha() or ch == "_" or ch == "@":
+            return self._ident(line, column)
+        for symbol in _SYMBOLS:
+            if self.text.startswith(symbol, self.pos):
+                self._advance(len(symbol))
+                return Token(TokenKind.SYMBOL, symbol, line, column)
+        raise self._error(f"unexpected character {ch!r}")
+
+    def _bracket_ident(self, line: int, column: int) -> Token:
+        self._advance()  # consume [
+        parts: List[str] = []
+        while True:
+            if self.pos >= len(self.text):
+                raise self._error("unterminated [identifier")
+            ch = self._peek()
+            if ch == "]":
+                if self._peek(1) == "]":  # escaped ]] inside identifier
+                    parts.append("]")
+                    self._advance(2)
+                    continue
+                self._advance()
+                break
+            parts.append(ch)
+            self._advance()
+        name = "".join(parts)
+        if not name.strip():
+            raise ParseError("empty [identifier]", line, column)
+        return Token(TokenKind.BRACKET_IDENT, name, line, column)
+
+    def _string(self, quote: str, line: int, column: int) -> Token:
+        self._advance()
+        parts: List[str] = []
+        while True:
+            if self.pos >= len(self.text):
+                raise self._error("unterminated string literal")
+            ch = self._peek()
+            if ch == quote:
+                if self._peek(1) == quote:  # doubled quote escape
+                    parts.append(quote)
+                    self._advance(2)
+                    continue
+                self._advance()
+                break
+            parts.append(ch)
+            self._advance()
+        return Token(TokenKind.STRING, "".join(parts), line, column)
+
+    def _number(self, line: int, column: int) -> Token:
+        start = self.pos
+        seen_dot = False
+        seen_exp = False
+        while self.pos < len(self.text):
+            ch = self._peek()
+            if ch.isdigit():
+                self._advance()
+            elif ch == "." and not seen_dot and not seen_exp and \
+                    self._peek(1).isdigit():
+                seen_dot = True
+                self._advance()
+            elif ch in "eE" and not seen_exp and (
+                    self._peek(1).isdigit() or
+                    (self._peek(1) in "+-" and self._peek(2).isdigit())):
+                seen_exp = True
+                self._advance(2 if self._peek(1) in "+-" else 1)
+            else:
+                break
+        text = self.text[start:self.pos]
+        value = float(text) if (seen_dot or seen_exp) else int(text)
+        return Token(TokenKind.NUMBER, value, line, column)
+
+    def _ident(self, line: int, column: int) -> Token:
+        start = self.pos
+        while self.pos < len(self.text) and (
+                self._peek().isalnum() or self._peek() in "_@#"):
+            self._advance()
+        return Token(TokenKind.IDENT, self.text[start:self.pos], line, column)
+
+    def tokens(self) -> Iterator[Token]:
+        """Yield every token, ending with a single EOF token."""
+        while True:
+            token = self.next_token()
+            yield token
+            if token.kind is TokenKind.EOF:
+                return
+
+
+def tokenize(text: str) -> List[Token]:
+    """Tokenize ``text`` fully (EOF token included)."""
+    return list(Lexer(text).tokens())

@@ -1,0 +1,141 @@
+"""Text renderings of model content graphs (paper operation 4).
+
+"Browse a mining model for reporting and visualization applications" —
+these helpers turn a content graph (``MiningModel.content_root()``) into
+terminal-friendly reports: an indented tree for decision trees, profile
+cards for clusters, a ranked rule list for association models, a
+coefficient table for regressions, and transition summaries for sequence
+models.  ``render_model`` dispatches on the node types present; the DMX
+shell exposes it as ``.describe <model>``.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.content import (
+    NODE_CLUSTER,
+    NODE_ITEMSET,
+    NODE_MODEL,
+    NODE_PREDICTABLE,
+    NODE_REGRESSION_ROOT,
+    NODE_RULE,
+    NODE_SEQUENCE,
+    NODE_TREE,
+    ContentNode,
+)
+
+
+def _format_distribution(node: ContentNode, limit: int = 3) -> str:
+    parts = []
+    for row in node.distribution[:limit]:
+        value = "" if row.value is None else str(row.value)
+        if isinstance(row.value, float):
+            value = f"{row.value:g}"
+        parts.append(f"{row.attribute}={value} ({row.probability:.0%})")
+    if len(node.distribution) > limit:
+        parts.append("...")
+    return ", ".join(parts)
+
+
+def render_tree(root: ContentNode) -> str:
+    """Indented rendering of one tree (a NODE_TREE subtree)."""
+    lines: List[str] = []
+
+    def describe(node: ContentNode) -> str:
+        summary = _format_distribution(node, limit=2)
+        return (f"{node.caption} [{node.support:g} cases]"
+                f"{'  -> ' + summary if summary else ''}")
+
+    def walk(node: ContentNode, prefix: str, is_last: bool) -> None:
+        connector = "`- " if is_last else "|- "
+        lines.append(f"{prefix}{connector}{describe(node)}")
+        child_prefix = prefix + ("   " if is_last else "|  ")
+        for position, child in enumerate(node.children):
+            walk(child, child_prefix,
+                 position == len(node.children) - 1)
+
+    lines.append(describe(root))
+    for position, child in enumerate(root.children):
+        walk(child, "", position == len(root.children) - 1)
+    return "\n".join(lines)
+
+
+def render_clusters(root: ContentNode) -> str:
+    """Profile card per cluster, heaviest first."""
+    clusters = sorted(
+        (n for n in root.children if n.node_type == NODE_CLUSTER),
+        key=lambda n: -n.support)
+    lines = []
+    for cluster in clusters:
+        lines.append(f"{cluster.caption}  "
+                     f"({cluster.support:g} cases, "
+                     f"{cluster.probability:.0%} of population)")
+        for row in cluster.distribution[:6]:
+            value = row.value
+            if isinstance(value, float):
+                value = f"{value:.2f}"
+            lines.append(f"    {row.attribute:30s} {value}")
+    return "\n".join(lines)
+
+
+def render_rules(root: ContentNode, limit: int = 15) -> str:
+    """Association rules ranked by confidence, then frequent itemsets."""
+    rules = [n for n in root.walk() if n.node_type == NODE_RULE]
+    itemsets = [n for n in root.walk() if n.node_type == NODE_ITEMSET]
+    lines = [f"{len(rules)} rules, {len(itemsets)} frequent itemsets"]
+    for rule in sorted(rules, key=lambda n: -n.probability)[:limit]:
+        lines.append(f"  {rule.caption:45s} "
+                     f"confidence {rule.probability:.0%}  "
+                     f"support {rule.support:g}")
+    return "\n".join(lines)
+
+
+def render_regression(root: ContentNode) -> str:
+    """Coefficient table per regression target."""
+    lines = []
+    for target in root.children:
+        lines.append(f"{target.caption}: {target.description}")
+        for row in target.distribution:
+            lines.append(f"    {row.attribute:30s} "
+                         f"{float(row.value):+10.4f}")
+    return "\n".join(lines)
+
+
+def render_sequences(root: ContentNode, limit: int = 4) -> str:
+    """Per-chain transition summaries of a sequence model."""
+    lines = []
+    for chain in root.children:
+        lines.append(f"{chain.caption}  ({chain.support:g} cases)")
+        for state in chain.children[:limit]:
+            transitions = ", ".join(
+                f"{row.value} ({row.probability:.0%})"
+                for row in state.distribution[:3])
+            lines.append(f"    {state.caption:20s} -> {transitions}")
+        if len(chain.children) > limit:
+            lines.append(f"    ... {len(chain.children) - limit} more "
+                         f"states")
+    return "\n".join(lines)
+
+
+def render_model(model) -> str:
+    """Dispatching report for any trained model."""
+    root = model.content_root()
+    header = (f"{model.name}  "
+              f"[{model.algorithm.SERVICE_NAME}, "
+              f"{model.case_count} cases, "
+              f"{model.insert_count} insert(s)]")
+    types = {node.node_type for node in root.walk()}
+    if NODE_RULE in types or NODE_ITEMSET in types:
+        body = render_rules(root)
+    elif NODE_SEQUENCE in types:
+        body = render_sequences(root)
+    elif NODE_REGRESSION_ROOT in types:
+        body = render_regression(root)
+    elif NODE_CLUSTER in types:
+        body = render_clusters(root)
+    elif NODE_TREE in types or NODE_PREDICTABLE in types:
+        body = "\n\n".join(render_tree(tree) for tree in root.children)
+    else:  # pragma: no cover - every built-in hits a branch above
+        body = "\n".join(f"{n.node_id}: {n.caption}" for n in root.walk())
+    return f"{header}\n{body}"

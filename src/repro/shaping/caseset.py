@@ -1,0 +1,96 @@
+"""Case-oriented view over hierarchical rowsets.
+
+A *case* (paper, section 3.1) is "all information known about a basic entity
+being analyzed for mining": scalar columns plus zero or more nested tables.
+:class:`Caseset` wraps any rowset — shaped or flat — and iterates
+:class:`Case` objects, which the training and prediction layers consume one
+at a time, exactly as the paper says mining algorithms are designed to do.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, List, Optional
+
+from repro.errors import BindError
+from repro.sqlstore.rowset import Rowset
+
+
+class Case:
+    """One entity instance: scalar values plus named nested tables."""
+
+    def __init__(self, scalars: Dict[str, Any],
+                 tables: Dict[str, List[Dict[str, Any]]]):
+        self._scalars = {k.upper(): (k, v) for k, v in scalars.items()}
+        self._tables = {k.upper(): (k, v) for k, v in tables.items()}
+
+    def get(self, name: str, default: Any = None) -> Any:
+        """Scalar value by (case-insensitive) column name."""
+        entry = self._scalars.get(name.upper())
+        return default if entry is None else entry[1]
+
+    def __getitem__(self, name: str) -> Any:
+        entry = self._scalars.get(name.upper())
+        if entry is None:
+            raise BindError(f"case has no scalar column {name!r}")
+        return entry[1]
+
+    def has_scalar(self, name: str) -> bool:
+        return name.upper() in self._scalars
+
+    def nested(self, name: str) -> List[Dict[str, Any]]:
+        """Rows of one nested table as dicts (empty list if absent)."""
+        entry = self._tables.get(name.upper())
+        return [] if entry is None else entry[1]
+
+    def has_table(self, name: str) -> bool:
+        return name.upper() in self._tables
+
+    def scalar_names(self) -> List[str]:
+        return [original for original, _ in self._scalars.values()]
+
+    def table_names(self) -> List[str]:
+        return [original for original, _ in self._tables.values()]
+
+    def __repr__(self) -> str:
+        scalars = {k: v for k, (_, v) in zip(self._scalars, self._scalars.values())}
+        return f"Case({scalars}, tables={self.table_names()})"
+
+
+class Caseset:
+    """Iterates a rowset as cases; TABLE columns become nested dict rows."""
+
+    def __init__(self, rowset: Rowset):
+        self.rowset = rowset
+        self._scalar_indexes = []
+        self._table_indexes = []
+        for index, column in enumerate(rowset.columns):
+            if column.nested_columns is not None:
+                self._table_indexes.append((index, column))
+            else:
+                self._scalar_indexes.append((index, column))
+
+    def __len__(self) -> int:
+        return len(self.rowset)
+
+    def __iter__(self) -> Iterator[Case]:
+        for row in self.rowset.rows:
+            scalars = {column.name: row[index]
+                       for index, column in self._scalar_indexes}
+            tables = {}
+            for index, column in self._table_indexes:
+                nested = row[index]
+                tables[column.name] = (
+                    nested.to_dicts() if isinstance(nested, Rowset) else [])
+            yield Case(scalars, tables)
+
+    def scalar_columns(self) -> List[str]:
+        return [column.name for _, column in self._scalar_indexes]
+
+    def table_columns(self) -> List[str]:
+        return [column.name for _, column in self._table_indexes]
+
+    def column_for_table(self, name: str):
+        for _, column in self._table_indexes:
+            if column.name.upper() == name.upper():
+                return column
+        return None

@@ -1,0 +1,115 @@
+"""SHAPE execution: turn SHAPE/APPEND/RELATE trees into nested rowsets.
+
+Semantics follow the MDAC Data Shaping Service the paper relies on:
+
+* the master query produces one output row per case;
+* each APPEND arm adds one TABLE-typed column, whose cell for a master row
+  holds the child rows whose ``relate_child`` value equals the master row's
+  ``relate_master`` value;
+* arms and SHAPEs nest arbitrarily.
+
+Shaping is *logical* (paper, section 3.1): storage stays flat; nesting is
+materialised only here, on the way into training or prediction.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Union
+
+from repro.errors import BindError
+from repro.lang import ast_nodes as ast
+from repro.sqlstore.rowset import Rowset, RowsetColumn
+from repro.sqlstore.values import group_key
+
+
+def execute_shape(shape: ast.ShapeExpr, database) -> Rowset:
+    """Evaluate a SHAPE expression against ``database`` (a Database)."""
+    master = _execute_source(shape.master, database)
+    columns = list(master.columns)
+    rows = [list(row) for row in master.rows]
+
+    for append in shape.appends:
+        child = _execute_source(append.child, database)
+        child_index = _require_column(child, append.relate_child,
+                                      "RELATE child")
+        master_index = _require_column_list(columns, append.relate_master,
+                                            "RELATE master")
+        buckets: Dict[object, List[tuple]] = {}
+        for child_row in child.rows:
+            buckets.setdefault(
+                group_key(child_row[child_index]), []).append(child_row)
+        nested_schema = list(child.columns)
+        for row in rows:
+            key = group_key(row[master_index])
+            row.append(Rowset(nested_schema, buckets.get(key, [])))
+        columns.append(RowsetColumn(append.alias, nested_columns=nested_schema))
+
+    return Rowset(columns, [tuple(row) for row in rows])
+
+
+def _execute_source(source: Union[ast.SelectStatement, ast.ShapeExpr],
+                    database) -> Rowset:
+    if isinstance(source, ast.ShapeExpr):
+        return execute_shape(source, database)
+    return database.execute_select(source)
+
+
+def _require_column(rowset: Rowset, name: str, what: str) -> int:
+    if not rowset.has_column(name):
+        raise BindError(
+            f"{what} column {name!r} not found "
+            f"(available: {', '.join(rowset.column_names())})")
+    return rowset.index_of(name)
+
+
+def _require_column_list(columns: List[RowsetColumn], name: str,
+                         what: str) -> int:
+    for index, column in enumerate(columns):
+        if column.name.upper() == name.upper():
+            return index
+    raise BindError(
+        f"{what} column {name!r} not found "
+        f"(available: {', '.join(c.name for c in columns)})")
+
+
+def flatten_rowset(rowset: Rowset) -> Rowset:
+    """Un-nest TABLE columns (the DMX SELECT FLATTENED transform).
+
+    Each row is expanded into the cross product of its nested tables' rows;
+    a case with an empty nested table keeps one output row with NULLs in
+    that table's columns (so no case silently disappears).  Nested column
+    names are prefixed with the table column's name to stay unambiguous.
+    """
+    flat_columns: List[RowsetColumn] = []
+    plans = []  # (is_table, source_index, nested_width)
+    for index, column in enumerate(rowset.columns):
+        if column.nested_columns is not None:
+            for nested in column.nested_columns:
+                flat_columns.append(RowsetColumn(
+                    f"{column.name}.{nested.name}", nested.type,
+                    nested_columns=nested.nested_columns))
+            plans.append((True, index, len(column.nested_columns)))
+        else:
+            flat_columns.append(RowsetColumn(column.name, column.type))
+            plans.append((False, index, 1))
+
+    flat_rows: List[tuple] = []
+    for row in rowset.rows:
+        partials: List[List[object]] = [[]]
+        for is_table, index, width in plans:
+            if not is_table:
+                partials = [p + [row[index]] for p in partials]
+                continue
+            nested = row[index]
+            nested_rows = list(nested.rows) if isinstance(nested, Rowset) else []
+            if not nested_rows:
+                partials = [p + [None] * width for p in partials]
+            else:
+                partials = [p + list(nested_row)
+                            for p in partials for nested_row in nested_rows]
+        flat_rows.extend(tuple(p) for p in partials)
+
+    result = Rowset(flat_columns, flat_rows)
+    if any(c.nested_columns is not None for c in flat_columns):
+        return flatten_rowset(result)  # handle nested-within-nested
+    return result

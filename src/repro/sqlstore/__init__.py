@@ -1,0 +1,45 @@
+"""Relational substrate for the OLE DB DM provider (system S1).
+
+This package is the stand-in for the "core relational engine" of Figure 1 in
+the paper: an in-memory SQL engine with tables, views, expressions, joins,
+grouping and ordering.  The mining layer (`repro.core`) runs its source
+queries — including the queries embedded in SHAPE blocks and PREDICTION JOINs
+— through :class:`Database`.
+"""
+
+from repro.sqlstore.types import (
+    SqlType,
+    LONG,
+    DOUBLE,
+    TEXT,
+    BOOLEAN,
+    DATE,
+    TABLE,
+    type_from_name,
+)
+from repro.sqlstore.values import NULL, is_null, sql_equal, sql_compare
+from repro.sqlstore.schema import ColumnSchema, TableSchema
+from repro.sqlstore.rowset import Rowset, RowsetColumn
+from repro.sqlstore.table import Table
+from repro.sqlstore.engine import Database
+
+__all__ = [
+    "SqlType",
+    "LONG",
+    "DOUBLE",
+    "TEXT",
+    "BOOLEAN",
+    "DATE",
+    "TABLE",
+    "type_from_name",
+    "NULL",
+    "is_null",
+    "sql_equal",
+    "sql_compare",
+    "ColumnSchema",
+    "TableSchema",
+    "Rowset",
+    "RowsetColumn",
+    "Table",
+    "Database",
+]

@@ -1,0 +1,700 @@
+"""The relational engine: statement execution over the in-memory catalog.
+
+:class:`Database` executes plain-SQL AST nodes (SELECT with joins, grouping,
+ordering; INSERT/UPDATE/DELETE; CREATE/DROP TABLE/VIEW).  FROM-clause sources
+it does not know about — mining models, SHAPE blocks, ``$SYSTEM`` rowsets,
+``<model>.CONTENT`` — are delegated to an optional ``external_resolver``
+callback which the mining provider supplies.  That hook is precisely the
+layering of Figure 1 in the paper: the analysis server (mining layer) sits on
+top of the relational engine and extends its name space.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.errors import BindError, CatalogError, Error, SchemaError
+from repro.lang import ast_nodes as ast
+from repro.lang.parser import parse_statement
+from repro.sqlstore import values as V
+from repro.sqlstore.expressions import (
+    EvalContext,
+    contains_aggregate,
+    evaluate,
+    is_aggregate_call,
+)
+from repro.sqlstore.functions import make_aggregate
+from repro.sqlstore.rowset import Rowset, RowsetColumn
+from repro.sqlstore.schema import ColumnSchema, TableSchema
+from repro.sqlstore.table import Table
+from repro.sqlstore.types import TABLE, TEXT, infer_type, type_from_name
+
+
+class SourceRelation:
+    """An executed FROM source: qualified column descriptors plus rows."""
+
+    def __init__(self, columns: List[Tuple[Optional[str], RowsetColumn]],
+                 rows: List[tuple]):
+        self.columns = columns
+        self.rows = rows
+
+    def context(self) -> EvalContext:
+        """Name-resolution map (qualified + bare) over this relation."""
+        mapping: Dict[Tuple[str, ...], int] = {}
+        for index, (qualifier, column) in enumerate(self.columns):
+            mapping.setdefault((column.name.upper(),), index)
+            if qualifier:
+                mapping.setdefault((qualifier.upper(), column.name.upper()),
+                                   index)
+        return EvalContext(mapping)
+
+    @classmethod
+    def from_rowset(cls, rowset: Rowset,
+                    qualifier: Optional[str]) -> "SourceRelation":
+        """Wrap a rowset, qualifying every column with ``qualifier``."""
+        columns = [(qualifier, c) for c in rowset.columns]
+        return cls(columns, list(rowset.rows))
+
+
+class Database:
+    """In-memory SQL database: table/view catalog plus an executor."""
+
+    # Views may reference views; this bounds expansion so a (directly or
+    # mutually) recursive view definition fails cleanly instead of blowing
+    # the interpreter stack.
+    MAX_VIEW_DEPTH = 32
+
+    def __init__(self, external_resolver: Optional[Callable] = None):
+        self.tables: Dict[str, Table] = {}
+        self.views: Dict[str, ast.SelectStatement] = {}
+        # external_resolver(table_ref) -> SourceRelation | None
+        self.external_resolver = external_resolver
+        self._view_depth = 0
+
+    # -- catalog --------------------------------------------------------------
+
+    def create_table(self, schema: TableSchema) -> Table:
+        key = schema.name.upper()
+        if key in self.tables or key in self.views:
+            raise CatalogError(f"table or view {schema.name!r} already exists")
+        table = Table(schema)
+        self.tables[key] = table
+        return table
+
+    def drop_table(self, name: str, if_exists: bool = False) -> None:
+        key = name.upper()
+        if key in self.tables:
+            del self.tables[key]
+        elif key in self.views:
+            del self.views[key]
+        elif not if_exists:
+            raise CatalogError(f"no table or view named {name!r}")
+
+    def table(self, name: str) -> Table:
+        try:
+            return self.tables[name.upper()]
+        except KeyError as exc:
+            raise BindError(f"no table named {name!r}") from exc
+
+    def has_table(self, name: str) -> bool:
+        return name.upper() in self.tables or name.upper() in self.views
+
+    # -- entry points ---------------------------------------------------------
+
+    def execute(self, command: str) -> Any:
+        """Parse and execute one SQL statement; returns a Rowset or a count."""
+        return self.execute_ast(parse_statement(command))
+
+    def execute_ast(self, statement: ast.Statement) -> Any:
+        if isinstance(statement, ast.SelectStatement):
+            return self.execute_select(statement)
+        if isinstance(statement, ast.UnionStatement):
+            return self.execute_union(statement)
+        if isinstance(statement, ast.CreateTableStatement):
+            return self._execute_create_table(statement)
+        if isinstance(statement, ast.CreateViewStatement):
+            key = statement.name.upper()
+            if key in self.tables or key in self.views:
+                raise CatalogError(
+                    f"table or view {statement.name!r} already exists")
+            self.views[key] = statement.select
+            return 0
+        if isinstance(statement, ast.InsertValuesStatement):
+            return self._execute_insert(statement)
+        if isinstance(statement, ast.DeleteStatement):
+            return self._execute_delete(statement)
+        if isinstance(statement, ast.UpdateStatement):
+            return self._execute_update(statement)
+        if isinstance(statement, ast.DropTableStatement):
+            self.drop_table(statement.name, statement.if_exists)
+            return 0
+        raise Error(
+            f"statement {type(statement).__name__} is not supported by the "
+            f"relational engine (is it a DMX statement issued without a "
+            f"mining provider?)")
+
+    # -- DDL / DML ------------------------------------------------------------
+
+    def _execute_create_table(self, statement: ast.CreateTableStatement) -> int:
+        columns = [
+            ColumnSchema(c.name, type_from_name(c.type_name),
+                         nullable=c.nullable, primary_key=c.primary_key)
+            for c in statement.columns]
+        self.create_table(TableSchema(statement.name, columns))
+        return 0
+
+    def _execute_insert(self, statement: ast.InsertValuesStatement) -> int:
+        table = self.table(statement.table)
+        schema = table.schema
+        if statement.columns:
+            positions = [schema.index_of(name) for name in statement.columns]
+        else:
+            positions = list(range(len(schema)))
+
+        def widen(values: List[Any]) -> List[Any]:
+            if len(values) != len(positions):
+                raise SchemaError(
+                    f"INSERT expects {len(positions)} values, got {len(values)}")
+            row = [None] * len(schema)
+            for position, value in zip(positions, values):
+                row[position] = value
+            return row
+
+        count = 0
+        if statement.select is not None:
+            result = self.execute_select(statement.select)
+            for row in result.rows:
+                table.insert(widen(list(row)))
+                count += 1
+            return count
+        empty_context = EvalContext({}, ())
+        for value_row in statement.rows:
+            values = [evaluate(e, empty_context) for e in value_row]
+            table.insert(widen(values))
+            count += 1
+        return count
+
+    def _execute_delete(self, statement: ast.DeleteStatement) -> int:
+        table = self.table(statement.table)
+        if statement.where is None:
+            count = len(table)
+            table.truncate()
+            return count
+        relation = SourceRelation.from_rowset(table.to_rowset(),
+                                              statement.table)
+        context = relation.context()
+        context.subquery_executor = self.execute_select
+
+        def predicate(row):
+            return evaluate(statement.where, context.with_row(row)) is True
+
+        return table.delete_where(predicate)
+
+    def _execute_update(self, statement: ast.UpdateStatement) -> int:
+        table = self.table(statement.table)
+        schema = table.schema
+        relation = SourceRelation.from_rowset(table.to_rowset(),
+                                              statement.table)
+        context = relation.context()
+        context.subquery_executor = self.execute_select
+        assignments = [(schema.index_of(name), expr)
+                       for name, expr in statement.assignments]
+
+        def predicate(row):
+            if statement.where is None:
+                return True
+            return evaluate(statement.where, context.with_row(row)) is True
+
+        def updater(row):
+            new_row = list(row)
+            row_context = context.with_row(row)
+            for position, expr in assignments:
+                new_row[position] = evaluate(expr, row_context)
+            return tuple(new_row)
+
+        return table.update_where(predicate, updater)
+
+    # -- SELECT ---------------------------------------------------------------
+
+    def execute_union(self, statement: ast.UnionStatement) -> Rowset:
+        """Concatenate branch results; plain UNION dedups (SQL semantics).
+
+        Branch schemas must agree in width; the first branch names the
+        output columns.
+        """
+        results = [self.execute_select(branch)
+                   for branch in statement.branches]
+        width = len(results[0].columns)
+        for position, result in enumerate(results[1:], start=2):
+            if len(result.columns) != width:
+                raise SchemaError(
+                    f"UNION branch {position} has {len(result.columns)} "
+                    f"columns, expected {width}")
+        def dedup(candidate_rows: List[tuple]) -> List[tuple]:
+            seen = set()
+            unique: List[tuple] = []
+            for row in candidate_rows:
+                key = tuple(V.group_key(v) if not isinstance(v, Rowset)
+                            else id(v) for v in row)
+                if key not in seen:
+                    seen.add(key)
+                    unique.append(row)
+            return unique
+
+        # Left-associative: each plain UNION dedups everything so far,
+        # UNION ALL just concatenates.
+        rows: List[tuple] = list(results[0].rows)
+        for keep_all, result in zip(statement.all_rows, results[1:]):
+            rows.extend(result.rows)
+            if not keep_all:
+                rows = dedup(rows)
+        return Rowset(results[0].columns, rows)
+
+    def execute_select(self, statement: ast.SelectStatement) -> Rowset:
+        if statement.from_clause is None:
+            return self._select_without_from(statement)
+        relation = self.resolve_table_ref(statement.from_clause)
+        context = relation.context()
+        context.subquery_executor = self.execute_select
+
+        rows = relation.rows
+        if statement.where is not None:
+            rows = [row for row in rows
+                    if evaluate(statement.where, context.with_row(row)) is True]
+
+        grouped = bool(statement.group_by) or any(
+            contains_aggregate(item.expr) for item in statement.select_list)
+        if grouped:
+            output_columns, output_rows = self._execute_grouped(
+                statement, relation, context, rows)
+        else:
+            output_columns, output_rows = self._execute_projection(
+                statement, relation, context, rows)
+
+        if statement.distinct:
+            # Dedup output rows while keeping each survivor paired with its
+            # source row, so ORDER BY over source expressions stays aligned.
+            seen = set()
+            unique_rows = []
+            unique_sources = []
+            for position, row in enumerate(output_rows):
+                key = tuple(V.group_key(v) if not isinstance(v, Rowset) else id(v)
+                            for v in row)
+                if key not in seen:
+                    seen.add(key)
+                    unique_rows.append(row)
+                    if not grouped:
+                        unique_sources.append(rows[position])
+            output_rows = unique_rows
+            if not grouped:
+                rows = unique_sources
+
+        if statement.order_by:
+            output_rows = self._order_rows(
+                statement, output_columns, output_rows, context, rows, grouped)
+
+        if statement.top is not None:
+            output_rows = output_rows[:statement.top]
+
+        return Rowset(output_columns, output_rows)
+
+    def _select_without_from(self, statement: ast.SelectStatement) -> Rowset:
+        context = EvalContext({}, ())
+        context.subquery_executor = self.execute_select
+        columns: List[RowsetColumn] = []
+        values: List[Any] = []
+        for position, item in enumerate(statement.select_list):
+            if isinstance(item.expr, ast.Star):
+                raise BindError("SELECT * requires a FROM clause")
+            value = evaluate(item.expr, context)
+            values.append(value)
+            columns.append(RowsetColumn(
+                item.alias or f"Expr{position + 1}", infer_type(value)))
+        return Rowset(columns, [tuple(values)])
+
+    def _expand_select_list(self, statement: ast.SelectStatement,
+                            relation: SourceRelation):
+        """Expand ``*``/``alias.*`` into concrete (expr, name) pairs."""
+        expanded: List[Tuple[ast.Expr, str]] = []
+        for position, item in enumerate(statement.select_list):
+            if isinstance(item.expr, ast.Star):
+                for qualifier, column in relation.columns:
+                    if item.expr.qualifier is not None and (
+                            qualifier or "").upper() != item.expr.qualifier.upper():
+                        continue
+                    parts = ((qualifier, column.name) if qualifier
+                             else (column.name,))
+                    expanded.append((ast.ColumnRef(parts=parts), column.name))
+                continue
+            name = item.alias or self._default_name(item.expr, position)
+            expanded.append((item.expr, name))
+        return expanded
+
+    @staticmethod
+    def _default_name(expr: ast.Expr, position: int) -> str:
+        if isinstance(expr, ast.ColumnRef):
+            return expr.name
+        if isinstance(expr, ast.FuncCall):
+            return expr.name
+        return f"Expr{position + 1}"
+
+    def _column_meta(self, expr: ast.Expr, name: str,
+                     relation: SourceRelation,
+                     sample_rows: List[tuple],
+                     context: EvalContext) -> RowsetColumn:
+        """Best-effort output column typing (declared type for plain refs)."""
+        if isinstance(expr, ast.ColumnRef):
+            index = context.resolve_index(expr.parts)
+            if index is not None:
+                source = relation.columns[index][1]
+                return RowsetColumn(name, source.type,
+                                    nested_columns=source.nested_columns)
+        for row in sample_rows[:20]:
+            value = evaluate(expr, context.with_row(row))
+            if isinstance(value, Rowset):
+                return RowsetColumn(name, TABLE,
+                                    nested_columns=list(value.columns))
+            if value is not None:
+                return RowsetColumn(name, infer_type(value))
+        return RowsetColumn(name, TEXT)
+
+    def _execute_projection(self, statement, relation, context, rows):
+        expanded = self._expand_select_list(statement, relation)
+        output_columns = [
+            self._column_meta(expr, name, relation, rows, context)
+            for expr, name in expanded]
+        output_rows = []
+        for row in rows:
+            row_context = context.with_row(row)
+            output_rows.append(tuple(
+                evaluate(expr, row_context) for expr, _ in expanded))
+        return output_columns, output_rows
+
+    # -- grouping -------------------------------------------------------------
+
+    def _execute_grouped(self, statement, relation, context, rows):
+        expanded = self._expand_select_list(statement, relation)
+        aggregate_nodes: List[ast.FuncCall] = []
+
+        def collect(expr):
+            if expr is None:
+                return
+            if is_aggregate_call(expr):
+                aggregate_nodes.append(expr)
+                return
+            for child in _children(expr):
+                collect(child)
+
+        for expr, _ in expanded:
+            collect(expr)
+        collect(statement.having)
+        for item in statement.order_by:
+            collect(item.expr)
+
+        # Bucket rows by the GROUP BY key (one global bucket if none).
+        buckets: Dict[tuple, List[tuple]] = {}
+        order: List[tuple] = []
+        for row in rows:
+            row_context = context.with_row(row)
+            if statement.group_by:
+                key = tuple(V.group_key(evaluate(g, row_context))
+                            for g in statement.group_by)
+            else:
+                key = ()
+            if key not in buckets:
+                buckets[key] = []
+                order.append(key)
+            buckets[key].append(row)
+        if not statement.group_by and not buckets:
+            buckets[()] = []
+            order.append(())
+
+        output_rows = []
+        representative_rows = []
+        for key in order:
+            bucket = buckets[key]
+            values: Dict[int, Any] = {}
+            for node in aggregate_nodes:
+                count_rows = bool(node.args) and isinstance(
+                    node.args[0], ast.Star) or not node.args
+                accumulator = make_aggregate(
+                    node.name, count_rows=count_rows, distinct=node.distinct)
+                for row in bucket:
+                    if count_rows:
+                        accumulator.add(None)
+                    else:
+                        accumulator.add(
+                            evaluate(node.args[0], context.with_row(row)))
+                values[id(node)] = accumulator.result()
+            representative = bucket[0] if bucket else tuple(
+                [None] * len(relation.columns))
+            row_context = context.with_row(representative)
+
+            if statement.having is not None:
+                having_value = evaluate(
+                    _substitute(statement.having, values), row_context)
+                if having_value is not True:
+                    continue
+            output_rows.append(tuple(
+                evaluate(_substitute(expr, values), row_context)
+                for expr, _ in expanded))
+            representative_rows.append((representative, values))
+
+        output_columns = []
+        for position, (expr, name) in enumerate(expanded):
+            sample = next(
+                (row[position] for row in output_rows if row[position] is not None),
+                None)
+            output_columns.append(RowsetColumn(name, infer_type(sample)))
+
+        # ORDER BY for grouped queries: resolve against output columns or
+        # re-evaluate with the bucket's aggregates substituted.
+        if statement.order_by:
+            keys = []
+            names = [c.name.upper() for c in output_columns]
+            for out_row, (representative, values) in zip(
+                    output_rows, representative_rows):
+                key = []
+                for item in statement.order_by:
+                    if isinstance(item.expr, ast.ColumnRef) and \
+                            item.expr.name.upper() in names:
+                        value = out_row[names.index(item.expr.name.upper())]
+                    else:
+                        value = evaluate(_substitute(item.expr, values),
+                                         context.with_row(representative))
+                    key.append(V.sort_key(value))
+                keys.append(tuple(key))
+            directions = [item.ascending for item in statement.order_by]
+            output_rows = _multi_key_sort(output_rows, keys, directions)
+            statement = _without_order(statement)
+        return output_columns, output_rows
+
+    # -- ordering -------------------------------------------------------------
+
+    def _order_rows(self, statement, output_columns, output_rows, context,
+                    source_rows, grouped):
+        if grouped:
+            return output_rows  # handled inside _execute_grouped
+        names = [c.name.upper() for c in output_columns]
+        keys = []
+        for out_row, source_row in zip(output_rows, source_rows):
+            key = []
+            for item in statement.order_by:
+                if isinstance(item.expr, ast.ColumnRef) and \
+                        len(item.expr.parts) == 1 and \
+                        item.expr.name.upper() in names:
+                    value = out_row[names.index(item.expr.name.upper())]
+                else:
+                    value = evaluate(item.expr, context.with_row(source_row))
+                key.append(V.sort_key(value))
+            keys.append(tuple(key))
+        directions = [item.ascending for item in statement.order_by]
+        return _multi_key_sort(output_rows, keys, directions)
+
+    # -- FROM resolution ------------------------------------------------------
+
+    def resolve_table_ref(self, ref: ast.TableRef) -> SourceRelation:
+        if self.external_resolver is not None:
+            resolved = self.external_resolver(ref)
+            if resolved is not None:
+                return resolved
+        if isinstance(ref, ast.NamedTable):
+            key = ref.name.upper()
+            qualifier = ref.alias or ref.name
+            if key in self.views:
+                if self._view_depth >= self.MAX_VIEW_DEPTH:
+                    raise Error(
+                        f"view expansion exceeded depth "
+                        f"{self.MAX_VIEW_DEPTH} at {ref.name!r} — is the "
+                        f"view recursive?")
+                self._view_depth += 1
+                try:
+                    rowset = self.execute_select(self.views[key])
+                finally:
+                    self._view_depth -= 1
+                return SourceRelation.from_rowset(rowset, qualifier)
+            if key in self.tables:
+                return SourceRelation.from_rowset(
+                    self.tables[key].to_rowset(), qualifier)
+            raise BindError(f"no table, view, or model named {ref.name!r}")
+        if isinstance(ref, ast.SubquerySource):
+            rowset = self.execute_select(ref.select)
+            return SourceRelation.from_rowset(rowset, ref.alias)
+        if isinstance(ref, ast.Join):
+            return self._resolve_join(ref)
+        raise BindError(
+            f"FROM source {type(ref).__name__} requires the mining provider")
+
+    def _resolve_join(self, ref: ast.Join) -> SourceRelation:
+        left = self.resolve_table_ref(ref.left)
+        right = self.resolve_table_ref(ref.right)
+        columns = left.columns + right.columns
+
+        if ref.kind == "CROSS":
+            rows = [l + r for l in left.rows for r in right.rows]
+            return SourceRelation(columns, rows)
+
+        equalities, residual = _split_equi_condition(ref.condition)
+        left_context = left.context()
+        right_context = right.context()
+        pairs = []
+        for a, b in equalities:
+            a_index = left_context.resolve_index(a.parts)
+            b_index = right_context.resolve_index(b.parts)
+            if a_index is None or b_index is None:
+                # Sides may be written in either order.
+                a_index = left_context.resolve_index(b.parts)
+                b_index = right_context.resolve_index(a.parts)
+            if a_index is None or b_index is None:
+                residual.append(ast.BinaryOp("=", a, b))
+                continue
+            pairs.append((a_index, b_index))
+
+        joined_context = SourceRelation(columns, []).context()
+
+        def residual_ok(row):
+            return all(
+                evaluate(condition, joined_context.with_row(row)) is True
+                for condition in residual)
+
+        rows = []
+        if pairs:
+            # Hash join on the first equi pair; verify the rest per candidate.
+            build: Dict[Any, List[tuple]] = {}
+            first_left, first_right = pairs[0]
+            for r in right.rows:
+                build.setdefault(V.group_key(r[first_right]), []).append(r)
+            for l in left.rows:
+                matched = False
+                if l[first_left] is not None:
+                    for r in build.get(V.group_key(l[first_left]), []):
+                        if all(V.sql_equal(l[a], r[b]) is True
+                               for a, b in pairs[1:]):
+                            candidate = l + r
+                            if residual_ok(candidate):
+                                rows.append(candidate)
+                                matched = True
+                if ref.kind == "LEFT" and not matched:
+                    rows.append(l + tuple([None] * len(right.columns)))
+        else:
+            for l in left.rows:
+                matched = False
+                for r in right.rows:
+                    candidate = l + r
+                    if evaluate(ref.condition,
+                                joined_context.with_row(candidate)) is True:
+                        rows.append(candidate)
+                        matched = True
+                if ref.kind == "LEFT" and not matched:
+                    rows.append(l + tuple([None] * len(right.columns)))
+        return SourceRelation(columns, rows)
+
+
+# ---------------------------------------------------------------------------
+# helpers
+# ---------------------------------------------------------------------------
+
+def _children(expr: ast.Expr) -> List[ast.Expr]:
+    if isinstance(expr, ast.BinaryOp):
+        return [expr.left, expr.right]
+    if isinstance(expr, ast.UnaryOp):
+        return [expr.operand]
+    if isinstance(expr, ast.FuncCall):
+        return list(expr.args)
+    if isinstance(expr, ast.IsNull):
+        return [expr.operand]
+    if isinstance(expr, ast.InList):
+        return [expr.operand] + list(expr.items)
+    if isinstance(expr, ast.InSelect):
+        return [expr.operand]
+    if isinstance(expr, ast.Between):
+        return [expr.operand, expr.low, expr.high]
+    if isinstance(expr, ast.Like):
+        return [expr.operand, expr.pattern]
+    if isinstance(expr, ast.Case):
+        children = []
+        for condition, result in expr.whens:
+            children += [condition, result]
+        if expr.else_result is not None:
+            children.append(expr.else_result)
+        return children
+    return []
+
+
+def _substitute(expr: ast.Expr, values: Dict[int, Any]) -> ast.Expr:
+    """Replace aggregate calls (by node identity) with computed literals."""
+    if expr is None:
+        return expr
+    if id(expr) in values:
+        return ast.Literal(values[id(expr)])
+    if isinstance(expr, ast.BinaryOp):
+        return ast.BinaryOp(expr.op, _substitute(expr.left, values),
+                            _substitute(expr.right, values))
+    if isinstance(expr, ast.UnaryOp):
+        return ast.UnaryOp(expr.op, _substitute(expr.operand, values))
+    if isinstance(expr, ast.FuncCall):
+        return ast.FuncCall(expr.name,
+                            [_substitute(a, values) for a in expr.args],
+                            expr.distinct)
+    if isinstance(expr, ast.IsNull):
+        return ast.IsNull(_substitute(expr.operand, values), expr.negated)
+    if isinstance(expr, ast.InList):
+        return ast.InList(_substitute(expr.operand, values),
+                          [_substitute(i, values) for i in expr.items],
+                          expr.negated)
+    if isinstance(expr, ast.Between):
+        return ast.Between(_substitute(expr.operand, values),
+                           _substitute(expr.low, values),
+                           _substitute(expr.high, values), expr.negated)
+    if isinstance(expr, ast.Like):
+        return ast.Like(_substitute(expr.operand, values),
+                        _substitute(expr.pattern, values), expr.negated)
+    if isinstance(expr, ast.Case):
+        return ast.Case(
+            [(_substitute(c, values), _substitute(r, values))
+             for c, r in expr.whens],
+            _substitute(expr.else_result, values)
+            if expr.else_result is not None else None)
+    return expr
+
+
+def _split_equi_condition(condition: Optional[ast.Expr]):
+    """Split an AND tree into column=column pairs and residual predicates."""
+    equalities: List[Tuple[ast.ColumnRef, ast.ColumnRef]] = []
+    residual: List[ast.Expr] = []
+
+    def walk(expr):
+        if isinstance(expr, ast.BinaryOp) and expr.op == "AND":
+            walk(expr.left)
+            walk(expr.right)
+            return
+        if isinstance(expr, ast.BinaryOp) and expr.op == "=" and \
+                isinstance(expr.left, ast.ColumnRef) and \
+                isinstance(expr.right, ast.ColumnRef):
+            equalities.append((expr.left, expr.right))
+            return
+        residual.append(expr)
+
+    if condition is not None:
+        walk(condition)
+    return equalities, residual
+
+
+def _multi_key_sort(rows: List[tuple], keys: List[tuple],
+                    directions: List[bool]) -> List[tuple]:
+    """Stable multi-key sort honouring per-key ASC/DESC."""
+    indexed = list(range(len(rows)))
+    # Sort by the last key first (stable sorts compose right-to-left).
+    for position in reversed(range(len(directions))):
+        indexed.sort(key=lambda i: keys[i][position],
+                     reverse=not directions[position])
+    return [rows[i] for i in indexed]
+
+
+def _without_order(statement: ast.SelectStatement) -> ast.SelectStatement:
+    clone = ast.SelectStatement(
+        select_list=statement.select_list, from_clause=statement.from_clause,
+        where=statement.where, group_by=statement.group_by,
+        having=statement.having, order_by=[], distinct=statement.distinct,
+        top=statement.top, flattened=statement.flattened)
+    return clone

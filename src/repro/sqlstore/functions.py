@@ -1,0 +1,209 @@
+"""Built-in SQL scalar and aggregate functions.
+
+Scalar functions are plain Python callables over already-evaluated argument
+values (NULL-propagating unless noted).  Aggregates are small accumulator
+classes instantiated per GROUP BY bucket.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.errors import BindError
+
+
+def _null_safe(func: Callable) -> Callable:
+    """Wrap a scalar so that any NULL argument yields NULL."""
+    def wrapper(*args):
+        if any(a is None for a in args):
+            return None
+        return func(*args)
+    return wrapper
+
+
+def _coalesce(*args):
+    for arg in args:
+        if arg is not None:
+            return arg
+    return None
+
+
+def _nullif(a, b):
+    if a is None:
+        return None
+    return None if a == b else a
+
+
+def _iif(condition, then, otherwise):
+    return then if condition else otherwise
+
+
+def _round(value, digits=0):
+    return round(float(value), int(digits))
+
+
+SCALAR_FUNCTIONS: Dict[str, Callable] = {
+    "UPPER": _null_safe(lambda s: str(s).upper()),
+    "LOWER": _null_safe(lambda s: str(s).lower()),
+    "LENGTH": _null_safe(lambda s: len(str(s))),
+    "LEN": _null_safe(lambda s: len(str(s))),
+    "TRIM": _null_safe(lambda s: str(s).strip()),
+    "SUBSTRING": _null_safe(
+        lambda s, start, length: str(s)[int(start) - 1:int(start) - 1 + int(length)]),
+    "REPLACE": _null_safe(lambda s, old, new: str(s).replace(str(old), str(new))),
+    "CONCAT": lambda *args: "".join(str(a) for a in args if a is not None),
+    "ABS": _null_safe(abs),
+    "ROUND": _null_safe(_round),
+    "FLOOR": _null_safe(lambda v: math.floor(v)),
+    "CEILING": _null_safe(lambda v: math.ceil(v)),
+    "SQRT": _null_safe(lambda v: math.sqrt(v)),
+    "LN": _null_safe(lambda v: math.log(v)),
+    "LOG": _null_safe(lambda v: math.log10(v)),
+    "EXP": _null_safe(lambda v: math.exp(v)),
+    "POWER": _null_safe(lambda b, e: float(b) ** float(e)),
+    "MOD": _null_safe(lambda a, b: a % b),
+    "SIGN": _null_safe(lambda v: (v > 0) - (v < 0)),
+    "COALESCE": _coalesce,
+    "NULLIF": _nullif,
+    "IIF": _iif,
+    "CAST_LONG": _null_safe(lambda v: int(float(v))),
+    "CAST_DOUBLE": _null_safe(lambda v: float(v)),
+    "CAST_TEXT": _null_safe(lambda v: str(v)),
+}
+
+
+class Aggregate:
+    """Accumulator interface: feed values, then read ``result``."""
+
+    def add(self, value: Any) -> None:
+        raise NotImplementedError
+
+    def result(self) -> Any:
+        raise NotImplementedError
+
+
+class CountAgg(Aggregate):
+    """COUNT(expr) counts non-NULL values; COUNT(*) counts rows."""
+
+    def __init__(self, count_rows: bool = False, distinct: bool = False):
+        self.count_rows = count_rows
+        self.distinct = distinct
+        self.count = 0
+        self._seen = set()
+
+    def add(self, value: Any) -> None:
+        if self.count_rows:
+            self.count += 1
+            return
+        if value is None:
+            return
+        if self.distinct:
+            if value in self._seen:
+                return
+            self._seen.add(value)
+        self.count += 1
+
+    def result(self) -> int:
+        return self.count
+
+
+class SumAgg(Aggregate):
+    def __init__(self):
+        self.total = None
+
+    def add(self, value: Any) -> None:
+        if value is None:
+            return
+        self.total = value if self.total is None else self.total + value
+
+    def result(self):
+        return self.total
+
+
+class AvgAgg(Aggregate):
+    def __init__(self):
+        self.total = 0.0
+        self.count = 0
+
+    def add(self, value: Any) -> None:
+        if value is None:
+            return
+        self.total += float(value)
+        self.count += 1
+
+    def result(self) -> Optional[float]:
+        return self.total / self.count if self.count else None
+
+
+class MinAgg(Aggregate):
+    def __init__(self):
+        self.best = None
+
+    def add(self, value: Any) -> None:
+        if value is None:
+            return
+        if self.best is None or value < self.best:
+            self.best = value
+
+    def result(self):
+        return self.best
+
+
+class MaxAgg(Aggregate):
+    def __init__(self):
+        self.best = None
+
+    def add(self, value: Any) -> None:
+        if value is None:
+            return
+        if self.best is None or value > self.best:
+            self.best = value
+
+    def result(self):
+        return self.best
+
+
+class VarAgg(Aggregate):
+    """Sample variance via Welford's online algorithm."""
+
+    def __init__(self, stdev: bool = False):
+        self.stdev = stdev
+        self.count = 0
+        self.mean = 0.0
+        self.m2 = 0.0
+
+    def add(self, value: Any) -> None:
+        if value is None:
+            return
+        self.count += 1
+        delta = float(value) - self.mean
+        self.mean += delta / self.count
+        self.m2 += delta * (float(value) - self.mean)
+
+    def result(self) -> Optional[float]:
+        if self.count < 2:
+            return None
+        variance = self.m2 / (self.count - 1)
+        return math.sqrt(variance) if self.stdev else variance
+
+
+def make_aggregate(name: str, count_rows: bool = False,
+                   distinct: bool = False) -> Aggregate:
+    """Instantiate a fresh accumulator for one GROUP BY bucket."""
+    upper = name.upper()
+    if upper == "COUNT":
+        return CountAgg(count_rows=count_rows, distinct=distinct)
+    if upper == "SUM":
+        return SumAgg()
+    if upper == "AVG":
+        return AvgAgg()
+    if upper == "MIN":
+        return MinAgg()
+    if upper == "MAX":
+        return MaxAgg()
+    if upper == "STDEV":
+        return VarAgg(stdev=True)
+    if upper == "VAR":
+        return VarAgg(stdev=False)
+    raise BindError(f"unknown aggregate function {name!r}")

@@ -1,0 +1,170 @@
+"""Rowsets: the tabular result shape shared by SQL and DMX commands.
+
+OLE DB represents every result — query output, schema rowsets, model content —
+as a *rowset*: column metadata plus an iterable of rows.  A column may itself
+be TABLE-typed, in which case the corresponding cell holds a nested
+:class:`Rowset` (the hierarchical rowsets of section 3.1 of the paper).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import BindError
+from repro.sqlstore.types import SqlType, TABLE, TEXT, infer_type
+
+
+class RowsetColumn:
+    """Metadata for one rowset column.
+
+    ``nested_columns`` is populated only for TABLE-typed columns, describing
+    the schema of the nested rowsets stored in that column's cells.
+    """
+
+    def __init__(self, name: str, type_: SqlType = TEXT,
+                 nested_columns: Optional[List["RowsetColumn"]] = None):
+        self.name = name
+        self.type = type_
+        self.nested_columns = nested_columns
+        if nested_columns is not None:
+            self.type = TABLE
+
+    def __repr__(self) -> str:
+        if self.type is TABLE:
+            inner = ", ".join(c.name for c in self.nested_columns or [])
+            return f"RowsetColumn({self.name!r}, TABLE({inner}))"
+        return f"RowsetColumn({self.name!r}, {self.type.name})"
+
+
+class Rowset:
+    """Column metadata plus materialised rows.
+
+    Rows are tuples aligned with ``columns``.  Cells in TABLE-typed columns
+    hold nested ``Rowset`` instances (or None).
+    """
+
+    def __init__(self, columns: Sequence[RowsetColumn],
+                 rows: Iterable[Tuple] = ()):
+        self.columns: List[RowsetColumn] = list(columns)
+        self.rows: List[Tuple] = [tuple(r) for r in rows]
+        self._by_name = {}
+        for index, column in enumerate(self.columns):
+            # Later duplicates do not shadow earlier ones (SELECT a, a is legal).
+            self._by_name.setdefault(column.name.upper(), index)
+
+    # -- construction helpers -------------------------------------------------
+
+    @classmethod
+    def from_dicts(cls, records: Sequence[dict],
+                   column_order: Optional[Sequence[str]] = None) -> "Rowset":
+        """Build a rowset from dict records, inferring column types."""
+        if column_order is None:
+            seen: List[str] = []
+            for record in records:
+                for key in record:
+                    if key not in seen:
+                        seen.append(key)
+            column_order = seen
+        columns = []
+        for name in column_order:
+            sample = next(
+                (r[name] for r in records if r.get(name) is not None), None)
+            if isinstance(sample, Rowset):
+                columns.append(RowsetColumn(
+                    name, TABLE, nested_columns=list(sample.columns)))
+            else:
+                columns.append(RowsetColumn(name, infer_type(sample)))
+        rows = [tuple(record.get(name) for name in column_order)
+                for record in records]
+        return cls(columns, rows)
+
+    # -- access ---------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self) -> Iterator[Tuple]:
+        return iter(self.rows)
+
+    def __getitem__(self, index: int) -> Tuple:
+        return self.rows[index]
+
+    def column_names(self) -> List[str]:
+        return [c.name for c in self.columns]
+
+    def index_of(self, name: str) -> int:
+        try:
+            return self._by_name[name.upper()]
+        except KeyError as exc:
+            raise BindError(
+                f"no column {name!r} in rowset "
+                f"(columns: {', '.join(self.column_names())})") from exc
+
+    def has_column(self, name: str) -> bool:
+        return name.upper() in self._by_name
+
+    def column_values(self, name: str) -> List[Any]:
+        """All values of one column, in row order."""
+        index = self.index_of(name)
+        return [row[index] for row in self.rows]
+
+    def to_dicts(self) -> List[dict]:
+        """Rows as dicts keyed by column name (nested rowsets recurse)."""
+        names = self.column_names()
+        result = []
+        for row in self.rows:
+            record = {}
+            for name, value in zip(names, row):
+                if isinstance(value, Rowset):
+                    record[name] = value.to_dicts()
+                else:
+                    record[name] = value
+            result.append(record)
+        return result
+
+    def single_value(self) -> Any:
+        """The value of a 1x1 rowset (scalar results)."""
+        if len(self.rows) != 1 or len(self.columns) != 1:
+            raise BindError(
+                f"expected scalar rowset, got {len(self.rows)} rows x "
+                f"{len(self.columns)} columns")
+        return self.rows[0][0]
+
+    # -- display --------------------------------------------------------------
+
+    def pretty(self, max_rows: int = 50, indent: str = "") -> str:
+        """Fixed-width text rendering; nested rowsets render indented."""
+        names = self.column_names()
+        display_rows = self.rows[:max_rows]
+        nested_cells: List[Tuple[str, Rowset]] = []
+
+        def fmt(value: Any) -> str:
+            if value is None:
+                return "NULL"
+            if isinstance(value, Rowset):
+                return f"<TABLE {len(value)} rows>"
+            if isinstance(value, float):
+                return f"{value:.6g}"
+            return str(value)
+
+        cells = [[fmt(v) for v in row] for row in display_rows]
+        widths = [max([len(n)] + [len(r[i]) for r in cells])
+                  for i, n in enumerate(names)]
+        lines = [indent + " | ".join(n.ljust(w) for n, w in zip(names, widths))]
+        lines.append(indent + "-+-".join("-" * w for w in widths))
+        for row, text_row in zip(display_rows, cells):
+            lines.append(indent + " | ".join(
+                t.ljust(w) for t, w in zip(text_row, widths)))
+            for value, name in zip(row, names):
+                if isinstance(value, Rowset) and len(value):
+                    nested_cells.append((name, value))
+        for name, nested in nested_cells:
+            lines.append(f"{indent}  [{name}]:")
+            lines.append(nested.pretty(max_rows=max_rows, indent=indent + "    "))
+        if len(self.rows) > max_rows:
+            lines.append(f"{indent}... ({len(self.rows) - max_rows} more rows)")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (f"Rowset({len(self.rows)} rows x {len(self.columns)} cols: "
+                f"{', '.join(self.column_names())})")

@@ -1,0 +1,83 @@
+"""Table schemas: named, typed, case-insensitively resolved columns.
+
+SQL identifiers are case-insensitive; OLE DB DM bracketed identifiers such as
+``[Customer ID]`` may contain spaces.  Schemas preserve the declared spelling
+for display but resolve lookups through a case-folded map.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.errors import BindError, SchemaError
+from repro.sqlstore.types import SqlType
+
+
+class ColumnSchema:
+    """One column of a relational table."""
+
+    def __init__(self, name: str, type_: SqlType, nullable: bool = True,
+                 primary_key: bool = False):
+        if not name:
+            raise SchemaError("column name must be non-empty")
+        self.name = name
+        self.type = type_
+        self.nullable = nullable and not primary_key
+        self.primary_key = primary_key
+
+    def __repr__(self) -> str:
+        return f"ColumnSchema({self.name!r}, {self.type.name})"
+
+    def __eq__(self, other) -> bool:
+        return (isinstance(other, ColumnSchema)
+                and other.name.upper() == self.name.upper()
+                and other.type is self.type)
+
+    def __hash__(self) -> int:
+        return hash((self.name.upper(), self.type.name))
+
+
+class TableSchema:
+    """An ordered collection of :class:`ColumnSchema` with name resolution."""
+
+    def __init__(self, name: str, columns: Sequence[ColumnSchema]):
+        self.name = name
+        self.columns: List[ColumnSchema] = list(columns)
+        self._by_name = {}
+        for index, column in enumerate(self.columns):
+            key = column.name.upper()
+            if key in self._by_name:
+                raise SchemaError(
+                    f"duplicate column {column.name!r} in table {name!r}")
+            self._by_name[key] = index
+
+    def __len__(self) -> int:
+        return len(self.columns)
+
+    def __iter__(self):
+        return iter(self.columns)
+
+    def column_names(self) -> List[str]:
+        return [c.name for c in self.columns]
+
+    def has_column(self, name: str) -> bool:
+        return name.upper() in self._by_name
+
+    def index_of(self, name: str) -> int:
+        """Ordinal of a column by (case-insensitive) name."""
+        try:
+            return self._by_name[name.upper()]
+        except KeyError as exc:
+            raise BindError(
+                f"no column {name!r} in table {self.name!r} "
+                f"(columns: {', '.join(self.column_names())})") from exc
+
+    def column(self, name: str) -> ColumnSchema:
+        return self.columns[self.index_of(name)]
+
+    def primary_key_index(self) -> Optional[int]:
+        """Ordinal of the PRIMARY KEY column, or None if not declared."""
+        for index, column in enumerate(self.columns):
+            if column.primary_key:
+                return index
+        return None

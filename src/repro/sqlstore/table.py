@@ -1,0 +1,141 @@
+"""In-memory table storage with optional primary-key and hash indexes."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from repro.errors import SchemaError, TypeError_
+from repro.sqlstore.schema import TableSchema
+from repro.sqlstore.rowset import Rowset, RowsetColumn
+from repro.sqlstore.values import group_key
+
+
+class Table:
+    """A stored base table: schema + row storage + secondary hash indexes.
+
+    Rows are tuples aligned with the schema.  A declared PRIMARY KEY column is
+    enforced unique through a hash map; callers may additionally build
+    secondary (non-unique) hash indexes to accelerate equi-joins.
+    """
+
+    def __init__(self, schema: TableSchema):
+        self.schema = schema
+        self.rows: List[Tuple] = []
+        self._pk_index: Optional[Dict[Any, int]] = None
+        self._secondary: Dict[int, Dict[Any, List[int]]] = {}
+        if schema.primary_key_index() is not None:
+            self._pk_index = {}
+
+    @property
+    def name(self) -> str:
+        return self.schema.name
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    # -- mutation -------------------------------------------------------------
+
+    def insert(self, values: Iterable[Any]) -> None:
+        """Insert one row, coercing each value to its column type."""
+        row = tuple(values)
+        if len(row) != len(self.schema):
+            raise SchemaError(
+                f"table {self.name!r} expects {len(self.schema)} values, "
+                f"got {len(row)}")
+        coerced = []
+        for value, column in zip(row, self.schema.columns):
+            value = column.type.coerce(value)
+            if value is None and not column.nullable:
+                raise TypeError_(
+                    f"column {column.name!r} of table {self.name!r} "
+                    f"is NOT NULL")
+            coerced.append(value)
+        row = tuple(coerced)
+        pk = self.schema.primary_key_index()
+        if pk is not None:
+            key = group_key(row[pk])
+            if key in self._pk_index:
+                raise SchemaError(
+                    f"duplicate primary key {row[pk]!r} in table {self.name!r}")
+            self._pk_index[key] = len(self.rows)
+        position = len(self.rows)
+        self.rows.append(row)
+        for column_index, index in self._secondary.items():
+            index.setdefault(group_key(row[column_index]), []).append(position)
+
+    def insert_many(self, rows: Iterable[Iterable[Any]]) -> int:
+        """Insert many rows; returns the count inserted."""
+        count = 0
+        for row in rows:
+            self.insert(row)
+            count += 1
+        return count
+
+    def delete_where(self, predicate) -> int:
+        """Delete rows where ``predicate(row)`` is truthy; returns the count."""
+        kept = [row for row in self.rows if not predicate(row)]
+        removed = len(self.rows) - len(kept)
+        if removed:
+            self.rows = kept
+            self._rebuild_indexes()
+        return removed
+
+    def update_where(self, predicate, updater) -> int:
+        """Apply ``updater(row) -> row`` to rows matching ``predicate``."""
+        changed = 0
+        new_rows = []
+        for row in self.rows:
+            if predicate(row):
+                new_row = tuple(
+                    column.type.coerce(value)
+                    for value, column in zip(updater(row), self.schema.columns))
+                new_rows.append(new_row)
+                changed += 1
+            else:
+                new_rows.append(row)
+        if changed:
+            self.rows = new_rows
+            self._rebuild_indexes()
+        return changed
+
+    def truncate(self) -> None:
+        self.rows = []
+        self._rebuild_indexes()
+
+    # -- indexes --------------------------------------------------------------
+
+    def ensure_index(self, column_name: str) -> Dict[Any, List[int]]:
+        """Build (or fetch) a non-unique hash index on one column."""
+        column_index = self.schema.index_of(column_name)
+        if column_index not in self._secondary:
+            index: Dict[Any, List[int]] = {}
+            for position, row in enumerate(self.rows):
+                index.setdefault(group_key(row[column_index]), []).append(position)
+            self._secondary[column_index] = index
+        return self._secondary[column_index]
+
+    def lookup_pk(self, value: Any) -> Optional[Tuple]:
+        """Fetch the row with the given primary-key value, or None."""
+        if self._pk_index is None:
+            raise SchemaError(f"table {self.name!r} has no primary key")
+        position = self._pk_index.get(group_key(value))
+        return None if position is None else self.rows[position]
+
+    def _rebuild_indexes(self) -> None:
+        pk = self.schema.primary_key_index()
+        if pk is not None:
+            self._pk_index = {
+                group_key(row[pk]): position
+                for position, row in enumerate(self.rows)}
+        for column_index in list(self._secondary):
+            index: Dict[Any, List[int]] = {}
+            for position, row in enumerate(self.rows):
+                index.setdefault(group_key(row[column_index]), []).append(position)
+            self._secondary[column_index] = index
+
+    # -- export ---------------------------------------------------------------
+
+    def to_rowset(self) -> Rowset:
+        """Materialise the full table as a rowset."""
+        columns = [RowsetColumn(c.name, c.type) for c in self.schema.columns]
+        return Rowset(columns, list(self.rows))

@@ -1,0 +1,109 @@
+"""Discretization strategies for DISCRETIZED attributes."""
+
+import pytest
+
+from repro.errors import TrainError
+from repro.algorithms.discretization import fit_discretizer
+
+
+class TestEqualRange:
+    def test_even_spans(self):
+        discretizer = fit_discretizer(range(0, 101), "EQUAL_RANGE", 4)
+        assert discretizer.edges == [25.0, 50.0, 75.0]
+        assert discretizer.bucket_of(10) == 0
+        assert discretizer.bucket_of(25) == 0   # right-closed edges
+        assert discretizer.bucket_of(26) == 1
+        assert discretizer.bucket_of(100) == 3
+
+    def test_clamps_out_of_range(self):
+        discretizer = fit_discretizer([0.0, 100.0], "EQUAL_RANGE", 4)
+        assert discretizer.bucket_of(-50) == 0
+        assert discretizer.bucket_of(500) == discretizer.bucket_count - 1
+
+
+class TestEqualCount:
+    def test_balanced_buckets(self):
+        values = list(range(100))
+        discretizer = fit_discretizer(values, "EQUAL_COUNT", 4)
+        counts = [0] * discretizer.bucket_count
+        for value in values:
+            counts[discretizer.bucket_of(value)] += 1
+        assert max(counts) - min(counts) <= 2
+
+    def test_skewed_data_still_balanced(self):
+        values = [1.0] * 50 + list(range(100, 150))
+        discretizer = fit_discretizer(values, "EQUAL_COUNT", 2)
+        low = sum(1 for v in values if discretizer.bucket_of(v) == 0)
+        assert low == 50
+
+    def test_heavy_ties_collapse_edges(self):
+        values = [5.0] * 99 + [6.0]
+        discretizer = fit_discretizer(values, "EQUAL_COUNT", 4)
+        assert discretizer.bucket_count <= 2
+
+
+class TestClusters:
+    def test_separates_clear_clusters(self):
+        values = [1.0, 1.1, 0.9] * 10 + [100.0, 100.1, 99.9] * 10
+        discretizer = fit_discretizer(values, "CLUSTERS", 2)
+        assert discretizer.bucket_of(1.0) != discretizer.bucket_of(100.0)
+
+    def test_deterministic(self):
+        values = [float(i % 17) for i in range(200)]
+        a = fit_discretizer(values, "CLUSTERS", 4)
+        b = fit_discretizer(values, "CLUSTERS", 4)
+        assert a.edges == b.edges
+
+
+class TestGeneralBehaviour:
+    def test_automatic_defaults_to_quantiles(self):
+        values = list(range(100))
+        auto = fit_discretizer(values, None, 4)
+        explicit = fit_discretizer(values, "EQUAL_COUNT", 4)
+        assert auto.edges == explicit.edges
+
+    def test_constant_column_single_bucket(self):
+        discretizer = fit_discretizer([7.0] * 10, "EQUAL_RANGE", 5)
+        assert discretizer.bucket_count == 1
+        assert discretizer.bucket_of(7.0) == 0
+
+    def test_none_values_ignored(self):
+        discretizer = fit_discretizer([None, 1.0, None, 2.0], "EQUAL_RANGE",
+                                      2)
+        assert discretizer.minimum == 1.0
+
+    def test_all_none_raises(self):
+        with pytest.raises(TrainError):
+            fit_discretizer([None, None], "EQUAL_RANGE", 2)
+
+    def test_bad_bucket_count(self):
+        with pytest.raises(TrainError):
+            fit_discretizer([1.0, 2.0], "EQUAL_RANGE", 0)
+
+    def test_unknown_method(self):
+        with pytest.raises(TrainError):
+            fit_discretizer([1.0, 2.0], "MAGIC", 2)
+
+    def test_ranges_tile_the_domain(self):
+        discretizer = fit_discretizer(list(range(50)), "EQUAL_COUNT", 5)
+        previous_high = None
+        for bucket in range(discretizer.bucket_count):
+            low, high = discretizer.range_of(bucket)
+            assert low <= high
+            if previous_high is not None:
+                assert low == previous_high
+            previous_high = high
+
+    def test_label_and_midpoint(self):
+        discretizer = fit_discretizer([0.0, 10.0], "EQUAL_RANGE", 2)
+        assert discretizer.label(0) == "[0 - 5]"
+        assert discretizer.midpoint_of(0) == 2.5
+
+    def test_bucket_of_matches_linear_scan(self):
+        discretizer = fit_discretizer(list(range(1000)), "EQUAL_COUNT", 7)
+        for value in (0, 3.3, 142.5, 999, 500):
+            linear = 0
+            for edge in discretizer.edges:
+                if value > edge:
+                    linear += 1
+            assert discretizer.bucket_of(value) == linear

@@ -1,0 +1,65 @@
+"""Shared fixtures: fresh providers, the paper's warehouse, trained models."""
+
+import pytest
+
+import repro
+from repro.datagen import WarehouseConfig, load_warehouse
+
+AGE_PREDICTION_DDL = """
+CREATE MINING MODEL [Age Prediction] (
+%Name of Model
+    [Customer ID] LONG KEY,
+    [Gender] TEXT DISCRETE,
+    [Age] DOUBLE DISCRETIZED PREDICT, %prediction column
+    [Product Purchases] TABLE(
+        [Product Name] TEXT KEY,
+        [Quantity] DOUBLE NORMAL CONTINUOUS,
+        [Product Type] TEXT DISCRETE RELATED TO [Product Name]
+    )
+) USING [Decision_Trees_101]
+%Mining Algorithm used
+"""
+
+AGE_PREDICTION_INSERT = """
+INSERT INTO [Age Prediction] ([Customer ID], [Gender], [Age],
+    [Product Purchases]([Product Name], [Quantity], [Product Type]))
+SHAPE
+    {SELECT [Customer ID], [Gender], [Age] FROM Customers
+     ORDER BY [Customer ID]}
+APPEND (
+    {SELECT [CustID], [Product Name], [Quantity], [Product Type] FROM Sales
+     ORDER BY [CustID]}
+    RELATE [Customer ID] To [CustID]) AS [Product Purchases]
+"""
+
+
+@pytest.fixture
+def conn():
+    """A fresh connection to an empty provider."""
+    connection = repro.connect()
+    yield connection
+    connection.close()
+
+
+@pytest.fixture
+def warehouse(conn):
+    """Connection with the synthetic warehouse loaded (500 customers)."""
+    data = load_warehouse(conn.database, WarehouseConfig(customers=500))
+    conn.warehouse_data = data
+    return conn
+
+
+@pytest.fixture
+def paper_tables(conn):
+    """Connection holding exactly the paper's Customer ID 1 example."""
+    load_warehouse(conn.database,
+                   WarehouseConfig(customers=1, include_paper_customer=True))
+    return conn
+
+
+@pytest.fixture
+def age_model(warehouse):
+    """The paper's [Age Prediction] model, trained on the warehouse."""
+    warehouse.execute(AGE_PREDICTION_DDL)
+    warehouse.execute(AGE_PREDICTION_INSERT)
+    return warehouse

@@ -1,0 +1,131 @@
+"""Incremental model maintenance (the paper's section-2 capability).
+
+Naive Bayes declares SUPPORTS_INCREMENTAL: a second INSERT INTO is folded
+into the counts, which must be *exactly* equivalent to a full retrain over
+the union (sums are associative).  Any case falling outside the fitted
+attribute space — a new category, a new nested item, an out-of-range
+DISCRETIZED value — forces a transparent full refit.
+"""
+
+import pytest
+
+import repro
+from repro.errors import CapabilityError
+
+NB_DDL = """
+CREATE MINING MODEL [Inc] (Id LONG KEY, G TEXT DISCRETE,
+    V DOUBLE CONTINUOUS, L TEXT DISCRETE PREDICT)
+USING Repro_Naive_Bayes
+"""
+
+PREDICT = """
+SELECT [Inc].[L], PredictProbability([L]) FROM [Inc]
+NATURAL PREDICTION JOIN (SELECT 'a' AS G, 1.5 AS V) AS t
+"""
+
+
+def insert_rows(conn, rows):
+    values = ", ".join(f"({i}, '{g}', {v}, '{l}')"
+                       for i, (g, v, l) in enumerate(rows, start=1))
+    conn.execute("DELETE FROM T")
+    conn.execute(f"INSERT INTO T VALUES {values}")
+    conn.execute("INSERT INTO [Inc] SELECT Id, G, V, L FROM T")
+
+
+@pytest.fixture
+def inc_conn(conn):
+    conn.execute("CREATE TABLE T (Id LONG, G TEXT, V DOUBLE, L TEXT)")
+    conn.execute(NB_DDL)
+    return conn
+
+
+FIRST = [("a", 1.0, "x"), ("a", 2.0, "x"), ("b", 5.0, "y"),
+         ("b", 6.0, "y"), ("a", 1.5, "x"), ("b", 5.5, "y")]
+SECOND = [("a", 1.2, "y"), ("b", 5.2, "x"), ("a", 1.8, "x"),
+          ("b", 6.2, "y")]
+
+
+class TestIncrementalEqualsFullRetrain:
+    def test_posteriors_identical(self, inc_conn):
+        insert_rows(inc_conn, FIRST)
+        insert_rows(inc_conn, SECOND)  # incremental path
+        incremental = inc_conn.execute(PREDICT).rows
+
+        # A second provider trained on the union in one INSERT.
+        full = repro.connect()
+        full.execute("CREATE TABLE T (Id LONG, G TEXT, V DOUBLE, L TEXT)")
+        full.execute(NB_DDL)
+        insert_rows(full, FIRST + SECOND)
+        expected = full.execute(PREDICT).rows
+
+        assert incremental[0][0] == expected[0][0]
+        assert incremental[0][1] == pytest.approx(expected[0][1])
+
+    def test_marginals_absorbed(self, inc_conn):
+        insert_rows(inc_conn, FIRST)
+        space_before = inc_conn.model("Inc").space
+        insert_rows(inc_conn, SECOND)
+        model = inc_conn.model("Inc")
+        assert model.space is space_before  # no refit happened
+        assert model.space.case_count == len(FIRST) + len(SECOND)
+        assert model.case_count == len(FIRST) + len(SECOND)
+
+
+class TestFallbacks:
+    def test_unseen_category_forces_refit(self, inc_conn):
+        insert_rows(inc_conn, FIRST)
+        space_before = inc_conn.model("Inc").space
+        insert_rows(inc_conn, [("c", 3.0, "x")])  # 'c' unseen
+        model = inc_conn.model("Inc")
+        assert model.space is not space_before  # refit
+        g = model.space.by_name("G")
+        assert g.encode("c") is not None  # new category learnt
+
+    def test_unseen_target_state_forces_refit(self, inc_conn):
+        insert_rows(inc_conn, FIRST)
+        space_before = inc_conn.model("Inc").space
+        insert_rows(inc_conn, [("a", 1.0, "z")])
+        assert inc_conn.model("Inc").space is not space_before
+
+    def test_tree_service_always_refits(self, conn):
+        conn.execute("CREATE TABLE T (Id LONG, G TEXT, L TEXT)")
+        conn.execute("CREATE MINING MODEL [TreeInc] (Id LONG KEY, "
+                     "G TEXT DISCRETE, L TEXT DISCRETE PREDICT) "
+                     "USING Repro_Decision_Trees(MINIMUM_SUPPORT = 1)")
+        conn.execute("INSERT INTO T VALUES (1, 'a', 'x'), (2, 'b', 'y')")
+        conn.execute("INSERT INTO [TreeInc] SELECT Id, G, L FROM T")
+        space_before = conn.model("TreeInc").space
+        conn.execute("INSERT INTO [TreeInc] SELECT Id, G, L FROM T")
+        assert conn.model("TreeInc").space is not space_before
+
+    def test_partial_train_unsupported_raises(self):
+        from repro.algorithms.decision_tree import DecisionTreeAlgorithm
+        algorithm = DecisionTreeAlgorithm()
+        with pytest.raises(CapabilityError):
+            algorithm.partial_train([])
+
+    def test_discretized_out_of_range_forces_refit(self, conn):
+        conn.execute("CREATE TABLE T (Id LONG, V DOUBLE, L TEXT)")
+        conn.execute("CREATE MINING MODEL [DInc] (Id LONG KEY, "
+                     "V DOUBLE DISCRETIZED(EQUAL_RANGE, 2), "
+                     "L TEXT DISCRETE PREDICT) USING Repro_Naive_Bayes")
+        conn.execute("INSERT INTO T VALUES (1, 1.0, 'x'), (2, 2.0, 'y')")
+        conn.execute("INSERT INTO [DInc] SELECT Id, V, L FROM T")
+        space_before = conn.model("DInc").space
+        conn.execute("DELETE FROM T")
+        conn.execute("INSERT INTO T VALUES (3, 99.0, 'x')")  # out of range
+        conn.execute("INSERT INTO [DInc] SELECT Id, V, L FROM T")
+        assert conn.model("DInc").space is not space_before
+
+    def test_within_range_stays_incremental(self, conn):
+        conn.execute("CREATE TABLE T (Id LONG, V DOUBLE, L TEXT)")
+        conn.execute("CREATE MINING MODEL [DInc2] (Id LONG KEY, "
+                     "V DOUBLE DISCRETIZED(EQUAL_RANGE, 2), "
+                     "L TEXT DISCRETE PREDICT) USING Repro_Naive_Bayes")
+        conn.execute("INSERT INTO T VALUES (1, 1.0, 'x'), (2, 2.0, 'y')")
+        conn.execute("INSERT INTO [DInc2] SELECT Id, V, L FROM T")
+        space_before = conn.model("DInc2").space
+        conn.execute("DELETE FROM T")
+        conn.execute("INSERT INTO T VALUES (3, 1.5, 'x')")
+        conn.execute("INSERT INTO [DInc2] SELECT Id, V, L FROM T")
+        assert conn.model("DInc2").space is space_before

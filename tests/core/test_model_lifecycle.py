@@ -1,0 +1,153 @@
+"""MiningModel life cycle: train, refresh, reset, drop (paper section 2)."""
+
+import pytest
+
+import repro
+from repro.errors import (
+    BindError,
+    CatalogError,
+    Error,
+    NotTrainedError,
+    TrainError,
+)
+
+DDL = """
+CREATE MINING MODEL [M] (
+    [Id] LONG KEY,
+    [Gender] TEXT DISCRETE,
+    [Age] DOUBLE CONTINUOUS PREDICT
+) USING Repro_Decision_Trees(MINIMUM_SUPPORT = 2)
+"""
+
+
+@pytest.fixture
+def conn_with_data(conn):
+    conn.execute("CREATE TABLE T (Id LONG, Gender TEXT, Age DOUBLE)")
+    rows = ", ".join(
+        f"({i}, '{'Male' if i % 2 else 'Female'}', {20 + (i % 5) * 10}.0)"
+        for i in range(1, 41))
+    conn.execute(f"INSERT INTO T VALUES {rows}")
+    return conn
+
+
+class TestCreate:
+    def test_create_registers_model(self, conn_with_data):
+        conn_with_data.execute(DDL)
+        model = conn_with_data.model("M")
+        assert not model.is_trained
+        assert model.algorithm.SERVICE_NAME == "Repro_Decision_Trees"
+
+    def test_duplicate_create_rejected(self, conn_with_data):
+        conn_with_data.execute(DDL)
+        with pytest.raises(CatalogError):
+            conn_with_data.execute(DDL)
+
+    def test_model_name_clash_with_table(self, conn_with_data):
+        with pytest.raises(CatalogError):
+            conn_with_data.execute(DDL.replace("[M]", "[T]"))
+
+    def test_unknown_algorithm(self, conn_with_data):
+        with pytest.raises(BindError):
+            conn_with_data.execute(
+                "CREATE MINING MODEL X (k LONG KEY, a TEXT DISCRETE) "
+                "USING No_Such_Service")
+
+    def test_unknown_parameter_rejected_at_create(self, conn_with_data):
+        from repro.errors import SchemaError
+        with pytest.raises(SchemaError):
+            conn_with_data.execute(
+                "CREATE MINING MODEL X (k LONG KEY, a TEXT DISCRETE) "
+                "USING Repro_Decision_Trees(BOGUS_KNOB = 1)")
+
+
+class TestTrain:
+    def test_insert_select_by_name(self, conn_with_data):
+        conn_with_data.execute(DDL)
+        count = conn_with_data.execute(
+            "INSERT INTO [M] SELECT Id, Gender, Age FROM T")
+        assert count == 40
+        assert conn_with_data.model("M").is_trained
+
+    def test_insert_with_explicit_bindings(self, conn_with_data):
+        conn_with_data.execute(DDL)
+        conn_with_data.execute(
+            "INSERT INTO [M] ([Id], [Gender], [Age]) "
+            "SELECT Id, Gender, Age FROM T")
+        assert conn_with_data.model("M").case_count == 40
+
+    def test_insert_values_into_model_rejected(self, conn_with_data):
+        conn_with_data.execute(DDL)
+        with pytest.raises(Error):
+            conn_with_data.execute("INSERT INTO [M] (Id) VALUES (1)")
+
+    def test_empty_source_rejected(self, conn_with_data):
+        conn_with_data.execute(DDL)
+        with pytest.raises(TrainError):
+            conn_with_data.execute(
+                "INSERT INTO [M] SELECT Id, Gender, Age FROM T "
+                "WHERE Id > 999")
+
+    def test_refresh_accumulates(self, conn_with_data):
+        conn_with_data.execute(DDL)
+        conn_with_data.execute(
+            "INSERT INTO [M] SELECT Id, Gender, Age FROM T WHERE Id <= 20")
+        conn_with_data.execute(
+            "INSERT INTO [M] SELECT Id, Gender, Age FROM T WHERE Id > 20")
+        model = conn_with_data.model("M")
+        assert model.case_count == 40
+        assert model.insert_count == 2
+
+
+class TestResetAndDrop:
+    def test_delete_from_resets(self, conn_with_data):
+        conn_with_data.execute(DDL)
+        conn_with_data.execute("INSERT INTO [M] SELECT Id, Gender, Age "
+                               "FROM T")
+        conn_with_data.execute("DELETE FROM MINING MODEL [M]")
+        model = conn_with_data.model("M")
+        assert not model.is_trained
+        assert model.case_count == 0
+        # definition survives: retraining works
+        conn_with_data.execute("INSERT INTO [M] SELECT Id, Gender, Age "
+                               "FROM T")
+        assert model.is_trained
+
+    def test_plain_delete_from_also_resets(self, conn_with_data):
+        conn_with_data.execute(DDL)
+        conn_with_data.execute("INSERT INTO [M] SELECT Id, Gender, Age "
+                               "FROM T")
+        conn_with_data.execute("DELETE FROM [M]")
+        assert not conn_with_data.model("M").is_trained
+
+    def test_delete_from_model_with_where_rejected(self, conn_with_data):
+        conn_with_data.execute(DDL)
+        with pytest.raises(Error):
+            conn_with_data.execute("DELETE FROM [M] WHERE 1 = 1")
+
+    def test_drop(self, conn_with_data):
+        conn_with_data.execute(DDL)
+        conn_with_data.execute("DROP MINING MODEL [M]")
+        with pytest.raises(BindError):
+            conn_with_data.model("M")
+
+    def test_drop_missing(self, conn_with_data):
+        with pytest.raises(CatalogError):
+            conn_with_data.execute("DROP MINING MODEL ghost")
+        conn_with_data.execute("DROP MINING MODEL IF EXISTS ghost")
+
+    def test_predict_before_training(self, conn_with_data):
+        conn_with_data.execute(DDL)
+        with pytest.raises(NotTrainedError):
+            conn_with_data.execute(
+                "SELECT [M].[Age] FROM [M] NATURAL PREDICTION JOIN "
+                "(SELECT Gender FROM T) AS t")
+
+    def test_content_before_training(self, conn_with_data):
+        conn_with_data.execute(DDL)
+        with pytest.raises(NotTrainedError):
+            conn_with_data.execute("SELECT * FROM [M].CONTENT")
+
+    def test_select_from_model_directly_is_guided(self, conn_with_data):
+        conn_with_data.execute(DDL)
+        with pytest.raises(Error, match="CONTENT"):
+            conn_with_data.execute("SELECT * FROM [M]")

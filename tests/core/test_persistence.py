@@ -1,0 +1,99 @@
+"""Provider snapshots: tables, views, and trained models round-trip."""
+
+import datetime
+
+import pytest
+
+import repro
+from repro.errors import Error
+from repro.core.persistence import (
+    dump_provider,
+    load_provider,
+    open_provider,
+    save_provider,
+)
+
+
+@pytest.fixture
+def populated(conn):
+    conn.execute("CREATE TABLE T (Id LONG PRIMARY KEY, G TEXT, "
+                 "Age DOUBLE, D DATE)")
+    rows = ", ".join(
+        f"({i}, '{'m' if i % 2 else 'f'}', {20 + (i % 4) * 10}.0, "
+        f"'2001-0{1 + i % 9}-01')" for i in range(1, 41))
+    conn.execute(f"INSERT INTO T VALUES {rows}")
+    conn.execute("CREATE VIEW Men AS SELECT * FROM T WHERE G = 'm'")
+    conn.execute("CREATE MINING MODEL M (Id LONG KEY, G TEXT DISCRETE, "
+                 "Age DOUBLE DISCRETIZED(EQUAL_COUNT, 2) PREDICT) "
+                 "USING Repro_Decision_Trees(MINIMUM_SUPPORT = 2)")
+    conn.execute("INSERT INTO M SELECT Id, G, Age FROM T")
+    conn.execute("CREATE MINING MODEL Untrained (Id LONG KEY, "
+                 "G TEXT DISCRETE) USING Repro_Naive_Bayes")
+    return conn
+
+
+def restore(conn):
+    provider = load_provider(dump_provider(conn.provider))
+    return repro.Connection(provider)
+
+
+class TestRoundTrip:
+    def test_tables_restored_with_types(self, populated):
+        restored = restore(populated)
+        assert restored.execute("SELECT COUNT(*) FROM T") \
+            .single_value() == 40
+        row = restored.execute("SELECT * FROM T WHERE Id = 1").rows[0]
+        assert row[2] == 30.0
+        assert row[3] == datetime.date(2001, 2, 1)
+
+    def test_primary_key_enforced_after_restore(self, populated):
+        restored = restore(populated)
+        from repro.errors import SchemaError
+        with pytest.raises(SchemaError):
+            restored.execute(
+                "INSERT INTO T VALUES (1, 'm', 1.0, '2001-01-01')")
+
+    def test_views_restored(self, populated):
+        restored = restore(populated)
+        assert restored.execute("SELECT COUNT(*) FROM Men") \
+            .single_value() == 20
+
+    def test_trained_model_predicts_identically(self, populated):
+        query = ("SELECT [M].[Age] FROM M NATURAL PREDICTION JOIN "
+                 "(SELECT G FROM T WHERE Id <= 5) AS t")
+        before = populated.execute(query)
+        restored = restore(populated)
+        after = restored.execute(query)
+        assert before.rows == after.rows
+
+    def test_untrained_model_restored_as_untrained(self, populated):
+        restored = restore(populated)
+        model = restored.model("Untrained")
+        assert not model.is_trained
+        restored.execute("INSERT INTO Untrained SELECT Id, G FROM T")
+        assert model.is_trained
+
+    def test_file_round_trip(self, populated, tmp_path):
+        path = tmp_path / "snapshot.json"
+        save_provider(populated.provider, str(path))
+        provider = open_provider(str(path))
+        assert provider.model("M").is_trained
+
+    def test_empty_provider(self, conn):
+        restored = restore(conn)
+        assert restored.models() == []
+
+
+class TestErrors:
+    def test_rejects_garbage(self):
+        with pytest.raises(Error):
+            load_provider("not json at all")
+
+    def test_rejects_wrong_kind(self):
+        with pytest.raises(Error, match="snapshot"):
+            load_provider('{"kind": "something-else"}')
+
+    def test_rejects_future_format(self):
+        with pytest.raises(Error, match="format"):
+            load_provider('{"kind": "repro-provider-snapshot", '
+                          '"format": 99}')

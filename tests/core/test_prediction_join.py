@@ -1,0 +1,223 @@
+"""PREDICTION JOIN execution and the prediction UDF surface."""
+
+import pytest
+
+import repro
+from repro.errors import BindError, PredictionError
+from repro.sqlstore.rowset import Rowset
+
+DDL = """
+CREATE MINING MODEL [AgeM] (
+    [Id] LONG KEY,
+    [Gender] TEXT DISCRETE,
+    [City] TEXT DISCRETE,
+    [Age] DOUBLE DISCRETIZED(EQUAL_RANGE, 3) PREDICT
+) USING Repro_Decision_Trees(MINIMUM_SUPPORT = 2)
+"""
+
+
+@pytest.fixture
+def trained(conn):
+    conn.execute("CREATE TABLE T (Id LONG, Gender TEXT, City TEXT, "
+                 "Age DOUBLE)")
+    rows = []
+    for i in range(1, 61):
+        gender = "Male" if i % 2 else "Female"
+        city = "Metropolis" if i % 3 else "Smallville"
+        age = 25.0 if gender == "Male" else 55.0
+        rows.append(f"({i}, '{gender}', '{city}', {age})")
+    conn.execute("INSERT INTO T VALUES " + ", ".join(rows))
+    conn.execute(DDL)
+    conn.execute("INSERT INTO [AgeM] SELECT Id, Gender, City, Age FROM T")
+    return conn
+
+
+class TestJoinForms:
+    def test_natural_prediction_join(self, trained):
+        rowset = trained.execute(
+            "SELECT t.Id, [AgeM].[Age] FROM [AgeM] NATURAL PREDICTION "
+            "JOIN (SELECT Id, Gender FROM T WHERE Id <= 2) AS t")
+        assert len(rowset) == 2
+        assert rowset.rows[0][1] is not None
+
+    def test_on_clause_prediction_join(self, trained):
+        rowset = trained.execute(
+            "SELECT t.Id, [AgeM].[Age] FROM [AgeM] PREDICTION JOIN "
+            "(SELECT Id, Gender AS Sex FROM T WHERE Id <= 2) AS t "
+            "ON [AgeM].Gender = t.Sex")
+        assert len(rowset) == 2
+
+    def test_predictions_differ_by_evidence(self, trained):
+        rowset = trained.execute(
+            "SELECT t.Gender, [AgeM].[Age] FROM [AgeM] NATURAL "
+            "PREDICTION JOIN (SELECT DISTINCT Gender FROM T) AS t "
+            "ORDER BY t.Gender")
+        buckets = dict(rowset.rows)
+        assert buckets["Male"] != buckets["Female"]
+
+    def test_table_source(self, trained):
+        rowset = trained.execute(
+            "SELECT [AgeM].[Age] FROM [AgeM] NATURAL PREDICTION JOIN "
+            "T AS t")
+        assert len(rowset) == 60
+
+    def test_bare_output_column_resolves_to_model(self, trained):
+        rowset = trained.execute(
+            "SELECT Age FROM [AgeM] NATURAL PREDICTION JOIN "
+            "(SELECT Gender FROM T WHERE Id = 1) AS t")
+        assert rowset.rows[0][0] is not None
+
+    def test_star_expansion(self, trained):
+        rowset = trained.execute(
+            "SELECT * FROM [AgeM] NATURAL PREDICTION JOIN "
+            "(SELECT Id, Gender FROM T WHERE Id = 1) AS t")
+        assert rowset.column_names() == ["Id", "Gender", "Age"]
+
+    def test_where_on_prediction(self, trained):
+        rowset = trained.execute(
+            "SELECT t.Id FROM [AgeM] NATURAL PREDICTION JOIN "
+            "(SELECT Id, Gender FROM T) AS t "
+            "WHERE PredictProbability([Age]) > 0.9")
+        assert len(rowset) == 60  # deterministic signal: all confident
+
+    def test_order_and_top(self, trained):
+        rowset = trained.execute(
+            "SELECT TOP 3 t.Id FROM [AgeM] NATURAL PREDICTION JOIN "
+            "(SELECT Id, Gender FROM T) AS t ORDER BY t.Id DESC")
+        assert rowset.column_values("Id") == [60, 59, 58]
+
+    def test_unknown_model_column_in_select(self, trained):
+        with pytest.raises(BindError):
+            trained.execute(
+                "SELECT [AgeM].[Ghost] FROM [AgeM] NATURAL PREDICTION "
+                "JOIN (SELECT Gender FROM T) AS t")
+
+    def test_mixed_on_equality_rejected(self, trained):
+        with pytest.raises(PredictionError):
+            trained.execute(
+                "SELECT t.Id FROM [AgeM] PREDICTION JOIN "
+                "(SELECT Id, Gender FROM T) AS t ON t.Id = t.Id")
+
+
+class TestUdfs:
+    def test_predict_matches_direct_reference(self, trained):
+        rowset = trained.execute(
+            "SELECT [AgeM].[Age], Predict([Age]) FROM [AgeM] NATURAL "
+            "PREDICTION JOIN (SELECT Gender FROM T WHERE Id = 1) AS t")
+        assert rowset.rows[0][0] == rowset.rows[0][1]
+
+    def test_probability_support_consistency(self, trained):
+        rowset = trained.execute(
+            "SELECT PredictProbability([Age]) AS p, "
+            "PredictSupport([Age]) AS s FROM [AgeM] NATURAL PREDICTION "
+            "JOIN (SELECT Gender FROM T WHERE Id = 1) AS t")
+        p, s = rowset.rows[0]
+        assert 0.0 <= p <= 1.0
+        assert s > 0
+
+    def test_probability_of_specific_value(self, trained):
+        rowset = trained.execute(
+            "SELECT PredictHistogram([Age]) AS h FROM [AgeM] NATURAL "
+            "PREDICTION JOIN (SELECT Gender FROM T WHERE Id = 1) AS t")
+        histogram = rowset.rows[0][0]
+        value, _, probability = histogram.rows[0][:3]
+        specific = trained.execute(
+            f"SELECT PredictProbability([Age], '{value}') FROM [AgeM] "
+            f"NATURAL PREDICTION JOIN (SELECT Gender FROM T WHERE Id = 1) "
+            f"AS t")
+        assert specific.single_value() == pytest.approx(probability)
+
+    def test_histogram_probabilities_sum_to_one(self, trained):
+        rowset = trained.execute(
+            "SELECT PredictHistogram([Age]) FROM [AgeM] NATURAL "
+            "PREDICTION JOIN (SELECT Gender FROM T WHERE Id = 1) AS t")
+        histogram = rowset.rows[0][0]
+        assert isinstance(histogram, Rowset)
+        total = sum(row[histogram.index_of("$PROBABILITY")]
+                    for row in histogram.rows)
+        assert total == pytest.approx(1.0)
+
+    def test_topcount_limits_histogram(self, trained):
+        rowset = trained.execute(
+            "SELECT TopCount(PredictHistogram([Age]), [$PROBABILITY], 1) "
+            "FROM [AgeM] NATURAL PREDICTION JOIN "
+            "(SELECT Gender FROM T WHERE Id = 1) AS t")
+        assert len(rowset.rows[0][0]) == 1
+
+    def test_topsum_and_toppercent(self, trained):
+        full = trained.execute(
+            "SELECT PredictHistogram([Age]) FROM [AgeM] NATURAL "
+            "PREDICTION JOIN (SELECT Gender FROM T WHERE Id = 1) AS t"
+        ).rows[0][0]
+        top_sum = trained.execute(
+            "SELECT TopSum(PredictHistogram([Age]), [$PROBABILITY], 0.99) "
+            "FROM [AgeM] NATURAL PREDICTION JOIN "
+            "(SELECT Gender FROM T WHERE Id = 1) AS t").rows[0][0]
+        assert 1 <= len(top_sum) <= len(full)
+        top_percent = trained.execute(
+            "SELECT TopPercent(PredictHistogram([Age]), [$PROBABILITY], "
+            "50) FROM [AgeM] NATURAL PREDICTION JOIN "
+            "(SELECT Gender FROM T WHERE Id = 1) AS t").rows[0][0]
+        assert len(top_percent) >= 1
+
+    def test_range_functions_bracket_the_bucket(self, trained):
+        rowset = trained.execute(
+            "SELECT RangeMin([Age]) AS lo, RangeMid([Age]) AS mid, "
+            "RangeMax([Age]) AS hi FROM [AgeM] NATURAL PREDICTION JOIN "
+            "(SELECT Gender FROM T WHERE Id = 1) AS t")
+        lo, mid, hi = rowset.rows[0]
+        assert lo <= mid <= hi
+        assert mid == pytest.approx((lo + hi) / 2)
+
+    def test_range_requires_discretized(self, conn):
+        conn.execute("CREATE TABLE T2 (Id LONG, G TEXT, Y DOUBLE)")
+        conn.execute("INSERT INTO T2 VALUES (1,'a',1.0),(2,'b',2.0),"
+                     "(3,'a',1.5),(4,'b',2.5)")
+        conn.execute("CREATE MINING MODEL C (Id LONG KEY, G TEXT "
+                     "DISCRETE, Y DOUBLE CONTINUOUS PREDICT) USING "
+                     "Repro_Decision_Trees(MINIMUM_SUPPORT=1)")
+        conn.execute("INSERT INTO C SELECT Id, G, Y FROM T2")
+        with pytest.raises(PredictionError):
+            conn.execute("SELECT RangeMid([Y]) FROM C NATURAL PREDICTION "
+                         "JOIN (SELECT G FROM T2) AS t")
+
+    def test_cluster_udf_on_non_clustering_model(self, trained):
+        with pytest.raises(PredictionError):
+            trained.execute(
+                "SELECT Cluster() FROM [AgeM] NATURAL PREDICTION JOIN "
+                "(SELECT Gender FROM T WHERE Id = 1) AS t")
+
+    def test_scalar_functions_still_work(self, trained):
+        rowset = trained.execute(
+            "SELECT UPPER(t.Gender) FROM [AgeM] NATURAL PREDICTION JOIN "
+            "(SELECT Gender FROM T WHERE Id = 1) AS t")
+        assert rowset.single_value() == "MALE"
+
+    def test_continuous_prediction_variance(self, conn):
+        conn.execute("CREATE TABLE T3 (Id LONG, G TEXT, Y DOUBLE)")
+        rows = ", ".join(f"({i}, '{'a' if i % 2 else 'b'}', "
+                         f"{10.0 if i % 2 else 20.0})"
+                         for i in range(1, 21))
+        conn.execute(f"INSERT INTO T3 VALUES {rows}")
+        conn.execute("CREATE MINING MODEL R (Id LONG KEY, G TEXT "
+                     "DISCRETE, Y DOUBLE CONTINUOUS PREDICT) USING "
+                     "Repro_Decision_Trees(MINIMUM_SUPPORT=2)")
+        conn.execute("INSERT INTO R SELECT Id, G, Y FROM T3")
+        rowset = conn.execute(
+            "SELECT [R].[Y], PredictVariance([Y]), PredictStdev([Y]) "
+            "FROM R NATURAL PREDICTION JOIN (SELECT 'a' AS G) AS t")
+        y, variance, stdev = rowset.rows[0]
+        assert y == pytest.approx(10.0)
+        assert variance == pytest.approx(0.0, abs=1e-9)
+        assert stdev == pytest.approx(0.0, abs=1e-9)
+
+
+class TestFlattened:
+    def test_flattened_prediction(self, trained):
+        rowset = trained.execute(
+            "SELECT FLATTENED t.Id, PredictHistogram([Age]) AS h "
+            "FROM [AgeM] NATURAL PREDICTION JOIN "
+            "(SELECT Id, Gender FROM T WHERE Id = 1) AS t")
+        assert "h.Age" in rowset.column_names()
+        assert len(rowset) >= 1
+        assert not any(isinstance(v, Rowset) for v in rowset.rows[0])

@@ -1,0 +1,187 @@
+"""End-to-end mining quality on the planted-signal warehouse.
+
+The generator plants real structure (segments drive age, purchases, cars);
+these tests assert each service finds it through the full DMX path —
+parse -> shape -> bind -> encode -> train -> prediction join.
+"""
+
+import pytest
+
+import repro
+from repro.datagen import WarehouseConfig, load_warehouse
+
+
+@pytest.fixture(scope="module")
+def big_warehouse():
+    conn = repro.connect()
+    data = load_warehouse(conn.database, WarehouseConfig(customers=1500,
+                                                         seed=13))
+    return conn, data
+
+
+TRAIN_SHAPE = """
+INSERT INTO [{name}] ([Customer ID], [Gender], [Age],
+    [Product Purchases]([Product Name]))
+SHAPE {{SELECT [Customer ID], Gender, Age FROM Customers
+        ORDER BY [Customer ID]}}
+APPEND ({{SELECT CustID, [Product Name] FROM Sales ORDER BY CustID}}
+        RELATE [Customer ID] TO CustID) AS [Product Purchases]
+"""
+
+SCORE_SHAPE = """
+SELECT t.[Customer ID], [{name}].[Age] AS predicted
+FROM [{name}] NATURAL PREDICTION JOIN
+    (SHAPE {{SELECT [Customer ID], Gender FROM Customers
+             ORDER BY [Customer ID]}}
+     APPEND ({{SELECT CustID, [Product Name] FROM Sales ORDER BY CustID}}
+             RELATE [Customer ID] TO CustID) AS [Product Purchases]) AS t
+"""
+
+
+def bucket_accuracy(conn, name):
+    """Fraction of customers whose predicted age bucket is their true one."""
+    truth = dict(conn.execute(
+        "SELECT [Customer ID], Age FROM Customers").rows)
+    target = conn.model(name).space.for_column("Age")
+    scored = conn.execute(SCORE_SHAPE.format(name=name))
+    hits = 0
+    for customer_id, predicted in scored.rows:
+        true_bucket = target.discretizer.label(
+            target.discretizer.bucket_of(truth[customer_id]))
+        if predicted == true_bucket:
+            hits += 1
+    return hits / len(scored)
+
+
+MAJORITY_BASELINE = 0.45  # the largest bucket's share is below this
+
+
+@pytest.mark.parametrize("service", [
+    "Microsoft_Decision_Trees", "Microsoft_Naive_Bayes",
+    "Microsoft_Clustering",
+])
+def test_age_prediction_beats_majority_baseline(big_warehouse, service):
+    conn, _ = big_warehouse
+    name = f"E2E {service}"
+    conn.execute(f"""
+        CREATE MINING MODEL [{name}] (
+            [Customer ID] LONG KEY,
+            [Gender] TEXT DISCRETE,
+            [Age] DOUBLE DISCRETIZED(EQUAL_COUNT, 3) PREDICT,
+            [Product Purchases] TABLE([Product Name] TEXT KEY)
+        ) USING {service}
+    """)
+    conn.execute(TRAIN_SHAPE.format(name=name))
+    accuracy = bucket_accuracy(conn, name)
+    assert accuracy > MAJORITY_BASELINE, \
+        f"{service}: accuracy {accuracy:.2%} not above baseline"
+
+
+def test_clustering_recovers_generator_segments(big_warehouse):
+    conn, data = big_warehouse
+    conn.execute("""
+        CREATE MINING MODEL [E2E Segments] (
+            [Customer ID] LONG KEY,
+            [Age] DOUBLE CONTINUOUS,
+            [Product Purchases] TABLE([Product Name] TEXT KEY)
+        ) USING Microsoft_Clustering(CLUSTER_COUNT = 4, CLUSTER_SEED = 1)
+    """)
+    conn.execute("""
+        INSERT INTO [E2E Segments] ([Customer ID], [Age],
+            [Product Purchases]([Product Name]))
+        SHAPE {SELECT [Customer ID], Age FROM Customers
+               ORDER BY [Customer ID]}
+        APPEND ({SELECT CustID, [Product Name] FROM Sales
+                 ORDER BY CustID}
+                RELATE [Customer ID] TO CustID) AS [Product Purchases]
+    """)
+    scored = conn.execute("""
+        SELECT t.[Customer ID], Cluster() AS c
+        FROM [E2E Segments] NATURAL PREDICTION JOIN
+            (SHAPE {SELECT [Customer ID], Age FROM Customers
+                    ORDER BY [Customer ID]}
+             APPEND ({SELECT CustID, [Product Name] FROM Sales
+                      ORDER BY CustID}
+                     RELATE [Customer ID] TO CustID)
+                    AS [Product Purchases]) AS t
+    """)
+    # purity: each cluster dominated by one ground-truth segment
+    clusters = {}
+    for customer_id, cluster in scored.rows:
+        clusters.setdefault(cluster, []).append(
+            data.segments[customer_id])
+    weighted_purity = 0.0
+    for members in clusters.values():
+        top = max(set(members), key=members.count)
+        weighted_purity += members.count(top)
+    weighted_purity /= len(scored)
+    assert weighted_purity > 0.7
+
+
+def test_association_rules_find_planted_copurchases(big_warehouse):
+    conn, _ = big_warehouse
+    conn.execute("""
+        CREATE MINING MODEL [E2E Basket] (
+            [Customer ID] LONG KEY,
+            [Product Purchases] TABLE([Product Name] TEXT KEY) PREDICT
+        ) USING Apriori(MINIMUM_SUPPORT = 0.05, MINIMUM_PROBABILITY = 0.4)
+    """)
+    conn.execute("""
+        INSERT INTO [E2E Basket] ([Customer ID],
+            [Product Purchases]([Product Name]))
+        SHAPE {SELECT [Customer ID] FROM Customers ORDER BY [Customer ID]}
+        APPEND ({SELECT CustID, [Product Name] FROM Sales
+                 ORDER BY CustID}
+                RELATE [Customer ID] TO CustID) AS [Product Purchases]
+    """)
+    # The 'family' segment plants Diapers+Formula co-purchases.
+    rules = conn.model("E2E Basket").algorithm.rules_as_tuples()
+    assert any(
+        "Diapers" in left and right == "Formula"
+        for left, right, _, _ in rules), \
+        "expected the planted Diapers => Formula rule"
+
+
+def test_regression_tracks_age_signal(big_warehouse):
+    conn, _ = big_warehouse
+    conn.execute("""
+        CREATE MINING MODEL [E2E Regression] (
+            [Customer ID] LONG KEY,
+            [Gender] TEXT DISCRETE,
+            [Age] DOUBLE CONTINUOUS PREDICT,
+            [Product Purchases] TABLE([Product Name] TEXT KEY)
+        ) USING Microsoft_Linear_Regression
+    """)
+    conn.execute(TRAIN_SHAPE.format(name="E2E Regression"))
+    truth = dict(conn.execute(
+        "SELECT [Customer ID], Age FROM Customers").rows)
+    scored = conn.execute(SCORE_SHAPE.format(name="E2E Regression"))
+    errors = [abs(predicted - truth[customer_id])
+              for customer_id, predicted in scored.rows]
+    mean_error = sum(errors) / len(errors)
+    ages = list(truth.values())
+    mean_age = sum(ages) / len(ages)
+    baseline_error = sum(abs(a - mean_age) for a in ages) / len(ages)
+    assert mean_error < 0.8 * baseline_error
+
+
+def test_chained_deployment_into_sql(big_warehouse):
+    """Predictions flow back into plain SQL — the deployment claim."""
+    conn, _ = big_warehouse
+    conn.execute("""
+        CREATE MINING MODEL [E2E Deploy] (
+            [Customer ID] LONG KEY,
+            [Gender] TEXT DISCRETE,
+            [Age] DOUBLE DISCRETIZED(EQUAL_COUNT, 3) PREDICT,
+            [Product Purchases] TABLE([Product Name] TEXT KEY)
+        ) USING Microsoft_Decision_Trees
+    """)
+    conn.execute(TRAIN_SHAPE.format(name="E2E Deploy"))
+    scored = conn.execute(SCORE_SHAPE.format(name="E2E Deploy"))
+    conn.execute("CREATE TABLE [Deployed] ([Customer ID] LONG, "
+                 "Bucket TEXT)")
+    conn.database.table("Deployed").insert_many(scored.rows)
+    summary = conn.execute(
+        "SELECT Bucket, COUNT(*) AS n FROM [Deployed] GROUP BY Bucket "
+        "ORDER BY n DESC")
+    assert sum(row[1] for row in summary.rows) == 1500

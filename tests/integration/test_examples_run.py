@@ -1,0 +1,36 @@
+"""Every shipped example must run to completion (guards against rot).
+
+Each example's ``main()`` is executed in-process with stdout captured;
+they build their own connections, so the tests are independent.
+"""
+
+import importlib
+import io
+import sys
+from contextlib import redirect_stdout
+
+import pytest
+
+sys.path.insert(0, "examples")
+
+EXAMPLES = [
+    ("quickstart", ("Model populated", "Predicted age buckets")),
+    ("market_basket", ("Top frequent itemsets", "recommendations")),
+    ("customer_segmentation", ("Clusters:", "re-imported")),
+    ("model_management", ("Provider services", "After DELETE FROM")),
+    ("clickstream_sequences", ("Behavioural chains", "next page")),
+    ("model_validation", ("Classification report", "Lift chart")),
+]
+
+
+@pytest.mark.parametrize("module_name,markers",
+                         EXAMPLES, ids=[e[0] for e in EXAMPLES])
+def test_example_runs_and_reports(module_name, markers):
+    module = importlib.import_module(module_name)
+    buffer = io.StringIO()
+    with redirect_stdout(buffer):
+        module.main()
+    output = buffer.getvalue()
+    for marker in markers:
+        assert marker.lower() in output.lower(), \
+            f"{module_name}: expected {marker!r} in its output"

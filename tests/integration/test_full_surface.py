@@ -1,0 +1,146 @@
+"""One living script that walks the entire statement surface in order.
+
+Doubles as executable documentation: every statement family from
+docs/language_reference.md appears below at least once, executed through
+``Connection.execute_script`` exactly as a user would paste it into dmxsh.
+"""
+
+import pytest
+
+import repro
+from repro.sqlstore.rowset import Rowset
+
+SCRIPT = """
+-- 1. SQL core -------------------------------------------------------------
+CREATE TABLE Customers ([Customer ID] LONG PRIMARY KEY, Gender TEXT,
+                        Age DOUBLE, City TEXT);
+CREATE TABLE Sales (CustID LONG, [Product Name] TEXT, Quantity DOUBLE);
+INSERT INTO Customers VALUES
+    (1, 'Male', 25.0, 'Metropolis'), (2, 'Female', 52.0, 'Smallville'),
+    (3, 'Male', 31.0, 'Metropolis'), (4, 'Female', 47.0, 'Metropolis'),
+    (5, 'Male', 24.0, 'Smallville'), (6, 'Female', 58.0, 'Smallville'),
+    (7, 'Male', 29.0, 'Metropolis'), (8, 'Female', 44.0, 'Metropolis');
+INSERT INTO Sales VALUES
+    (1, 'Beer', 6.0), (1, 'Chips', 2.0), (3, 'Beer', 4.0),
+    (2, 'Wine', 1.0), (4, 'Wine', 2.0), (6, 'Wine', 1.0),
+    (5, 'Beer', 8.0), (7, 'Chips', 3.0), (8, 'Wine', 3.0),
+    (2, 'Bread', 1.0), (6, 'Bread', 2.0);
+CREATE VIEW Drinkers AS
+    SELECT DISTINCT CustID FROM Sales
+    WHERE [Product Name] IN ('Beer', 'Wine');
+UPDATE Customers SET City = 'Gotham' WHERE [Customer ID] = 5;
+SELECT Gender, COUNT(*) AS n, AVG(Age) AS mean_age FROM Customers
+    GROUP BY Gender HAVING COUNT(*) > 1 ORDER BY n DESC;
+SELECT c.[Customer ID] FROM Customers c
+    WHERE c.[Customer ID] IN (SELECT CustID FROM Drinkers)
+    AND c.Age > (SELECT MIN(Age) FROM Customers)
+    ORDER BY c.[Customer ID];
+SELECT 'young' AS label FROM Customers WHERE Age < 30
+    UNION SELECT 'old' FROM Customers WHERE Age >= 30;
+
+-- 2. SHAPE ---------------------------------------------------------------
+SHAPE {SELECT [Customer ID], Gender, Age FROM Customers
+       ORDER BY [Customer ID]}
+APPEND ({SELECT CustID, [Product Name], Quantity FROM Sales}
+        RELATE [Customer ID] TO CustID) AS [Basket];
+
+-- 3. model life cycle ------------------------------------------------------
+CREATE MINING MODEL [Surface] (
+    [Customer ID] LONG KEY,
+    [Gender] TEXT DISCRETE,
+    [Age] DOUBLE DISCRETIZED(EQUAL_COUNT, 2) PREDICT,
+    [Basket] TABLE([Product Name] TEXT KEY,
+                   [Quantity] DOUBLE NORMAL CONTINUOUS)
+) USING Microsoft_Decision_Trees(MINIMUM_SUPPORT = 1);
+INSERT INTO [Surface] ([Customer ID], [Gender], [Age],
+    [Basket]([Product Name], [Quantity]))
+SHAPE {SELECT [Customer ID], Gender, Age FROM Customers
+       ORDER BY [Customer ID]}
+APPEND ({SELECT CustID, [Product Name], Quantity FROM Sales}
+        RELATE [Customer ID] TO CustID) AS [Basket];
+
+-- 4. prediction -------------------------------------------------------------
+SELECT t.[Customer ID], [Surface].[Age],
+       PredictProbability([Age]) AS p,
+       TopCount(PredictHistogram([Age]), [$PROBABILITY], 1) AS best,
+       RangeMid([Age]) AS midpoint
+FROM [Surface] NATURAL PREDICTION JOIN
+    (SHAPE {SELECT [Customer ID], Gender FROM Customers
+            ORDER BY [Customer ID]}
+     APPEND ({SELECT CustID, [Product Name], Quantity FROM Sales}
+             RELATE [Customer ID] TO CustID) AS [Basket]) AS t
+WHERE PredictProbability([Age]) > 0.1
+ORDER BY t.[Customer ID];
+SELECT FLATTENED PredictHistogram([Age]) AS h
+FROM [Surface] NATURAL PREDICTION JOIN (SELECT 'Male' AS Gender) AS t;
+
+-- 5. browsing + metadata ------------------------------------------------------
+SELECT TOP 5 NODE_UNIQUE_NAME, NODE_TYPE_NAME, NODE_SUPPORT
+    FROM [Surface].CONTENT;
+SELECT COUNT(*) AS populated FROM $SYSTEM.MINING_MODELS
+    WHERE IS_POPULATED = TRUE;
+SELECT COLUMN_NAME FROM $SYSTEM.MINING_COLUMNS
+    WHERE MODEL_NAME = 'Surface' AND IS_PREDICTABLE = TRUE;
+SELECT * FROM [Surface].CASES;
+
+-- 6. management ---------------------------------------------------------------
+DELETE FROM MINING MODEL [Surface];
+INSERT INTO [Surface] ([Customer ID], [Gender], [Age],
+    [Basket]([Product Name], [Quantity]))
+SHAPE {SELECT [Customer ID], Gender, Age FROM Customers
+       ORDER BY [Customer ID]}
+APPEND ({SELECT CustID, [Product Name], Quantity FROM Sales}
+        RELATE [Customer ID] TO CustID) AS [Basket];
+DROP MINING MODEL [Surface];
+DROP TABLE IF EXISTS Ghost;
+DELETE FROM Sales WHERE Quantity > 7;
+"""
+
+
+def test_full_surface_script(conn):
+    results = conn.execute_script(SCRIPT)
+    # A few load-bearing spot checks along the way:
+    rowsets = [r for r in results if isinstance(r, Rowset)]
+    counts = [r for r in results if isinstance(r, int)]
+
+    # The GROUP BY result: two genders, four customers each... (4,4).
+    grouped = rowsets[0]
+    assert sorted(grouped.column_values("n")) == [4, 4]
+
+    # Subquery + view filter returns drinkers older than the youngest.
+    drinkers = rowsets[1]
+    assert len(drinkers) >= 3
+
+    # UNION collapsed the two constant branches into two labels.
+    union = rowsets[2]
+    assert sorted(union.column_values("label")) == ["old", "young"]
+
+    # SHAPE produced one case per customer.
+    shaped = rowsets[3]
+    assert len(shaped) == 8
+    assert shaped.columns[-1].nested_columns is not None
+
+    # The big prediction query covered every customer.
+    predictions = rowsets[4]
+    assert len(predictions) == 8
+    assert predictions.column_names() == [
+        "Customer ID", "Age", "p", "best", "midpoint"]
+
+    # FLATTENED histogram has the $-columns un-nested.
+    flattened = rowsets[5]
+    assert any("$PROBABILITY" in name
+               for name in flattened.column_names())
+
+    # Content browse, schema rowsets, drillthrough.
+    content = rowsets[6]
+    assert content.column_values("NODE_TYPE_NAME")[0] == "Model"
+    assert rowsets[7].single_value() == 1      # one populated model
+    assert rowsets[8].column_values("COLUMN_NAME") == ["Age"]
+    assert len(rowsets[9]) == 8                # CASES drillthrough
+
+    # Management statements really executed (counts of affected rows).
+    assert 8 in counts                         # both INSERT INTO model runs
+    assert counts[-1] == 1                     # one sale deleted (8.0 beer)
+
+    # The model is gone after DROP.
+    assert not conn.provider.has_model("Surface")

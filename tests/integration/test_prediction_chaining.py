@@ -1,0 +1,119 @@
+"""Chaining predictions into subsequent training (paper section 3.2.1).
+
+"These qualifiers ... apply ... if the output of previous predictions is
+being chained as input to a subsequent DMM training step."  Full pipeline:
+
+1. model A learns Gender -> Age bucket on labelled customers;
+2. A's predictions **and their probabilities** are deployed into a plain
+   SQL table (prediction -> table, the deployment story);
+3. model B trains on that table, binding A's probability column as
+   ``PROBABILITY OF`` the chained label — closing the loop the paper
+   describes.
+"""
+
+import pytest
+
+import repro
+from repro.datagen import WarehouseConfig, load_warehouse
+
+
+@pytest.fixture
+def chained(conn):
+    load_warehouse(conn.database, WarehouseConfig(customers=600, seed=9))
+    conn.execute("""
+        CREATE MINING MODEL [Stage A] (
+            [Customer ID] LONG KEY,
+            [Gender] TEXT DISCRETE,
+            [Age] DOUBLE DISCRETIZED(EQUAL_COUNT, 3) PREDICT,
+            [Product Purchases] TABLE([Product Name] TEXT KEY)
+        ) USING Microsoft_Decision_Trees
+    """)
+    conn.execute("""
+        INSERT INTO [Stage A] ([Customer ID], [Gender], [Age],
+            [Product Purchases]([Product Name]))
+        SHAPE {SELECT [Customer ID], Gender, Age FROM Customers
+               WHERE [Customer ID] <= 300 ORDER BY [Customer ID]}
+        APPEND ({SELECT CustID, [Product Name] FROM Sales
+                 ORDER BY CustID}
+                RELATE [Customer ID] TO CustID) AS [Product Purchases]
+    """)
+    return conn
+
+
+def test_chain_predictions_into_second_model(chained):
+    # Step 2: deploy A's predictions (value + probability) into SQL.
+    scored = chained.execute("""
+        SELECT t.[Customer ID], [Stage A].[Age] AS bucket,
+               PredictProbability([Age]) AS p
+        FROM [Stage A] NATURAL PREDICTION JOIN
+            (SHAPE {SELECT [Customer ID], Gender FROM Customers
+                    WHERE [Customer ID] > 300 ORDER BY [Customer ID]}
+             APPEND ({SELECT CustID, [Product Name] FROM Sales
+                      ORDER BY CustID}
+                     RELATE [Customer ID] TO CustID)
+                    AS [Product Purchases]) AS t
+    """)
+    chained.execute("CREATE TABLE [Stage A Output] "
+                    "([Customer ID] LONG, Bucket TEXT, P DOUBLE)")
+    chained.database.table("Stage A Output").insert_many(scored.rows)
+
+    # Step 3: train B on the chained output, with PROBABILITY OF binding.
+    chained.execute("""
+        CREATE MINING MODEL [Stage B] (
+            [Customer ID] LONG KEY,
+            [Hair Color] TEXT DISCRETE,
+            [Bucket] TEXT DISCRETE PREDICT,
+            [Bucket P] DOUBLE PROBABILITY OF [Bucket]
+        ) USING Repro_Naive_Bayes
+    """)
+    count = chained.execute("""
+        INSERT INTO [Stage B] ([Customer ID], [Hair Color], [Bucket],
+            [Bucket P])
+        SELECT o.[Customer ID], c.[Hair Color], o.Bucket, o.P
+        FROM [Stage A Output] o
+        JOIN Customers c ON o.[Customer ID] = c.[Customer ID]
+    """)
+    assert count == 300
+
+    # The chained qualifier is live: low-confidence labels weigh less.
+    model = chained.model("Stage B")
+    bucket = model.space.for_column("Bucket")
+    marginal = model.space.marginals[bucket.index]
+    # Total marginal weight equals the sum of A's probabilities, not the
+    # raw row count — the proof that the qualifier was honoured.
+    total_probability = sum(
+        row[2] for row in chained.execute(
+            "SELECT * FROM [Stage A Output]").rows)
+    assert marginal.total == pytest.approx(total_probability)
+    assert marginal.total < 300  # some of A's predictions were uncertain
+
+    # And B predicts end to end.
+    result = chained.execute("""
+        SELECT [Stage B].[Bucket], PredictProbability([Bucket])
+        FROM [Stage B] NATURAL PREDICTION JOIN
+            (SELECT 'Black' AS [Hair Color]) AS t
+    """)
+    value, probability = result.rows[0]
+    assert value is not None
+    assert 0.0 <= probability <= 1.0
+
+
+def test_chained_support_qualifier_aggregates(conn):
+    """SUPPORT OF as a replication factor for pre-aggregated input."""
+    conn.execute("CREATE TABLE Agg (G TEXT, L TEXT, N DOUBLE)")
+    conn.execute("INSERT INTO Agg VALUES ('a','x',30), ('a','y',10), "
+                 "('b','x',5), ('b','y',55)")
+    conn.execute("""
+        CREATE MINING MODEL [FromAgg] (
+            [G] TEXT DISCRETE,
+            [L] TEXT DISCRETE PREDICT,
+            [N] DOUBLE SUPPORT OF [L]
+        ) USING Repro_Naive_Bayes
+    """)
+    conn.execute("INSERT INTO [FromAgg] SELECT G, L, N FROM Agg")
+    model = conn.model("FromAgg")
+    assert model.space.total_weight == pytest.approx(100.0)
+    result = conn.execute(
+        "SELECT [FromAgg].[L] FROM [FromAgg] NATURAL PREDICTION JOIN "
+        "(SELECT 'b' AS G) AS t")
+    assert result.single_value() == "y"  # 55 vs 5 after weighting

@@ -1,0 +1,167 @@
+"""Failure injection and awkward-input robustness across the stack."""
+
+import pytest
+
+import repro
+from repro.errors import Error, TrainError
+
+
+class TestAwkwardTrainingData:
+    def test_all_null_input_column_still_trains(self, conn):
+        conn.execute("CREATE TABLE T (Id LONG, G TEXT, V DOUBLE, L TEXT)")
+        conn.execute("INSERT INTO T VALUES (1, NULL, NULL, 'x'), "
+                     "(2, NULL, NULL, 'y'), (3, NULL, NULL, 'x')")
+        conn.execute("CREATE MINING MODEL M (Id LONG KEY, G TEXT "
+                     "DISCRETE, V DOUBLE CONTINUOUS, L TEXT DISCRETE "
+                     "PREDICT) USING Repro_Naive_Bayes")
+        conn.execute("INSERT INTO M SELECT Id, G, V, L FROM T")
+        result = conn.execute(
+            "SELECT [M].[L] FROM M NATURAL PREDICTION JOIN "
+            "(SELECT NULL AS G) AS t")
+        assert result.single_value() == "x"  # prior wins
+
+    def test_all_null_discretized_target_fails_cleanly(self, conn):
+        conn.execute("CREATE TABLE T (Id LONG, V DOUBLE, L TEXT)")
+        conn.execute("INSERT INTO T VALUES (1, NULL, 'x'), (2, NULL, 'y')")
+        conn.execute("CREATE MINING MODEL M (Id LONG KEY, "
+                     "V DOUBLE DISCRETIZED PREDICT, L TEXT DISCRETE) "
+                     "USING Repro_Decision_Trees")
+        with pytest.raises(TrainError, match="discretize"):
+            conn.execute("INSERT INTO M SELECT Id, V, L FROM T")
+
+    def test_single_case_trains_everywhere_sensible(self, conn):
+        conn.execute("CREATE TABLE T (Id LONG, G TEXT, L TEXT)")
+        conn.execute("INSERT INTO T VALUES (1, 'a', 'x')")
+        conn.execute("CREATE MINING MODEL M (Id LONG KEY, G TEXT "
+                     "DISCRETE, L TEXT DISCRETE PREDICT) "
+                     "USING Repro_Decision_Trees")
+        conn.execute("INSERT INTO M SELECT Id, G, L FROM T")
+        result = conn.execute(
+            "SELECT [M].[L] FROM M NATURAL PREDICTION JOIN "
+            "(SELECT 'a' AS G) AS t")
+        assert result.single_value() == "x"
+
+    def test_constant_target_is_fine(self, conn):
+        conn.execute("CREATE TABLE T (Id LONG, G TEXT, L TEXT)")
+        conn.execute("INSERT INTO T VALUES (1,'a','x'), (2,'b','x'), "
+                     "(3,'a','x')")
+        conn.execute("CREATE MINING MODEL M (Id LONG KEY, G TEXT "
+                     "DISCRETE, L TEXT DISCRETE PREDICT) "
+                     "USING Repro_Decision_Trees")
+        conn.execute("INSERT INTO M SELECT Id, G, L FROM T")
+        result = conn.execute(
+            "SELECT [M].[L], PredictProbability([L]) FROM M NATURAL "
+            "PREDICTION JOIN (SELECT 'a' AS G) AS t")
+        assert result.rows[0] == ("x", 1.0)
+
+    def test_unicode_and_quote_values_survive(self, conn):
+        conn.execute("CREATE TABLE T (Id LONG, G TEXT, L TEXT)")
+        conn.execute("INSERT INTO T VALUES (1, 'héllo — wörld', 'x'), "
+                     "(2, 'it''s', 'y')")
+        conn.execute("CREATE MINING MODEL [Ünïcode M] (Id LONG KEY, "
+                     "G TEXT DISCRETE, L TEXT DISCRETE PREDICT) "
+                     "USING Repro_Naive_Bayes")
+        conn.execute("INSERT INTO [Ünïcode M] SELECT Id, G, L FROM T")
+        result = conn.execute(
+            "SELECT [Ünïcode M].[L] FROM [Ünïcode M] NATURAL PREDICTION "
+            "JOIN (SELECT 'it''s' AS G) AS t")
+        assert result.single_value() == "y"
+        from repro.pmml import read_pmml, to_pmml
+        restored = read_pmml(to_pmml(conn.model("Ünïcode M")))
+        assert restored.name == "Ünïcode M"
+
+
+class TestEmptyAndDegenerateQueries:
+    @pytest.fixture
+    def trained(self, conn):
+        conn.execute("CREATE TABLE T (Id LONG, G TEXT, L TEXT)")
+        conn.execute("INSERT INTO T VALUES (1,'a','x'), (2,'b','y')")
+        conn.execute("CREATE MINING MODEL M (Id LONG KEY, G TEXT "
+                     "DISCRETE, L TEXT DISCRETE PREDICT) "
+                     "USING Repro_Naive_Bayes")
+        conn.execute("INSERT INTO M SELECT Id, G, L FROM T")
+        return conn
+
+    def test_prediction_join_with_zero_source_rows(self, trained):
+        result = trained.execute(
+            "SELECT t.Id, [M].[L] FROM M NATURAL PREDICTION JOIN "
+            "(SELECT Id, G FROM T WHERE Id > 99) AS t")
+        assert len(result) == 0
+        assert result.column_names() == ["Id", "L"]
+
+    def test_source_row_with_no_recognised_columns(self, trained):
+        result = trained.execute(
+            "SELECT [M].[L] FROM M NATURAL PREDICTION JOIN "
+            "(SELECT 'nothing relevant' AS shoe) AS t")
+        assert result.single_value() in ("x", "y")  # pure prior
+
+    def test_top_zero(self, trained):
+        result = trained.execute("SELECT TOP 0 Id FROM T")
+        assert len(result) == 0
+
+    def test_group_by_over_empty_table(self, conn):
+        conn.execute("CREATE TABLE E (a TEXT)")
+        result = conn.execute("SELECT a, COUNT(*) FROM E GROUP BY a")
+        assert len(result) == 0
+
+    def test_order_by_on_empty_result(self, trained):
+        result = trained.execute(
+            "SELECT Id FROM T WHERE Id > 99 ORDER BY Id DESC")
+        assert result.rows == []
+
+    def test_shape_with_empty_master(self, conn):
+        conn.execute("CREATE TABLE C (Id LONG)")
+        conn.execute("CREATE TABLE S (Cid LONG, P TEXT)")
+        result = conn.execute(
+            "SHAPE {SELECT Id FROM C} APPEND ({SELECT Cid, P FROM S} "
+            "RELATE Id TO Cid) AS N")
+        assert len(result) == 0
+
+
+class TestSnapshotRobustness:
+    def test_snapshot_of_unicode_provider(self, conn):
+        conn.execute("CREATE TABLE [Tabelle Ü] ([Spalte ß] TEXT)")
+        conn.execute("INSERT INTO [Tabelle Ü] VALUES ('grüß gott')")
+        from repro.core.persistence import dump_provider, load_provider
+        restored = load_provider(dump_provider(conn.provider))
+        assert restored.execute(
+            "SELECT * FROM [Tabelle Ü]").rows == [("grüß gott",)]
+
+    def test_snapshot_ignores_statement_level_state(self, conn):
+        # Dump twice; byte-identical output (no timestamps/ids inside).
+        conn.execute("CREATE TABLE T (a LONG)")
+        from repro.core.persistence import dump_provider
+        assert dump_provider(conn.provider) == dump_provider(conn.provider)
+
+
+class TestDeepNesting:
+    def test_many_nested_tables_in_one_model(self, conn):
+        conn.execute("CREATE TABLE C (Id LONG)")
+        conn.execute("INSERT INTO C VALUES (1), (2), (3), (4)")
+        for name in ("A", "B", "D"):
+            conn.execute(f"CREATE TABLE {name} (Cid LONG, K TEXT)")
+            conn.execute(f"INSERT INTO {name} VALUES (1, '{name}1'), "
+                         f"(2, '{name}2'), (3, '{name}1')")
+        conn.execute("""
+            CREATE MINING MODEL M (Id LONG KEY,
+                TA TABLE(K TEXT KEY), TB TABLE(K TEXT KEY),
+                TD TABLE(K TEXT KEY) PREDICT)
+            USING Repro_Decision_Trees(MINIMUM_SUPPORT = 1)
+        """)
+        count = conn.execute("""
+            INSERT INTO M (Id, TA(K), TB(K), TD(K))
+            SHAPE {SELECT Id FROM C ORDER BY Id}
+            APPEND ({SELECT Cid, K FROM A} RELATE Id TO Cid) AS TA,
+                   ({SELECT Cid, K FROM B} RELATE Id TO Cid) AS TB,
+                   ({SELECT Cid, K FROM D} RELATE Id TO Cid) AS TD
+        """)
+        assert count == 4
+        result = conn.execute("""
+            SELECT PredictAssociation([TD], 2) FROM M
+            NATURAL PREDICTION JOIN
+            (SHAPE {SELECT Id FROM C WHERE Id = 4}
+             APPEND ({SELECT Cid, K FROM A} RELATE Id TO Cid) AS TA,
+                    ({SELECT Cid, K FROM B} RELATE Id TO Cid) AS TB,
+                    ({SELECT Cid, K FROM D} RELATE Id TO Cid) AS TD) AS t
+        """)
+        assert len(result.rows[0][0]) <= 2

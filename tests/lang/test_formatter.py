@@ -1,0 +1,87 @@
+"""Formatter: canonical text that re-parses to the same canonical text."""
+
+import pytest
+
+from repro.lang.formatter import (
+    format_expression,
+    format_statement,
+    quote_ident,
+    quote_string,
+)
+from repro.lang.parser import parse_expression, parse_statement
+
+STATEMENTS = [
+    "SELECT 1",
+    "SELECT TOP 3 DISTINCT a, b AS bee FROM t WHERE a > 1 AND b IS NOT "
+    "NULL GROUP BY a, b HAVING COUNT(*) > 2 ORDER BY a DESC",
+    "SELECT c.*, s.Product FROM Customers c LEFT JOIN Sales s "
+    "ON c.id = s.cid",
+    "SELECT * FROM $SYSTEM.MINING_MODELS",
+    "SELECT * FROM [Age Prediction].CONTENT",
+    "SELECT FLATTENED a FROM (SELECT a FROM t) AS sub",
+    "INSERT INTO t (a, b) VALUES (1, 'x''y'), (NULL, TRUE)",
+    "UPDATE t SET a = a + 1 WHERE b LIKE 'x%'",
+    "DELETE FROM t WHERE a BETWEEN 1 AND 2",
+    "CREATE TABLE t (id LONG PRIMARY KEY, name TEXT NOT NULL)",
+    "CREATE VIEW v AS SELECT a FROM t",
+    "DROP TABLE IF EXISTS t",
+    "CREATE MINING MODEL m (k LONG KEY, g TEXT DISCRETE, "
+    "a DOUBLE DISCRETIZED(EQUAL_COUNT, 4) PREDICT, "
+    "p DOUBLE PROBABILITY OF a, "
+    "n TABLE(pk TEXT KEY, q DOUBLE NORMAL CONTINUOUS, "
+    "pt TEXT DISCRETE RELATED TO pk)) "
+    "USING Microsoft_Decision_Trees(MINIMUM_SUPPORT = 5)",
+    "INSERT INTO m (a, SKIP, n(pk, q)) SHAPE {SELECT a, x, k FROM t} "
+    "APPEND ({SELECT pk, q, fk FROM u} RELATE k TO fk) AS n",
+    "SELECT t.id, m.Age, PredictProbability([Age]) AS p FROM m "
+    "PREDICTION JOIN (SHAPE {SELECT id, g FROM c} APPEND "
+    "({SELECT fk, pn FROM s} RELATE id TO fk) AS nested) AS t "
+    "ON m.g = t.g",
+    "SELECT m.Age FROM m NATURAL PREDICTION JOIN (SELECT g FROM c) AS t",
+    "DELETE FROM MINING MODEL m",
+    "DROP MINING MODEL IF EXISTS m",
+    "EXPORT MINING MODEL m TO '/tmp/m.xml'",
+    "IMPORT MINING MODEL FROM '/tmp/m.xml' AS m2",
+]
+
+
+@pytest.mark.parametrize("text", STATEMENTS)
+def test_statement_round_trip_is_stable(text):
+    once = format_statement(parse_statement(text))
+    twice = format_statement(parse_statement(once))
+    assert once == twice
+
+
+EXPRESSIONS = [
+    "1 + 2 * 3",
+    "a AND NOT b OR c",
+    "x BETWEEN 1 AND 2",
+    "x NOT IN (1, 2, NULL)",
+    "name LIKE 'A%'",
+    "CASE WHEN a > 1 THEN 'x' ELSE 'y' END",
+    "t.[Col With Space] = 'it''s'",
+    "COUNT(DISTINCT x)",
+    "TopCount(PredictHistogram([Age]), [$PROBABILITY], 3)",
+    "-x + 4.5",
+]
+
+
+@pytest.mark.parametrize("text", EXPRESSIONS)
+def test_expression_round_trip_is_stable(text):
+    once = format_expression(parse_expression(text))
+    twice = format_expression(parse_expression(once))
+    assert once == twice
+
+
+class TestQuoting:
+    def test_quote_ident_escapes_close_bracket(self):
+        assert quote_ident("a]b") == "[a]]b]"
+
+    def test_quote_string_escapes_quote(self):
+        assert quote_string("it's") == "'it''s'"
+
+    def test_quoted_ident_reparses(self):
+        from repro.lang.parser import Parser
+        name = "we[ir]d name"
+        parser = Parser(quote_ident(name))
+        assert parser.expect_identifier() == name

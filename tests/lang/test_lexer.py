@@ -1,0 +1,127 @@
+"""Tokenizer: identifiers, literals, comments, positions."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.lang.lexer import Token, TokenKind, tokenize
+
+
+def kinds(text):
+    return [t.kind for t in tokenize(text)][:-1]  # drop EOF
+
+
+def values(text):
+    return [t.value for t in tokenize(text)][:-1]
+
+
+class TestIdentifiers:
+    def test_bare_identifier(self):
+        tokens = tokenize("Customers")
+        assert tokens[0].kind is TokenKind.IDENT
+        assert tokens[0].value == "Customers"
+
+    def test_bracketed_with_spaces(self):
+        tokens = tokenize("[Age Prediction]")
+        assert tokens[0].kind is TokenKind.BRACKET_IDENT
+        assert tokens[0].value == "Age Prediction"
+
+    def test_bracketed_escaped_close(self):
+        tokens = tokenize("[weird]]name]")
+        assert tokens[0].value == "weird]name"
+
+    def test_unterminated_bracket(self):
+        with pytest.raises(ParseError):
+            tokenize("[oops")
+
+    def test_empty_bracket(self):
+        with pytest.raises(ParseError):
+            tokenize("[ ]")
+
+    def test_underscore_and_at(self):
+        assert values("_x @param")[0] == "_x"
+        assert values("_x @param")[1] == "@param"
+
+    def test_keyword_check_is_case_insensitive(self):
+        token = tokenize("select")[0]
+        assert token.is_keyword("SELECT")
+        assert not token.is_keyword("FROM")
+
+    def test_bracketed_never_matches_keywords(self):
+        token = tokenize("[SELECT]")[0]
+        assert not token.is_keyword("SELECT")
+
+
+class TestLiterals:
+    def test_integer_vs_float(self):
+        assert values("42 42.5 1e3 2.5E-1") == [42, 42.5, 1000.0, 0.25]
+        assert isinstance(values("42")[0], int)
+
+    def test_string_single_quotes(self):
+        assert values("'hello world'") == ["hello world"]
+
+    def test_string_doubled_quote_escape(self):
+        assert values("'it''s'") == ["it's"]
+
+    def test_string_double_quotes(self):
+        assert values('"x"') == ["x"]
+
+    def test_unterminated_string(self):
+        with pytest.raises(ParseError):
+            tokenize("'oops")
+
+
+class TestSymbols:
+    def test_maximal_munch(self):
+        assert values("<= >= <> !=") == ["<=", ">=", "<>", "!="]
+
+    def test_braces_for_shape(self):
+        assert values("{ }") == ["{", "}"]
+
+    def test_dollar_for_system(self):
+        assert values("$SYSTEM") == ["$", "SYSTEM"]
+
+    def test_unexpected_character(self):
+        with pytest.raises(ParseError):
+            tokenize("?")
+
+
+class TestComments:
+    def test_percent_comment(self):
+        # The paper's annotations use %.
+        assert values("1 %Name of Model\n2") == [1, 2]
+
+    def test_dash_dash_comment(self):
+        assert values("1 -- ignore\n2") == [1, 2]
+
+    def test_slash_slash_comment(self):
+        assert values("1 // ignore\n2") == [1, 2]
+
+    def test_block_comment(self):
+        assert values("1 /* multi\nline */ 2") == [1, 2]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(ParseError):
+            tokenize("1 /* oops")
+
+    def test_comment_not_inside_string(self):
+        assert values("'100% proof'") == ["100% proof"]
+
+
+class TestPositions:
+    def test_line_and_column(self):
+        tokens = tokenize("a\n  b")
+        assert (tokens[0].line, tokens[0].column) == (1, 1)
+        assert (tokens[1].line, tokens[1].column) == (2, 3)
+
+    def test_error_carries_position(self):
+        try:
+            tokenize("abc\n  ?")
+        except ParseError as exc:
+            assert exc.line == 2
+            assert exc.column == 3
+        else:  # pragma: no cover
+            pytest.fail("expected ParseError")
+
+    def test_eof_token_terminates(self):
+        tokens = tokenize("x")
+        assert tokens[-1].kind is TokenKind.EOF

@@ -1,0 +1,180 @@
+"""DMX statement parsing: CREATE MINING MODEL, model INSERT/DELETE/DROP."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.lang import ast_nodes as ast
+from repro.lang.parser import parse_statement
+
+
+class TestCreateMiningModel:
+    def test_paper_example_verbatim(self):
+        statement = parse_statement("""
+            CREATE MINING MODEL [Age Prediction] (
+            %Name of Model
+            [Customer ID] LONG KEY,
+            [Gender] TEXT DISCRETE,
+            [Age] DOUBLE DISCRETIZED PREDICT, %prediction column
+            [Product Purchases] TABLE(
+                [Product Name] TEXT KEY,
+                [Quantity] DOUBLE NORMAL CONTINUOUS,
+                [Product Type] TEXT DISCRETE RELATED TO [Product Name]
+            )) USING [Decision_Trees_101]
+            %Mining Algorithm used
+        """)
+        assert isinstance(statement, ast.CreateMiningModelStatement)
+        assert statement.name == "Age Prediction"
+        assert statement.algorithm == "Decision_Trees_101"
+        names = [c.name for c in statement.columns]
+        assert names == ["Customer ID", "Gender", "Age",
+                         "Product Purchases"]
+        age = statement.columns[2]
+        assert age.content_type == "DISCRETIZED" and age.predict
+        quantity = statement.columns[3].nested_columns[1]
+        assert quantity.distribution == "NORMAL"
+        assert quantity.content_type == "CONTINUOUS"
+        product_type = statement.columns[3].nested_columns[2]
+        assert product_type.related_to == "Product Name"
+
+    def test_flag_order_is_free(self):
+        a = parse_statement("CREATE MINING MODEL m (k LONG KEY, "
+                            "x DOUBLE NORMAL CONTINUOUS PREDICT) USING z")
+        b = parse_statement("CREATE MINING MODEL m (k LONG KEY, "
+                            "x DOUBLE PREDICT CONTINUOUS NORMAL) USING z")
+        xa, xb = a.columns[1], b.columns[1]
+        assert (xa.content_type, xa.distribution, xa.predict) == \
+               (xb.content_type, xb.distribution, xb.predict)
+
+    def test_qualifier_of(self):
+        statement = parse_statement(
+            "CREATE MINING MODEL m (k LONG KEY, Age DOUBLE CONTINUOUS, "
+            "[Age Prob] DOUBLE PROBABILITY OF Age) USING z")
+        qualifier = statement.columns[2]
+        assert qualifier.qualifier == "PROBABILITY"
+        assert qualifier.qualifier_of == "Age"
+
+    def test_all_qualifier_kinds_parse(self):
+        for kind in ("PROBABILITY", "VARIANCE", "SUPPORT",
+                     "PROBABILITY_VARIANCE", "STDEV", "ORDER"):
+            statement = parse_statement(
+                f"CREATE MINING MODEL m (k LONG KEY, Age DOUBLE "
+                f"CONTINUOUS, q DOUBLE {kind} OF Age) USING z")
+            assert statement.columns[2].qualifier == kind
+
+    def test_discretized_with_method_and_buckets(self):
+        statement = parse_statement(
+            "CREATE MINING MODEL m (k LONG KEY, "
+            "Age DOUBLE DISCRETIZED(EQUAL_COUNT, 7) PREDICT) USING z")
+        age = statement.columns[1]
+        assert age.discretization_method == "EQUAL_COUNT"
+        assert age.discretization_buckets == 7
+
+    def test_unknown_discretization_method(self):
+        with pytest.raises(ParseError):
+            parse_statement("CREATE MINING MODEL m (k LONG KEY, "
+                            "Age DOUBLE DISCRETIZED(WEIRD)) USING z")
+
+    def test_predict_only(self):
+        statement = parse_statement(
+            "CREATE MINING MODEL m (k LONG KEY, x TEXT DISCRETE "
+            "PREDICT_ONLY) USING z")
+        assert statement.columns[1].predict_only
+        assert statement.columns[1].predict
+
+    def test_algorithm_parameters(self):
+        statement = parse_statement(
+            "CREATE MINING MODEL m (k LONG KEY, x TEXT DISCRETE PREDICT) "
+            "USING Microsoft_Decision_Trees(MINIMUM_SUPPORT = 5, "
+            "SCORE_METHOD = 'GINI', PRUNE = TRUE)")
+        assert dict(statement.parameters) == {
+            "MINIMUM_SUPPORT": 5, "SCORE_METHOD": "GINI", "PRUNE": True}
+
+    def test_log_normal_two_words(self):
+        statement = parse_statement(
+            "CREATE MINING MODEL m (k LONG KEY, x DOUBLE LOG NORMAL "
+            "CONTINUOUS) USING z")
+        assert statement.columns[1].distribution == "LOG_NORMAL"
+
+    def test_model_existence_only_and_not_null(self):
+        statement = parse_statement(
+            "CREATE MINING MODEL m (k LONG KEY, x DOUBLE CONTINUOUS "
+            "MODEL_EXISTENCE_ONLY NOT NULL) USING z")
+        column = statement.columns[1]
+        assert column.model_existence_only
+        assert column.not_null
+
+    def test_unknown_data_type_rejected(self):
+        with pytest.raises(ParseError):
+            parse_statement("CREATE MINING MODEL m (k BLOB KEY) USING z")
+
+
+class TestInsertModel:
+    def test_shape_source_with_nested_bindings(self):
+        statement = parse_statement("""
+            INSERT INTO [Age Prediction] ([Customer ID], [Gender], [Age],
+                [Product Purchases]([Product Name], [Quantity]))
+            SHAPE {SELECT [Customer ID], [Gender], [Age] FROM Customers}
+            APPEND ({SELECT CustID, [Product Name], [Quantity] FROM Sales}
+                    RELATE [Customer ID] TO CustID) AS [Product Purchases]
+        """)
+        assert isinstance(statement, ast.InsertModelStatement)
+        assert statement.model == "Age Prediction"
+        table_binding = statement.bindings[3]
+        assert isinstance(table_binding, ast.BindingTable)
+        assert [b.name for b in table_binding.children] == \
+               ["Product Name", "Quantity"]
+
+    def test_skip_binding(self):
+        statement = parse_statement(
+            "INSERT INTO m (a, SKIP, b) SHAPE {SELECT x, y, z FROM t}")
+        assert isinstance(statement.bindings[1], ast.BindingSkip)
+
+    def test_flat_select_source_stays_generic(self):
+        statement = parse_statement(
+            "INSERT INTO target (a, b) SELECT x, y FROM t")
+        # Dispatcher decides table vs model at execution time.
+        assert isinstance(statement, ast.InsertValuesStatement)
+
+    def test_nested_bindings_force_model_insert(self):
+        statement = parse_statement(
+            "INSERT INTO m (a, nested(b)) SELECT x, y FROM t")
+        assert isinstance(statement, ast.InsertModelStatement)
+
+    def test_values_with_nested_binding_rejected(self):
+        with pytest.raises(ParseError):
+            parse_statement("INSERT INTO m (a, nested(b)) VALUES (1, 2)")
+
+
+class TestModelManagementStatements:
+    def test_delete_from_mining_model(self):
+        statement = parse_statement("DELETE FROM MINING MODEL m")
+        assert isinstance(statement, ast.DeleteModelStatement)
+
+    def test_plain_delete_stays_generic(self):
+        statement = parse_statement("DELETE FROM m")
+        assert isinstance(statement, ast.DeleteStatement)
+
+    def test_drop_mining_model(self):
+        statement = parse_statement("DROP MINING MODEL [Age Prediction]")
+        assert isinstance(statement, ast.DropMiningModelStatement)
+        assert statement.name == "Age Prediction"
+
+    def test_drop_mining_model_if_exists(self):
+        statement = parse_statement("DROP MINING MODEL IF EXISTS m")
+        assert statement.if_exists
+
+    def test_export(self):
+        statement = parse_statement(
+            "EXPORT MINING MODEL m TO '/tmp/m.xml'")
+        assert isinstance(statement, ast.ExportModelStatement)
+        assert statement.path == "/tmp/m.xml"
+
+    def test_export_requires_string_path(self):
+        with pytest.raises(ParseError):
+            parse_statement("EXPORT MINING MODEL m TO path")
+
+    def test_import_with_rename(self):
+        statement = parse_statement(
+            "IMPORT MINING MODEL FROM '/tmp/m.xml' AS m2")
+        assert isinstance(statement, ast.ImportModelStatement)
+        assert statement.rename_to == "m2"

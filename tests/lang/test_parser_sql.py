@@ -1,0 +1,244 @@
+"""SQL-core parsing: SELECT shapes, table refs, DML, errors."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.lang import ast_nodes as ast
+from repro.lang.parser import parse_expression, parse_statement
+
+
+class TestSelect:
+    def test_minimal(self):
+        statement = parse_statement("SELECT 1")
+        assert isinstance(statement, ast.SelectStatement)
+        assert statement.from_clause is None
+
+    def test_all_clauses(self):
+        statement = parse_statement(
+            "SELECT TOP 5 DISTINCT a, b AS bee FROM t WHERE a > 1 "
+            "GROUP BY a, b HAVING COUNT(*) > 2 ORDER BY a DESC, b")
+        assert statement.top == 5
+        assert statement.distinct
+        assert statement.select_list[1].alias == "bee"
+        assert len(statement.group_by) == 2
+        assert statement.having is not None
+        assert statement.order_by[0].ascending is False
+        assert statement.order_by[1].ascending is True
+
+    def test_implicit_alias(self):
+        statement = parse_statement("SELECT a x FROM t")
+        assert statement.select_list[0].alias == "x"
+
+    def test_star_and_qualified_star(self):
+        statement = parse_statement("SELECT *, t.* FROM t")
+        assert isinstance(statement.select_list[0].expr, ast.Star)
+        assert statement.select_list[1].expr.qualifier == "t"
+
+    def test_flattened_keyword(self):
+        statement = parse_statement("SELECT FLATTENED a FROM t")
+        assert statement.flattened
+
+    def test_top_requires_integer(self):
+        with pytest.raises(ParseError):
+            parse_statement("SELECT TOP 2.5 a FROM t")
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse_statement("SELECT 1 FROM t extra garbage here(")
+
+    def test_semicolon_allowed(self):
+        parse_statement("SELECT 1;")
+
+
+class TestTableRefs:
+    def test_alias_forms(self):
+        statement = parse_statement("SELECT 1 FROM Customers AS c")
+        assert statement.from_clause.alias == "c"
+        statement = parse_statement("SELECT 1 FROM Customers c")
+        assert statement.from_clause.alias == "c"
+
+    def test_join_chain(self):
+        statement = parse_statement(
+            "SELECT 1 FROM a JOIN b ON a.x = b.x LEFT JOIN c ON b.y = c.y")
+        outer = statement.from_clause
+        assert isinstance(outer, ast.Join)
+        assert outer.kind == "LEFT"
+        assert outer.left.kind == "INNER"
+
+    def test_inner_keyword_optional(self):
+        statement = parse_statement(
+            "SELECT 1 FROM a INNER JOIN b ON a.x = b.x")
+        assert statement.from_clause.kind == "INNER"
+
+    def test_cross_join_has_no_on(self):
+        statement = parse_statement("SELECT 1 FROM a CROSS JOIN b")
+        assert statement.from_clause.kind == "CROSS"
+        assert statement.from_clause.condition is None
+
+    def test_subquery_source(self):
+        statement = parse_statement(
+            "SELECT 1 FROM (SELECT a FROM t) AS sub")
+        assert isinstance(statement.from_clause, ast.SubquerySource)
+        assert statement.from_clause.alias == "sub"
+
+    def test_system_rowset(self):
+        statement = parse_statement("SELECT * FROM $SYSTEM.MINING_MODELS")
+        ref = statement.from_clause
+        assert isinstance(ref, ast.SystemRowsetRef)
+        assert ref.rowset == "MINING_MODELS"
+
+    def test_model_content_ref(self):
+        statement = parse_statement("SELECT * FROM [Age Prediction].CONTENT")
+        ref = statement.from_clause
+        assert isinstance(ref, ast.ModelContentRef)
+        assert ref.model == "Age Prediction"
+        assert ref.facet == "CONTENT"
+
+    def test_model_pmml_ref(self):
+        ref = parse_statement("SELECT * FROM m.PMML").from_clause
+        assert ref.facet == "PMML"
+
+
+class TestPredictionJoinParsing:
+    def test_with_on(self):
+        statement = parse_statement(
+            "SELECT m.Age FROM m PREDICTION JOIN (SELECT g FROM t) AS s "
+            "ON m.g = s.g")
+        join = statement.from_clause
+        assert isinstance(join, ast.PredictionJoin)
+        assert join.model == "m"
+        assert not join.natural
+        assert join.condition is not None
+
+    def test_natural(self):
+        statement = parse_statement(
+            "SELECT m.Age FROM m NATURAL PREDICTION JOIN "
+            "(SELECT g FROM t) AS s")
+        assert statement.from_clause.natural
+
+    def test_on_required_without_natural(self):
+        with pytest.raises(ParseError):
+            parse_statement(
+                "SELECT 1 FROM m PREDICTION JOIN (SELECT g FROM t) AS s")
+
+    def test_shape_source(self):
+        statement = parse_statement(
+            "SELECT m.Age FROM m NATURAL PREDICTION JOIN "
+            "(SHAPE {SELECT a FROM t} APPEND ({SELECT b, k FROM u} "
+            "RELATE a TO k) AS nested) AS s")
+        join = statement.from_clause
+        assert isinstance(join.source, ast.ShapeSource)
+        assert join.source.shape.appends[0].alias == "nested"
+
+
+class TestShapeParsing:
+    def test_multiple_appends(self):
+        statement = parse_statement(
+            "SHAPE {SELECT a FROM t} "
+            "APPEND ({SELECT b, k FROM u} RELATE a TO k) AS one, "
+            "({SELECT c, k2 FROM v} RELATE a TO k2) AS two")
+        shape = statement.from_clause.shape
+        assert [arm.alias for arm in shape.appends] == ["one", "two"]
+
+    def test_nested_shape_in_append(self):
+        statement = parse_statement(
+            "SHAPE {SELECT a FROM t} "
+            "APPEND ({SHAPE {SELECT b, k FROM u} APPEND "
+            "({SELECT c, j FROM v} RELATE b TO j) AS inner} "
+            "RELATE a TO k) AS outer")
+        arm = statement.from_clause.shape.appends[0]
+        assert isinstance(arm.child, ast.ShapeExpr)
+
+    def test_relate_requires_to(self):
+        with pytest.raises(ParseError):
+            parse_statement(
+                "SHAPE {SELECT a FROM t} APPEND ({SELECT b FROM u} "
+                "RELATE a b) AS x")
+
+
+class TestDml:
+    def test_insert_values_multi_row(self):
+        statement = parse_statement(
+            "INSERT INTO t (a, b) VALUES (1, 'x'), (2, 'y')")
+        assert isinstance(statement, ast.InsertValuesStatement)
+        assert statement.columns == ["a", "b"]
+        assert len(statement.rows) == 2
+
+    def test_insert_select(self):
+        statement = parse_statement("INSERT INTO t SELECT a FROM u")
+        assert isinstance(statement, ast.InsertValuesStatement)
+        assert statement.select is not None
+
+    def test_update(self):
+        statement = parse_statement(
+            "UPDATE t SET a = 1, b = b + 1 WHERE c = 'x'")
+        assert isinstance(statement, ast.UpdateStatement)
+        assert len(statement.assignments) == 2
+
+    def test_delete(self):
+        statement = parse_statement("DELETE FROM t WHERE a = 1")
+        assert isinstance(statement, ast.DeleteStatement)
+
+    def test_create_table(self):
+        statement = parse_statement(
+            "CREATE TABLE t (id LONG PRIMARY KEY, name TEXT NOT NULL, "
+            "age DOUBLE)")
+        assert isinstance(statement, ast.CreateTableStatement)
+        assert statement.columns[0].primary_key
+        assert not statement.columns[1].nullable
+        assert statement.columns[2].nullable
+
+    def test_create_view(self):
+        statement = parse_statement("CREATE VIEW v AS SELECT a FROM t")
+        assert isinstance(statement, ast.CreateViewStatement)
+
+    def test_drop_table_if_exists(self):
+        statement = parse_statement("DROP TABLE IF EXISTS t")
+        assert statement.if_exists
+
+
+class TestExpressionsParsing:
+    def test_precedence_tree(self):
+        expr = parse_expression("a OR b AND c = 1 + 2 * 3")
+        assert isinstance(expr, ast.BinaryOp) and expr.op == "OR"
+        assert expr.right.op == "AND"
+
+    def test_not_binds_tighter_than_and(self):
+        expr = parse_expression("NOT a AND b")
+        assert expr.op == "AND"
+        assert isinstance(expr.left, ast.UnaryOp)
+
+    def test_dotted_column_paths(self):
+        expr = parse_expression(
+            "[Age Prediction].[Product Purchases].[Product Name]")
+        assert expr.parts == ("Age Prediction", "Product Purchases",
+                              "Product Name")
+
+    def test_function_call_with_distinct(self):
+        expr = parse_expression("COUNT(DISTINCT a)")
+        assert expr.distinct
+
+    def test_count_star(self):
+        expr = parse_expression("COUNT(*)")
+        assert isinstance(expr.args[0], ast.Star)
+
+    def test_nested_function_calls(self):
+        expr = parse_expression(
+            "TopCount(PredictHistogram([Age]), [$PROBABILITY], 3)")
+        assert expr.name == "TopCount"
+        assert expr.args[0].name == "PredictHistogram"
+        assert expr.args[1].parts == ("$PROBABILITY",)
+
+    def test_scalar_subselect(self):
+        expr = parse_expression("(SELECT MAX(a) FROM t)")
+        assert isinstance(expr, ast.SubSelect)
+
+    def test_case_expression(self):
+        expr = parse_expression(
+            "CASE WHEN a > 1 THEN 'hi' ELSE 'lo' END")
+        assert len(expr.whens) == 1
+        assert expr.else_result is not None
+
+    def test_empty_case_rejected(self):
+        with pytest.raises(ParseError):
+            parse_expression("CASE END")

@@ -1,0 +1,131 @@
+"""Engine invariants over random data: filters, ordering, grouping, joins."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sqlstore import Database
+from repro.sqlstore.values import sort_key
+
+rows_strategy = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=20),                # key
+        st.one_of(st.none(), st.sampled_from(["a", "b", "c"])),  # category
+        st.one_of(st.none(),
+                  st.floats(min_value=-100, max_value=100,
+                            allow_nan=False))),                # value
+    min_size=0, max_size=40)
+
+
+def load(rows):
+    database = Database()
+    database.execute("CREATE TABLE T (k LONG, c TEXT, v DOUBLE)")
+    table = database.table("T")
+    for row in rows:
+        table.insert(row)
+    return database
+
+
+@given(rows_strategy, st.floats(min_value=-100, max_value=100,
+                                allow_nan=False))
+@settings(max_examples=60, deadline=None)
+def test_where_selects_exactly_matching_rows(rows, threshold):
+    database = load(rows)
+    result = database.execute(f"SELECT k, c, v FROM T WHERE v > {threshold!r}")
+    expected = [row for row in rows
+                if row[2] is not None and row[2] > threshold]
+    assert sorted(result.rows, key=lambda r: sort_key(r[0])) == \
+        sorted([tuple(r) for r in expected], key=lambda r: sort_key(r[0]))
+
+
+@given(rows_strategy)
+@settings(max_examples=60, deadline=None)
+def test_order_by_is_sorted_and_preserves_multiset(rows):
+    database = load(rows)
+    result = database.execute("SELECT v FROM T ORDER BY v")
+    values = result.column_values("v")
+    assert sorted(values, key=sort_key) == values
+    assert sorted(map(repr, values)) == \
+        sorted(repr(row[2]) for row in rows)
+
+
+@given(rows_strategy)
+@settings(max_examples=60, deadline=None)
+def test_distinct_removes_exactly_duplicates(rows):
+    database = load(rows)
+    result = database.execute("SELECT DISTINCT c FROM T")
+    expected = {row[1] for row in rows}
+    assert set(result.column_values("c")) == expected
+    assert len(result) == len(expected)
+
+
+@given(rows_strategy)
+@settings(max_examples=60, deadline=None)
+def test_group_by_counts_partition_the_table(rows):
+    database = load(rows)
+    result = database.execute("SELECT c, COUNT(*) AS n FROM T GROUP BY c")
+    assert sum(row[1] for row in result.rows) == len(rows)
+    # one output row per distinct group key
+    assert len(result) == len({row[1] for row in rows})
+
+
+@given(rows_strategy)
+@settings(max_examples=60, deadline=None)
+def test_sum_matches_python(rows):
+    database = load(rows)
+    result = database.execute("SELECT SUM(v) FROM T")
+    values = [row[2] for row in rows if row[2] is not None]
+    if not values:
+        assert result.single_value() is None
+    else:
+        assert result.single_value() == sum(values)
+
+
+@given(rows_strategy, rows_strategy)
+@settings(max_examples=40, deadline=None)
+def test_inner_join_matches_nested_loop_semantics(left_rows, right_rows):
+    database = Database()
+    database.execute("CREATE TABLE L (k LONG, c TEXT, v DOUBLE)")
+    database.execute("CREATE TABLE R (k LONG, c TEXT, v DOUBLE)")
+    for row in left_rows:
+        database.table("L").insert(row)
+    for row in right_rows:
+        database.table("R").insert(row)
+    result = database.execute(
+        "SELECT l.k, r.k FROM L l JOIN R r ON l.k = r.k")
+    expected = sorted((a[0], b[0]) for a in left_rows for b in right_rows
+                      if a[0] == b[0])
+    assert sorted(result.rows) == expected
+
+
+@given(rows_strategy, rows_strategy)
+@settings(max_examples=40, deadline=None)
+def test_left_join_covers_every_left_row(left_rows, right_rows):
+    database = Database()
+    database.execute("CREATE TABLE L (k LONG, c TEXT, v DOUBLE)")
+    database.execute("CREATE TABLE R (k LONG, c TEXT, v DOUBLE)")
+    for row in left_rows:
+        database.table("L").insert(row)
+    for row in right_rows:
+        database.table("R").insert(row)
+    result = database.execute(
+        "SELECT l.k, r.k FROM L l LEFT JOIN R r ON l.k = r.k")
+    right_keys = {row[0] for row in right_rows}
+    expected_count = sum(
+        max(1, sum(1 for b in right_rows if b[0] == a[0]))
+        if a[0] in right_keys else 1
+        for a in left_rows)
+    assert len(result) == expected_count
+    # every left key appears
+    left_keys = sorted(row[0] for row in left_rows)
+    produced_left = sorted(set(row[0] for row in result.rows)) if result.rows \
+        else []
+    assert set(produced_left) == set(left_keys)
+
+
+@given(rows_strategy, st.integers(min_value=0, max_value=10))
+@settings(max_examples=60, deadline=None)
+def test_top_truncates_after_order(rows, limit):
+    database = load(rows)
+    full = database.execute("SELECT v FROM T ORDER BY v DESC")
+    top = database.execute(f"SELECT TOP {limit} v FROM T ORDER BY v DESC")
+    assert top.rows == full.rows[:limit]

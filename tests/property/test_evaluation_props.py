@@ -1,0 +1,83 @@
+"""Invariants of the validation tooling over random inputs."""
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.evaluation import (
+    classification_report,
+    holdout_split,
+    lift_chart,
+    regression_report,
+)
+
+pairs_strategy = st.lists(
+    st.tuples(st.sampled_from("abc"), st.sampled_from("abc")),
+    min_size=1, max_size=200)
+
+
+@given(pairs_strategy)
+@settings(max_examples=100, deadline=None)
+def test_confusion_matrix_partitions_cases(pairs):
+    report = classification_report(pairs)
+    assert sum(report.confusion.values()) == len(pairs)
+    assert sum(report.support(value) for value in report.classes) == \
+        len(pairs)
+    assert 0.0 <= report.accuracy <= 1.0
+    assert report.accuracy <= 1.0
+
+
+@given(pairs_strategy)
+@settings(max_examples=100, deadline=None)
+def test_accuracy_bounded_by_recall_extremes(pairs):
+    report = classification_report(pairs)
+    recalls = [report.recall(value) for value in report.classes
+               if report.recall(value) is not None]
+    if recalls:
+        assert min(recalls) - 1e-9 <= report.accuracy <= \
+            max(recalls) + 1e-9
+
+
+@given(pairs_strategy)
+@settings(max_examples=100, deadline=None)
+def test_perfect_predictions_have_accuracy_one(pairs):
+    perfect = [(actual, actual) for actual, _ in pairs]
+    assert classification_report(perfect).accuracy == 1.0
+
+
+@given(st.lists(st.floats(min_value=-100, max_value=100,
+                          allow_nan=False), min_size=2, max_size=100))
+@settings(max_examples=100, deadline=None)
+def test_regression_on_self_is_perfect(values):
+    report = regression_report([(v, v) for v in values])
+    assert report.mean_absolute_error == 0.0
+    assert report.root_mean_squared_error == 0.0
+
+
+@given(st.lists(st.tuples(st.booleans(),
+                          st.floats(min_value=0, max_value=1,
+                                    allow_nan=False)),
+                min_size=5, max_size=300),
+       st.integers(min_value=1, max_value=20))
+@settings(max_examples=100, deadline=None)
+def test_lift_curve_is_monotone_and_ends_at_one(scored, buckets):
+    assume(any(hit for hit, _ in scored))
+    chart = lift_chart(scored, buckets)
+    previous = 0.0
+    for population, captured in chart.points:
+        assert captured >= previous - 1e-12
+        assert 0.0 <= captured <= 1.0
+        previous = captured
+    assert chart.points[-1] == (1.0, 1.0)
+
+
+@given(st.lists(st.integers(), min_size=4, max_size=500, unique=True),
+       st.floats(min_value=0.1, max_value=0.9),
+       st.integers(min_value=0, max_value=5))
+@settings(max_examples=100, deadline=None)
+def test_holdout_is_a_partition(keys, fraction, seed):
+    try:
+        train, test = holdout_split(keys, fraction, seed)
+    except Exception:
+        assume(False)  # degenerate splits are allowed to raise
+    assert sorted(train + test) == sorted(keys)
+    assert not set(train) & set(test)

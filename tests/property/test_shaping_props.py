@@ -1,0 +1,88 @@
+"""Shaping invariants: SHAPE partitions children; FLATTENED obeys the
+cross-product law."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lang.parser import Parser
+from repro.shaping import execute_shape, flatten_rowset
+from repro.sqlstore import Database
+
+masters = st.lists(st.integers(min_value=0, max_value=8),
+                   min_size=1, max_size=10, unique=True)
+children = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=10),
+              st.sampled_from("abcd")),
+    min_size=0, max_size=30)
+
+
+def build(master_keys, child_rows, second_child_rows=None):
+    database = Database()
+    database.execute("CREATE TABLE M (k LONG)")
+    for key in master_keys:
+        database.table("M").insert((key,))
+    database.execute("CREATE TABLE C (fk LONG, v TEXT)")
+    for fk, v in child_rows:
+        database.table("C").insert((fk, v))
+    if second_child_rows is not None:
+        database.execute("CREATE TABLE D (fk LONG, w TEXT)")
+        for fk, w in second_child_rows:
+            database.table("D").insert((fk, w))
+    return database
+
+
+def shape_of(text):
+    return Parser(text).parse_shape()
+
+
+@given(masters, children)
+@settings(max_examples=80, deadline=None)
+def test_shape_partitions_matching_children(master_keys, child_rows):
+    database = build(master_keys, child_rows)
+    rowset = execute_shape(shape_of(
+        "SHAPE {SELECT k FROM M ORDER BY k} "
+        "APPEND ({SELECT fk, v FROM C} RELATE k TO fk) AS N"), database)
+    # One output row per master, independent of child count.
+    assert len(rowset) == len(master_keys)
+    # Every child with a matching master appears in exactly one nest,
+    # under its own master.
+    total_nested = 0
+    for row in rowset.rows:
+        key, nested = row
+        assert all(child[0] == key for child in nested.rows)
+        total_nested += len(nested)
+    matching = sum(1 for fk, _ in child_rows if fk in set(master_keys))
+    assert total_nested == matching
+
+
+@given(masters, children, children)
+@settings(max_examples=60, deadline=None)
+def test_flatten_obeys_cross_product_law(master_keys, child_rows,
+                                         second_child_rows):
+    database = build(master_keys, child_rows, second_child_rows)
+    rowset = execute_shape(shape_of(
+        "SHAPE {SELECT k FROM M ORDER BY k} "
+        "APPEND ({SELECT fk, v FROM C} RELATE k TO fk) AS N1, "
+        "({SELECT fk, w FROM D} RELATE k TO fk) AS N2"), database)
+    flat = flatten_rowset(rowset)
+    expected = 0
+    for key in master_keys:
+        n1 = sum(1 for fk, _ in child_rows if fk == key)
+        n2 = sum(1 for fk, _ in second_child_rows if fk == key)
+        expected += max(n1, 1) * max(n2, 1)
+    assert len(flat) == expected
+
+
+@given(masters, children)
+@settings(max_examples=60, deadline=None)
+def test_flatten_preserves_scalar_values(master_keys, child_rows):
+    database = build(master_keys, child_rows)
+    rowset = execute_shape(shape_of(
+        "SHAPE {SELECT k FROM M ORDER BY k} "
+        "APPEND ({SELECT fk, v FROM C} RELATE k TO fk) AS N"), database)
+    flat = flatten_rowset(rowset)
+    # Each flattened row's master key matches its nested fk (or NULL pad).
+    key_index = flat.index_of("k")
+    fk_index = flat.index_of("N.fk")
+    for row in flat.rows:
+        assert row[fk_index] is None or row[fk_index] == row[key_index]

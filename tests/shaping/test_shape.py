@@ -1,0 +1,162 @@
+"""The Data Shaping Service: SHAPE execution, casesets, flattening."""
+
+import pytest
+
+from repro.errors import BindError
+from repro.lang.parser import Parser
+from repro.shaping import Caseset, execute_shape, flatten_rowset
+from repro.sqlstore import Database
+from repro.sqlstore.rowset import Rowset
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.execute("CREATE TABLE Customers (id LONG PRIMARY KEY, "
+                     "Gender TEXT)")
+    database.execute("INSERT INTO Customers VALUES (1, 'Male'), "
+                     "(2, 'Female'), (3, 'Male')")
+    database.execute("CREATE TABLE Sales (cid LONG, Product TEXT, "
+                     "Quantity DOUBLE)")
+    database.execute("INSERT INTO Sales VALUES (1, 'TV', 1.0), "
+                     "(1, 'Beer', 6.0), (2, 'Ham', 2.0)")
+    database.execute("CREATE TABLE Cars (cid LONG, Car TEXT)")
+    database.execute("INSERT INTO Cars VALUES (1, 'Truck'), (1, 'Van')")
+    return database
+
+
+def shape_of(text):
+    return Parser(text).parse_shape()
+
+
+class TestShapeExecution:
+    def test_one_append(self, db):
+        rowset = execute_shape(shape_of(
+            "SHAPE {SELECT id, Gender FROM Customers ORDER BY id} "
+            "APPEND ({SELECT cid, Product, Quantity FROM Sales} "
+            "RELATE id TO cid) AS Purchases"), db)
+        assert rowset.column_names() == ["id", "Gender", "Purchases"]
+        assert len(rowset) == 3
+        purchases = rowset.rows[0][2]
+        assert isinstance(purchases, Rowset)
+        assert len(purchases) == 2
+
+    def test_childless_case_gets_empty_nested_rowset(self, db):
+        rowset = execute_shape(shape_of(
+            "SHAPE {SELECT id FROM Customers ORDER BY id} "
+            "APPEND ({SELECT cid, Product FROM Sales} RELATE id TO cid) "
+            "AS P"), db)
+        assert len(rowset.rows[2][1]) == 0  # customer 3 bought nothing
+
+    def test_two_appends(self, db):
+        rowset = execute_shape(shape_of(
+            "SHAPE {SELECT id FROM Customers ORDER BY id} "
+            "APPEND ({SELECT cid, Product FROM Sales} RELATE id TO cid) "
+            "AS P, ({SELECT cid, Car FROM Cars} RELATE id TO cid) AS C"),
+            db)
+        assert rowset.column_names() == ["id", "P", "C"]
+        assert len(rowset.rows[0][2]) == 2  # two cars for customer 1
+
+    def test_nested_shape(self, db):
+        db.execute("CREATE TABLE Details (Product TEXT, Fact TEXT)")
+        db.execute("INSERT INTO Details VALUES ('TV', 'big'), "
+                   "('Beer', 'cold')")
+        rowset = execute_shape(shape_of(
+            "SHAPE {SELECT id FROM Customers ORDER BY id} "
+            "APPEND ({SHAPE {SELECT cid, Product FROM Sales} "
+            "APPEND ({SELECT Product AS p2, Fact FROM Details} "
+            "RELATE Product TO p2) AS D} RELATE id TO cid) AS P"), db)
+        purchases = rowset.rows[0][1]
+        assert purchases.column_names() == ["cid", "Product", "D"]
+        details = purchases.rows[0][2]
+        assert details.rows[0][1] == "big"
+
+    def test_unknown_relate_column(self, db):
+        with pytest.raises(BindError):
+            execute_shape(shape_of(
+                "SHAPE {SELECT id FROM Customers} "
+                "APPEND ({SELECT cid FROM Sales} RELATE nope TO cid) "
+                "AS P"), db)
+
+    def test_unknown_child_relate_column(self, db):
+        with pytest.raises(BindError):
+            execute_shape(shape_of(
+                "SHAPE {SELECT id FROM Customers} "
+                "APPEND ({SELECT cid FROM Sales} RELATE id TO nope) "
+                "AS P"), db)
+
+    def test_shape_via_database_select(self, db):
+        # a SHAPE can be a FROM source of a plain SELECT
+        from repro.core.provider import Provider
+        provider = Provider()
+        provider.database.tables = db.tables
+        rowset = provider.execute(
+            "SELECT id, Gender FROM (SHAPE {SELECT id, Gender FROM "
+            "Customers ORDER BY id} APPEND ({SELECT cid, Product FROM "
+            "Sales} RELATE id TO cid) AS P) AS x WHERE id < 3")
+        assert len(rowset) == 2
+
+
+class TestFlatten:
+    def test_flatten_cross_products_nested_tables(self, db):
+        rowset = execute_shape(shape_of(
+            "SHAPE {SELECT id FROM Customers ORDER BY id} "
+            "APPEND ({SELECT cid, Product FROM Sales} RELATE id TO cid) "
+            "AS P, ({SELECT cid, Car FROM Cars} RELATE id TO cid) AS C"),
+            db)
+        flat = flatten_rowset(rowset)
+        # customer 1: 2 products x 2 cars = 4; customer 2: 1x1(empty car ->1);
+        # customer 3: empty x empty -> 1
+        assert len(flat) == 4 + 1 + 1
+        assert "P.Product" in flat.column_names()
+        assert "C.Car" in flat.column_names()
+
+    def test_flatten_keeps_empty_cases_with_nulls(self, db):
+        rowset = execute_shape(shape_of(
+            "SHAPE {SELECT id FROM Customers ORDER BY id} "
+            "APPEND ({SELECT cid, Product FROM Sales} RELATE id TO cid) "
+            "AS P"), db)
+        flat = flatten_rowset(rowset)
+        last = flat.rows[-1]
+        assert last[0] == 3 and last[1] is None and last[2] is None
+
+    def test_flatten_without_nested_is_identity(self, db):
+        rowset = db.execute("SELECT id FROM Customers")
+        flat = flatten_rowset(rowset)
+        assert flat.rows == rowset.rows
+
+
+class TestCaseset:
+    def test_iterates_cases(self, db):
+        rowset = execute_shape(shape_of(
+            "SHAPE {SELECT id, Gender FROM Customers ORDER BY id} "
+            "APPEND ({SELECT cid, Product, Quantity FROM Sales} "
+            "RELATE id TO cid) AS Purchases"), db)
+        cases = list(Caseset(rowset))
+        assert len(cases) == 3
+        first = cases[0]
+        assert first.get("Gender") == "Male"
+        assert first["id"] == 1
+        assert [r["Product"] for r in first.nested("Purchases")] == \
+            ["TV", "Beer"]
+        assert first.nested("Missing Table") == []
+
+    def test_case_lookup_is_case_insensitive(self, db):
+        rowset = db.execute("SELECT id, Gender FROM Customers")
+        case = next(iter(Caseset(rowset)))
+        assert case.get("GENDER") == case.get("gender")
+
+    def test_missing_scalar_raises_on_getitem(self, db):
+        rowset = db.execute("SELECT id FROM Customers")
+        case = next(iter(Caseset(rowset)))
+        with pytest.raises(BindError):
+            case["nope"]
+
+    def test_column_lists(self, db):
+        rowset = execute_shape(shape_of(
+            "SHAPE {SELECT id FROM Customers} APPEND ({SELECT cid FROM "
+            "Sales} RELATE id TO cid) AS P"), db)
+        caseset = Caseset(rowset)
+        assert caseset.scalar_columns() == ["id"]
+        assert caseset.table_columns() == ["P"]
+        assert caseset.column_for_table("p").name == "P"

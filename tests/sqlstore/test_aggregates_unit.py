@@ -1,0 +1,103 @@
+"""Aggregate accumulators, directly (COUNT/SUM/AVG/MIN/MAX/STDEV/VAR)."""
+
+import math
+
+import pytest
+
+from repro.errors import BindError
+from repro.sqlstore.functions import (
+    AvgAgg,
+    CountAgg,
+    MaxAgg,
+    MinAgg,
+    SumAgg,
+    VarAgg,
+    make_aggregate,
+)
+
+
+class TestCount:
+    def test_count_values_skips_nulls(self):
+        agg = CountAgg()
+        for value in (1, None, 2, None):
+            agg.add(value)
+        assert agg.result() == 2
+
+    def test_count_star_counts_everything(self):
+        agg = CountAgg(count_rows=True)
+        for value in (1, None, 2):
+            agg.add(value)
+        assert agg.result() == 3
+
+    def test_count_distinct(self):
+        agg = CountAgg(distinct=True)
+        for value in ("a", "b", "a", None, "b"):
+            agg.add(value)
+        assert agg.result() == 2
+
+
+class TestNumericAggregates:
+    def test_sum_empty_is_null(self):
+        assert SumAgg().result() is None
+
+    def test_sum_all_nulls_is_null(self):
+        agg = SumAgg()
+        agg.add(None)
+        assert agg.result() is None
+
+    def test_avg(self):
+        agg = AvgAgg()
+        for value in (1.0, None, 3.0):
+            agg.add(value)
+        assert agg.result() == 2.0
+
+    def test_avg_empty_is_null(self):
+        assert AvgAgg().result() is None
+
+    def test_min_max(self):
+        low, high = MinAgg(), MaxAgg()
+        for value in (3, None, 1, 2):
+            low.add(value)
+            high.add(value)
+        assert low.result() == 1
+        assert high.result() == 3
+
+    def test_min_max_on_strings(self):
+        low = MinAgg()
+        for value in ("pear", "apple", "mango"):
+            low.add(value)
+        assert low.result() == "apple"
+
+    def test_var_matches_sample_formula(self):
+        agg = VarAgg()
+        values = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]
+        for value in values:
+            agg.add(value)
+        mean = sum(values) / len(values)
+        expected = sum((v - mean) ** 2 for v in values) / (len(values) - 1)
+        assert agg.result() == pytest.approx(expected)
+
+    def test_stdev_is_sqrt_of_var(self):
+        var, stdev = VarAgg(), VarAgg(stdev=True)
+        for value in (1.0, 5.0, 9.0):
+            var.add(value)
+            stdev.add(value)
+        assert stdev.result() == pytest.approx(math.sqrt(var.result()))
+
+    def test_var_needs_two_values(self):
+        agg = VarAgg()
+        agg.add(1.0)
+        assert agg.result() is None
+
+
+class TestFactory:
+    def test_factory_names(self):
+        for name in ("COUNT", "SUM", "AVG", "MIN", "MAX", "STDEV", "VAR"):
+            assert make_aggregate(name) is not None
+
+    def test_factory_case_insensitive(self):
+        assert isinstance(make_aggregate("avg"), AvgAgg)
+
+    def test_unknown_aggregate(self):
+        with pytest.raises(BindError):
+            make_aggregate("MEDIAN")

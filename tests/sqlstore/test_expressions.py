@@ -1,0 +1,172 @@
+"""Expression evaluation: operators, three-valued logic, functions."""
+
+import pytest
+
+from repro.errors import BindError, Error
+from repro.lang.parser import parse_expression
+from repro.sqlstore.expressions import (
+    EvalContext,
+    contains_aggregate,
+    evaluate,
+    like_match,
+)
+
+
+def eval_expr(text, names=None, row=()):
+    context = EvalContext.from_names(names or [])
+    return evaluate(parse_expression(text), context.with_row(tuple(row)))
+
+
+class TestArithmetic:
+    def test_precedence(self):
+        assert eval_expr("1 + 2 * 3") == 7
+        assert eval_expr("(1 + 2) * 3") == 9
+
+    def test_unary_minus(self):
+        assert eval_expr("-5 + 2") == -3
+        assert eval_expr("-(-5)") == 5
+
+    def test_double_dash_is_a_comment_not_double_negation(self):
+        # '--' starts a line comment (SQL convention), so '--5' is empty.
+        from repro.errors import ParseError
+        with pytest.raises(ParseError):
+            parse_expression("--5")
+
+    def test_division_by_zero_is_null(self):
+        assert eval_expr("1 / 0") is None
+
+    def test_null_propagates_through_arithmetic(self):
+        assert eval_expr("1 + NULL") is None
+
+    def test_concat(self):
+        assert eval_expr("'a' || 'b'") == "ab"
+
+
+class TestComparisons:
+    def test_basic(self):
+        assert eval_expr("2 > 1") is True
+        assert eval_expr("2 <= 1") is False
+        assert eval_expr("2 <> 3") is True
+        assert eval_expr("2 != 3") is True
+
+    def test_null_comparison_unknown(self):
+        assert eval_expr("NULL = 1") is None
+        assert eval_expr("NULL <> 1") is None
+
+    def test_is_null(self):
+        assert eval_expr("NULL IS NULL") is True
+        assert eval_expr("1 IS NOT NULL") is True
+
+    def test_between(self):
+        assert eval_expr("5 BETWEEN 1 AND 10") is True
+        assert eval_expr("5 NOT BETWEEN 1 AND 10") is False
+        assert eval_expr("NULL BETWEEN 1 AND 10") is None
+
+    def test_in_list(self):
+        assert eval_expr("2 IN (1, 2, 3)") is True
+        assert eval_expr("9 IN (1, 2, 3)") is False
+        assert eval_expr("9 NOT IN (1, 2, 3)") is True
+
+    def test_in_list_with_null_is_unknown_when_absent(self):
+        assert eval_expr("9 IN (1, NULL)") is None
+        assert eval_expr("1 IN (1, NULL)") is True
+
+
+class TestBooleans:
+    def test_short_circuit_and(self):
+        assert eval_expr("FALSE AND (1/0 = 1)") is False
+
+    def test_three_valued(self):
+        assert eval_expr("TRUE AND NULL") is None
+        assert eval_expr("TRUE OR NULL") is True
+        assert eval_expr("NOT NULL") is None
+
+
+class TestCase:
+    def test_searched_case(self):
+        assert eval_expr(
+            "CASE WHEN 1 > 2 THEN 'a' WHEN 2 > 1 THEN 'b' ELSE 'c' END") \
+            == "b"
+
+    def test_case_without_else_is_null(self):
+        assert eval_expr("CASE WHEN FALSE THEN 1 END") is None
+
+
+class TestLike:
+    def test_percent(self):
+        assert eval_expr("'Hamburger' LIKE 'Ham%'") is True
+        assert eval_expr("'Ham' LIKE '%urger'") is False
+
+    def test_underscore(self):
+        assert eval_expr("'cat' LIKE 'c_t'") is True
+
+    def test_case_insensitive(self):
+        assert eval_expr("'HAM' LIKE 'ham'") is True
+
+    def test_like_match_escapes_regex_chars(self):
+        assert like_match("a.b", "a.b")
+        assert not like_match("axb", "a.b")
+
+
+class TestColumns:
+    def test_qualified_and_bare(self):
+        context = EvalContext.from_names(["Age", "Gender"], qualifier="c")
+        row_context = context.with_row((35.0, "Male"))
+        assert evaluate(parse_expression("Age"), row_context) == 35.0
+        assert evaluate(parse_expression("c.Age"), row_context) == 35.0
+        assert evaluate(parse_expression("[c].[Gender]"), row_context) == \
+            "Male"
+
+    def test_unknown_column(self):
+        context = EvalContext.from_names(["Age"]).with_row((1.0,))
+        with pytest.raises(BindError):
+            evaluate(parse_expression("Salary"), context)
+
+    def test_wrong_qualifier_falls_back_to_bare(self):
+        context = EvalContext.from_names(["Age"], qualifier="c")
+        assert evaluate(parse_expression("x.Age"),
+                        context.with_row((35.0,))) == 35.0
+
+
+class TestScalarFunctions:
+    def test_string_functions(self):
+        assert eval_expr("UPPER('ham')") == "HAM"
+        assert eval_expr("LOWER('HAM')") == "ham"
+        assert eval_expr("LENGTH('abc')") == 3
+        assert eval_expr("SUBSTRING('abcdef', 2, 3)") == "bcd"
+        assert eval_expr("TRIM('  x ')") == "x"
+        assert eval_expr("REPLACE('aXa', 'X', 'b')") == "aba"
+
+    def test_math_functions(self):
+        assert eval_expr("ABS(-3)") == 3
+        assert eval_expr("ROUND(2.567, 1)") == 2.6
+        assert eval_expr("FLOOR(2.9)") == 2
+        assert eval_expr("CEILING(2.1)") == 3
+        assert eval_expr("SQRT(16)") == 4.0
+        assert eval_expr("POWER(2, 10)") == 1024.0
+        assert eval_expr("MOD(7, 3)") == 1
+        assert eval_expr("SIGN(-9)") == -1
+
+    def test_null_handling_functions(self):
+        assert eval_expr("COALESCE(NULL, NULL, 3)") == 3
+        assert eval_expr("NULLIF(2, 2)") is None
+        assert eval_expr("NULLIF(2, 3)") == 2
+        assert eval_expr("IIF(TRUE, 'yes', 'no')") == "yes"
+
+    def test_null_propagation_in_scalars(self):
+        assert eval_expr("UPPER(NULL)") is None
+
+    def test_unknown_function(self):
+        with pytest.raises(BindError):
+            eval_expr("FROBNICATE(1)")
+
+
+class TestAggregateDetection:
+    def test_detects_aggregates(self):
+        assert contains_aggregate(parse_expression("COUNT(*)"))
+        assert contains_aggregate(parse_expression("1 + SUM(x)"))
+        assert contains_aggregate(
+            parse_expression("CASE WHEN MAX(x) > 1 THEN 1 END"))
+
+    def test_plain_expressions(self):
+        assert not contains_aggregate(parse_expression("UPPER(x) || 'a'"))

@@ -1,0 +1,163 @@
+"""Schemas, table storage, indexes, and rowset access."""
+
+import pytest
+
+from repro.errors import BindError, SchemaError, TypeError_
+from repro.sqlstore.rowset import Rowset, RowsetColumn
+from repro.sqlstore.schema import ColumnSchema, TableSchema
+from repro.sqlstore.table import Table
+from repro.sqlstore.types import DOUBLE, LONG, TEXT
+
+
+def customer_schema():
+    return TableSchema("Customers", [
+        ColumnSchema("Customer ID", LONG, primary_key=True),
+        ColumnSchema("Gender", TEXT),
+        ColumnSchema("Age", DOUBLE),
+    ])
+
+
+class TestSchema:
+    def test_case_insensitive_lookup(self):
+        schema = customer_schema()
+        assert schema.index_of("customer id") == 0
+        assert schema.column("GENDER").name == "Gender"
+
+    def test_unknown_column(self):
+        with pytest.raises(BindError):
+            customer_schema().index_of("Salary")
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(SchemaError):
+            TableSchema("t", [ColumnSchema("a", LONG),
+                              ColumnSchema("A", TEXT)])
+
+    def test_primary_key_index(self):
+        assert customer_schema().primary_key_index() == 0
+
+    def test_spaced_names_preserved(self):
+        assert customer_schema().column_names()[0] == "Customer ID"
+
+
+class TestTable:
+    def test_insert_coerces(self):
+        table = Table(customer_schema())
+        table.insert(("1", "Male", 35))
+        assert table.rows[0] == (1, "Male", 35.0)
+
+    def test_wrong_arity(self):
+        table = Table(customer_schema())
+        with pytest.raises(SchemaError):
+            table.insert((1, "Male"))
+
+    def test_primary_key_uniqueness(self):
+        table = Table(customer_schema())
+        table.insert((1, "Male", 35.0))
+        with pytest.raises(SchemaError):
+            table.insert((1, "Female", 28.0))
+
+    def test_pk_not_nullable(self):
+        table = Table(customer_schema())
+        with pytest.raises(TypeError_):
+            table.insert((None, "Male", 35.0))
+
+    def test_lookup_pk(self):
+        table = Table(customer_schema())
+        table.insert((7, "Female", 40.0))
+        assert table.lookup_pk(7) == (7, "Female", 40.0)
+        assert table.lookup_pk(8) is None
+
+    def test_delete_where_rebuilds_pk(self):
+        table = Table(customer_schema())
+        table.insert_many([(1, "Male", 35.0), (2, "Female", 28.0)])
+        removed = table.delete_where(lambda row: row[0] == 1)
+        assert removed == 1
+        table.insert((1, "Male", 35.0))  # pk slot freed
+        assert len(table) == 2
+
+    def test_secondary_index_tracks_inserts(self):
+        table = Table(customer_schema())
+        table.insert((1, "Male", 35.0))
+        index = table.ensure_index("Gender")
+        table.insert((2, "Male", 40.0))
+        from repro.sqlstore.values import group_key
+        assert len(index[group_key("Male")]) == 2
+
+    def test_update_where(self):
+        table = Table(customer_schema())
+        table.insert_many([(1, "Male", 35.0), (2, "Female", 28.0)])
+        changed = table.update_where(
+            lambda row: row[1] == "Male",
+            lambda row: (row[0], row[1], 99.0))
+        assert changed == 1
+        assert table.lookup_pk(1)[2] == 99.0
+
+    def test_truncate(self):
+        table = Table(customer_schema())
+        table.insert((1, "Male", 35.0))
+        table.truncate()
+        assert len(table) == 0
+
+    def test_to_rowset(self):
+        table = Table(customer_schema())
+        table.insert((1, "Male", 35.0))
+        rowset = table.to_rowset()
+        assert rowset.column_names() == ["Customer ID", "Gender", "Age"]
+        assert rowset.rows == [(1, "Male", 35.0)]
+
+
+class TestRowset:
+    def test_column_access(self):
+        rowset = Rowset([RowsetColumn("a", LONG), RowsetColumn("b", TEXT)],
+                        [(1, "x"), (2, "y")])
+        assert rowset.column_values("B") == ["x", "y"]
+        assert rowset.index_of("a") == 0
+        assert len(rowset) == 2
+
+    def test_unknown_column(self):
+        rowset = Rowset([RowsetColumn("a", LONG)], [])
+        with pytest.raises(BindError):
+            rowset.index_of("z")
+
+    def test_duplicate_names_first_wins(self):
+        rowset = Rowset([RowsetColumn("a", LONG), RowsetColumn("a", TEXT)],
+                        [(1, "x")])
+        assert rowset.index_of("a") == 0
+
+    def test_single_value(self):
+        rowset = Rowset([RowsetColumn("n", LONG)], [(5,)])
+        assert rowset.single_value() == 5
+
+    def test_single_value_requires_1x1(self):
+        rowset = Rowset([RowsetColumn("n", LONG)], [(5,), (6,)])
+        with pytest.raises(BindError):
+            rowset.single_value()
+
+    def test_nested_rowsets_in_to_dicts(self):
+        inner = Rowset([RowsetColumn("p", TEXT)], [("TV",)])
+        outer = Rowset(
+            [RowsetColumn("id", LONG),
+             RowsetColumn("items", nested_columns=list(inner.columns))],
+            [(1, inner)])
+        dicts = outer.to_dicts()
+        assert dicts == [{"id": 1, "items": [{"p": "TV"}]}]
+
+    def test_from_dicts_infers_columns(self):
+        rowset = Rowset.from_dicts([{"a": 1, "b": "x"}, {"a": 2}])
+        assert rowset.column_names() == ["a", "b"]
+        assert rowset.rows[1] == (2, None)
+
+    def test_pretty_renders_nested(self):
+        inner = Rowset([RowsetColumn("p", TEXT)], [("TV",)])
+        outer = Rowset(
+            [RowsetColumn("id", LONG),
+             RowsetColumn("items", nested_columns=list(inner.columns))],
+            [(1, inner)])
+        text = outer.pretty()
+        assert "<TABLE 1 rows>" in text
+        assert "TV" in text
+
+    def test_pretty_truncates(self):
+        rowset = Rowset([RowsetColumn("n", LONG)],
+                        [(i,) for i in range(100)])
+        assert "more rows" in rowset.pretty(max_rows=10)

@@ -1,0 +1,96 @@
+"""Scalar subqueries and IN (SELECT ...) membership."""
+
+import pytest
+
+from repro.errors import Error
+from repro.sqlstore import Database
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.execute("CREATE TABLE Orders (Id LONG, CustID LONG, "
+                     "Amount DOUBLE)")
+    database.execute("INSERT INTO Orders VALUES (1,1,10.0), (2,1,30.0), "
+                     "(3,2,20.0), (4,3,50.0)")
+    database.execute("CREATE TABLE Vips (CustID LONG)")
+    database.execute("INSERT INTO Vips VALUES (1), (3)")
+    return database
+
+
+class TestScalarSubquery:
+    def test_in_where(self, db):
+        rowset = db.execute(
+            "SELECT Id FROM Orders WHERE Amount > "
+            "(SELECT AVG(Amount) FROM Orders) ORDER BY Id")
+        assert rowset.column_values("Id") == [2, 4]
+
+    def test_in_select_list(self, db):
+        rowset = db.execute(
+            "SELECT Id, Amount - (SELECT AVG(Amount) FROM Orders) AS d "
+            "FROM Orders WHERE Id = 1")
+        assert rowset.rows[0][1] == pytest.approx(10.0 - 27.5)
+
+    def test_empty_scalar_subquery_is_null(self, db):
+        rowset = db.execute(
+            "SELECT (SELECT Amount FROM Orders WHERE Id = 99) AS v")
+        assert rowset.single_value() is None
+
+    def test_multi_row_scalar_subquery_errors(self, db):
+        with pytest.raises(Error, match="rows"):
+            db.execute("SELECT Id FROM Orders WHERE Amount = "
+                       "(SELECT Amount FROM Orders)")
+
+    def test_multi_column_scalar_subquery_errors(self, db):
+        with pytest.raises(Error, match="column"):
+            db.execute("SELECT (SELECT Id, Amount FROM Orders "
+                       "WHERE Id = 1) AS v")
+
+
+class TestInSelect:
+    def test_membership(self, db):
+        rowset = db.execute(
+            "SELECT Id FROM Orders WHERE CustID IN "
+            "(SELECT CustID FROM Vips) ORDER BY Id")
+        assert rowset.column_values("Id") == [1, 2, 4]
+
+    def test_not_in(self, db):
+        rowset = db.execute(
+            "SELECT Id FROM Orders WHERE CustID NOT IN "
+            "(SELECT CustID FROM Vips)")
+        assert rowset.column_values("Id") == [3]
+
+    def test_not_in_with_null_in_subquery_matches_nothing(self, db):
+        db.execute("INSERT INTO Vips VALUES (NULL)")
+        rowset = db.execute(
+            "SELECT Id FROM Orders WHERE CustID NOT IN "
+            "(SELECT CustID FROM Vips)")
+        assert rowset.rows == []  # SQL three-valued logic
+
+    def test_in_select_in_delete(self, db):
+        count = db.execute("DELETE FROM Orders WHERE CustID IN "
+                           "(SELECT CustID FROM Vips)")
+        assert count == 3
+
+    def test_formatter_round_trip(self):
+        from repro.lang.parser import parse_statement
+        from repro.lang.formatter import format_statement
+        text = format_statement(parse_statement(
+            "SELECT a FROM t WHERE a IN (SELECT b FROM u)"))
+        assert format_statement(parse_statement(text)) == text
+        assert "IN (SELECT" in text
+
+    def test_works_in_prediction_where(self):
+        import repro
+        conn = repro.connect()
+        conn.execute("CREATE TABLE T (Id LONG, G TEXT, L TEXT)")
+        conn.execute("INSERT INTO T VALUES (1,'a','x'), (2,'b','y')")
+        conn.execute("CREATE MINING MODEL M (Id LONG KEY, G TEXT "
+                     "DISCRETE, L TEXT DISCRETE PREDICT) "
+                     "USING Repro_Naive_Bayes")
+        conn.execute("INSERT INTO M SELECT Id, G, L FROM T")
+        # content query with a scalar subquery over the same rowset space
+        rowset = conn.execute(
+            "SELECT NODE_CAPTION FROM M.CONTENT WHERE NODE_SUPPORT >= "
+            "(SELECT MAX(NODE_SUPPORT) FROM M.CONTENT)")
+        assert len(rowset) >= 1

@@ -1,0 +1,107 @@
+"""Type system: coercion, aliases, inference."""
+
+import datetime
+
+import pytest
+
+from repro.errors import TypeError_
+from repro.sqlstore.types import (
+    BOOLEAN,
+    DATE,
+    DOUBLE,
+    LONG,
+    TABLE,
+    TEXT,
+    infer_type,
+    type_from_name,
+)
+
+
+class TestCoercion:
+    def test_long_from_int(self):
+        assert LONG.coerce(42) == 42
+
+    def test_long_from_integral_float(self):
+        assert LONG.coerce(2.0) == 2
+        assert isinstance(LONG.coerce(2.0), int)
+
+    def test_long_rejects_fractional_float(self):
+        with pytest.raises(TypeError_):
+            LONG.coerce(2.5)
+
+    def test_long_from_numeric_string(self):
+        assert LONG.coerce("17") == 17
+
+    def test_long_rejects_garbage_string(self):
+        with pytest.raises(TypeError_):
+            LONG.coerce("seventeen")
+
+    def test_long_from_bool(self):
+        assert LONG.coerce(True) == 1
+
+    def test_double_widens_int(self):
+        value = DOUBLE.coerce(3)
+        assert value == 3.0
+        assert isinstance(value, float)
+
+    def test_double_from_string(self):
+        assert DOUBLE.coerce("3.5") == 3.5
+
+    def test_text_stringifies_scalars(self):
+        assert TEXT.coerce(12) == "12"
+        assert TEXT.coerce(True) == "True"
+
+    def test_boolean_from_text(self):
+        assert BOOLEAN.coerce("TRUE") is True
+        assert BOOLEAN.coerce("false") is False
+
+    def test_boolean_from_01(self):
+        assert BOOLEAN.coerce(0) is False
+        assert BOOLEAN.coerce(1) is True
+
+    def test_boolean_rejects_other_ints(self):
+        with pytest.raises(TypeError_):
+            BOOLEAN.coerce(2)
+
+    def test_date_from_iso_string(self):
+        assert DATE.coerce("2001-04-02") == datetime.date(2001, 4, 2)
+
+    def test_date_rejects_bad_string(self):
+        with pytest.raises(TypeError_):
+            DATE.coerce("April 2nd")
+
+    def test_null_passes_every_type(self):
+        for type_ in (LONG, DOUBLE, TEXT, BOOLEAN, DATE, TABLE):
+            assert type_.coerce(None) is None
+
+    def test_accepts(self):
+        assert LONG.accepts(5)
+        assert not LONG.accepts("x")
+
+
+class TestNames:
+    def test_canonical_names(self):
+        assert type_from_name("LONG") is LONG
+        assert type_from_name("double") is DOUBLE
+
+    def test_aliases(self):
+        assert type_from_name("INT") is LONG
+        assert type_from_name("VARCHAR") is TEXT
+        assert type_from_name("FLOAT") is DOUBLE
+        assert type_from_name("BIT") is BOOLEAN
+
+    def test_unknown_type_raises(self):
+        with pytest.raises(TypeError_):
+            type_from_name("BLOB")
+
+
+class TestInference:
+    def test_infer(self):
+        assert infer_type(True) is BOOLEAN
+        assert infer_type(1) is LONG
+        assert infer_type(1.5) is DOUBLE
+        assert infer_type("x") is TEXT
+        assert infer_type(datetime.date(2001, 1, 1)) is DATE
+
+    def test_infer_none_defaults_to_text(self):
+        assert infer_type(None) is TEXT

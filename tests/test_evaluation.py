@@ -1,0 +1,186 @@
+"""Validation tooling: reports, lift charts, holdout splits, scoring."""
+
+import pytest
+
+import repro
+from repro.errors import Error
+from repro.evaluation import (
+    classification_report,
+    holdout_split,
+    lift_chart,
+    regression_report,
+    score_classifier,
+)
+
+
+class TestHoldoutSplit:
+    def test_deterministic_and_partitioning(self):
+        keys = list(range(1000))
+        train_a, test_a = holdout_split(keys, 0.3, seed=2)
+        train_b, test_b = holdout_split(list(reversed(keys)), 0.3, seed=2)
+        assert set(train_a) == set(train_b)
+        assert set(train_a) | set(test_a) == set(keys)
+        assert not set(train_a) & set(test_a)
+
+    def test_fraction_respected_roughly(self):
+        _, test = holdout_split(list(range(2000)), 0.25, seed=1)
+        assert 0.20 < len(test) / 2000 < 0.30
+
+    def test_different_seeds_differ(self):
+        _, a = holdout_split(list(range(200)), 0.3, seed=1)
+        _, b = holdout_split(list(range(200)), 0.3, seed=2)
+        assert set(a) != set(b)
+
+    def test_bad_fraction(self):
+        with pytest.raises(Error):
+            holdout_split([1, 2], 1.5)
+
+    def test_degenerate_split(self):
+        with pytest.raises(Error):
+            holdout_split([1], 0.5)
+
+
+class TestClassificationReport:
+    PAIRS = [("x", "x"), ("x", "x"), ("x", "y"),
+             ("y", "y"), ("y", "x"), ("y", "y"), ("y", "y")]
+
+    def test_accuracy_and_confusion(self):
+        report = classification_report(self.PAIRS)
+        assert report.count == 7
+        assert report.accuracy == pytest.approx(5 / 7)
+        assert report.confusion[("x", "y")] == 1
+        assert report.confusion[("y", "y")] == 3
+
+    def test_precision_recall_f1(self):
+        report = classification_report(self.PAIRS)
+        assert report.precision("x") == pytest.approx(2 / 3)
+        assert report.recall("x") == pytest.approx(2 / 3)
+        assert report.recall("y") == pytest.approx(3 / 4)
+        assert report.f1("y") == pytest.approx(
+            2 * (3 / 4) * (3 / 4) / (3 / 4 + 3 / 4))
+
+    def test_unseen_class_precision_is_none(self):
+        report = classification_report([("x", "x"), ("y", "x")])
+        assert report.precision("y") is None
+
+    def test_majority_baseline(self):
+        report = classification_report(self.PAIRS)
+        assert report.majority_baseline() == pytest.approx(4 / 7)
+
+    def test_pretty_contains_matrix(self):
+        text = classification_report(self.PAIRS).pretty()
+        assert "accuracy" in text and "precision" in text
+
+    def test_empty_rejected(self):
+        with pytest.raises(Error):
+            classification_report([])
+
+
+class TestRegressionReport:
+    def test_exact_fit(self):
+        report = regression_report([(1.0, 1.0), (2.0, 2.0)])
+        assert report.mean_absolute_error == 0.0
+        assert report.r_squared == pytest.approx(1.0)
+
+    def test_known_errors(self):
+        report = regression_report([(0.0, 1.0), (0.0, -1.0),
+                                    (10.0, 10.0), (-10.0, -10.0)])
+        assert report.mean_absolute_error == pytest.approx(0.5)
+        assert report.root_mean_squared_error == \
+            pytest.approx((2 / 4) ** 0.5)
+
+    def test_none_pairs_skipped(self):
+        report = regression_report([(1.0, 1.0), (None, 5.0), (2.0, None)])
+        assert report.count == 1
+
+
+class TestLiftChart:
+    def test_perfect_model_captures_everything_early(self):
+        scored = [(True, 0.9)] * 10 + [(False, 0.1)] * 90
+        chart = lift_chart(scored, buckets=10)
+        population, captured = chart.points[0]
+        assert population == pytest.approx(0.1)
+        assert captured == pytest.approx(1.0)
+        assert chart.lift_at(0.1) == pytest.approx(10.0)
+
+    def test_random_model_tracks_diagonal(self):
+        scored = [((i % 10) == 0, ((i * 7919) % 100) / 100.0)
+                  for i in range(1000)]
+        chart = lift_chart(scored, buckets=10)
+        assert abs(chart.area_over_random()) < 0.15
+
+    def test_final_point_always_captures_all(self):
+        scored = [(True, 0.2), (False, 0.8), (True, 0.5)]
+        chart = lift_chart(scored, buckets=4)
+        assert chart.points[-1] == (1.0, 1.0)
+
+    def test_no_positives_rejected(self):
+        with pytest.raises(Error):
+            lift_chart([(False, 0.5)])
+
+    def test_pretty(self):
+        chart = lift_chart([(True, 0.9), (False, 0.1)], buckets=2)
+        assert "lift" in chart.pretty()
+
+
+class TestScoreClassifier:
+    def test_end_to_end(self, conn):
+        conn.execute("CREATE TABLE T (Id LONG, G TEXT, L TEXT)")
+        rows = ", ".join(
+            f"({i}, '{'a' if i % 2 else 'b'}', "
+            f"'{'x' if i % 2 else 'y'}')" for i in range(1, 101))
+        conn.execute(f"INSERT INTO T VALUES {rows}")
+        conn.execute("CREATE MINING MODEL M (Id LONG KEY, G TEXT "
+                     "DISCRETE, L TEXT DISCRETE PREDICT) "
+                     "USING Repro_Naive_Bayes")
+        conn.execute("INSERT INTO M SELECT Id, G, L FROM T")
+        actuals = dict(conn.execute("SELECT Id, L FROM T").rows)
+        report, chart = score_classifier(
+            conn, "M", "L", "SELECT Id, G FROM T", "Id", actuals)
+        assert report.accuracy == pytest.approx(1.0)
+        assert chart is not None
+        assert chart.lift_at(0.5) >= 1.0
+
+    def test_missing_actual_raises(self, conn):
+        conn.execute("CREATE TABLE T (Id LONG, G TEXT, L TEXT)")
+        conn.execute("INSERT INTO T VALUES (1,'a','x'), (2,'b','y')")
+        conn.execute("CREATE MINING MODEL M (Id LONG KEY, G TEXT "
+                     "DISCRETE, L TEXT DISCRETE PREDICT) "
+                     "USING Repro_Naive_Bayes")
+        conn.execute("INSERT INTO M SELECT Id, G, L FROM T")
+        with pytest.raises(Error, match="actual"):
+            score_classifier(conn, "M", "L", "SELECT Id, G FROM T", "Id",
+                             {1: "x"})
+
+
+class TestCrossValidation:
+    def test_folds_partition_the_keys(self):
+        from repro.evaluation import cross_validation_folds
+        keys = list(range(500))
+        folds = cross_validation_folds(keys, folds=5, seed=3)
+        assert len(folds) == 5
+        all_test = [k for _, test in folds for k in test]
+        assert sorted(all_test) == keys  # each key tested exactly once
+        for train, test in folds:
+            assert sorted(train + test) == keys
+            assert not set(train) & set(test)
+
+    def test_deterministic(self):
+        from repro.evaluation import cross_validation_folds
+        a = cross_validation_folds(list(range(100)), 4, seed=9)
+        b = cross_validation_folds(list(range(100)), 4, seed=9)
+        assert a == b
+
+    def test_too_few_folds(self):
+        from repro.evaluation import cross_validation_folds
+        from repro.errors import Error
+        import pytest
+        with pytest.raises(Error):
+            cross_validation_folds([1, 2, 3], folds=1)
+
+    def test_degenerate_fold_detected(self):
+        from repro.evaluation import cross_validation_folds
+        from repro.errors import Error
+        import pytest
+        with pytest.raises(Error):
+            cross_validation_folds([1, 2], folds=10)

@@ -1,0 +1,156 @@
+"""Model content rendering for every model family."""
+
+import pytest
+
+import repro
+from repro.reporting import (
+    render_clusters,
+    render_model,
+    render_regression,
+    render_rules,
+    render_sequences,
+    render_tree,
+)
+
+
+@pytest.fixture
+def data_conn(conn):
+    conn.execute("CREATE TABLE T (Id LONG, G TEXT, V DOUBLE, L TEXT)")
+    rows = ", ".join(
+        f"({i}, '{'a' if i % 2 else 'b'}', {float(i % 10)}, "
+        f"'{'x' if i % 2 else 'y'}')" for i in range(1, 61))
+    conn.execute(f"INSERT INTO T VALUES {rows}")
+    return conn
+
+
+def train(conn, name, ddl_body, algorithm, insert=None):
+    conn.execute(f"CREATE MINING MODEL [{name}] ({ddl_body}) "
+                 f"USING {algorithm}")
+    conn.execute(insert or f"INSERT INTO [{name}] SELECT Id, G, V, L FROM T")
+    return conn.model(name)
+
+
+class TestRenderTree:
+    def test_indentation_reflects_depth(self, data_conn):
+        model = train(data_conn, "Tree",
+                      "Id LONG KEY, G TEXT DISCRETE, V DOUBLE CONTINUOUS, "
+                      "L TEXT DISCRETE PREDICT",
+                      "Repro_Decision_Trees(MINIMUM_SUPPORT = 2)")
+        text = render_tree(model.content_root().children[0])
+        lines = text.splitlines()
+        assert lines[0].startswith("L [")
+        assert any(line.startswith(("|- ", "`- ")) for line in lines[1:])
+        # grandchildren, if any, are indented beyond their parents
+        depths = [len(line) - len(line.lstrip("| `-")) for line in lines]
+        assert max(depths) >= 0
+
+    def test_render_model_dispatches_to_tree(self, data_conn):
+        model = train(data_conn, "Tree2",
+                      "Id LONG KEY, G TEXT DISCRETE, L TEXT DISCRETE "
+                      "PREDICT",
+                      "Repro_Decision_Trees(MINIMUM_SUPPORT = 2)",
+                      insert="INSERT INTO [Tree2] SELECT Id, G, L FROM T")
+        text = render_model(model)
+        assert "Repro_Decision_Trees" in text
+        assert "G = " in text  # the split captions
+
+
+class TestRenderClusters:
+    def test_cluster_cards(self, data_conn):
+        model = train(data_conn, "Clu",
+                      "Id LONG KEY, G TEXT DISCRETE, V DOUBLE CONTINUOUS",
+                      "Repro_Clustering(CLUSTER_COUNT = 2)")
+        text = render_model(model)
+        assert "Cluster 1" in text and "Cluster 2" in text
+        assert "% of population" in text
+
+    def test_heaviest_cluster_first(self, data_conn):
+        model = train(data_conn, "Clu2",
+                      "Id LONG KEY, G TEXT DISCRETE, V DOUBLE CONTINUOUS",
+                      "Repro_KMeans(CLUSTER_COUNT = 2)")
+        text = render_clusters(model.content_root())
+        first_support = float(text.splitlines()[0].split("(")[1]
+                              .split(" ")[0])
+        assert first_support >= 60 / 2  # the larger half
+
+
+class TestRenderRules:
+    def test_rules_listing(self, conn):
+        conn.execute("CREATE TABLE B (Id LONG, P TEXT)")
+        rows = []
+        for i in range(40):
+            rows.append(f"({i}, 'beer')")
+            rows.append(f"({i}, 'chips')")
+            if i % 2:
+                rows.append(f"({i}, 'salsa')")
+        conn.execute("INSERT INTO B VALUES " + ", ".join(rows))
+        conn.execute("CREATE MINING MODEL [Bask] (Id LONG KEY, "
+                     "N TABLE(P TEXT KEY) PREDICT) "
+                     "USING Apriori(MINIMUM_SUPPORT = 0.2, "
+                     "MINIMUM_PROBABILITY = 0.5)")
+        conn.execute("INSERT INTO [Bask] (Id, N(P)) "
+                     "SHAPE {SELECT DISTINCT Id FROM B ORDER BY Id} "
+                     "APPEND ({SELECT Id AS BID, P FROM B} "
+                     "RELATE Id TO BID) AS N")
+        text = render_model(conn.model("Bask"))
+        assert "rules" in text and "confidence" in text
+        assert "beer" in text
+
+
+class TestRenderRegression:
+    def test_coefficients_table(self, data_conn):
+        model = train(data_conn, "Reg",
+                      "Id LONG KEY, G TEXT DISCRETE, "
+                      "V DOUBLE CONTINUOUS PREDICT",
+                      "Repro_Linear_Regression",
+                      insert="INSERT INTO [Reg] SELECT Id, G, V FROM T")
+        text = render_model(model)
+        assert "(intercept)" in text
+        assert "R^2" in text
+
+
+class TestRenderSequences:
+    def test_transition_summary(self, conn):
+        conn.execute("CREATE TABLE E (Id LONG, S LONG, P TEXT)")
+        rows = []
+        for i in range(20):
+            for step, page in enumerate(["A", "B", "C"]):
+                rows.append(f"({i}, {step}, '{page}')")
+        conn.execute("INSERT INTO E VALUES " + ", ".join(rows))
+        conn.execute("CREATE MINING MODEL [Seq] (Id LONG KEY, "
+                     "N TABLE(S LONG KEY SEQUENCE_TIME, P TEXT DISCRETE)) "
+                     "USING Repro_Sequence_Clustering(CLUSTER_COUNT = 1)")
+        conn.execute("INSERT INTO [Seq] (Id, N(S, P)) "
+                     "SHAPE {SELECT DISTINCT Id FROM E ORDER BY Id} "
+                     "APPEND ({SELECT Id AS EID, S, P FROM E "
+                     "ORDER BY Id, S} RELATE Id TO EID) AS N")
+        text = render_model(conn.model("Seq"))
+        assert "Chain 1" in text
+        assert "->" in text
+
+
+class TestCliDescribe:
+    def test_describe_meta_command(self, data_conn):
+        import io
+        from repro.cli import run_meta
+        train(data_conn, "Desc",
+              "Id LONG KEY, G TEXT DISCRETE, L TEXT DISCRETE PREDICT",
+              "Repro_Naive_Bayes",
+              insert="INSERT INTO [Desc] SELECT Id, G, L FROM T")
+        out = io.StringIO()
+        run_meta(data_conn, ".describe Desc", out=out)
+        assert "Repro_Naive_Bayes" in out.getvalue()
+
+    def test_describe_unknown_model(self, conn):
+        import io
+        from repro.cli import run_meta
+        out = io.StringIO()
+        run_meta(conn, ".describe Ghost", out=out)
+        assert "error" in out.getvalue()
+
+    def test_describe_without_name(self, conn):
+        import io
+        from repro.cli import run_meta
+        out = io.StringIO()
+        run_meta(conn, ".describe", out=out)
+        assert "usage" in out.getvalue()
