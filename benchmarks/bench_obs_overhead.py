@@ -1,0 +1,95 @@
+"""Observability overhead — instrumented dispatch must stay cheap.
+
+The trace layer is on every statement's hot path, so its disabled-state
+cost matters.  Three configurations of the same SELECT workload:
+
+* ``recording off`` — the tracer short-circuits to a null record; the
+  closest available stand-in for the pre-instrumentation provider;
+* ``default`` — statement log on, span capture off (shipping default);
+* ``TRACE ON`` — full span-tree capture.
+
+Reported: statements/second per configuration.  A plain (non-benchmark)
+test asserts default dispatch stays within a generous factor of the
+recording-off baseline using min-of-N timing, so the suite fails if the
+disabled path ever grows a real cost.
+"""
+
+import time
+
+import pytest
+
+from _helpers import make_warehouse
+
+WORKLOAD = "SELECT Gender, AVG(Age) FROM Customers GROUP BY Gender"
+
+
+def _fresh_connection(customers=200):
+    connection, _ = make_warehouse(customers)
+    return connection
+
+
+@pytest.fixture(scope="module")
+def conn_recording_off():
+    connection = _fresh_connection()
+    connection.provider.tracer.recording = False
+    return connection
+
+
+@pytest.fixture(scope="module")
+def conn_default():
+    return _fresh_connection()
+
+
+@pytest.fixture(scope="module")
+def conn_tracing_on():
+    connection = _fresh_connection()
+    connection.provider.tracer.enabled = True
+    return connection
+
+
+def test_bench_dispatch_recording_off(benchmark, conn_recording_off):
+    result = benchmark(conn_recording_off.execute, WORKLOAD)
+    assert len(result) == 2
+
+
+def test_bench_dispatch_default(benchmark, conn_default):
+    result = benchmark(conn_default.execute, WORKLOAD)
+    assert len(result) == 2
+
+
+def test_bench_dispatch_tracing_on(benchmark, conn_tracing_on):
+    result = benchmark(conn_tracing_on.execute, WORKLOAD)
+    assert len(result) == 2
+
+
+def _min_time(connection, repeats=5, batch=40):
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        for _ in range(batch):
+            connection.execute(WORKLOAD)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_default_dispatch_overhead_is_bounded():
+    """Shipping default (log on, spans off) vs recording fully off."""
+    baseline_conn = _fresh_connection()
+    baseline_conn.provider.tracer.recording = False
+    default_conn = _fresh_connection()
+
+    # Warm both paths before timing.
+    for connection in (baseline_conn, default_conn):
+        for _ in range(10):
+            connection.execute(WORKLOAD)
+
+    baseline = _min_time(baseline_conn)
+    default = _min_time(default_conn)
+    ratio = default / baseline
+    print(f"\nobs overhead: recording-off {baseline:.4f}s, "
+          f"default {default:.4f}s, ratio {ratio:.2f}x")
+    # Generous bound: the statement-log path adds a record + a few
+    # thread-local reads per statement, nowhere near 2x even on CI noise.
+    assert ratio < 2.0, (
+        f"default dispatch is {ratio:.2f}x slower than recording-off; "
+        f"the disabled-tracing path has grown a real cost")

@@ -15,6 +15,7 @@ import abc
 from typing import Any, Dict, List, Optional
 
 from repro.errors import CapabilityError, NotTrainedError, SchemaError
+from repro.obs import trace as obs_trace
 from repro.algorithms.attributes import Attribute, AttributeSpace, Observation
 from repro.algorithms.statistics import CategoricalDistribution, GaussianStats
 from repro.core.content import ContentNode
@@ -159,7 +160,9 @@ class MiningAlgorithm(abc.ABC):
               observations: List[Observation]) -> None:
         """Consume the caseset (INSERT INTO semantics, section 3.3)."""
         self.space = space
-        self._train(space, observations)
+        with obs_trace.span("algorithm.train", service=self.SERVICE_NAME):
+            obs_trace.add("observations", len(observations))
+            self._train(space, observations)
         self.trained = True
 
     def partial_train(self, observations: List[Observation]) -> None:
@@ -172,6 +175,17 @@ class MiningAlgorithm(abc.ABC):
         raise CapabilityError(
             f"{self.SERVICE_NAME} does not support incremental "
             f"maintenance; retrain with the full caseset")
+
+    def note_pass(self, **counters: float) -> None:
+        """Record one training pass on the active trace.
+
+        Iterative services call this from their fitting loop so the span
+        tree (and ``DM_QUERY_LOG`` totals) carry a ``training_passes``
+        count plus any extra per-pass counters the service supplies.
+        """
+        obs_trace.add("training_passes", 1)
+        for name, amount in counters.items():
+            obs_trace.add(name, amount)
 
     def reset(self) -> None:
         """DELETE FROM semantics: drop learned content, keep the definition."""

@@ -116,6 +116,7 @@ class EMClusteringAlgorithm(MiningAlgorithm):
         previous = None
         responsibilities = None
         for _ in range(int(self.param("MAX_ITERATIONS"))):
+            self.note_pass()
             if responsibilities is not None:
                 self._m_step(x, codes, case_weights, responsibilities)
             log_density = self._log_density(x, codes)

@@ -109,6 +109,7 @@ class KMeansAlgorithm(MiningAlgorithm):
         centroids = scaled[rng.choice(len(scaled), size=k, replace=False)]
         assignment = np.zeros(len(scaled), dtype=np.int64)
         for _ in range(int(self.param("MAX_ITERATIONS"))):
+            self.note_pass()
             distances = ((scaled[:, None, :] - centroids[None, :, :]) ** 2) \
                 .sum(axis=2)
             new_assignment = distances.argmin(axis=1)

@@ -150,6 +150,7 @@ class LogisticRegressionAlgorithm(MiningAlgorithm):
         previous_loss = None
         log_loss = 0.0
         for _ in range(int(self.param("MAX_ITERATIONS"))):
+            self.note_pass()
             logits = design_scaled @ weights_matrix.T
             logits -= logits.max(axis=1, keepdims=True)
             probabilities = np.exp(logits)

@@ -7,10 +7,11 @@ in-memory provider, with optional demo data preloaded.
 
 Usage::
 
-    dmxsh [--demo N] [--script FILE]
+    dmxsh [--demo N] [--script FILE] [--trace]
 
 Commands end with ``;``.  Shell meta-commands: ``.help``, ``.models``,
-``.tables``, ``.quit``.
+``.tables``, ``.quit``.  ``--trace`` (or the ``TRACE ON`` verb) enables span
+capture and prints the span tree of every statement as it runs.
 """
 
 from __future__ import annotations
@@ -44,6 +45,8 @@ Statement surface (paper section 3):
     SELECT ... FROM <model> [NATURAL] PREDICTION JOIN (...) AS t [ON ...]
     SELECT * FROM <model>.CONTENT | <model>.PMML
     SELECT * FROM $SYSTEM.MINING_MODELS | MINING_COLUMNS | MINING_SERVICES
+    SELECT * FROM $SYSTEM.DM_QUERY_LOG | DM_TRACE_EVENTS | DM_PROVIDER_METRICS
+    TRACE ON | OFF | LAST | STATUS
     DELETE FROM MINING MODEL <name>;  DROP MINING MODEL <name>
     EXPORT MINING MODEL <name> TO '<path>'
     IMPORT MINING MODEL FROM '<path>' [AS <name>]
@@ -52,15 +55,27 @@ Statement surface (paper section 3):
 
 
 def run_command(connection: Connection, command: str,
-                out=None) -> None:
+                out=None, show_trace: bool = False) -> None:
     """Execute one statement and print its result."""
     out = out if out is not None else sys.stdout
     result = connection.execute(command)
     if isinstance(result, Rowset):
         out.write(result.pretty() + "\n")
         out.write(f"({len(result)} rows)\n")
+    elif isinstance(result, str):
+        out.write(result + "\n")
     else:
         out.write(f"OK ({result} rows affected)\n")
+    if show_trace:
+        _print_trace(connection, command, out)
+
+
+def _print_trace(connection: Connection, command: str, out) -> None:
+    """After a traced statement, render its span tree (--trace mode)."""
+    from repro.reporting import render_trace
+    record = connection.provider.tracer.last()
+    if record is not None and record.text.strip() == command.strip():
+        out.write(render_trace(record) + "\n")
 
 
 def run_meta(connection: Connection, command: str, out=None) -> bool:
@@ -110,7 +125,7 @@ def load_demo(connection: Connection, customers: int) -> None:
         f"{customers} customers.\n")
 
 
-def repl(connection: Connection) -> None:
+def repl(connection: Connection, show_trace: bool = False) -> None:
     """Interactive loop: buffer lines until ';', run meta-commands."""
     sys.stdout.write(BANNER)
     buffer = ""
@@ -129,7 +144,7 @@ def repl(connection: Connection) -> None:
         if ";" in line:
             for command in split_statements(buffer):
                 try:
-                    run_command(connection, command)
+                    run_command(connection, command, show_trace=show_trace)
                 except Error as exc:
                     sys.stdout.write(f"error: {exc}\n")
             buffer = ""
@@ -143,21 +158,26 @@ def main(argv: Optional[list] = None) -> int:
                         help="preload the demo warehouse with N customers")
     parser.add_argument("--script", metavar="FILE",
                         help="execute a ';'-separated DMX script and exit")
+    parser.add_argument("--trace", action="store_true",
+                        help="enable span capture and print each "
+                             "statement's trace tree")
     args = parser.parse_args(argv)
 
     connection = connect()
+    if args.trace:
+        connection.provider.tracer.enabled = True
     if args.demo:
         load_demo(connection, args.demo)
     if args.script:
         with open(args.script) as handle:
             for command in split_statements(handle.read()):
                 try:
-                    run_command(connection, command)
+                    run_command(connection, command, show_trace=args.trace)
                 except Error as exc:
                     sys.stderr.write(f"error: {exc}\n")
                     return 1
         return 0
-    repl(connection)
+    repl(connection, show_trace=args.trace)
     return 0
 
 

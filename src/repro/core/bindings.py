@@ -22,6 +22,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.errors import BindError, SchemaError
 from repro.lang import ast_nodes as ast
+from repro.obs import trace as obs_trace
 from repro.core.columns import ContentRole, ModelColumn, ModelDefinition
 from repro.sqlstore.rowset import Rowset
 
@@ -69,11 +70,14 @@ Binding = Union[ast.BindingColumn, ast.BindingSkip, ast.BindingTable]
 def map_rowset(definition: ModelDefinition, rowset: Rowset,
                bindings: Optional[Sequence[Binding]] = None) -> List[MappedCase]:
     """Map a source rowset to cases, positionally if bindings are given."""
-    if bindings:
-        plan = _positional_plan(definition, bindings, rowset)
-    else:
-        plan = _name_plan(definition, rowset)
-    return _apply_plan(definition, rowset, plan)
+    with obs_trace.span("bind", model=definition.name):
+        if bindings:
+            plan = _positional_plan(definition, bindings, rowset)
+        else:
+            plan = _name_plan(definition, rowset)
+        cases = _apply_plan(definition, rowset, plan)
+        obs_trace.add("cases_bound", len(cases))
+        return cases
 
 
 # A plan is a list of (source_index, target) where target is either
@@ -326,6 +330,7 @@ def map_rowset_with_pairs(
                     rows_out.append(row_dict)
             case.tables[key] = rows_out
         cases.append(case)
+    obs_trace.add("cases_bound", len(cases))
     return cases
 
 

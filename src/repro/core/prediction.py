@@ -20,6 +20,7 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from repro.errors import BindError, PredictionError
 from repro.lang import ast_nodes as ast
+from repro.obs import trace as obs_trace
 from repro.shaping.shape import execute_shape, flatten_rowset
 from repro.sqlstore.expressions import EvalContext, evaluate
 from repro.sqlstore.rowset import Rowset, RowsetColumn
@@ -165,9 +166,21 @@ def split_on_condition(model_name: str, alias: Optional[str],
 def execute_prediction_select(provider,
                               statement: ast.SelectStatement) -> Rowset:
     join: ast.PredictionJoin = statement.from_clause
+    with obs_trace.span("predict", model=join.model):
+        result = _execute_prediction_select(provider, statement)
+        obs_trace.add("rows_out", len(result.rows))
+        return result
+
+
+def _execute_prediction_select(provider,
+                               statement: ast.SelectStatement) -> Rowset:
+    join: ast.PredictionJoin = statement.from_clause
     model = provider.model(join.model)
     model.require_trained()
     source_rowset, alias = resolve_prediction_source(provider, join.source)
+    obs_trace.add("prediction_cases", len(source_rowset.rows))
+    provider.metrics.histogram("prediction.join_fanout").observe(
+        len(source_rowset.rows))
 
     if join.natural or join.condition is None:
         cases = map_rowset(model.definition, source_rowset)

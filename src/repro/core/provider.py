@@ -14,11 +14,14 @@ back to base tables, so the same statement forms work on both.
 
 from __future__ import annotations
 
+import re
 from typing import Any, Dict, List, Optional
 
-from repro.errors import BindError, CatalogError, Error
+from repro.errors import BindError, CatalogError, Error, ParseError
 from repro.lang import ast_nodes as ast
 from repro.lang.parser import parse_statement
+from repro.obs import MetricsRegistry, Tracer
+from repro.obs import trace as obs_trace
 from repro.shaping.shape import execute_shape, flatten_rowset
 from repro.sqlstore.engine import Database, SourceRelation
 from repro.sqlstore.rowset import Rowset
@@ -29,12 +32,66 @@ from repro.core.prediction import execute_prediction_select
 from repro.core.schema_rowsets import model_content_rowset, system_rowset
 
 
+def _condense(command: str, limit: int = 120) -> str:
+    """Collapse whitespace and truncate a statement for error/log display."""
+    text = " ".join(command.split())
+    if len(text) > limit:
+        text = text[:limit - 3] + "..."
+    return text
+
+
+def _attach_statement(exc: Error, command: str) -> None:
+    """Append the failing statement text to a parse/bind error in place.
+
+    Mutating ``args`` (rather than raising a new exception) preserves the
+    concrete error type and any attributes such as ``ParseError.line``.
+    """
+    snippet = _condense(command)
+    message = str(exc)
+    if "[in statement:" in message:
+        return
+    exc.args = (f"{message} [in statement: {snippet}]",)
+
+
+def _statement_kind(statement: ast.Statement, provider=None) -> str:
+    """Classify an AST node for the query log / per-kind metrics."""
+    if isinstance(statement, ast.CreateMiningModelStatement):
+        return "CREATE_MODEL"
+    if isinstance(statement, ast.InsertModelStatement):
+        return "TRAIN"
+    if isinstance(statement, ast.InsertValuesStatement):
+        if provider is not None and provider.has_model(statement.table):
+            return "TRAIN"
+        return "INSERT"
+    if isinstance(statement, ast.SelectStatement):
+        if isinstance(statement.from_clause, ast.PredictionJoin):
+            return "PREDICT"
+        return "SELECT"
+    if isinstance(statement, (ast.DeleteModelStatement, ast.DeleteStatement)):
+        return "DELETE"
+    if isinstance(statement, ast.DropMiningModelStatement):
+        return "DROP_MODEL"
+    if isinstance(statement, ast.DropTableStatement):
+        return "DROP"
+    if isinstance(statement, ast.ExportModelStatement):
+        return "EXPORT"
+    if isinstance(statement, ast.ImportModelStatement):
+        return "IMPORT"
+    name = type(statement).__name__
+    if name.endswith("Statement"):
+        name = name[:-len("Statement")]
+    return re.sub(r"(?<=[a-z])(?=[A-Z])", "_", name).upper()
+
+
 class Provider:
     """The provider: relational engine + mining-model catalog + dispatcher."""
 
     def __init__(self):
         self.database = Database(external_resolver=self._resolve_external)
         self.models: Dict[str, MiningModel] = {}
+        self.tracer = Tracer()
+        self.metrics = MetricsRegistry()
+        self.tracer.on_statement = self._observe_statement
 
     # -- catalog ----------------------------------------------------------------
 
@@ -53,10 +110,36 @@ class Provider:
     # -- dispatch ----------------------------------------------------------------
 
     def execute(self, command: str) -> Any:
-        """Parse and execute one command; Rowset for queries, int for DML."""
-        return self.execute_ast(parse_statement(command))
+        """Parse and execute one command; Rowset for queries, int for DML.
+
+        Every statement (except the TRACE verb itself, which controls the
+        tracer) runs inside a :meth:`Tracer.statement` context so the
+        ``$SYSTEM.DM_QUERY_LOG`` ring and provider metrics stay populated.
+        """
+        stripped = command.lstrip()
+        first = stripped.split(None, 1)[0].upper() if stripped else ""
+        if first == "TRACE":
+            return self.execute_ast(parse_statement(command))
+        previous = obs_trace.activate(self.tracer)
+        try:
+            with self.tracer.statement(command) as record:
+                try:
+                    statement = parse_statement(command)
+                except ParseError as exc:
+                    _attach_statement(exc, command)
+                    raise
+                record.kind = _statement_kind(statement, self)
+                try:
+                    return self.execute_ast(statement)
+                except BindError as exc:
+                    _attach_statement(exc, command)
+                    raise
+        finally:
+            obs_trace.deactivate(previous)
 
     def execute_ast(self, statement: ast.Statement) -> Any:
+        if isinstance(statement, ast.TraceStatement):
+            return self._execute_trace(statement)
         if isinstance(statement, ast.CreateMiningModelStatement):
             return self._create_mining_model(statement)
         if isinstance(statement, ast.InsertModelStatement):
@@ -97,6 +180,42 @@ class Provider:
             return self._execute_select(statement)
         return self.database.execute_ast(statement)
 
+    # -- observability ------------------------------------------------------------
+
+    def _execute_trace(self, statement: ast.TraceStatement) -> str:
+        """TRACE ON|OFF|LAST|STATUS — control and inspect the tracer."""
+        from repro import reporting
+        mode = statement.mode.upper()
+        if mode == "ON":
+            self.tracer.enabled = True
+            return "tracing is ON (span capture enabled)"
+        if mode == "OFF":
+            self.tracer.enabled = False
+            return "tracing is OFF (statement log only)"
+        if mode == "LAST":
+            record = self.tracer.last()
+            if record is None:
+                return "no traced statements yet"
+            return reporting.render_trace(record)
+        state = "ON" if self.tracer.enabled else "OFF"
+        return (f"tracing is {state}; "
+                f"{len(self.tracer)} statement(s) in the ring "
+                f"(capacity {self.tracer.ring_size})")
+
+    def _observe_statement(self, record) -> None:
+        """Tracer callback: fold each finished statement into the metrics."""
+        metrics = self.metrics
+        metrics.counter("statements.total").inc()
+        kind = (record.kind or "UNKNOWN").lower()
+        metrics.counter(f"statements.{kind}.count").inc()
+        metrics.histogram("statements.latency_ms").observe(record.duration_ms)
+        metrics.histogram(f"statements.{kind}.latency_ms").observe(
+            record.duration_ms)
+        if record.status == "error":
+            metrics.counter("statements.errors").inc()
+        for name, amount in record.totals().items():
+            metrics.counter(f"activity.{name}").inc(amount)
+
     # -- model life cycle ---------------------------------------------------------
 
     def _create_mining_model(
@@ -123,7 +242,13 @@ class Provider:
             raise Error("INSERT INTO a model requires a SHAPE or SELECT "
                         "source")
         cases = map_rowset(model.definition, rowset, statement.bindings)
-        return model.train(cases)
+        trained = model.train(cases)
+        self.metrics.counter("training.cases_total").inc(len(cases))
+        self.metrics.gauge(f"model.{model.name}.case_count").set(
+            model.case_count)
+        self.metrics.histogram("training.cases_per_insert").observe(
+            len(cases))
+        return trained
 
     def _insert_dispatch(self, statement: ast.InsertValuesStatement) -> int:
         """INSERT whose target may be a base table or a model (paper: a

@@ -12,11 +12,16 @@ Queryable as ``SELECT * FROM $SYSTEM.<rowset>``:
 * MINING_SERVICES, SERVICE_PARAMETERS — registered algorithm capabilities;
 * MINING_FUNCTIONS — the prediction UDF surface;
 * MINING_MODEL_CONTENT — the content graph of every populated model (also
-  reachable per-model as ``SELECT * FROM <model>.CONTENT``).
+  reachable per-model as ``SELECT * FROM <model>.CONTENT``);
+* DM_QUERY_LOG, DM_TRACE_EVENTS, DM_PROVIDER_METRICS — the provider's own
+  telemetry (statement log, span trees, metric snapshot), applying the
+  schema-rowset idea to the provider's runtime behaviour.
 """
 
 from __future__ import annotations
 
+import difflib
+from datetime import datetime
 from typing import List, Optional
 
 from repro.errors import BindError
@@ -227,6 +232,121 @@ def mining_model_content_rowset(provider) -> Rowset:
     return Rowset(_content_columns(), rows)
 
 
+# ---------------------------------------------------------------------------
+# Telemetry rowsets (DM_QUERY_LOG / DM_TRACE_EVENTS / DM_PROVIDER_METRICS)
+# ---------------------------------------------------------------------------
+
+def _format_pairs(pairs) -> Optional[str]:
+    if not pairs:
+        return None
+    return ", ".join(f"{name}={value:g}" if isinstance(value, float)
+                     else f"{name}={value}"
+                     for name, value in sorted(pairs.items()))
+
+
+def dm_query_log_rowset(provider) -> Rowset:
+    """``$SYSTEM.DM_QUERY_LOG``: one row per executed statement."""
+    columns = [
+        RowsetColumn("STATEMENT_ID", LONG),
+        RowsetColumn("STATEMENT", TEXT),
+        RowsetColumn("KIND", TEXT),
+        RowsetColumn("STATUS", TEXT),
+        RowsetColumn("ERROR", TEXT),
+        RowsetColumn("STARTED_AT", TEXT),
+        RowsetColumn("DURATION_MS", DOUBLE),
+        RowsetColumn("ROWS_SCANNED", LONG),
+        RowsetColumn("ROWS_OUT", LONG),
+        RowsetColumn("CASES", LONG),
+        RowsetColumn("SPAN_COUNT", LONG),
+    ]
+    rows = []
+    for record in provider.tracer.statements():
+        totals = record.totals()
+        cases = int(totals.get("cases_bound", 0) or
+                    totals.get("cases_shaped", 0))
+        rows.append((
+            record.statement_id,
+            " ".join(record.text.split()),
+            record.kind,
+            record.status,
+            record.error,
+            datetime.fromtimestamp(record.started_at).isoformat(
+                timespec="milliseconds"),
+            None if record.duration_ms is None
+            else round(record.duration_ms, 3),
+            int(totals.get("rows_scanned", 0)),
+            int(totals.get("rows_out", 0)),
+            cases,
+            record.root.span_count() if record.root is not None else 0,
+        ))
+    return Rowset(columns, rows)
+
+
+def dm_trace_events_rowset(provider) -> Rowset:
+    """``$SYSTEM.DM_TRACE_EVENTS``: flattened span trees of ringed statements."""
+    columns = [
+        RowsetColumn("STATEMENT_ID", LONG),
+        RowsetColumn("SPAN_ID", TEXT),
+        RowsetColumn("PARENT_SPAN_ID", TEXT),
+        RowsetColumn("DEPTH", LONG),
+        RowsetColumn("SPAN", TEXT),
+        RowsetColumn("DURATION_MS", DOUBLE),
+        RowsetColumn("COUNTERS", TEXT),
+        RowsetColumn("ATTRIBUTES", TEXT),
+    ]
+    rows: List[tuple] = []
+    for record in provider.tracer.statements():
+        if record.root is None:
+            continue
+
+        def visit(span, path):
+            span_id = ".".join(str(step) for step in path)
+            parent_id = ".".join(str(step) for step in path[:-1]) or None
+            rows.append((
+                record.statement_id, span_id, parent_id, len(path) - 1,
+                span.name,
+                None if span.duration_ms is None
+                else round(span.duration_ms, 3),
+                _format_pairs(span.counters),
+                _format_pairs(span.attributes),
+            ))
+            for position, child in enumerate(span.children, start=1):
+                visit(child, path + (position,))
+
+        visit(record.root, (1,))
+    return Rowset(columns, rows)
+
+
+def dm_provider_metrics_rowset(provider) -> Rowset:
+    """``$SYSTEM.DM_PROVIDER_METRICS``: the current metric snapshot."""
+    columns = [
+        RowsetColumn("METRIC", TEXT),
+        RowsetColumn("KIND", TEXT),
+        RowsetColumn("COUNT", LONG),
+        RowsetColumn("VALUE", DOUBLE),
+        RowsetColumn("MIN", DOUBLE),
+        RowsetColumn("MAX", DOUBLE),
+        RowsetColumn("MEAN", DOUBLE),
+        RowsetColumn("P50", DOUBLE),
+        RowsetColumn("P95", DOUBLE),
+        RowsetColumn("P99", DOUBLE),
+    ]
+
+    def fmt(value):
+        return None if value is None else round(float(value), 4)
+
+    rows = []
+    for entry in provider.metrics.snapshot():
+        rows.append((
+            entry["name"], entry["kind"], entry.get("count"),
+            fmt(entry.get("value")), fmt(entry.get("min")),
+            fmt(entry.get("max")), fmt(entry.get("mean")),
+            fmt(entry.get("p50")), fmt(entry.get("p95")),
+            fmt(entry.get("p99")),
+        ))
+    return Rowset(columns, rows)
+
+
 SYSTEM_ROWSETS = {
     "MINING_MODELS": mining_models_rowset,
     "MINING_COLUMNS": mining_columns_rowset,
@@ -234,13 +354,19 @@ SYSTEM_ROWSETS = {
     "SERVICE_PARAMETERS": service_parameters_rowset,
     "MINING_FUNCTIONS": mining_functions_rowset,
     "MINING_MODEL_CONTENT": mining_model_content_rowset,
+    "DM_QUERY_LOG": dm_query_log_rowset,
+    "DM_TRACE_EVENTS": dm_trace_events_rowset,
+    "DM_PROVIDER_METRICS": dm_provider_metrics_rowset,
 }
 
 
 def system_rowset(provider, name: str) -> Rowset:
     handler = SYSTEM_ROWSETS.get(name.upper())
     if handler is None:
+        close = difflib.get_close_matches(
+            name.upper(), list(SYSTEM_ROWSETS), n=1, cutoff=0.6)
+        hint = f"; did you mean {close[0]}?" if close else ""
         raise BindError(
             f"unknown schema rowset $SYSTEM.{name} (available: "
-            f"{', '.join(sorted(SYSTEM_ROWSETS))})")
+            f"{', '.join(sorted(SYSTEM_ROWSETS))}){hint}")
     return handler(provider)

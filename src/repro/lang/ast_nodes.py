@@ -408,3 +408,14 @@ class ImportModelStatement(Statement):
     """``IMPORT MINING MODEL FROM '<path>'``."""
     path: str = ""
     rename_to: Optional[str] = None
+
+
+@dataclass
+class TraceStatement(Statement):
+    """``TRACE ON | OFF | LAST | STATUS`` — the shell-level observability verb.
+
+    ON/OFF toggle span capture on the provider's tracer; LAST renders the
+    span tree of the most recent statement; STATUS reports the tracer state.
+    TRACE statements are themselves excluded from the query log.
+    """
+    mode: str = "STATUS"

@@ -17,6 +17,7 @@ from typing import List, Optional, Union
 from repro.errors import ParseError
 from repro.lang import ast_nodes as ast
 from repro.lang.lexer import Lexer, Token, TokenKind
+from repro.obs import trace as obs_trace
 
 # Keywords that terminate an expression or clause; a bare identifier in an
 # alias position must not be one of these.
@@ -124,12 +125,22 @@ class Parser:
             statement = dmx_parser.parse_export(self)
         elif token.is_keyword("IMPORT"):
             statement = dmx_parser.parse_import(self)
+        elif token.is_keyword("TRACE"):
+            statement = self.parse_trace()
         else:
             raise self.error("expected a statement")
         self.accept_symbol(";")
         if not (self.peek().kind is TokenKind.EOF):
             raise self.error("unexpected trailing input")
         return statement
+
+    def parse_trace(self) -> ast.TraceStatement:
+        """``TRACE ON | OFF | LAST | STATUS`` (STATUS if bare)."""
+        self.expect_keyword("TRACE")
+        if self.at_end():
+            return ast.TraceStatement(mode="STATUS")
+        token = self.expect_keyword("ON", "OFF", "LAST", "STATUS")
+        return ast.TraceStatement(mode=token.upper)
 
     # -- SELECT ---------------------------------------------------------------
 
@@ -573,7 +584,11 @@ class Parser:
 
 def parse_statement(text: str) -> ast.Statement:
     """Parse a single SQL or DMX statement from ``text``."""
-    return Parser(text).parse_statement()
+    with obs_trace.span("parse"):
+        parser = Parser(text)
+        statement = parser.parse_statement()
+        obs_trace.add("tokens", len(parser.tokens))
+        return statement
 
 
 def parse_expression(text: str) -> ast.Expr:

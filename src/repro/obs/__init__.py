@@ -1,0 +1,28 @@
+"""Queryable observability: statement tracing and provider metrics.
+
+:mod:`repro.obs.trace` captures per-statement span trees with counters in a
+bounded ring buffer; :mod:`repro.obs.metrics` accumulates counters, gauges,
+and latency histograms.  Both surface back through the SQL command surface
+as the ``$SYSTEM.DM_QUERY_LOG``, ``$SYSTEM.DM_TRACE_EVENTS``, and
+``$SYSTEM.DM_PROVIDER_METRICS`` schema rowsets, and through the DMX shell's
+``TRACE ON | OFF | LAST`` verb.
+"""
+
+from repro.obs.trace import (
+    NULL_SPAN,
+    Span,
+    StatementRecord,
+    Tracer,
+)
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+
+__all__ = [
+    "Span",
+    "StatementRecord",
+    "Tracer",
+    "NULL_SPAN",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+]

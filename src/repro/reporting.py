@@ -139,3 +139,39 @@ def render_model(model) -> str:
     else:  # pragma: no cover - every built-in hits a branch above
         body = "\n".join(f"{n.node_id}: {n.caption}" for n in root.walk())
     return f"{header}\n{body}"
+
+
+def _describe_span(span) -> str:
+    parts = [f"{span.name}  {span.duration_ms:.2f} ms"]
+    for key, value in span.counters.items():
+        amount = f"{value:g}" if isinstance(value, float) else str(value)
+        parts.append(f"{key}={amount}")
+    for key, value in span.attributes.items():
+        parts.append(f"{key}={value}")
+    return "  ".join(parts)
+
+
+def render_trace(record) -> str:
+    """Indented span tree for one traced statement (``TRACE LAST``)."""
+    text = " ".join(record.text.split())
+    if len(text) > 60:
+        text = text[:57] + "..."
+    header = (f"{record.kind} [{record.status}] "
+              f"{record.duration_ms:.2f} ms  {text}")
+    lines = [header]
+    if record.error:
+        lines.append(f"error: {record.error}")
+
+    def walk(span, prefix: str, is_last: bool) -> None:
+        connector = "`- " if is_last else "|- "
+        lines.append(f"{prefix}{connector}{_describe_span(span)}")
+        child_prefix = prefix + ("   " if is_last else "|  ")
+        for position, child in enumerate(span.children):
+            walk(child, child_prefix, position == len(span.children) - 1)
+
+    root = record.root
+    if root is not None:
+        lines.append(_describe_span(root))
+        for position, child in enumerate(root.children):
+            walk(child, "", position == len(root.children) - 1)
+    return "\n".join(lines)

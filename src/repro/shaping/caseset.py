@@ -12,6 +12,7 @@ from __future__ import annotations
 from typing import Any, Dict, Iterator, List, Optional
 
 from repro.errors import BindError
+from repro.obs import trace as obs_trace
 from repro.sqlstore.rowset import Rowset
 
 
@@ -73,15 +74,21 @@ class Caseset:
         return len(self.rowset)
 
     def __iter__(self) -> Iterator[Case]:
-        for row in self.rowset.rows:
-            scalars = {column.name: row[index]
-                       for index, column in self._scalar_indexes}
-            tables = {}
-            for index, column in self._table_indexes:
-                nested = row[index]
-                tables[column.name] = (
-                    nested.to_dicts() if isinstance(nested, Rowset) else [])
-            yield Case(scalars, tables)
+        shaped = 0
+        try:
+            for row in self.rowset.rows:
+                scalars = {column.name: row[index]
+                           for index, column in self._scalar_indexes}
+                tables = {}
+                for index, column in self._table_indexes:
+                    nested = row[index]
+                    tables[column.name] = (
+                        nested.to_dicts() if isinstance(nested, Rowset) else [])
+                shaped += 1
+                yield Case(scalars, tables)
+        finally:
+            if shaped:
+                obs_trace.add("cases_shaped", shaped)
 
     def scalar_columns(self) -> List[str]:
         return [column.name for _, column in self._scalar_indexes]

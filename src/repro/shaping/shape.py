@@ -18,18 +18,28 @@ from typing import Dict, List, Union
 
 from repro.errors import BindError
 from repro.lang import ast_nodes as ast
+from repro.obs import trace as obs_trace
 from repro.sqlstore.rowset import Rowset, RowsetColumn
 from repro.sqlstore.values import group_key
 
 
 def execute_shape(shape: ast.ShapeExpr, database) -> Rowset:
     """Evaluate a SHAPE expression against ``database`` (a Database)."""
+    with obs_trace.span("shape", appends=len(shape.appends)):
+        result = _execute_shape(shape, database)
+        obs_trace.add("shape_cases_out", len(result.rows))
+        return result
+
+
+def _execute_shape(shape: ast.ShapeExpr, database) -> Rowset:
     master = _execute_source(shape.master, database)
+    obs_trace.add("shape_master_rows", len(master.rows))
     columns = list(master.columns)
     rows = [list(row) for row in master.rows]
 
     for append in shape.appends:
         child = _execute_source(append.child, database)
+        obs_trace.add("shape_child_rows", len(child.rows))
         child_index = _require_column(child, append.relate_child,
                                       "RELATE child")
         master_index = _require_column_list(columns, append.relate_master,

@@ -16,6 +16,7 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 from repro.errors import BindError, CatalogError, Error, SchemaError
 from repro.lang import ast_nodes as ast
 from repro.lang.parser import parse_statement
+from repro.obs import trace as obs_trace
 from repro.sqlstore import values as V
 from repro.sqlstore.expressions import (
     EvalContext,
@@ -251,9 +252,16 @@ class Database:
         return Rowset(results[0].columns, rows)
 
     def execute_select(self, statement: ast.SelectStatement) -> Rowset:
+        with obs_trace.span("engine.select"):
+            result = self._execute_select(statement)
+            obs_trace.add("rows_out", len(result.rows))
+            return result
+
+    def _execute_select(self, statement: ast.SelectStatement) -> Rowset:
         if statement.from_clause is None:
             return self._select_without_from(statement)
         relation = self.resolve_table_ref(statement.from_clause)
+        obs_trace.add("rows_scanned", len(relation.rows))
         context = relation.context()
         context.subquery_executor = self.execute_select
 
@@ -526,8 +534,15 @@ class Database:
             f"FROM source {type(ref).__name__} requires the mining provider")
 
     def _resolve_join(self, ref: ast.Join) -> SourceRelation:
+        with obs_trace.span("engine.join", kind=ref.kind):
+            relation = self._resolve_join_rows(ref)
+            obs_trace.add("join_rows_out", len(relation.rows))
+            return relation
+
+    def _resolve_join_rows(self, ref: ast.Join) -> SourceRelation:
         left = self.resolve_table_ref(ref.left)
         right = self.resolve_table_ref(ref.right)
+        obs_trace.add("join_rows_in", len(left.rows) + len(right.rows))
         columns = left.columns + right.columns
 
         if ref.kind == "CROSS":

@@ -20,6 +20,7 @@ EXAMPLES = [
     ("model_management", ("Provider services", "After DELETE FROM")),
     ("clickstream_sequences", ("Behavioural chains", "next page")),
     ("model_validation", ("Classification report", "Lift chart")),
+    ("provider_telemetry", ("Query log", "Provider metrics")),
 ]
 
 

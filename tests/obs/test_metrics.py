@@ -1,0 +1,78 @@
+"""The metrics registry: counters, gauges, bounded histograms."""
+
+import pytest
+
+from repro.obs.metrics import Histogram, MetricsRegistry
+
+
+class TestRegistry:
+    def test_counter_accumulates(self):
+        registry = MetricsRegistry()
+        registry.counter("hits").inc()
+        registry.counter("hits").inc(4)
+        assert registry.counter("hits").value == 5
+
+    def test_gauge_holds_last_value(self):
+        registry = MetricsRegistry()
+        registry.gauge("depth").set(3)
+        registry.gauge("depth").set(7)
+        assert registry.gauge("depth").value == 7
+
+    def test_kind_mismatch_is_an_error(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ValueError, match="is a counter, not a gauge"):
+            registry.gauge("x")
+
+    def test_snapshot_is_sorted_by_name(self):
+        registry = MetricsRegistry()
+        registry.counter("zeta").inc()
+        registry.gauge("alpha").set(1)
+        registry.histogram("mid").observe(2)
+        assert [row["name"] for row in registry.snapshot()] == \
+            ["alpha", "mid", "zeta"]
+
+    def test_reset_clears_everything(self):
+        registry = MetricsRegistry()
+        registry.counter("x").inc()
+        registry.reset()
+        assert len(registry) == 0
+        assert "x" not in registry
+
+
+class TestHistogram:
+    def test_exact_aggregates(self):
+        histogram = Histogram("latency")
+        for value in (1.0, 2.0, 3.0, 4.0):
+            histogram.observe(value)
+        row = histogram.row()
+        assert row["count"] == 4
+        assert row["value"] == 10.0
+        assert row["min"] == 1.0
+        assert row["max"] == 4.0
+        assert row["mean"] == 2.5
+
+    def test_nearest_rank_percentiles(self):
+        histogram = Histogram("latency")
+        for value in range(1, 101):
+            histogram.observe(float(value))
+        assert histogram.percentile(0.50) == 50.0
+        assert histogram.percentile(0.95) == 95.0
+        assert histogram.percentile(0.99) == 99.0
+
+    def test_window_bounds_percentile_memory(self):
+        histogram = Histogram("latency", window=10)
+        for value in range(1000):
+            histogram.observe(float(value))
+        # Percentiles see only the last 10 observations...
+        assert histogram.percentile(0.5) >= 990.0
+        # ...but the exact aggregates cover everything.
+        assert histogram.row()["count"] == 1000
+        assert histogram.row()["min"] == 0.0
+
+    def test_empty_histogram_has_null_stats(self):
+        histogram = Histogram("latency")
+        row = histogram.row()
+        assert row["count"] == 0
+        assert row["p50"] is None
+        assert row["mean"] is None

@@ -1,0 +1,184 @@
+"""The trace layer: spans, statement records, the ring, the no-op path."""
+
+import threading
+
+import pytest
+
+from repro.obs import trace as obs_trace
+from repro.obs.trace import NULL_SPAN, Tracer
+
+
+@pytest.fixture
+def tracer():
+    t = Tracer(enabled=True)
+    previous = obs_trace.activate(t)
+    yield t
+    obs_trace.deactivate(previous)
+
+
+class TestSpanNesting:
+    def test_spans_nest_under_the_statement_root(self, tracer):
+        with tracer.statement("SELECT 1") as record:
+            with obs_trace.span("outer"):
+                with obs_trace.span("inner"):
+                    obs_trace.add("rows", 3)
+        root = record.root
+        assert [s.name for s in root.children] == ["outer"]
+        assert [s.name for s in root.children[0].children] == ["inner"]
+        assert root.children[0].children[0].counters["rows"] == 3
+
+    def test_sibling_spans_stay_siblings(self, tracer):
+        with tracer.statement("x") as record:
+            with obs_trace.span("a"):
+                pass
+            with obs_trace.span("b"):
+                pass
+        assert [s.name for s in record.root.children] == ["a", "b"]
+
+    def test_counters_roll_up_in_totals(self, tracer):
+        with tracer.statement("x") as record:
+            with obs_trace.span("a"):
+                obs_trace.add("rows", 2)
+                with obs_trace.span("b"):
+                    obs_trace.add("rows", 5)
+                    obs_trace.add("cases", 1)
+        assert record.totals() == {"rows": 7, "cases": 1}
+
+    def test_span_durations_are_measured(self, tracer):
+        with tracer.statement("x") as record:
+            with obs_trace.span("a"):
+                pass
+        assert record.duration_ms >= 0
+        assert record.root.children[0].duration_ms >= 0
+
+    def test_spans_walk_depth_first_with_depths(self, tracer):
+        with tracer.statement("x") as record:
+            with obs_trace.span("a"):
+                with obs_trace.span("b"):
+                    pass
+            with obs_trace.span("c"):
+                pass
+        walked = [(span.name, depth) for span, depth in record.spans()]
+        assert walked == [("statement", 0), ("a", 1), ("b", 2), ("c", 1)]
+
+    def test_attributes_are_kept(self, tracer):
+        with tracer.statement("x") as record:
+            with obs_trace.span("bind", model="M1"):
+                pass
+        assert record.root.children[0].attributes == {"model": "M1"}
+
+
+class TestStatementRecords:
+    def test_error_statements_capture_type_and_message(self, tracer):
+        with pytest.raises(ValueError):
+            with tracer.statement("BROKEN"):
+                raise ValueError("boom")
+        record = tracer.last()
+        assert record.status == "error"
+        assert record.error == "ValueError: boom"
+
+    def test_statement_ids_are_monotonic(self, tracer):
+        for text in ("a", "b", "c"):
+            with tracer.statement(text):
+                pass
+        ids = [r.statement_id for r in tracer.statements()]
+        assert ids == sorted(ids)
+        assert len(set(ids)) == 3
+
+    def test_on_statement_callback_fires(self, tracer):
+        seen = []
+        tracer.on_statement = seen.append
+        with tracer.statement("x"):
+            pass
+        assert len(seen) == 1
+        assert seen[0].text == "x"
+
+
+class TestRingBuffer:
+    def test_ring_evicts_oldest_first(self):
+        tracer = Tracer(ring_size=3)
+        for index in range(5):
+            with tracer.statement(f"stmt {index}"):
+                pass
+        texts = [r.text for r in tracer.statements()]
+        assert texts == ["stmt 2", "stmt 3", "stmt 4"]
+        assert len(tracer) == 3
+
+    def test_resize_keeps_newest(self):
+        tracer = Tracer(ring_size=10)
+        for index in range(6):
+            with tracer.statement(f"stmt {index}"):
+                pass
+        tracer.resize_ring(2)
+        assert [r.text for r in tracer.statements()] == \
+            ["stmt 4", "stmt 5"]
+        assert tracer.ring_size == 2
+
+    def test_clear_empties_the_ring(self):
+        tracer = Tracer()
+        with tracer.statement("x"):
+            pass
+        tracer.clear()
+        assert len(tracer) == 0
+        assert tracer.last() is None
+
+
+class TestDisabledPaths:
+    def test_spans_are_noops_when_capture_disabled(self):
+        tracer = Tracer(enabled=False)
+        previous = obs_trace.activate(tracer)
+        try:
+            with tracer.statement("x") as record:
+                with obs_trace.span("a") as span:
+                    assert span is NULL_SPAN
+                    obs_trace.add("rows", 4)
+            # Counters still land on the statement root for the log.
+            assert record.totals() == {"rows": 4}
+            assert record.root.children == []
+        finally:
+            obs_trace.deactivate(previous)
+
+    def test_recording_off_produces_null_records(self):
+        tracer = Tracer()
+        tracer.recording = False
+        previous = obs_trace.activate(tracer)
+        try:
+            with tracer.statement("x") as record:
+                record.kind = "SELECT"  # swallowed, not stored
+                obs_trace.add("rows", 1)
+            assert len(tracer) == 0
+        finally:
+            obs_trace.deactivate(previous)
+
+    def test_module_helpers_are_noops_without_active_tracer(self):
+        assert obs_trace.active_tracer() is None
+        with obs_trace.span("orphan") as span:
+            assert span is NULL_SPAN
+        obs_trace.add("rows", 1)  # must not raise
+
+
+class TestThreading:
+    def test_each_thread_gets_its_own_span_stack(self):
+        tracer = Tracer(enabled=True)
+        errors = []
+
+        def worker(name):
+            previous = obs_trace.activate(tracer)
+            try:
+                for index in range(20):
+                    with tracer.statement(f"{name} {index}") as record:
+                        with obs_trace.span(name):
+                            obs_trace.add("rows", 1)
+                    if [s.name for s in record.root.children] != [name]:
+                        errors.append(record)
+            finally:
+                obs_trace.deactivate(previous)
+
+        threads = [threading.Thread(target=worker, args=(f"t{i}",))
+                   for i in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert len(tracer) == 80
