@@ -71,13 +71,47 @@ def map_rowset(definition: ModelDefinition, rowset: Rowset,
                bindings: Optional[Sequence[Binding]] = None) -> List[MappedCase]:
     """Map a source rowset to cases, positionally if bindings are given."""
     with obs_trace.span("bind", model=definition.name):
-        if bindings:
-            plan = _positional_plan(definition, bindings, rowset)
-        else:
-            plan = _name_plan(definition, rowset)
-        cases = _apply_plan(definition, rowset, plan)
+        mapper = case_mapper(definition, rowset, bindings)
+        cases = [mapper(row) for row in rowset.rows]
         obs_trace.add("cases_bound", len(cases))
         return cases
+
+
+def case_mapper(definition: ModelDefinition, source,
+                bindings: Optional[Sequence[Binding]] = None):
+    """Compile a ``row -> MappedCase`` function for a source's columns.
+
+    ``source`` is anything with rowset column metadata (a :class:`Rowset`
+    or a :class:`~repro.sqlstore.rowset.RowStream`).  The returned mapper
+    carries no reference to the source rows, so the streaming pipeline can
+    apply it batch by batch and let each batch die.
+    """
+    if bindings:
+        plan = _positional_plan(definition, bindings, source)
+    else:
+        plan = _name_plan(definition, source)
+    return lambda row: _map_row(row, plan)
+
+
+def iter_mapped_cases(definition: ModelDefinition, stream,
+                      bindings: Optional[Sequence[Binding]] = None):
+    """Lazily map a row stream (or rowset) to cases, batch by batch.
+
+    The ``bind`` span covers plan compilation; batches bound later pin
+    their counters back onto it.
+    """
+    span = obs_trace.span("bind", model=definition.name)
+    with span:
+        mapper = case_mapper(definition, stream, bindings)
+        source = stream.batches() if hasattr(stream, "batches") \
+            else [stream.rows]
+
+    def produce():
+        for batch in source:
+            cases = [mapper(row) for row in batch]
+            obs_trace.add_to(span, "cases_bound", len(cases))
+            yield cases
+    return produce()
 
 
 # A plan is a list of (source_index, target) where target is either
@@ -193,39 +227,35 @@ def _name_plan(definition: ModelDefinition, rowset: Rowset):
     return plan
 
 
-def _apply_plan(definition: ModelDefinition, rowset: Rowset,
-                plan) -> List[MappedCase]:
-    cases = []
-    for row in rowset.rows:
-        case = MappedCase()
-        for source_index, target in plan:
-            if target[0] == "scalar":
-                column = target[1]
-                value = row[source_index]
-                _store_scalar(case, column, value)
-            else:
-                column, nested_plan = target[1], target[2]
-                nested = row[source_index]
-                rows_out: List[Dict[str, Any]] = []
-                if isinstance(nested, Rowset):
-                    for nested_row in nested.rows:
-                        row_dict: Dict[str, Any] = {}
-                        for nested_index, nested_target in nested_plan:
-                            nested_column = nested_target[1]
-                            value = nested_row[nested_index]
-                            if nested_column.role is ContentRole.QUALIFIER:
-                                target_key = nested_column.qualifier_of.upper()
-                                row_dict.setdefault(
-                                    "__QUALIFIERS__", {}).setdefault(
-                                    target_key, {})[
-                                    nested_column.qualifier] = value
-                            else:
-                                row_dict[nested_column.name.upper()] = \
-                                    _coerce(nested_column, value)
-                        rows_out.append(row_dict)
-                case.tables[column.name.upper()] = rows_out
-        cases.append(case)
-    return cases
+def _map_row(row: tuple, plan) -> MappedCase:
+    case = MappedCase()
+    for source_index, target in plan:
+        if target[0] == "scalar":
+            column = target[1]
+            value = row[source_index]
+            _store_scalar(case, column, value)
+        else:
+            column, nested_plan = target[1], target[2]
+            nested = row[source_index]
+            rows_out: List[Dict[str, Any]] = []
+            if isinstance(nested, Rowset):
+                for nested_row in nested.rows:
+                    row_dict: Dict[str, Any] = {}
+                    for nested_index, nested_target in nested_plan:
+                        nested_column = nested_target[1]
+                        value = nested_row[nested_index]
+                        if nested_column.role is ContentRole.QUALIFIER:
+                            target_key = nested_column.qualifier_of.upper()
+                            row_dict.setdefault(
+                                "__QUALIFIERS__", {}).setdefault(
+                                target_key, {})[
+                                nested_column.qualifier] = value
+                        else:
+                            row_dict[nested_column.name.upper()] = \
+                                _coerce(nested_column, value)
+                    rows_out.append(row_dict)
+            case.tables[column.name.upper()] = rows_out
+    return case
 
 
 def _store_scalar(case: MappedCase, column: ModelColumn, value: Any) -> None:
@@ -250,13 +280,25 @@ def map_rowset_with_pairs(
         definition: ModelDefinition, rowset: Rowset,
         pairs: List[Tuple[Tuple[str, ...], Tuple[str, ...]]],
         source_alias: Optional[str]) -> List[MappedCase]:
-    """Map cases using explicit (model_path, source_path) equalities.
+    """Map cases using explicit (model_path, source_path) equalities."""
+    mapper = pair_mapper(definition, rowset, pairs, source_alias)
+    cases = [mapper(row) for row in rowset.rows]
+    obs_trace.add("cases_bound", len(cases))
+    return cases
+
+
+def pair_mapper(definition: ModelDefinition, source,
+                pairs: List[Tuple[Tuple[str, ...], Tuple[str, ...]]],
+                source_alias: Optional[str]):
+    """Compile a ``row -> MappedCase`` mapper from ON-clause equalities.
 
     ``model_path`` is ``(column,)`` or ``(table, column)`` after stripping
     the model name; ``source_path`` likewise after stripping the source
     alias.  Nested paths require the source column of the same table name
-    to exist in the shaped source.
+    to exist in the shaped source.  ``source`` supplies column metadata
+    only (a :class:`Rowset` or row stream).
     """
+    rowset = source
     scalar_map: List[Tuple[int, ModelColumn]] = []
     nested_map: Dict[str, List[Tuple[int, ModelColumn]]] = {}
     nested_source: Dict[str, int] = {}
@@ -306,8 +348,7 @@ def map_rowset_with_pairs(
                 f"unsupported model path {'.'.join(model_path)!r} in ON "
                 f"clause")
 
-    cases = []
-    for row in rowset.rows:
+    def mapper(row: tuple) -> MappedCase:
         case = MappedCase()
         for source_index, column in scalar_map:
             _store_scalar(case, column, row[source_index])
@@ -329,9 +370,8 @@ def map_rowset_with_pairs(
                                 nested_column, nested_row[inner_index])
                     rows_out.append(row_dict)
             case.tables[key] = rows_out
-        cases.append(case)
-    obs_trace.add("cases_bound", len(cases))
-    return cases
+        return case
+    return mapper
 
 
 def _resolve_source_scalar(rowset: Rowset, path: Tuple[str, ...]) -> int:

@@ -1,0 +1,127 @@
+"""LRU cache for shaped casesets.
+
+Shaping and binding dominate the cost of the populate/predict pipeline:
+a PREDICTION JOIN over the same SHAPE as the previous one re-executes the
+master and child queries, re-hashes the child rows, and re-binds every case.
+This cache keys the *bound* result — (source rows, mapped cases) — on the
+statement's source AST, the binding mode, the model-definition fingerprint,
+and the database's :attr:`data_version`, so a hit is guaranteed fresh: any
+INSERT/UPDATE/DELETE/DDL bumps the version and naturally retires stale
+entries through LRU pressure.
+
+Two knobs bound memory:
+
+* ``capacity`` — number of entries (LRU eviction beyond it; 0 disables);
+* ``max_rows`` — casesets larger than this are never cached, so the
+  streaming pipeline keeps its O(batch) footprint on huge sources instead
+  of accumulating a copy it may never reuse.
+
+Hit/miss/eviction counters are folded into the provider's
+:class:`~repro.obs.metrics.MetricsRegistry` and therefore show up in
+``SELECT * FROM $SYSTEM.DM_PROVIDER_METRICS`` like every other provider
+statistic.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Any, Hashable, Optional, Tuple
+
+
+class CasesetCache:
+    """Thread-safe LRU mapping of caseset keys to shaped/bound results."""
+
+    def __init__(self, capacity: int = 8, max_rows: int = 50_000,
+                 metrics=None):
+        self.capacity = max(0, int(capacity))
+        self.max_rows = max(0, int(max_rows))
+        self._entries: "OrderedDict[Hashable, Tuple[Any, int]]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._metrics = metrics
+
+    @property
+    def enabled(self) -> bool:
+        return self.capacity > 0
+
+    def _count(self, name: str, amount: float = 1) -> None:
+        if self._metrics is not None:
+            self._metrics.counter(f"caseset_cache.{name}").inc(amount)
+
+    def _gauge_entries(self) -> None:
+        if self._metrics is not None:
+            self._metrics.gauge("caseset_cache.entries").set(
+                len(self._entries))
+
+    def get(self, key: Hashable) -> Optional[Any]:
+        """Cached value for ``key``, bumping recency; None on miss."""
+        if not self.enabled:
+            return None
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self._count("misses")
+                return None
+            self._entries.move_to_end(key)
+            self._count("hits")
+            return entry[0]
+
+    def put(self, key: Hashable, value: Any, rows: int) -> bool:
+        """Insert ``value`` (a caseset of ``rows`` rows); False if skipped."""
+        if not self.enabled or rows > self.max_rows:
+            if self.enabled:
+                self._count("skipped_too_large")
+            return False
+        with self._lock:
+            self._entries[key] = (value, rows)
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self._count("evictions")
+            self._gauge_entries()
+        return True
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self._gauge_entries()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def stats(self) -> dict:
+        """Current counter values (reads the metrics registry)."""
+        if self._metrics is None:
+            return {}
+        out = {}
+        for name in ("hits", "misses", "evictions", "skipped_too_large"):
+            metric = self._metrics.get(f"caseset_cache.{name}")
+            out[name] = metric.value if metric is not None else 0.0
+        return out
+
+
+def definition_fingerprint(definition) -> Tuple:
+    """A hashable, structural identity for a model definition.
+
+    Cache entries hold cases keyed by *model column names*, so two models
+    whose definitions map sources identically may share entries; a model
+    dropped and re-created with different columns must not.  The
+    fingerprint captures exactly what binding depends on: column names,
+    table-ness, nested column names, and qualifier wiring.
+    """
+    parts = []
+    for column in definition.columns:
+        if column.is_table:
+            nested = tuple(
+                (c.name.upper(), getattr(c, "qualifier", None),
+                 (c.qualifier_of or "").upper() if getattr(
+                     c, "qualifier_of", None) else None)
+                for c in column.nested_columns)
+            parts.append((column.name.upper(), "TABLE", nested))
+        else:
+            parts.append((column.name.upper(), "SCALAR",
+                          getattr(column, "qualifier", None),
+                          (column.qualifier_of or "").upper() if getattr(
+                              column, "qualifier_of", None) else None))
+    return tuple(parts)

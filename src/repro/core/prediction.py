@@ -21,16 +21,21 @@ from typing import Any, Dict, List, Optional, Tuple
 from repro.errors import BindError, PredictionError
 from repro.lang import ast_nodes as ast
 from repro.obs import trace as obs_trace
-from repro.shaping.shape import execute_shape, flatten_rowset
+from repro.shaping.shape import (
+    execute_shape_stream,
+    flatten_rowset,
+    flatten_stream,
+)
 from repro.sqlstore.expressions import EvalContext, evaluate
-from repro.sqlstore.rowset import Rowset, RowsetColumn
+from repro.sqlstore.rowset import Rowset, RowsetColumn, RowStream
 from repro.sqlstore.types import TABLE, infer_type
 from repro.sqlstore.values import group_key, sort_key
 from repro.core.bindings import (
     MappedCase,
-    map_rowset,
-    map_rowset_with_pairs,
+    case_mapper,
+    pair_mapper,
 )
+from repro.core.casecache import definition_fingerprint
 from repro.core.functions import PREDICTION_FUNCTIONS, PredictionScope
 
 
@@ -108,19 +113,39 @@ class PredictionEvalContext(EvalContext):
         return super().call_function(call, evaluator)
 
 
+def _source_alias(source: ast.TableRef) -> Optional[str]:
+    if isinstance(source, ast.ShapeSource):
+        return source.alias
+    if isinstance(source, ast.SubquerySource):
+        return source.alias
+    if isinstance(source, ast.NamedTable):
+        return source.alias or source.name
+    raise PredictionError(
+        f"unsupported PREDICTION JOIN source {type(source).__name__}")
+
+
+def resolve_prediction_source_stream(provider, source: ast.TableRef,
+                                     batch_size: Optional[int] = None) \
+        -> Tuple[RowStream, Optional[str]]:
+    """Evaluate the right-hand side of PREDICTION JOIN as a row stream."""
+    database = provider.database
+    batch_size = batch_size or getattr(database, "batch_size", 1024)
+    alias = _source_alias(source)
+    if isinstance(source, ast.ShapeSource):
+        return execute_shape_stream(source.shape, database, batch_size), alias
+    if isinstance(source, ast.SubquerySource):
+        return database.execute_select_stream(source.select,
+                                              batch_size), alias
+    relation = database.resolve_table_ref(source, batch_size)
+    columns = [column for _, column in relation.columns]
+    return RowStream(columns, relation.batches(batch_size)), alias
+
+
 def resolve_prediction_source(provider, source: ast.TableRef) \
         -> Tuple[Rowset, Optional[str]]:
     """Evaluate the right-hand side of PREDICTION JOIN into a rowset."""
-    if isinstance(source, ast.ShapeSource):
-        return execute_shape(source.shape, provider.database), source.alias
-    if isinstance(source, ast.SubquerySource):
-        return provider.database.execute_select(source.select), source.alias
-    if isinstance(source, ast.NamedTable):
-        relation = provider.database.resolve_table_ref(source)
-        columns = [column for _, column in relation.columns]
-        return Rowset(columns, relation.rows), source.alias or source.name
-    raise PredictionError(
-        f"unsupported PREDICTION JOIN source {type(source).__name__}")
+    stream, alias = resolve_prediction_source_stream(provider, source)
+    return stream.materialize(), alias
 
 
 def split_on_condition(model_name: str, alias: Optional[str],
@@ -163,6 +188,76 @@ def split_on_condition(model_name: str, alias: Optional[str],
     return pairs
 
 
+def _prediction_case_batches(provider, statement: ast.SelectStatement,
+                             batch_size: Optional[int] = None):
+    """Resolve the join source and compile binding; stream (row, case) pairs.
+
+    Returns ``(model, alias, source_columns, batches)`` where ``batches``
+    yields lists of ``(source_row, MappedCase)``.  When the provider's
+    caseset cache is enabled, a hit replays the bound caseset without
+    re-executing the source; a miss accumulates up to ``max_rows`` pairs
+    alongside the stream and caches them on completion, so huge sources
+    keep the O(batch) footprint and are simply never cached.
+    """
+    join: ast.PredictionJoin = statement.from_clause
+    model = provider.model(join.model)
+    model.require_trained()
+    database = provider.database
+    batch_size = batch_size or getattr(database, "batch_size", 1024)
+    alias = _source_alias(join.source)
+
+    cache = getattr(provider, "caseset_cache", None)
+    key = None
+    if cache is not None and cache.enabled:
+        key = ("prediction", model.name.upper(),
+               definition_fingerprint(model.definition),
+               repr(join.source), bool(join.natural), repr(join.condition),
+               database.data_version)
+        hit = cache.get(key)
+        if hit is not None:
+            columns, rows, cases = hit
+            obs_trace.add("prediction_cases", len(rows))
+            provider.metrics.histogram("prediction.join_fanout").observe(
+                len(rows))
+
+            def replay():
+                for start in range(0, len(rows), batch_size):
+                    yield list(zip(rows[start:start + batch_size],
+                                   cases[start:start + batch_size]))
+            return model, alias, columns, replay()
+
+    stream, alias = resolve_prediction_source_stream(
+        provider, join.source, batch_size)
+    if join.natural or join.condition is None:
+        mapper = case_mapper(model.definition, stream)
+    else:
+        pairs = split_on_condition(model.name, alias, join.condition)
+        mapper = pair_mapper(model.definition, stream, pairs, alias)
+    columns = list(stream.columns)
+
+    def produce():
+        collected = ([], []) if key is not None else None
+        total = 0
+        for batch in stream.batches():
+            mapped = [(row, mapper(row)) for row in batch]
+            total += len(mapped)
+            obs_trace.add("cases_bound", len(mapped))
+            if collected is not None:
+                if total <= cache.max_rows:
+                    collected[0].extend(batch)
+                    collected[1].extend(case for _, case in mapped)
+                else:
+                    collected = None  # too large: stop accumulating a copy
+            yield mapped
+        obs_trace.add("prediction_cases", total)
+        provider.metrics.histogram("prediction.join_fanout").observe(total)
+        if collected is not None:
+            cache.put(key, (columns, collected[0], collected[1]), total)
+        elif key is not None:
+            cache.put(key, None, cache.max_rows + 1)  # count the skip
+    return model, alias, columns, produce()
+
+
 def execute_prediction_select(provider,
                               statement: ast.SelectStatement) -> Rowset:
     join: ast.PredictionJoin = statement.from_clause
@@ -172,45 +267,119 @@ def execute_prediction_select(provider,
         return result
 
 
+def execute_prediction_stream(provider, statement: ast.SelectStatement,
+                              batch_size: Optional[int] = None) -> RowStream:
+    """Streaming PREDICTION JOIN: memory stays O(batch) for pipelined shapes.
+
+    ORDER BY and DISTINCT are blocking and fall back to the materializing
+    path; WHERE, the select list, TOP (early stop), and FLATTENED all
+    pipeline.  Output column metadata is inferred from a buffered prefix
+    that grows only until every column has produced a non-NULL sample (the
+    same first-non-NULL rule the materializing path applies to the full
+    result).
+    """
+    batch_size = batch_size or getattr(provider.database, "batch_size", 1024)
+    if statement.order_by or statement.distinct:
+        return RowStream.from_rowset(
+            execute_prediction_select(provider, statement), batch_size)
+
+    join: ast.PredictionJoin = statement.from_clause
+    with obs_trace.span("predict", model=join.model, streaming=True):
+        model, alias, source_columns, case_batches = \
+            _prediction_case_batches(provider, statement, batch_size)
+        source_context = _source_context(source_columns, alias)
+        source_context.subquery_executor = provider.database.execute_select
+        expanded = _expand_select_list(statement, model, source_columns,
+                                       alias)
+
+        def value_batches():
+            remaining = statement.top
+            for batch in case_batches:
+                out = []
+                for row, case in batch:
+                    context = PredictionEvalContext(
+                        model, source_context, row, case)
+                    if statement.where is not None and \
+                            evaluate(statement.where, context) is not True:
+                        continue
+                    out.append(tuple(evaluate(expr, context)
+                                     for expr, _ in expanded))
+                if remaining is not None:
+                    if len(out) >= remaining:
+                        if out[:remaining]:
+                            obs_trace.add("rows_out", remaining)
+                            yield out[:remaining]
+                        return
+                    remaining -= len(out)
+                if out:
+                    obs_trace.add("rows_out", len(out))
+                    yield out
+
+        # Buffer a prefix until every output column has a sample value
+        # (or the stream ends), then replay it ahead of the live tail.
+        produced = value_batches()
+        head: List[List[tuple]] = []
+        sample_rows: List[tuple] = []
+        needed = len(expanded)
+        while needed:
+            batch = next(produced, None)
+            if batch is None:
+                break
+            head.append(batch)
+            sample_rows.extend(batch)
+            needed = sum(
+                1 for position in range(len(expanded))
+                if not any(row[position] is not None for row in sample_rows))
+        columns = _column_metadata(expanded, sample_rows, lambda entry: entry)
+        result = RowStream(columns, _chain_batches(head, produced))
+        if statement.flattened:
+            result = flatten_stream(result)
+        return result
+
+
+def _chain_batches(head, tail):
+    yield from head
+    yield from tail
+
+
 def _execute_prediction_select(provider,
                                statement: ast.SelectStatement) -> Rowset:
-    join: ast.PredictionJoin = statement.from_clause
-    model = provider.model(join.model)
-    model.require_trained()
-    source_rowset, alias = resolve_prediction_source(provider, join.source)
-    obs_trace.add("prediction_cases", len(source_rowset.rows))
-    provider.metrics.histogram("prediction.join_fanout").observe(
-        len(source_rowset.rows))
-
-    if join.natural or join.condition is None:
-        cases = map_rowset(model.definition, source_rowset)
-    else:
-        pairs = split_on_condition(model.name, alias, join.condition)
-        cases = map_rowset_with_pairs(model.definition, source_rowset, pairs,
-                                      alias)
-
-    source_context = _source_context(source_rowset, alias)
+    model, alias, source_columns, case_batches = \
+        _prediction_case_batches(provider, statement)
+    source_context = _source_context(source_columns, alias)
     source_context.subquery_executor = provider.database.execute_select
-    expanded = _expand_select_list(statement, model, source_rowset, alias)
+    expanded = _expand_select_list(statement, model, source_columns, alias)
+
+    # ORDER BY may sort on expressions over the source row/case, so only
+    # then do we retain (values, row, case) triples; otherwise values-only
+    # entries keep the materialized footprint to the output itself.
+    keep_sources = bool(statement.order_by)
+    values_of = (lambda entry: entry[0]) if keep_sources \
+        else (lambda entry: entry)
+    can_stop_early = statement.top is not None and \
+        not statement.order_by and not statement.distinct
 
     output_rows: List[tuple] = []
-    for row, case in zip(source_rowset.rows, cases):
-        context = PredictionEvalContext(model, source_context, row, case)
-        if statement.where is not None and \
-                evaluate(statement.where, context) is not True:
-            continue
-        output_rows.append((
-            tuple(evaluate(expr, context) for expr, _ in expanded),
-            row, case))
+    for batch in case_batches:
+        for row, case in batch:
+            context = PredictionEvalContext(model, source_context, row, case)
+            if statement.where is not None and \
+                    evaluate(statement.where, context) is not True:
+                continue
+            values = tuple(evaluate(expr, context) for expr, _ in expanded)
+            output_rows.append((values, row, case) if keep_sources
+                               else values)
+        if can_stop_early and len(output_rows) >= statement.top:
+            break
 
-    columns = _column_metadata(expanded, output_rows)
+    columns = _column_metadata(expanded, output_rows, values_of)
 
     if statement.distinct:
         seen = set()
         unique = []
         for entry in output_rows:
             key = tuple(group_key(v) if not isinstance(v, Rowset) else id(v)
-                        for v in entry[0])
+                        for v in values_of(entry))
             if key not in seen:
                 seen.add(key)
                 unique.append(entry)
@@ -239,7 +408,7 @@ def _execute_prediction_select(provider,
                                                     statement.order_by))
         output_rows = [output_rows[i] for i in indexed]
 
-    rows = [entry[0] for entry in output_rows]
+    rows = [values_of(entry) for entry in output_rows]
     if statement.top is not None:
         rows = rows[:statement.top]
     result = Rowset(columns, rows)
@@ -273,16 +442,17 @@ class _Reversed:
         return self.value == other.value
 
 
-def _source_context(rowset: Rowset, alias: Optional[str]) -> EvalContext:
+def _source_context(source_columns: List[RowsetColumn],
+                    alias: Optional[str]) -> EvalContext:
     mapping: Dict[Tuple[str, ...], int] = {}
-    for index, column in enumerate(rowset.columns):
+    for index, column in enumerate(source_columns):
         mapping.setdefault((column.name.upper(),), index)
         if alias:
             mapping.setdefault((alias.upper(), column.name.upper()), index)
     return EvalContext(mapping)
 
 
-def _expand_select_list(statement, model, source_rowset,
+def _expand_select_list(statement, model, source_columns,
                         alias) -> List[Tuple[ast.Expr, str]]:
     expanded: List[Tuple[ast.Expr, str]] = []
     for position, item in enumerate(statement.select_list):
@@ -290,7 +460,7 @@ def _expand_select_list(statement, model, source_rowset,
             qualifier = item.expr.qualifier
             if qualifier is None or (
                     alias and qualifier.upper() == alias.upper()):
-                for column in source_rowset.columns:
+                for column in source_columns:
                     if column.nested_columns is None:
                         expanded.append(
                             (ast.ColumnRef(parts=(column.name,)),
@@ -316,12 +486,13 @@ def _default_name(expr: ast.Expr, position: int) -> str:
     return f"Expr{position + 1}"
 
 
-def _column_metadata(expanded, output_rows) -> List[RowsetColumn]:
+def _column_metadata(expanded, output_rows,
+                     values_of) -> List[RowsetColumn]:
     columns = []
     for position, (_, name) in enumerate(expanded):
         sample = None
         for entry in output_rows:
-            value = entry[0][position]
+            value = values_of(entry)[position]
             if value is not None:
                 sample = value
                 break

@@ -22,13 +22,21 @@ from repro.lang import ast_nodes as ast
 from repro.lang.parser import parse_statement
 from repro.obs import MetricsRegistry, Tracer
 from repro.obs import trace as obs_trace
-from repro.shaping.shape import execute_shape, flatten_rowset
+from repro.shaping.shape import (
+    execute_shape_stream,
+    flatten_rowset,
+    flatten_stream,
+)
 from repro.sqlstore.engine import Database, SourceRelation
-from repro.sqlstore.rowset import Rowset
-from repro.core.bindings import map_rowset
+from repro.sqlstore.rowset import DEFAULT_BATCH_SIZE, Rowset, RowStream
+from repro.core.bindings import iter_mapped_cases
+from repro.core.casecache import CasesetCache, definition_fingerprint
 from repro.core.columns import compile_model_definition
 from repro.core.model import MiningModel
-from repro.core.prediction import execute_prediction_select
+from repro.core.prediction import (
+    execute_prediction_select,
+    execute_prediction_stream,
+)
 from repro.core.schema_rowsets import model_content_rowset, system_rowset
 
 
@@ -84,13 +92,26 @@ def _statement_kind(statement: ast.Statement, provider=None) -> str:
 
 
 class Provider:
-    """The provider: relational engine + mining-model catalog + dispatcher."""
+    """The provider: relational engine + mining-model catalog + dispatcher.
 
-    def __init__(self):
-        self.database = Database(external_resolver=self._resolve_external)
+    ``batch_size`` sets the granularity of the streaming pipeline (rows per
+    batch exchanged between operators); ``caseset_cache_capacity`` and
+    ``caseset_cache_max_rows`` tune the LRU cache of bound casesets
+    (capacity 0 disables it, casesets above ``max_rows`` are never cached).
+    """
+
+    def __init__(self, batch_size: int = DEFAULT_BATCH_SIZE,
+                 caseset_cache_capacity: int = 8,
+                 caseset_cache_max_rows: int = 50_000):
+        self.database = Database(external_resolver=self._resolve_external,
+                                 batch_size=batch_size)
         self.models: Dict[str, MiningModel] = {}
         self.tracer = Tracer()
         self.metrics = MetricsRegistry()
+        self.caseset_cache = CasesetCache(
+            capacity=caseset_cache_capacity,
+            max_rows=caseset_cache_max_rows,
+            metrics=self.metrics)
         self.tracer.on_statement = self._observe_statement
 
     # -- catalog ----------------------------------------------------------------
@@ -234,14 +255,7 @@ class Provider:
 
     def _insert_model(self, statement: ast.InsertModelStatement) -> int:
         model = self.model(statement.model)
-        if isinstance(statement.source, ast.ShapeExpr):
-            rowset = execute_shape(statement.source, self.database)
-        elif isinstance(statement.source, ast.SelectStatement):
-            rowset = self.database.execute_select(statement.source)
-        else:
-            raise Error("INSERT INTO a model requires a SHAPE or SELECT "
-                        "source")
-        cases = map_rowset(model.definition, rowset, statement.bindings)
+        cases = self._bind_training_cases(model, statement)
         trained = model.train(cases)
         self.metrics.counter("training.cases_total").inc(len(cases))
         self.metrics.gauge(f"model.{model.name}.case_count").set(
@@ -249,6 +263,39 @@ class Provider:
         self.metrics.histogram("training.cases_per_insert").observe(
             len(cases))
         return trained
+
+    def _bind_training_cases(self, model: MiningModel,
+                             statement: ast.InsertModelStatement) -> list:
+        """Stream the source into bound cases, via the caseset cache.
+
+        The source rowset (SHAPE output included) is consumed batch by
+        batch — only the bound :class:`MappedCase` list accumulates, which
+        the model would retain anyway as its training caseset.
+        """
+        cache = self.caseset_cache
+        key = None
+        if cache.enabled:
+            key = ("train", model.name.upper(),
+                   definition_fingerprint(model.definition),
+                   repr(statement.source), repr(statement.bindings),
+                   self.database.data_version)
+            cached = cache.get(key)
+            if cached is not None:
+                return cached
+        if isinstance(statement.source, ast.ShapeExpr):
+            stream = execute_shape_stream(statement.source, self.database)
+        elif isinstance(statement.source, ast.SelectStatement):
+            stream = self.database.execute_select_stream(statement.source)
+        else:
+            raise Error("INSERT INTO a model requires a SHAPE or SELECT "
+                        "source")
+        cases = []
+        for batch in iter_mapped_cases(model.definition, stream,
+                                       statement.bindings):
+            cases.extend(batch)
+        if key is not None:
+            cache.put(key, cases, len(cases))
+        return cases
 
     def _insert_dispatch(self, statement: ast.InsertValuesStatement) -> int:
         """INSERT whose target may be a base table or a model (paper: a
@@ -275,11 +322,53 @@ class Provider:
             result = flatten_rowset(result)
         return result
 
+    def _execute_select_stream(self, statement: ast.SelectStatement,
+                               batch_size: Optional[int] = None) -> RowStream:
+        if isinstance(statement.from_clause, ast.PredictionJoin):
+            return execute_prediction_stream(self, statement, batch_size)
+        result = self.database.execute_select_stream(statement, batch_size)
+        if statement.flattened:
+            result = flatten_stream(result)
+        return result
+
+    def execute_stream(self, command: str,
+                       batch_size: Optional[int] = None) -> RowStream:
+        """Execute a SELECT (plain or PREDICTION JOIN) as a row stream.
+
+        The returned :class:`RowStream` is single-use; blocking clauses
+        (GROUP BY, ORDER BY, DISTINCT) still materialize internally, but
+        pipelined shapes are produced batch by batch.
+        """
+        previous = obs_trace.activate(self.tracer)
+        try:
+            with self.tracer.statement(command) as record:
+                try:
+                    statement = parse_statement(command)
+                except ParseError as exc:
+                    _attach_statement(exc, command)
+                    raise
+                record.kind = _statement_kind(statement, self)
+                try:
+                    if isinstance(statement, ast.UnionStatement):
+                        return self.database.execute_union_stream(
+                            statement, batch_size)
+                    if isinstance(statement, ast.SelectStatement):
+                        return self._execute_select_stream(statement,
+                                                           batch_size)
+                except BindError as exc:
+                    _attach_statement(exc, command)
+                    raise
+                raise Error(
+                    "execute_stream supports SELECT statements only; "
+                    "use execute() for DDL/DML")
+        finally:
+            obs_trace.deactivate(previous)
+
     def _resolve_external(self, ref: ast.TableRef) -> Optional[SourceRelation]:
         """The engine's hook: models, SHAPE, $SYSTEM, <model>.CONTENT."""
         if isinstance(ref, ast.ShapeSource):
-            rowset = execute_shape(ref.shape, self.database)
-            return SourceRelation.from_rowset(rowset, ref.alias)
+            stream = execute_shape_stream(ref.shape, self.database)
+            return SourceRelation.from_stream(stream, ref.alias)
         if isinstance(ref, ast.SystemRowsetRef):
             rowset = system_rowset(self, ref.rowset)
             return SourceRelation.from_rowset(rowset, ref.alias or ref.rowset)
@@ -353,6 +442,13 @@ class Connection:
             raise Error("connection is closed")
         return self.provider.execute(command)
 
+    def execute_stream(self, command: str,
+                       batch_size: Optional[int] = None) -> RowStream:
+        """Execute one SELECT as a single-use stream of row batches."""
+        if self._closed:
+            raise Error("connection is closed")
+        return self.provider.execute_stream(command, batch_size)
+
     def execute_script(self, script: str) -> List[Any]:
         """Execute ';'-separated statements; returns each result."""
         results = []
@@ -380,9 +476,13 @@ class Connection:
         self.close()
 
 
-def connect() -> Connection:
-    """Open a connection to a fresh in-memory OLE DB DM provider."""
-    return Connection()
+def connect(**kwargs) -> Connection:
+    """Open a connection to a fresh in-memory OLE DB DM provider.
+
+    Keyword arguments (``batch_size``, ``caseset_cache_capacity``,
+    ``caseset_cache_max_rows``) are forwarded to :class:`Provider`.
+    """
+    return Connection(Provider(**kwargs))
 
 
 def split_statements(script: str) -> List[str]:

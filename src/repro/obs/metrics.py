@@ -143,6 +143,13 @@ class MetricsRegistry:
         with self._lock:
             return self._metrics.get(name)
 
+    def value(self, name: str, default: float = 0.0) -> float:
+        """Current value of a counter/gauge; ``default`` if absent/unset."""
+        metric = self.get(name)
+        if metric is None or getattr(metric, "value", None) is None:
+            return default
+        return metric.value
+
     def reset(self) -> None:
         with self._lock:
             self._metrics.clear()

@@ -319,3 +319,18 @@ def add(counter: str, amount: float = 1) -> None:
     stack = tracer._stack()
     if stack:
         stack[-1].add(counter, amount)
+
+
+def add_to(span, counter: str, amount: float = 1) -> None:
+    """Add to a counter on a captured span; used by lazy producers.
+
+    Streaming operators capture their span at plan time and produce rows
+    after it has closed; pinning the counter to the captured span keeps the
+    trace attribution right.  When span capture is off the captured span is
+    the shared null span, so fall back to :func:`add` and the counter rolls
+    up into whatever statement is live at consumption time.
+    """
+    if span is NULL_SPAN:
+        add(counter, amount)
+    else:
+        span.add(counter, amount)

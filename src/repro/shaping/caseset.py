@@ -58,9 +58,16 @@ class Case:
 
 
 class Caseset:
-    """Iterates a rowset as cases; TABLE columns become nested dict rows."""
+    """Iterates a rowset as cases; TABLE columns become nested dict rows.
 
-    def __init__(self, rowset: Rowset):
+    The source may be a materialised :class:`Rowset` or a single-use
+    :class:`~repro.sqlstore.rowset.RowStream`; with a stream, cases are
+    built lazily per batch, so only one batch of nested structures is alive
+    at a time (the paper's "consume cases one at a time" contract made
+    memory-real).
+    """
+
+    def __init__(self, rowset):
         self.rowset = rowset
         self._scalar_indexes = []
         self._table_indexes = []
@@ -71,24 +78,42 @@ class Caseset:
                 self._scalar_indexes.append((index, column))
 
     def __len__(self) -> int:
-        return len(self.rowset)
+        if isinstance(self.rowset, Rowset):
+            return len(self.rowset)
+        raise BindError(
+            "a streaming caseset has no length until consumed; "
+            "materialize() the stream first if you need len()")
+
+    def case_of(self, row: tuple) -> Case:
+        """Shape one source row into a :class:`Case`."""
+        scalars = {column.name: row[index]
+                   for index, column in self._scalar_indexes}
+        tables = {}
+        for index, column in self._table_indexes:
+            nested = row[index]
+            tables[column.name] = (
+                nested.to_dicts() if isinstance(nested, Rowset) else [])
+        return Case(scalars, tables)
+
+    def _row_batches(self, batch_size: int = 1024) -> Iterator[List[tuple]]:
+        if isinstance(self.rowset, Rowset):
+            rows = self.rowset.rows
+            for start in range(0, len(rows), batch_size):
+                yield rows[start:start + batch_size]
+        else:
+            yield from self.rowset.batches()
+
+    def iter_batches(self) -> Iterator[List[Case]]:
+        """Yield lists of cases, one per source batch."""
+        for batch in self._row_batches():
+            cases = [self.case_of(row) for row in batch]
+            if cases:
+                obs_trace.add("cases_shaped", len(cases))
+                yield cases
 
     def __iter__(self) -> Iterator[Case]:
-        shaped = 0
-        try:
-            for row in self.rowset.rows:
-                scalars = {column.name: row[index]
-                           for index, column in self._scalar_indexes}
-                tables = {}
-                for index, column in self._table_indexes:
-                    nested = row[index]
-                    tables[column.name] = (
-                        nested.to_dicts() if isinstance(nested, Rowset) else [])
-                shaped += 1
-                yield Case(scalars, tables)
-        finally:
-            if shaped:
-                obs_trace.add("cases_shaped", shaped)
+        for cases in self.iter_batches():
+            yield from cases
 
     def scalar_columns(self) -> List[str]:
         return [column.name for _, column in self._scalar_indexes]

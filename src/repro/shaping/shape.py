@@ -14,47 +14,69 @@ materialised only here, on the way into training or prediction.
 
 from __future__ import annotations
 
-from typing import Dict, List, Union
+from typing import Dict, List, Optional, Union
 
 from repro.errors import BindError
 from repro.lang import ast_nodes as ast
 from repro.obs import trace as obs_trace
-from repro.sqlstore.rowset import Rowset, RowsetColumn
+from repro.sqlstore.rowset import Rowset, RowsetColumn, RowStream
 from repro.sqlstore.values import group_key
 
 
 def execute_shape(shape: ast.ShapeExpr, database) -> Rowset:
     """Evaluate a SHAPE expression against ``database`` (a Database)."""
-    with obs_trace.span("shape", appends=len(shape.appends)):
-        result = _execute_shape(shape, database)
-        obs_trace.add("shape_cases_out", len(result.rows))
-        return result
+    return execute_shape_stream(shape, database).materialize()
 
 
-def _execute_shape(shape: ast.ShapeExpr, database) -> Rowset:
-    master = _execute_source(shape.master, database)
-    obs_trace.add("shape_master_rows", len(master.rows))
-    columns = list(master.columns)
-    rows = [list(row) for row in master.rows]
+def execute_shape_stream(shape: ast.ShapeExpr, database,
+                         batch_size: Optional[int] = None) -> RowStream:
+    """Evaluate a SHAPE expression as a stream of nested-case batches.
 
-    for append in shape.appends:
-        child = _execute_source(append.child, database)
-        obs_trace.add("shape_child_rows", len(child.rows))
-        child_index = _require_column(child, append.relate_child,
-                                      "RELATE child")
-        master_index = _require_column_list(columns, append.relate_master,
-                                            "RELATE master")
-        buckets: Dict[object, List[tuple]] = {}
-        for child_row in child.rows:
-            buckets.setdefault(
-                group_key(child_row[child_index]), []).append(child_row)
-        nested_schema = list(child.columns)
-        for row in rows:
-            key = group_key(row[master_index])
-            row.append(Rowset(nested_schema, buckets.get(key, [])))
-        columns.append(RowsetColumn(append.alias, nested_columns=nested_schema))
+    Child (APPEND) queries must run to completion up front — every child row
+    is hashed into per-RELATE-key buckets — but the *master* side streams:
+    nested rowsets are attached batch by batch, so a consumer that processes
+    cases incrementally (training, PREDICTION JOIN) never holds the whole
+    shaped caseset.  Bucket lists are shared between the hash table and the
+    emitted nested rowsets; per-case nested ``Rowset`` wrappers are the only
+    per-row allocation and die with their batch.
+    """
+    batch_size = batch_size or getattr(database, "batch_size", 1024)
+    span = obs_trace.span("shape", appends=len(shape.appends))
+    with span:
+        master = _execute_source_stream(shape.master, database, batch_size)
+        columns = list(master.columns)
+        plans = []  # (master_index, buckets, nested_schema)
 
-    return Rowset(columns, [tuple(row) for row in rows])
+        for append in shape.appends:
+            child = _execute_source(append.child, database)
+            obs_trace.add_to(span, "shape_child_rows", len(child.rows))
+            child_index = _require_column(child, append.relate_child,
+                                          "RELATE child")
+            master_index = _require_column_list(columns, append.relate_master,
+                                                "RELATE master")
+            buckets: Dict[object, List[tuple]] = {}
+            for child_row in child.rows:
+                buckets.setdefault(
+                    group_key(child_row[child_index]), []).append(child_row)
+            nested_schema = list(child.columns)
+            plans.append((master_index, buckets, nested_schema))
+            columns.append(
+                RowsetColumn(append.alias, nested_columns=nested_schema))
+
+    def produce():
+        for batch in master.batches():
+            obs_trace.add_to(span, "shape_master_rows", len(batch))
+            out = []
+            for row in batch:
+                shaped = list(row)
+                for master_index, buckets, nested_schema in plans:
+                    key = group_key(shaped[master_index])
+                    shaped.append(
+                        Rowset(nested_schema, buckets.get(key, [])))
+                out.append(tuple(shaped))
+            obs_trace.add_to(span, "shape_cases_out", len(out))
+            yield out
+    return RowStream(columns, produce())
 
 
 def _execute_source(source: Union[ast.SelectStatement, ast.ShapeExpr],
@@ -62,6 +84,13 @@ def _execute_source(source: Union[ast.SelectStatement, ast.ShapeExpr],
     if isinstance(source, ast.ShapeExpr):
         return execute_shape(source, database)
     return database.execute_select(source)
+
+
+def _execute_source_stream(source: Union[ast.SelectStatement, ast.ShapeExpr],
+                           database, batch_size: int) -> RowStream:
+    if isinstance(source, ast.ShapeExpr):
+        return execute_shape_stream(source, database, batch_size)
+    return database.execute_select_stream(source, batch_size)
 
 
 def _require_column(rowset: Rowset, name: str, what: str) -> int:
@@ -82,17 +111,11 @@ def _require_column_list(columns: List[RowsetColumn], name: str,
         f"(available: {', '.join(c.name for c in columns)})")
 
 
-def flatten_rowset(rowset: Rowset) -> Rowset:
-    """Un-nest TABLE columns (the DMX SELECT FLATTENED transform).
-
-    Each row is expanded into the cross product of its nested tables' rows;
-    a case with an empty nested table keeps one output row with NULLs in
-    that table's columns (so no case silently disappears).  Nested column
-    names are prefixed with the table column's name to stay unambiguous.
-    """
+def _flatten_plan(columns: List[RowsetColumn]):
+    """Output columns + per-row expansion plan for one flatten level."""
     flat_columns: List[RowsetColumn] = []
     plans = []  # (is_table, source_index, nested_width)
-    for index, column in enumerate(rowset.columns):
+    for index, column in enumerate(columns):
         if column.nested_columns is not None:
             for nested in column.nested_columns:
                 flat_columns.append(RowsetColumn(
@@ -102,24 +125,62 @@ def flatten_rowset(rowset: Rowset) -> Rowset:
         else:
             flat_columns.append(RowsetColumn(column.name, column.type))
             plans.append((False, index, 1))
+    return flat_columns, plans
 
+
+def _flatten_row(row: tuple, plans) -> List[tuple]:
+    """Cross-product expansion of one row's nested tables."""
+    partials: List[List[object]] = [[]]
+    for is_table, index, width in plans:
+        if not is_table:
+            partials = [p + [row[index]] for p in partials]
+            continue
+        nested = row[index]
+        nested_rows = list(nested.rows) if isinstance(nested, Rowset) else []
+        if not nested_rows:
+            partials = [p + [None] * width for p in partials]
+        else:
+            partials = [p + list(nested_row)
+                        for p in partials for nested_row in nested_rows]
+    return [tuple(p) for p in partials]
+
+
+def flatten_rowset(rowset: Rowset) -> Rowset:
+    """Un-nest TABLE columns (the DMX SELECT FLATTENED transform).
+
+    Each row is expanded into the cross product of its nested tables' rows;
+    a case with an empty nested table keeps one output row with NULLs in
+    that table's columns (so no case silently disappears).  Nested column
+    names are prefixed with the table column's name to stay unambiguous.
+    """
+    flat_columns, plans = _flatten_plan(rowset.columns)
     flat_rows: List[tuple] = []
     for row in rowset.rows:
-        partials: List[List[object]] = [[]]
-        for is_table, index, width in plans:
-            if not is_table:
-                partials = [p + [row[index]] for p in partials]
-                continue
-            nested = row[index]
-            nested_rows = list(nested.rows) if isinstance(nested, Rowset) else []
-            if not nested_rows:
-                partials = [p + [None] * width for p in partials]
-            else:
-                partials = [p + list(nested_row)
-                            for p in partials for nested_row in nested_rows]
-        flat_rows.extend(tuple(p) for p in partials)
-
+        flat_rows.extend(_flatten_row(row, plans))
     result = Rowset(flat_columns, flat_rows)
     if any(c.nested_columns is not None for c in flat_columns):
         return flatten_rowset(result)  # handle nested-within-nested
+    return result
+
+
+def flatten_stream(stream: RowStream) -> RowStream:
+    """Streaming FLATTENED: expand each batch independently.
+
+    Row expansion depends only on the row itself, so flattening pipelines
+    cleanly; output batch sizes grow with the nested fan-out but stay
+    proportional to the input batch.  The expansion plan comes from column
+    metadata alone, applied recursively for nested-within-nested schemas.
+    """
+    flat_columns, plans = _flatten_plan(stream.columns)
+
+    def produce():
+        for batch in stream.batches():
+            out: List[tuple] = []
+            for row in batch:
+                out.extend(_flatten_row(row, plans))
+            if out:
+                yield out
+    result = RowStream(flat_columns, produce())
+    if any(c.nested_columns is not None for c in flat_columns):
+        return flatten_stream(result)
     return result

@@ -11,7 +11,7 @@ top of the relational engine and extends its name space.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.errors import BindError, CatalogError, Error, SchemaError
 from repro.lang import ast_nodes as ast
@@ -25,19 +25,56 @@ from repro.sqlstore.expressions import (
     is_aggregate_call,
 )
 from repro.sqlstore.functions import make_aggregate
-from repro.sqlstore.rowset import Rowset, RowsetColumn
+from repro.sqlstore.rowset import (
+    DEFAULT_BATCH_SIZE,
+    Rowset,
+    RowsetColumn,
+    RowStream,
+)
 from repro.sqlstore.schema import ColumnSchema, TableSchema
 from repro.sqlstore.table import Table
 from repro.sqlstore.types import TABLE, TEXT, infer_type, type_from_name
 
 
 class SourceRelation:
-    """An executed FROM source: qualified column descriptors plus rows."""
+    """An executed FROM source: qualified column descriptors plus rows.
+
+    The rows may be held either materialised (``rows``) or as a pending
+    batch iterator; downstream operators that can stream pull
+    :meth:`batches`, while legacy/blocking consumers read :attr:`rows`,
+    which drains the iterator on first access.
+    """
 
     def __init__(self, columns: List[Tuple[Optional[str], RowsetColumn]],
-                 rows: List[tuple]):
+                 rows: Optional[List[tuple]] = None,
+                 batches: Optional[Iterable[List[tuple]]] = None):
         self.columns = columns
-        self.rows = rows
+        self._rows = list(rows) if rows is not None else None
+        self._batches = batches
+
+    @property
+    def rows(self) -> List[tuple]:
+        """Materialised rows (drains the batch iterator if still pending)."""
+        if self._rows is None:
+            rows: List[tuple] = []
+            for batch in self._batches or ():
+                rows.extend(batch)
+            self._rows = rows
+            self._batches = None
+        return self._rows
+
+    def batches(self, batch_size: int = DEFAULT_BATCH_SIZE) \
+            -> Iterable[List[tuple]]:
+        """Yield row batches; streams when pending, re-slices when not."""
+        if self._rows is not None:
+            rows = self._rows
+            for start in range(0, len(rows), batch_size):
+                yield rows[start:start + batch_size]
+            return
+        pending, self._batches = self._batches, None
+        if pending is None:
+            raise BindError("relation rows already consumed")
+        yield from pending
 
     def context(self) -> EvalContext:
         """Name-resolution map (qualified + bare) over this relation."""
@@ -56,6 +93,13 @@ class SourceRelation:
         columns = [(qualifier, c) for c in rowset.columns]
         return cls(columns, list(rowset.rows))
 
+    @classmethod
+    def from_stream(cls, stream: RowStream,
+                    qualifier: Optional[str]) -> "SourceRelation":
+        """Wrap a row stream without draining it."""
+        columns = [(qualifier, c) for c in stream.columns]
+        return cls(columns, batches=stream.batches())
+
 
 class Database:
     """In-memory SQL database: table/view catalog plus an executor."""
@@ -65,12 +109,27 @@ class Database:
     # the interpreter stack.
     MAX_VIEW_DEPTH = 32
 
-    def __init__(self, external_resolver: Optional[Callable] = None):
+    def __init__(self, external_resolver: Optional[Callable] = None,
+                 batch_size: int = DEFAULT_BATCH_SIZE):
         self.tables: Dict[str, Table] = {}
         self.views: Dict[str, ast.SelectStatement] = {}
         # external_resolver(table_ref) -> SourceRelation | None
         self.external_resolver = external_resolver
+        # Streaming pipeline granularity: operators exchange row batches of
+        # (at most) this many rows; memory is O(batch_size), not O(rows).
+        self.batch_size = max(1, int(batch_size))
         self._view_depth = 0
+        self._catalog_version = 0
+
+    @property
+    def data_version(self) -> int:
+        """Monotonic counter covering catalog DDL and every table mutation.
+
+        Cheap to read and strictly increasing, so callers (the caseset
+        cache) can key cached derived data on it and never serve stale rows.
+        """
+        return self._catalog_version + sum(
+            table.version for table in self.tables.values())
 
     # -- catalog --------------------------------------------------------------
 
@@ -80,13 +139,18 @@ class Database:
             raise CatalogError(f"table or view {schema.name!r} already exists")
         table = Table(schema)
         self.tables[key] = table
+        self._catalog_version += 1
         return table
 
     def drop_table(self, name: str, if_exists: bool = False) -> None:
         key = name.upper()
         if key in self.tables:
+            # Fold the dropped table's mutation count into the catalog
+            # counter so data_version never moves backwards.
+            self._catalog_version += 1 + self.tables[key].version
             del self.tables[key]
         elif key in self.views:
+            self._catalog_version += 1
             del self.views[key]
         elif not if_exists:
             raise CatalogError(f"no table or view named {name!r}")
@@ -119,6 +183,7 @@ class Database:
                 raise CatalogError(
                     f"table or view {statement.name!r} already exists")
             self.views[key] = statement.select
+            self._catalog_version += 1
             return 0
         if isinstance(statement, ast.InsertValuesStatement):
             return self._execute_insert(statement)
@@ -218,11 +283,37 @@ class Database:
     # -- SELECT ---------------------------------------------------------------
 
     def execute_union(self, statement: ast.UnionStatement) -> Rowset:
-        """Concatenate branch results; plain UNION dedups (SQL semantics).
+        """Concatenate branch results; plain UNION dedups (SQL semantics)."""
+        return self.execute_union_stream(statement).materialize()
+
+    def execute_union_stream(self, statement: ast.UnionStatement,
+                             batch_size: Optional[int] = None) -> RowStream:
+        """Streaming UNION: ALL-only chains stream branch by branch.
 
         Branch schemas must agree in width; the first branch names the
-        output columns.
+        output columns.  Any plain (deduplicating) UNION makes the whole
+        chain blocking, because each dedup applies to everything
+        accumulated so far (left-associative SQL semantics).
         """
+        batch_size = batch_size or self.batch_size
+        if statement.all_rows and all(statement.all_rows):
+            streams = [self.execute_select_stream(branch, batch_size)
+                       for branch in statement.branches]
+            width = len(streams[0].columns)
+            for position, stream in enumerate(streams[1:], start=2):
+                if len(stream.columns) != width:
+                    raise SchemaError(
+                        f"UNION branch {position} has {len(stream.columns)} "
+                        f"columns, expected {width}")
+
+            def produce():
+                for stream in streams:
+                    yield from stream.batches()
+            return RowStream(streams[0].columns, produce())
+        return RowStream.from_rowset(
+            self._execute_union_blocking(statement), batch_size)
+
+    def _execute_union_blocking(self, statement: ast.UnionStatement) -> Rowset:
         results = [self.execute_select(branch)
                    for branch in statement.branches]
         width = len(results[0].columns)
@@ -252,26 +343,113 @@ class Database:
         return Rowset(results[0].columns, rows)
 
     def execute_select(self, statement: ast.SelectStatement) -> Rowset:
-        with obs_trace.span("engine.select"):
-            result = self._execute_select(statement)
-            obs_trace.add("rows_out", len(result.rows))
-            return result
+        return self.execute_select_stream(statement).materialize()
 
-    def _execute_select(self, statement: ast.SelectStatement) -> Rowset:
+    def execute_select_stream(self, statement: ast.SelectStatement,
+                              batch_size: Optional[int] = None) -> RowStream:
+        """Execute a SELECT as a stream of row batches.
+
+        Pipelined operators — scans, joins, WHERE, projection, DISTINCT-free
+        TOP — produce output batch by batch, so peak memory for them is
+        O(batch_size).  Blocking operators (GROUP BY / aggregates, ORDER BY,
+        DISTINCT) consume the stream and materialise, exactly as before, so
+        their semantics are unchanged.  Name resolution and planning happen
+        eagerly (errors surface at call time); only row production is lazy.
+
+        The ``engine.select`` span covers planning (and, on the blocking
+        path, execution); lazily produced batches pin their counters back
+        onto that span so trace rows stay attributed correctly.
+        """
+        span = obs_trace.span("engine.select")
+        with span:
+            return self._build_select_stream(statement, batch_size, span)
+
+    def _build_select_stream(self, statement: ast.SelectStatement,
+                             batch_size: Optional[int], span) -> RowStream:
+        batch_size = batch_size or self.batch_size
         if statement.from_clause is None:
-            return self._select_without_from(statement)
-        relation = self.resolve_table_ref(statement.from_clause)
-        obs_trace.add("rows_scanned", len(relation.rows))
+            result = self._select_without_from(statement)
+            obs_trace.add_to(span, "rows_out", len(result.rows))
+            return RowStream.from_rowset(result, batch_size)
+        relation = self.resolve_table_ref(statement.from_clause,
+                                          batch_size=batch_size)
         context = relation.context()
         context.subquery_executor = self.execute_select
 
-        rows = relation.rows
-        if statement.where is not None:
-            rows = [row for row in rows
-                    if evaluate(statement.where, context.with_row(row)) is True]
-
         grouped = bool(statement.group_by) or any(
             contains_aggregate(item.expr) for item in statement.select_list)
+        if grouped or statement.order_by or statement.distinct:
+            result = self._execute_select_blocking(statement, relation,
+                                                   context, grouped, span)
+            obs_trace.add_to(span, "rows_out", len(result.rows))
+            return RowStream.from_rowset(result, batch_size)
+        return self._select_streaming(statement, relation, context,
+                                      batch_size, span)
+
+    def _filtered_batches(self, statement: ast.SelectStatement,
+                          relation: SourceRelation, context: EvalContext,
+                          batch_size: int, span):
+        """Scan + WHERE, batch at a time, counting scanned rows."""
+        for batch in relation.batches(batch_size):
+            obs_trace.add_to(span, "rows_scanned", len(batch))
+            if statement.where is not None:
+                batch = [
+                    row for row in batch
+                    if evaluate(statement.where,
+                                context.with_row(row)) is True]
+            if batch:
+                yield batch
+
+    def _select_streaming(self, statement: ast.SelectStatement,
+                          relation: SourceRelation, context: EvalContext,
+                          batch_size: int, span) -> RowStream:
+        """The non-blocking pipeline: WHERE -> project -> TOP, per batch."""
+        expanded = self._expand_select_list(statement, relation)
+        source = self._filtered_batches(statement, relation, context,
+                                        batch_size, span)
+        # Column typing needs sample rows; buffer the head of the stream
+        # (same 20-row sample the materialised path uses) and replay it.
+        head: List[List[tuple]] = []
+        sample_rows: List[tuple] = []
+        for batch in source:
+            head.append(batch)
+            sample_rows.extend(batch)
+            if len(sample_rows) >= 20:
+                break
+        output_columns = [
+            self._column_meta(expr, name, relation, sample_rows, context)
+            for expr, name in expanded]
+
+        def produce():
+            remaining = statement.top
+            if remaining is not None and remaining <= 0:
+                return
+            for batch in _chain_batches(head, source):
+                out = []
+                for row in batch:
+                    row_context = context.with_row(row)
+                    out.append(tuple(evaluate(expr, row_context)
+                                     for expr, _ in expanded))
+                    if remaining is not None:
+                        remaining -= 1
+                        if remaining == 0:
+                            obs_trace.add_to(span, "rows_out", len(out))
+                            yield out
+                            return
+                if out:
+                    obs_trace.add_to(span, "rows_out", len(out))
+                    yield out
+        return RowStream(output_columns, produce())
+
+    def _execute_select_blocking(self, statement: ast.SelectStatement,
+                                 relation: SourceRelation,
+                                 context: EvalContext,
+                                 grouped: bool, span) -> Rowset:
+        """GROUP BY / ORDER BY / DISTINCT path: consume, then materialise."""
+        rows = [row
+                for batch in self._filtered_batches(
+                    statement, relation, context, self.batch_size, span)
+                for row in batch]
         if grouped:
             output_columns, output_rows = self._execute_grouped(
                 statement, relation, context, rows)
@@ -501,7 +679,9 @@ class Database:
 
     # -- FROM resolution ------------------------------------------------------
 
-    def resolve_table_ref(self, ref: ast.TableRef) -> SourceRelation:
+    def resolve_table_ref(self, ref: ast.TableRef,
+                          batch_size: Optional[int] = None) -> SourceRelation:
+        batch_size = batch_size or self.batch_size
         if self.external_resolver is not None:
             resolved = self.external_resolver(ref)
             if resolved is not None:
@@ -515,99 +695,130 @@ class Database:
                         f"view expansion exceeded depth "
                         f"{self.MAX_VIEW_DEPTH} at {ref.name!r} — is the "
                         f"view recursive?")
+                # Stream construction resolves the view's own FROM clause
+                # eagerly, so (mutual) recursion is still caught here; only
+                # row production is deferred.
                 self._view_depth += 1
                 try:
-                    rowset = self.execute_select(self.views[key])
+                    stream = self.execute_select_stream(self.views[key],
+                                                        batch_size)
                 finally:
                     self._view_depth -= 1
-                return SourceRelation.from_rowset(rowset, qualifier)
+                return SourceRelation.from_stream(stream, qualifier)
             if key in self.tables:
-                return SourceRelation.from_rowset(
-                    self.tables[key].to_rowset(), qualifier)
+                table = self.tables[key]
+                columns = [(qualifier, c) for c in table.rowset_columns()]
+                return SourceRelation(
+                    columns, batches=table.iter_batches(batch_size))
             raise BindError(f"no table, view, or model named {ref.name!r}")
         if isinstance(ref, ast.SubquerySource):
-            rowset = self.execute_select(ref.select)
-            return SourceRelation.from_rowset(rowset, ref.alias)
+            stream = self.execute_select_stream(ref.select, batch_size)
+            return SourceRelation.from_stream(stream, ref.alias)
         if isinstance(ref, ast.Join):
-            return self._resolve_join(ref)
+            return self._resolve_join(ref, batch_size)
         raise BindError(
             f"FROM source {type(ref).__name__} requires the mining provider")
 
-    def _resolve_join(self, ref: ast.Join) -> SourceRelation:
-        with obs_trace.span("engine.join", kind=ref.kind):
-            relation = self._resolve_join_rows(ref)
-            obs_trace.add("join_rows_out", len(relation.rows))
-            return relation
+    def _resolve_join(self, ref: ast.Join,
+                      batch_size: int) -> SourceRelation:
+        """Streaming join: materialise the build (right) side, stream the
+        probe (left) side batch by batch.  Output row order matches the old
+        fully-materialised implementation exactly (left-major)."""
+        span = obs_trace.span("engine.join", kind=ref.kind)
+        with span:
+            left = self.resolve_table_ref(ref.left, batch_size)
+            right = self.resolve_table_ref(ref.right, batch_size)
+            right_rows = right.rows  # build side
+            obs_trace.add_to(span, "join_rows_in", len(right_rows))
+            columns = left.columns + right.columns
+            right_width = len(right.columns)
 
-    def _resolve_join_rows(self, ref: ast.Join) -> SourceRelation:
-        left = self.resolve_table_ref(ref.left)
-        right = self.resolve_table_ref(ref.right)
-        obs_trace.add("join_rows_in", len(left.rows) + len(right.rows))
-        columns = left.columns + right.columns
+            if ref.kind == "CROSS":
+                def produce_cross():
+                    for batch in left.batches(batch_size):
+                        obs_trace.add_to(span, "join_rows_in", len(batch))
+                        out = [l + r for l in batch for r in right_rows]
+                        obs_trace.add_to(span, "join_rows_out", len(out))
+                        if out:
+                            yield out
+                return SourceRelation(columns, batches=produce_cross())
 
-        if ref.kind == "CROSS":
-            rows = [l + r for l in left.rows for r in right.rows]
-            return SourceRelation(columns, rows)
+            equalities, residual = _split_equi_condition(ref.condition)
+            left_context = left.context()
+            right_context = right.context()
+            pairs = []
+            for a, b in equalities:
+                a_index = left_context.resolve_index(a.parts)
+                b_index = right_context.resolve_index(b.parts)
+                if a_index is None or b_index is None:
+                    # Sides may be written in either order.
+                    a_index = left_context.resolve_index(b.parts)
+                    b_index = right_context.resolve_index(a.parts)
+                if a_index is None or b_index is None:
+                    residual.append(ast.BinaryOp("=", a, b))
+                    continue
+                pairs.append((a_index, b_index))
 
-        equalities, residual = _split_equi_condition(ref.condition)
-        left_context = left.context()
-        right_context = right.context()
-        pairs = []
-        for a, b in equalities:
-            a_index = left_context.resolve_index(a.parts)
-            b_index = right_context.resolve_index(b.parts)
-            if a_index is None or b_index is None:
-                # Sides may be written in either order.
-                a_index = left_context.resolve_index(b.parts)
-                b_index = right_context.resolve_index(a.parts)
-            if a_index is None or b_index is None:
-                residual.append(ast.BinaryOp("=", a, b))
-                continue
-            pairs.append((a_index, b_index))
-
-        joined_context = SourceRelation(columns, []).context()
+            joined_context = SourceRelation(columns, []).context()
 
         def residual_ok(row):
             return all(
                 evaluate(condition, joined_context.with_row(row)) is True
                 for condition in residual)
 
-        rows = []
-        if pairs:
-            # Hash join on the first equi pair; verify the rest per candidate.
-            build: Dict[Any, List[tuple]] = {}
-            first_left, first_right = pairs[0]
-            for r in right.rows:
-                build.setdefault(V.group_key(r[first_right]), []).append(r)
-            for l in left.rows:
-                matched = False
-                if l[first_left] is not None:
-                    for r in build.get(V.group_key(l[first_left]), []):
-                        if all(V.sql_equal(l[a], r[b]) is True
-                               for a, b in pairs[1:]):
+        def produce():
+            build: Optional[Dict[Any, List[tuple]]] = None
+            if pairs:
+                # Hash join on the first equi pair; verify the rest per
+                # candidate.
+                build = {}
+                first_right = pairs[0][1]
+                for r in right_rows:
+                    build.setdefault(V.group_key(r[first_right]), []).append(r)
+            for batch in left.batches(batch_size):
+                obs_trace.add_to(span, "join_rows_in", len(batch))
+                out = []
+                if pairs:
+                    first_left = pairs[0][0]
+                    for l in batch:
+                        matched = False
+                        if l[first_left] is not None:
+                            for r in build.get(V.group_key(l[first_left]), []):
+                                if all(V.sql_equal(l[a], r[b]) is True
+                                       for a, b in pairs[1:]):
+                                    candidate = l + r
+                                    if residual_ok(candidate):
+                                        out.append(candidate)
+                                        matched = True
+                        if ref.kind == "LEFT" and not matched:
+                            out.append(l + tuple([None] * right_width))
+                else:
+                    for l in batch:
+                        matched = False
+                        for r in right_rows:
                             candidate = l + r
-                            if residual_ok(candidate):
-                                rows.append(candidate)
+                            if evaluate(ref.condition,
+                                        joined_context.with_row(candidate)) \
+                                    is True:
+                                out.append(candidate)
                                 matched = True
-                if ref.kind == "LEFT" and not matched:
-                    rows.append(l + tuple([None] * len(right.columns)))
-        else:
-            for l in left.rows:
-                matched = False
-                for r in right.rows:
-                    candidate = l + r
-                    if evaluate(ref.condition,
-                                joined_context.with_row(candidate)) is True:
-                        rows.append(candidate)
-                        matched = True
-                if ref.kind == "LEFT" and not matched:
-                    rows.append(l + tuple([None] * len(right.columns)))
-        return SourceRelation(columns, rows)
+                        if ref.kind == "LEFT" and not matched:
+                            out.append(l + tuple([None] * right_width))
+                obs_trace.add_to(span, "join_rows_out", len(out))
+                if out:
+                    yield out
+        return SourceRelation(columns, batches=produce())
 
 
 # ---------------------------------------------------------------------------
 # helpers
 # ---------------------------------------------------------------------------
+
+def _chain_batches(head: List[List[tuple]], tail) -> Iterable[List[tuple]]:
+    """Replay buffered head batches, then continue with the live iterator."""
+    yield from head
+    yield from tail
+
 
 def _children(expr: ast.Expr) -> List[ast.Expr]:
     if isinstance(expr, ast.BinaryOp):

@@ -168,3 +168,104 @@ class Rowset:
     def __repr__(self) -> str:
         return (f"Rowset({len(self.rows)} rows x {len(self.columns)} cols: "
                 f"{', '.join(self.column_names())})")
+
+
+DEFAULT_BATCH_SIZE = 1024
+
+
+class RowStream:
+    """A streaming rowset: column metadata plus a single-use batch iterator.
+
+    The streaming execution pipeline passes results between operators as
+    *batches* — lists of row tuples — so that peak memory is proportional to
+    the batch size rather than to the relation size.  Column metadata is
+    available up front (operators need it to plan), while the rows are
+    produced lazily by the underlying generator chain.
+
+    A stream may be consumed exactly once, through :meth:`batches`,
+    iteration, or :meth:`materialize`; a second consumption attempt raises
+    :class:`BindError` rather than silently yielding nothing.
+    """
+
+    __slots__ = ("columns", "_batches", "_consumed", "_by_name")
+
+    def __init__(self, columns: Sequence[RowsetColumn],
+                 batches: Iterable[List[Tuple]]):
+        self.columns: List[RowsetColumn] = list(columns)
+        self._batches = iter(batches)
+        self._consumed = False
+        self._by_name = {}
+        for index, column in enumerate(self.columns):
+            self._by_name.setdefault(column.name.upper(), index)
+
+    # -- construction ---------------------------------------------------------
+
+    @classmethod
+    def from_rowset(cls, rowset: Rowset,
+                    batch_size: int = DEFAULT_BATCH_SIZE) -> "RowStream":
+        """Re-batch an already materialised rowset."""
+        def produce():
+            rows = rowset.rows
+            for start in range(0, len(rows), batch_size):
+                yield rows[start:start + batch_size]
+        return cls(rowset.columns, produce())
+
+    @classmethod
+    def from_rows(cls, columns: Sequence[RowsetColumn],
+                  rows: Iterable[Tuple],
+                  batch_size: int = DEFAULT_BATCH_SIZE) -> "RowStream":
+        """Batch up a plain row iterable."""
+        def produce():
+            batch: List[Tuple] = []
+            for row in rows:
+                batch.append(tuple(row))
+                if len(batch) >= batch_size:
+                    yield batch
+                    batch = []
+            if batch:
+                yield batch
+        return cls(columns, produce())
+
+    # -- consumption ----------------------------------------------------------
+
+    def batches(self) -> Iterator[List[Tuple]]:
+        """Yield row batches; consumes the stream."""
+        if self._consumed:
+            raise BindError(
+                "row stream already consumed (streams are single-use; "
+                "materialize() first if you need to read twice)")
+        self._consumed = True
+        for batch in self._batches:
+            yield batch
+
+    def __iter__(self) -> Iterator[Tuple]:
+        for batch in self.batches():
+            yield from batch
+
+    def materialize(self) -> Rowset:
+        """Drain the stream into a plain :class:`Rowset`."""
+        rows: List[Tuple] = []
+        for batch in self.batches():
+            rows.extend(batch)
+        return Rowset(self.columns, rows)
+
+    # -- metadata (mirrors Rowset so binding plans work on either) ------------
+
+    def column_names(self) -> List[str]:
+        return [c.name for c in self.columns]
+
+    def index_of(self, name: str) -> int:
+        try:
+            return self._by_name[name.upper()]
+        except KeyError as exc:
+            raise BindError(
+                f"no column {name!r} in rowset "
+                f"(columns: {', '.join(self.column_names())})") from exc
+
+    def has_column(self, name: str) -> bool:
+        return name.upper() in self._by_name
+
+    def __repr__(self) -> str:
+        state = "consumed" if self._consumed else "pending"
+        return (f"RowStream({len(self.columns)} cols: "
+                f"{', '.join(self.column_names())}; {state})")

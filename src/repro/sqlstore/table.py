@@ -21,6 +21,10 @@ class Table:
     def __init__(self, schema: TableSchema):
         self.schema = schema
         self.rows: List[Tuple] = []
+        # Monotonic mutation counter; the caseset cache keys on the sum of
+        # these across the catalog so cached shapes can never serve stale
+        # rows after a mutation.
+        self.version = 0
         self._pk_index: Optional[Dict[Any, int]] = None
         self._secondary: Dict[int, Dict[Any, List[int]]] = {}
         if schema.primary_key_index() is not None:
@@ -60,6 +64,7 @@ class Table:
             self._pk_index[key] = len(self.rows)
         position = len(self.rows)
         self.rows.append(row)
+        self.version += 1
         for column_index, index in self._secondary.items():
             index.setdefault(group_key(row[column_index]), []).append(position)
 
@@ -77,6 +82,7 @@ class Table:
         removed = len(self.rows) - len(kept)
         if removed:
             self.rows = kept
+            self.version += 1
             self._rebuild_indexes()
         return removed
 
@@ -95,11 +101,13 @@ class Table:
                 new_rows.append(row)
         if changed:
             self.rows = new_rows
+            self.version += 1
             self._rebuild_indexes()
         return changed
 
     def truncate(self) -> None:
         self.rows = []
+        self.version += 1
         self._rebuild_indexes()
 
     # -- indexes --------------------------------------------------------------
@@ -135,7 +143,21 @@ class Table:
 
     # -- export ---------------------------------------------------------------
 
+    def rowset_columns(self) -> List[RowsetColumn]:
+        return [RowsetColumn(c.name, c.type) for c in self.schema.columns]
+
     def to_rowset(self) -> Rowset:
         """Materialise the full table as a rowset."""
-        columns = [RowsetColumn(c.name, c.type) for c in self.schema.columns]
-        return Rowset(columns, list(self.rows))
+        return Rowset(self.rowset_columns(), list(self.rows))
+
+    def iter_batches(self, batch_size: int = 1024) -> Iterable[List[Tuple]]:
+        """Scan the stored rows in batches (length snapshot at start).
+
+        The row list itself is never mutated in place by DELETE/UPDATE (both
+        swap in a fresh list), so a scan started before a mutation keeps
+        reading the pre-mutation rows; only same-statement INSERT ... SELECT
+        style self-reads go through a fully materialised snapshot instead.
+        """
+        rows = self.rows
+        for start in range(0, len(rows), batch_size):
+            yield rows[start:start + batch_size]

@@ -1,0 +1,118 @@
+"""Concurrency smoke test: one provider, many threads, exact counters.
+
+N worker threads hammer a single :class:`repro.core.provider.Provider`
+concurrently with the full statement mix — INSERT, SELECT, CREATE MINING
+MODEL, training INSERT, and NATURAL PREDICTION JOIN.  Afterwards the
+provider's metrics registry (the backing store of
+``$SYSTEM.DM_PROVIDER_METRICS``) must account for every statement and every
+bound case exactly: counters are locked, span stacks are thread-local, so
+nothing may be lost or double-counted under interleaving.
+"""
+
+import threading
+
+import pytest
+
+import repro
+
+THREADS = 6
+LOOPS = 5
+ROWS_PER_INSERT = 4
+SEED_ROWS = 10
+
+
+@pytest.fixture()
+def conn():
+    connection = repro.connect(batch_size=3, caseset_cache_capacity=0)
+    yield connection
+    connection.close()
+
+
+SETUP = [
+    "CREATE TABLE People (pid INT, age INT, grade TEXT)",
+    "CREATE TABLE Seed (pid INT, age INT, grade TEXT)",
+    "INSERT INTO Seed VALUES " + ", ".join(
+        f"({pid}, {20 + pid * 3}, '{'pass' if pid % 2 else 'fail'}')"
+        for pid in range(1, SEED_ROWS + 1)),
+]
+
+
+def _worker(conn, index, errors):
+    try:
+        for loop in range(LOOPS):
+            base = index * 10_000 + loop * 100
+            values = ", ".join(
+                f"({base + k}, {18 + (base + k) % 50}, 'g{index}')"
+                for k in range(ROWS_PER_INSERT))
+            conn.execute(f"INSERT INTO People VALUES {values}")
+            conn.execute("SELECT COUNT(*) AS n FROM People")
+        model = f"M{index}"
+        conn.execute(
+            f"CREATE MINING MODEL {model} (pid LONG KEY, "
+            f"age LONG CONTINUOUS, grade TEXT DISCRETE PREDICT) "
+            f"USING Microsoft_Decision_Trees")
+        conn.execute(f"INSERT INTO {model} (pid, age, grade) "
+                     f"SELECT pid, age, grade FROM Seed")
+        predicted = conn.execute(
+            f"SELECT t.pid, {model}.grade FROM {model} "
+            f"NATURAL PREDICTION JOIN (SELECT pid, age FROM Seed) AS t")
+        assert len(predicted) == SEED_ROWS
+    except Exception as exc:  # pragma: no cover - failure path
+        errors.append((index, exc))
+
+
+def test_concurrent_statement_mix_counts_exactly(conn):
+    for statement in SETUP:
+        conn.execute(statement)
+    errors = []
+    threads = [
+        threading.Thread(target=_worker, args=(conn, index, errors))
+        for index in range(THREADS)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert errors == []
+
+    # Every row from every thread landed.
+    count = conn.execute("SELECT COUNT(*) AS n FROM People")
+    assert count.rows[0][0] == THREADS * LOOPS * ROWS_PER_INSERT
+
+    metrics = conn.provider.metrics
+    per_thread = 2 * LOOPS + 3  # inserts+selects, DDL, train, predict
+    expected_total = len(SETUP) + THREADS * per_thread + 1  # +1 final SELECT
+    assert metrics.value("statements.total") == expected_total
+    assert metrics.value("statements.errors") == 0
+    assert metrics.value("training.cases_total") == THREADS * SEED_ROWS
+    assert metrics.value("activity.prediction_cases") == THREADS * SEED_ROWS
+    # Each training pass binds the seed caseset once (cache disabled).
+    assert metrics.value("activity.cases_bound") >= 2 * THREADS * SEED_ROWS
+
+    # The same numbers through the SQL surface.
+    rowset = conn.execute("SELECT METRIC, VALUE FROM "
+                          "$SYSTEM.DM_PROVIDER_METRICS")
+    values = {row[0]: row[1] for row in rowset.rows}
+    assert values["training.cases_total"] == THREADS * SEED_ROWS
+    # The errors counter is created lazily; absent means zero errors.
+    assert values.get("statements.errors", 0) == 0
+
+
+def test_concurrent_reads_of_one_stream_source(conn):
+    """Parallel SELECTs over the same tables return consistent results."""
+    for statement in SETUP:
+        conn.execute(statement)
+    results = [None] * THREADS
+
+    def reader(index):
+        rowset = conn.execute(
+            "SELECT pid, age FROM Seed ORDER BY pid")
+        results[index] = [tuple(row) for row in rowset.rows]
+
+    threads = [threading.Thread(target=reader, args=(i,))
+               for i in range(THREADS)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert all(result == results[0] for result in results)
+    assert len(results[0]) == SEED_ROWS

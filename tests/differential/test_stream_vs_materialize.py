@@ -1,0 +1,198 @@
+"""Differential harness: streaming execution vs effectively-materialized.
+
+Every statement shape below runs twice against providers holding identical
+data — once with a tiny batch size (7 rows, so every operator crosses many
+batch boundaries) and once with a batch size far larger than any table
+(one batch: the old materialize-everything behaviour).  Results must match
+exactly: same column names and types, same rows, same order.
+
+This pins the tentpole invariant of the streaming refactor: batching is an
+execution detail, never an observable one.
+"""
+
+import pytest
+
+import repro
+from repro.sqlstore.rowset import Rowset
+
+TINY_BATCH = 7
+HUGE_BATCH = 10 ** 9
+
+SETUP = [
+    "CREATE TABLE Customers (cid INT, name TEXT, age INT, city TEXT, "
+    "spend DOUBLE)",
+    "CREATE TABLE Orders (oid INT, cid INT, product TEXT, qty INT, "
+    "price DOUBLE)",
+    "CREATE TABLE Stores (city TEXT, region TEXT)",
+    "INSERT INTO Stores VALUES ('Seattle', 'West'), ('Austin', 'South'), "
+    "('Boston', 'East'), ('Omaha', NULL)",
+    "CREATE VIEW BigSpenders AS SELECT cid, name, spend FROM Customers "
+    "WHERE spend > 120",
+]
+
+CITIES = ["Seattle", "Austin", "Boston", "Omaha", None]
+PRODUCTS = ["TV", "VCR", "Ham", "Beer", "Milk", "Pepsi"]
+
+
+def _load(conn):
+    for statement in SETUP:
+        conn.execute(statement)
+    customers = []
+    for cid in range(1, 61):
+        name = f"'c{cid:03d}'"
+        age = 18 + (cid * 7) % 60
+        city = CITIES[cid % len(CITIES)]
+        city_sql = "NULL" if city is None else f"'{city}'"
+        spend = round((cid * 37) % 250 + cid / 8, 2)
+        customers.append(f"({cid}, {name}, {age}, {city_sql}, {spend})")
+    conn.execute("INSERT INTO Customers VALUES " + ", ".join(customers))
+    orders = []
+    for oid in range(1, 181):
+        cid = (oid * 13) % 75 + 1  # some cids have no customer row
+        product = PRODUCTS[oid % len(PRODUCTS)]
+        qty = "NULL" if oid % 17 == 0 else str(oid % 9 + 1)
+        price = round((oid * 3.5) % 80 + 0.99, 2)
+        orders.append(f"({oid}, {cid}, '{product}', {qty}, {price})")
+    conn.execute("INSERT INTO Orders VALUES " + ", ".join(orders))
+
+
+def _make(batch_size):
+    conn = repro.connect(batch_size=batch_size, caseset_cache_capacity=0)
+    _load(conn)
+    return conn
+
+
+@pytest.fixture(scope="module")
+def streaming():
+    conn = _make(TINY_BATCH)
+    yield conn
+    conn.close()
+
+
+@pytest.fixture(scope="module")
+def materialized():
+    conn = _make(HUGE_BATCH)
+    yield conn
+    conn.close()
+
+
+STATEMENTS = [
+    # -- scans, projection, WHERE -----------------------------------------
+    "SELECT * FROM Customers",
+    "SELECT name, age FROM Customers WHERE age > 40",
+    "SELECT cid, spend * 2 AS doubled FROM Customers WHERE spend >= 100",
+    "SELECT * FROM Customers WHERE city IS NULL",
+    "SELECT * FROM Customers WHERE city = 'Austin' AND age < 50",
+    "SELECT name FROM Customers WHERE name LIKE 'c05%'",
+    "SELECT cid, CASE WHEN age < 30 THEN 'young' WHEN age < 55 THEN 'mid' "
+    "ELSE 'senior' END AS bracket FROM Customers",
+    # -- TOP (early stop) and DISTINCT ------------------------------------
+    "SELECT TOP 5 * FROM Customers",
+    "SELECT TOP 13 cid, name FROM Customers WHERE age > 25",
+    "SELECT TOP 200 * FROM Orders",
+    "SELECT DISTINCT city FROM Customers",
+    "SELECT DISTINCT product, qty FROM Orders",
+    "SELECT DISTINCT TOP 3 product FROM Orders",
+    # -- equi joins (hash path) -------------------------------------------
+    "SELECT c.name, o.product, o.qty FROM Customers AS c "
+    "JOIN Orders AS o ON c.cid = o.cid",
+    "SELECT c.name, o.product FROM Customers AS c "
+    "LEFT JOIN Orders AS o ON c.cid = o.cid",
+    "SELECT c.name, o.product, s.region FROM Customers AS c "
+    "JOIN Orders AS o ON c.cid = o.cid "
+    "JOIN Stores AS s ON c.city = s.city",
+    "SELECT c.name, s.region FROM Customers AS c "
+    "LEFT JOIN Stores AS s ON c.city = s.city WHERE c.age > 35",
+    # -- residual / non-equi joins (nested-loop path) ---------------------
+    "SELECT c.name, o.oid FROM Customers AS c "
+    "JOIN Orders AS o ON c.cid = o.cid AND o.price > c.spend",
+    "SELECT c.cid, o.oid FROM Customers AS c "
+    "JOIN Orders AS o ON c.age < o.price",
+    "SELECT TOP 40 c.name, s.region FROM Customers AS c CROSS JOIN Stores "
+    "AS s",
+    "SELECT c.name, s.city FROM Customers AS c, Stores AS s "
+    "WHERE c.city = s.city AND s.region = 'West'",
+    # -- GROUP BY / HAVING / aggregates -----------------------------------
+    "SELECT city, COUNT(*) AS n FROM Customers GROUP BY city",
+    "SELECT product, SUM(qty) AS total, AVG(price) AS avg_price "
+    "FROM Orders GROUP BY product",
+    "SELECT city, COUNT(*) AS n, MAX(spend) AS top_spend FROM Customers "
+    "GROUP BY city HAVING COUNT(*) > 10",
+    "SELECT product, COUNT(*) AS n FROM Orders WHERE qty IS NOT NULL "
+    "GROUP BY product HAVING SUM(price) > 100 ORDER BY product",
+    "SELECT COUNT(*) AS all_rows, MIN(age) AS youngest FROM Customers",
+    # -- ORDER BY, including NULL and mixed-direction keys ----------------
+    "SELECT name, age FROM Customers ORDER BY age DESC, name",
+    "SELECT cid, city FROM Customers ORDER BY city, cid DESC",
+    "SELECT product, qty FROM Orders ORDER BY qty, product, oid",
+    "SELECT TOP 9 name, spend FROM Customers ORDER BY spend DESC",
+    "SELECT name, CASE WHEN city IS NULL THEN age ELSE city END AS k "
+    "FROM Customers ORDER BY k, cid",
+    # -- UNION / UNION ALL -------------------------------------------------
+    "SELECT name FROM Customers WHERE age < 25 UNION ALL "
+    "SELECT name FROM Customers WHERE age > 70",
+    "SELECT city FROM Customers UNION SELECT city FROM Stores",
+    "SELECT cid FROM Customers WHERE spend > 200 UNION ALL "
+    "SELECT cid FROM Orders WHERE price > 70 UNION ALL "
+    "SELECT cid FROM Customers WHERE age = 30",
+    # -- subqueries and views ----------------------------------------------
+    "SELECT t.name FROM (SELECT name, age FROM Customers "
+    "WHERE spend > 50) AS t WHERE t.age < 60",
+    "SELECT x.product, x.n FROM (SELECT product, COUNT(*) AS n FROM Orders "
+    "GROUP BY product) AS x WHERE x.n > 25",
+    "SELECT u.name FROM (SELECT t.name, t.age FROM (SELECT * FROM "
+    "Customers WHERE city = 'Boston') AS t WHERE t.age > 20) AS u",
+    "SELECT * FROM BigSpenders WHERE spend < 200",
+    "SELECT b.name, o.product FROM BigSpenders AS b "
+    "JOIN Orders AS o ON b.cid = o.cid",
+    "SELECT name FROM Customers WHERE cid IN "
+    "(SELECT cid FROM Orders WHERE product = 'Beer')",
+]
+
+assert len(STATEMENTS) >= 30
+
+
+def _canonical(rowset):
+    columns = [(c.name, c.type.name if c.type is not None else None)
+               for c in rowset.columns]
+    rows = [tuple(_canonical(v) if isinstance(v, Rowset) else v
+                  for v in row)
+            for row in rowset.rows]
+    return columns, rows
+
+
+@pytest.mark.parametrize("statement", STATEMENTS)
+def test_streaming_matches_materialized(streaming, materialized, statement):
+    left = _canonical(streaming.execute(statement))
+    right = _canonical(materialized.execute(statement))
+    assert left == right
+
+
+@pytest.mark.parametrize("statement", STATEMENTS)
+def test_stream_api_matches_execute(streaming, statement):
+    """conn.execute_stream drained batch-wise equals conn.execute."""
+    expected = streaming.execute(statement)
+    stream = streaming.execute_stream(statement)
+    rows = [row for batch in stream.batches() for row in batch]
+    assert [c.name for c in stream.columns] == \
+        [c.name for c in expected.columns]
+    assert rows == list(expected.rows)
+
+
+def test_prediction_join_streaming_matches(streaming, materialized):
+    """PREDICTION JOIN over both providers produces identical rows."""
+    ddl = ("CREATE MINING MODEL SpendRisk (cid LONG KEY, "
+           "age LONG CONTINUOUS, city TEXT DISCRETE PREDICT) "
+           "USING Microsoft_Decision_Trees")
+    train = "INSERT INTO SpendRisk (cid, age, city) " \
+            "SELECT cid, age, city FROM Customers WHERE city IS NOT NULL"
+    query = ("SELECT t.cid, SpendRisk.city FROM SpendRisk "
+             "NATURAL PREDICTION JOIN "
+             "(SELECT cid, age FROM Customers) AS t")
+    for conn in (streaming, materialized):
+        if not conn.provider.has_model("SpendRisk"):
+            conn.execute(ddl)
+            conn.execute(train)
+    left = _canonical(streaming.execute(query))
+    right = _canonical(materialized.execute(query))
+    assert left == right

@@ -1,0 +1,287 @@
+"""Seeded-random round-trip property: parse(format(parse(s))) == parse(s).
+
+A deterministic :class:`random.Random` drives a grammar walker that emits
+statement *strings* across the whole SQL/DMX surface — SELECT with every
+clause, joins, unions, DML, CREATE MINING MODEL, SHAPE training inserts,
+PREDICTION JOIN.  For each generated string the parsed AST must survive a
+format/re-parse cycle unchanged; AST nodes are dataclasses, so ``==`` is
+deep structural equality.  No third-party dependency is involved (the
+hypothesis-based suite in tests/property covers AST-first generation; this
+one is string-first and reproducible from a single seed).
+"""
+
+import random
+
+import pytest
+
+from repro.lang.formatter import format_statement
+from repro.lang.parser import parse_statement
+
+IDENTS = ["Customers", "Orders", "Age", "Gender", "Product Name", "qty",
+          "cid", "city", "spend", "T1", "nested_x", "Risk Model"]
+STRINGS = ["low", "high", "TV", "It's fine", "a b c"]
+FUNCS = ["COUNT", "SUM", "AVG", "MIN", "MAX", "UPPER", "LEN"]
+ALGORITHMS = ["Microsoft_Decision_Trees", "Cluster_101"]
+DATA_TYPES = ["LONG", "DOUBLE", "TEXT", "DATE"]
+CONTENT_TYPES = ["DISCRETE", "CONTINUOUS", "KEY"]
+
+
+class StatementGenerator:
+    """Grammar walker over the provider's statement surface."""
+
+    def __init__(self, rng: random.Random):
+        self.rng = rng
+
+    def choice(self, items):
+        return self.rng.choice(items)
+
+    def ident(self) -> str:
+        name = self.choice(IDENTS)
+        return f"[{name}]" if (" " in name or self.rng.random() < 0.3) \
+            else name
+
+    def literal(self) -> str:
+        kind = self.rng.randrange(5)
+        if kind == 0:
+            return str(self.rng.randrange(0, 1000))
+        if kind == 1:
+            return f"{self.rng.randrange(0, 100)}.{self.rng.randrange(1, 10)}"
+        if kind == 2:
+            return "'" + self.choice(STRINGS).replace("'", "''") + "'"
+        if kind == 3:
+            return "NULL"
+        return self.choice(["TRUE", "FALSE"])
+
+    def column(self) -> str:
+        parts = [self.ident()]
+        if self.rng.random() < 0.3:
+            parts.append(self.ident())
+        return ".".join(parts)
+
+    def arith(self, depth: int = 0) -> str:
+        """A value expression: no comparison/boolean operators at the top."""
+        if depth >= 3 or self.rng.random() < 0.4:
+            return self.column() if self.rng.random() < 0.6 \
+                else self.literal()
+        kind = self.rng.randrange(4)
+        if kind == 0:
+            op = self.choice(["+", "-", "*", "/"])
+            return f"{self.arith(depth + 1)} {op} {self.arith(depth + 1)}"
+        if kind == 1:
+            name = self.choice(FUNCS)
+            if name == "COUNT" and self.rng.random() < 0.5:
+                return "COUNT(*)"
+            return f"{name}({self.arith(depth + 1)})"
+        if kind == 2:
+            return f"({self.arith(depth + 1)})"
+        whens = " ".join(
+            f"WHEN {self.condition(depth + 1)} THEN {self.arith(depth + 1)}"
+            for _ in range(self.rng.randrange(1, 3)))
+        tail = f" ELSE {self.arith(depth + 1)}" \
+            if self.rng.random() < 0.5 else ""
+        return f"CASE {whens}{tail} END"
+
+    def condition(self, depth: int = 0) -> str:
+        """A boolean expression; comparisons never nest inside comparisons."""
+        if depth < 2:
+            roll = self.rng.random()
+            if roll < 0.2:
+                op = self.choice(["AND", "OR"])
+                return (f"{self.condition(depth + 1)} {op} "
+                        f"{self.condition(depth + 1)}")
+            if roll < 0.3:
+                return f"NOT ({self.condition(depth + 1)})"
+        kind = self.rng.randrange(5)
+        if kind == 0:
+            suffix = self.choice(["IS NULL", "IS NOT NULL"])
+            return f"{self.column()} {suffix}"
+        if kind == 1:
+            values = ", ".join(self.literal() for _ in range(
+                self.rng.randrange(1, 4)))
+            negated = "NOT IN" if self.rng.random() < 0.3 else "IN"
+            return f"{self.column()} {negated} ({values})"
+        if kind == 2:
+            return (f"{self.column()} BETWEEN {self.arith(depth + 1)} "
+                    f"AND {self.arith(depth + 1)}")
+        if kind == 3:
+            return f"{self.column()} LIKE '{self.choice(['a%', '%b', 'c_'])}'"
+        op = self.choice(["=", "<>", "<", ">", "<=", ">="])
+        return f"{self.arith(depth + 1)} {op} {self.arith(depth + 1)}"
+
+    def expr(self, depth: int = 0) -> str:
+        """A select-list item: a value expression or a single condition."""
+        if self.rng.random() < 0.2:
+            return self.condition(2)  # depth 2: one plain predicate
+        return self.arith(depth)
+
+    def simple_ref(self, depth: int = 0) -> str:
+        if depth < 2 and self.rng.random() < 0.2:
+            return f"({self.select(depth + 1)}) AS {self.ident()}"
+        alias = f" AS {self.ident()}" if self.rng.random() < 0.4 else ""
+        return self.ident() + alias
+
+    def table_ref(self, depth: int = 0) -> str:
+        roll = self.rng.random()
+        if depth >= 2 or roll < 0.5:
+            alias = f" AS {self.ident()}" if self.rng.random() < 0.4 else ""
+            return self.ident() + alias
+        if roll < 0.7:
+            return f"({self.select(depth + 1)}) AS {self.ident()}"
+        # Joins associate left; a join on the right-hand side with its own
+        # deferred ON clause is unparseable, so right operands stay simple.
+        kind = self.choice(["JOIN", "INNER JOIN", "LEFT JOIN"])
+        left = self.table_ref(depth + 1)
+        right = self.simple_ref(depth + 1)
+        if self.rng.random() < 0.2:
+            return f"{left} CROSS JOIN {right}"
+        return f"{left} {kind} {right} ON {self.condition()}"
+
+    def select(self, depth: int = 0) -> str:
+        parts = ["SELECT"]
+        if self.rng.random() < 0.15:
+            parts.append(f"TOP {self.rng.randrange(1, 50)}")
+        if self.rng.random() < 0.15:
+            parts.append("DISTINCT")
+        if self.rng.random() < 0.1:
+            parts.append("*")
+        else:
+            items = []
+            for _ in range(self.rng.randrange(1, 4)):
+                item = self.expr()
+                if self.rng.random() < 0.4:
+                    item += f" AS {self.ident()}"
+                items.append(item)
+            parts.append(", ".join(items))
+        parts.append(f"FROM {self.table_ref(depth)}")
+        if self.rng.random() < 0.5:
+            parts.append(f"WHERE {self.condition()}")
+        if self.rng.random() < 0.3:
+            group = ", ".join(self.column() for _ in range(
+                self.rng.randrange(1, 3)))
+            parts.append(f"GROUP BY {group}")
+            if self.rng.random() < 0.5:
+                parts.append(f"HAVING {self.condition()}")
+        if self.rng.random() < 0.3:
+            orders = []
+            for _ in range(self.rng.randrange(1, 3)):
+                order = self.expr()
+                if self.rng.random() < 0.5:
+                    order += " DESC"
+                orders.append(order)
+            parts.append("ORDER BY " + ", ".join(orders))
+        return " ".join(parts)
+
+    def union(self) -> str:
+        branches = [self.select() for _ in range(self.rng.randrange(2, 4))]
+        glue = [" UNION ALL " if self.rng.random() < 0.5 else " UNION "
+                for _ in branches[1:]]
+        out = branches[0]
+        for sep, branch in zip(glue, branches[1:]):
+            out += sep + branch
+        return out
+
+    def insert_values(self) -> str:
+        columns = ", ".join(self.ident() for _ in range(3))
+        rows = ", ".join(
+            "(" + ", ".join(self.literal() for _ in range(3)) + ")"
+            for _ in range(self.rng.randrange(1, 4)))
+        return f"INSERT INTO {self.ident()} ({columns}) VALUES {rows}"
+
+    def create_table(self) -> str:
+        columns = ", ".join(
+            f"{self.ident()} {self.choice(['INT', 'TEXT', 'DOUBLE'])}"
+            for _ in range(self.rng.randrange(1, 5)))
+        return f"CREATE TABLE {self.ident()} ({columns})"
+
+    def delete(self) -> str:
+        where = f" WHERE {self.condition()}" if self.rng.random() < 0.7 \
+            else ""
+        return f"DELETE FROM {self.ident()}{where}"
+
+    def update(self) -> str:
+        sets = ", ".join(f"{self.ident()} = {self.expr()}"
+                         for _ in range(self.rng.randrange(1, 3)))
+        where = f" WHERE {self.condition()}" if self.rng.random() < 0.7 \
+            else ""
+        return f"UPDATE {self.ident()} SET {sets}{where}"
+
+    def create_model(self) -> str:
+        columns = [f"{self.ident()} LONG KEY"]
+        for _ in range(self.rng.randrange(1, 4)):
+            column = (f"{self.ident()} {self.choice(DATA_TYPES)} "
+                      f"{self.choice(CONTENT_TYPES[:2])}")
+            if self.rng.random() < 0.4:
+                column += " PREDICT"
+            columns.append(column)
+        if self.rng.random() < 0.3:
+            columns.append(f"{self.ident()} TABLE({self.ident()} TEXT KEY, "
+                           f"{self.ident()} DOUBLE CONTINUOUS)")
+        return (f"CREATE MINING MODEL {self.ident()} "
+                f"({', '.join(columns)}) USING "
+                f"[{self.choice(ALGORITHMS)}]")
+
+    def shape(self) -> str:
+        arms = []
+        for _ in range(self.rng.randrange(1, 3)):
+            arms.append(
+                f"({{{self.select()}}} RELATE {self.ident()} TO "
+                f"{self.ident()}) AS {self.ident()}")
+        return f"SHAPE {{{self.select()}}} APPEND {', '.join(arms)}"
+
+    def insert_model(self) -> str:
+        bindings = ", ".join(
+            "SKIP" if self.rng.random() < 0.2 else self.ident()
+            for _ in range(self.rng.randrange(2, 5)))
+        source = self.shape() if self.rng.random() < 0.5 else self.select()
+        return f"INSERT INTO {self.ident()} ({bindings}) {source}"
+
+    def prediction_select(self) -> str:
+        model = self.ident()
+        source = f"({self.select()}) AS {self.ident()}"
+        if self.rng.random() < 0.5:
+            join = f"{model} NATURAL PREDICTION JOIN {source}"
+        else:
+            join = (f"{model} PREDICTION JOIN {source} ON "
+                    f"{self.column()} = {self.column()}")
+        flattened = "FLATTENED " if self.rng.random() < 0.3 else ""
+        return (f"SELECT {flattened}{self.expr()}, {self.expr()} "
+                f"FROM {join}")
+
+    def statement(self) -> str:
+        roll = self.rng.randrange(10)
+        if roll <= 2:
+            return self.select()
+        return [self.union, self.insert_values, self.create_table,
+                self.delete, self.update, self.create_model,
+                self.insert_model, self.prediction_select][roll - 3]()
+
+
+SEED = 20260806
+CASES = 250
+
+
+def _generate_all():
+    rng = random.Random(SEED)
+    generator = StatementGenerator(rng)
+    return [generator.statement() for _ in range(CASES)]
+
+
+@pytest.mark.parametrize("index,statement",
+                         list(enumerate(_generate_all())),
+                         ids=lambda v: v if isinstance(v, int) else None)
+def test_parse_format_parse_is_identity(index, statement):
+    first = parse_statement(statement)
+    formatted = format_statement(first)
+    second = parse_statement(formatted)
+    assert first == second, (
+        f"round-trip changed the AST for statement #{index}:\n"
+        f"  original:  {statement}\n"
+        f"  formatted: {formatted}")
+
+
+def test_formatting_is_a_fixed_point():
+    """format(parse(format(parse(s)))) == format(parse(s)) for all cases."""
+    for statement in _generate_all():
+        once = format_statement(parse_statement(statement))
+        twice = format_statement(parse_statement(once))
+        assert once == twice

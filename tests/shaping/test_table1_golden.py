@@ -1,0 +1,95 @@
+"""Golden-file pin of the Table 1 reproduction.
+
+EXPERIMENTS.md section T1 establishes the repo's headline finding: the
+paper's worked example (Customer ID 1) shapes into exactly **one** nested
+case carrying 4 purchase rows and 2 car rows, while the natural 3-way join
+flattens it to **8** rows (the paper says 12 — an arithmetic slip).  This
+test pins the complete byte-level content of both representations against
+``golden/table1_caseset.json`` so any change to the shaping or join layers
+that perturbs the reproduction is caught immediately — and verifies the
+pinned content is identical when produced through the streaming pipeline
+at a pathological batch size of 1.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.datagen import WarehouseConfig, load_warehouse
+from repro.sqlstore.rowset import Rowset
+
+GOLDEN_PATH = Path(__file__).parent / "golden" / "table1_caseset.json"
+
+NESTED_SHAPE = """
+    SHAPE {SELECT [Customer ID], Gender, [Hair Color], Age, [Age Prob]
+           FROM Customers WHERE [Customer ID] = 1}
+    APPEND ({SELECT CustID, [Product Name], Quantity, [Product Type]
+             FROM Sales} RELATE [Customer ID] TO CustID)
+           AS [Product Purchases],
+           ({SELECT CustID, Car, [Car Prob] FROM [Car Ownership]}
+            RELATE [Customer ID] TO CustID) AS [Car Ownership]
+"""
+
+FLATTEN_JOIN = """
+    SELECT c.[Customer ID], c.Gender, c.[Hair Color], c.Age, c.[Age Prob],
+           s.[Product Name], s.Quantity, s.[Product Type],
+           o.Car, o.[Car Prob]
+    FROM Customers c
+    JOIN Sales s ON c.[Customer ID] = s.CustID
+    JOIN [Car Ownership] o ON c.[Customer ID] = o.CustID
+    WHERE c.[Customer ID] = 1
+"""
+
+
+def _serialize(rowset):
+    return {
+        "columns": [[c.name, c.type.name if c.type is not None else None]
+                    for c in rowset.columns],
+        "rows": [[_serialize(v) if isinstance(v, Rowset) else v
+                  for v in row]
+                 for row in rowset.rows],
+    }
+
+
+@pytest.fixture(scope="module")
+def golden():
+    return json.loads(GOLDEN_PATH.read_text())
+
+
+@pytest.fixture(scope="module", params=[1, None],
+                ids=["batch_size=1", "default_batches"])
+def paper_connection(request):
+    kwargs = {} if request.param is None else {"batch_size": request.param}
+    connection = repro.connect(**kwargs)
+    load_warehouse(connection.database, WarehouseConfig(customers=1))
+    yield connection
+    connection.close()
+
+
+def test_nested_caseset_matches_golden(paper_connection, golden):
+    actual = _serialize(paper_connection.execute(NESTED_SHAPE))
+    assert actual == golden["nested_caseset"]
+
+
+def test_flattened_join_matches_golden(paper_connection, golden):
+    actual = _serialize(paper_connection.execute(FLATTEN_JOIN))
+    assert actual == golden["flattened_join"]
+
+
+def test_golden_file_pins_the_headline_numbers(golden):
+    """The golden file itself encodes 1 case / 4 purchases / 2 cars / 8 rows."""
+    nested = golden["nested_caseset"]
+    assert len(nested["rows"]) == 1
+    case = nested["rows"][0]
+    purchases = case[nested["columns"].index(["Product Purchases", "TABLE"])]
+    cars = case[nested["columns"].index(["Car Ownership", "TABLE"])]
+    assert [row[1] for row in purchases["rows"]] == \
+        ["TV", "VCR", "Ham", "Beer"]
+    assert [(row[1], row[2]) for row in cars["rows"]] == \
+        [("Truck", 1.0), ("Van", 0.5)]
+    flattened = golden["flattened_join"]
+    assert len(flattened["rows"]) == 8
+    gender = flattened["columns"].index(["Gender", "TEXT"])
+    assert [row[gender] for row in flattened["rows"]] == ["Male"] * 8
