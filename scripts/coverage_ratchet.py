@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Coverage ratchet: total coverage may rise, never fall.
+
+Reads the total statement coverage from a ``coverage.py`` data file (the
+``.coverage`` left behind by ``pytest --cov=repro``) and compares it to the
+committed floor in ``scripts/coverage_baseline.txt``:
+
+* below the floor -> exit 1 (the build fails; add tests or revert);
+* above the floor by more than the slack -> exit 0 with a nudge to commit
+  the higher floor, so gains are locked in.
+
+Usage (CI runs exactly this)::
+
+    python -m pytest -q --cov=repro --cov-report=
+    python scripts/coverage_ratchet.py
+
+The baseline file holds one float: the minimum acceptable percentage.
+"""
+
+import json
+import pathlib
+import subprocess
+import sys
+import tempfile
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+BASELINE_FILE = REPO_ROOT / "scripts" / "coverage_baseline.txt"
+# How far above the floor coverage may drift before we ask for a bump;
+# keeps the floor honest without making every test-only PR touch it.
+RAISE_NUDGE = 2.0
+
+
+def measured_total() -> float:
+    """Total percent covered, via ``coverage json`` on the .coverage data."""
+    with tempfile.NamedTemporaryFile(suffix=".json") as handle:
+        subprocess.run(
+            [sys.executable, "-m", "coverage", "json", "-q",
+             "-o", handle.name],
+            check=True, cwd=REPO_ROOT)
+        report = json.loads(pathlib.Path(handle.name).read_text())
+    return float(report["totals"]["percent_covered"])
+
+
+def main() -> int:
+    baseline = float(BASELINE_FILE.read_text().strip())
+    total = measured_total()
+    print(f"coverage: {total:.2f}% (committed floor: {baseline:.2f}%)")
+    if total < baseline:
+        print(f"FAIL: coverage fell below the ratchet floor by "
+              f"{baseline - total:.2f} points; add tests for the new code "
+              f"or revert the change that dropped it", file=sys.stderr)
+        return 1
+    if total > baseline + RAISE_NUDGE:
+        print(f"note: coverage exceeds the floor by "
+              f"{total - baseline:.2f} points — consider raising "
+              f"{BASELINE_FILE.relative_to(REPO_ROOT)} to "
+              f"{total - RAISE_NUDGE / 2:.1f} to lock in the gain")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -165,7 +165,18 @@ class AttributeSpace:
     # -- fitting --------------------------------------------------------------
 
     def fit(self, cases: List[MappedCase]) -> None:
-        """Build the attribute dictionary from training cases."""
+        """Build the attribute dictionary and marginals from training cases."""
+        self.fit_schema(cases)
+        self._fit_marginals(cases)
+
+    def fit_schema(self, cases: List[MappedCase]) -> None:
+        """The dictionary pass only: attributes, relations, discretizers.
+
+        After this the space can :meth:`encode` cases, but marginals are
+        unfitted — partitioned training computes them per partition with
+        :meth:`partial_marginals` and folds them back in order through
+        :meth:`merge_marginal_partials`.
+        """
         if not cases:
             raise TrainError(
                 f"model {self.definition.name!r}: the training caseset is "
@@ -222,7 +233,6 @@ class AttributeSpace:
         self.relations = relation_maps
         self._build_attributes(scalar_columns, observed, numeric_values,
                                item_counts)
-        self._fit_marginals(cases)
 
     def _build_attributes(self, scalar_columns, observed, numeric_values,
                           item_counts) -> None:
@@ -297,19 +307,42 @@ class AttributeSpace:
                 f"(every column is a KEY or qualifier)")
 
     def _fit_marginals(self, cases: List[MappedCase]) -> None:
-        self.marginals = []
+        self.marginals = self.partial_marginals(self.encode_many(cases))
+
+    def marginals_from_observations(
+            self, observations: List[Observation]) -> None:
+        """Fit marginals from already-encoded observations (the serial
+        single-encode path: encode once, feed both marginals and the
+        algorithm)."""
+        self.marginals = self.partial_marginals(observations)
+
+    def partial_marginals(self, observations) -> List[Any]:
+        """Per-attribute marginal statistics of one observation partition."""
+        partials: List[Any] = []
         for attribute in self.attributes:
             if attribute.is_categorical:
-                self.marginals.append(CategoricalDistribution())
+                partials.append(CategoricalDistribution())
             else:
-                self.marginals.append(GaussianStats())
-        for observation in self.encode_many(cases):
-            for attribute, marginal in zip(self.attributes, self.marginals):
+                partials.append(GaussianStats())
+        for observation in observations:
+            for attribute, marginal in zip(self.attributes, partials):
                 value = observation.values[attribute.index]
                 if value is None:
                     continue
                 weight = observation.effective_weight(attribute.index)
                 marginal.add(value, weight)
+        return partials
+
+    def merge_marginal_partials(self, partial_lists) -> None:
+        """Install marginals by merging partition partials in order."""
+        merged = None
+        for partials in partial_lists:
+            if merged is None:
+                merged = partials
+                continue
+            for mine, other in zip(merged, partials):
+                mine.merge(other)
+        self.marginals = merged if merged is not None else []
 
     def _add(self, attribute: Attribute) -> None:
         self.attributes.append(attribute)

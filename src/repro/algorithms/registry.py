@@ -37,6 +37,11 @@ def register_algorithm(cls: Type[MiningAlgorithm],
     """
     if not cls.SERVICE_NAME:
         raise SchemaError(f"{cls.__name__} must define SERVICE_NAME")
+    if cls.PARALLELIZABLE and cls.merge is MiningAlgorithm.merge:
+        raise SchemaError(
+            f"{cls.SERVICE_NAME} declares PARALLELIZABLE but does not "
+            f"override merge(); a service without a sound partition merge "
+            f"must keep PARALLELIZABLE = False")
     names = [cls.SERVICE_NAME, *cls.ALIASES]
     for name in names:
         key = name.upper()

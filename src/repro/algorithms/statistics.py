@@ -123,6 +123,36 @@ class GaussianStats:
         exponent = -((float(value) - self.mean) ** 2) / (2.0 * variance)
         return coefficient * math.exp(exponent)
 
+    def merge(self, other: "GaussianStats") -> None:
+        """Fold another partition's stats in (Chan et al.'s parallel update).
+
+        Algebraically equivalent to replaying the other partition's
+        observations, but floating-point round-off may differ from the
+        serial order — which is exactly why continuous attributes disable
+        partitioned training when bit-identical output is required.
+        """
+        if other.sum_weight <= 0:
+            return
+        if self.sum_weight <= 0:
+            self.sum_weight = other.sum_weight
+            self.mean = other.mean
+            self._m2 = other._m2
+            self.minimum = other.minimum
+            self.maximum = other.maximum
+            return
+        combined = self.sum_weight + other.sum_weight
+        delta = other.mean - self.mean
+        self._m2 += other._m2 + (delta * delta) * (
+            self.sum_weight * other.sum_weight / combined)
+        self.mean += delta * (other.sum_weight / combined)
+        self.sum_weight = combined
+        if other.minimum is not None and (self.minimum is None
+                                          or other.minimum < self.minimum):
+            self.minimum = other.minimum
+        if other.maximum is not None and (self.maximum is None
+                                          or other.maximum > self.maximum):
+            self.maximum = other.maximum
+
     def copy(self) -> "GaussianStats":
         clone = GaussianStats()
         clone.sum_weight = self.sum_weight

@@ -23,6 +23,7 @@ from repro.core.content import ContentNode
 from repro.algorithms.attributes import AttributeSpace, Observation
 from repro.algorithms.base import CasePrediction, MiningAlgorithm
 from repro.algorithms.registry import create_algorithm
+from repro.exec.locks import RWLock
 
 
 class MiningModel:
@@ -36,6 +37,18 @@ class MiningModel:
         self.training_cases: List[MappedCase] = []
         self.insert_count = 0       # number of INSERT INTO statements consumed
         self._content_root: Optional[ContentNode] = None
+        # Concurrency: predictions/content reads share, training/reset/DROP
+        # are exclusive.  Not pickled — recreated on unpickle.
+        self.lock = RWLock()
+
+    def __getstate__(self):
+        state = dict(self.__dict__)
+        state.pop("lock", None)
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self.lock = RWLock()
 
     @property
     def name(self) -> str:
@@ -51,7 +64,7 @@ class MiningModel:
 
     # -- life cycle -----------------------------------------------------------
 
-    def train(self, cases: List[MappedCase]) -> int:
+    def train(self, cases: List[MappedCase], pool=None, dop: int = 1) -> int:
         """Consume a caseset (INSERT INTO semantics); returns cases consumed.
 
         Cases accumulate across INSERT statements.  Services that declare
@@ -60,6 +73,10 @@ class MiningModel:
         categories, items, and discretizer ranges); otherwise — and for all
         other services — the algorithm retrains over the full accumulated
         caseset, so a second INSERT acts as a refresh with more data.
+
+        With a worker ``pool`` and ``dop > 1`` the refit may run
+        partitioned (see :mod:`repro.exec.partition`); eligibility gates
+        guarantee the result is identical to the serial refit.
         """
         if not cases:
             raise TrainError(
@@ -68,7 +85,7 @@ class MiningModel:
         self.insert_count += 1
         if self._absorb_incrementally(cases):
             return len(cases)
-        self._refit()
+        self._refit(pool=pool, dop=dop)
         return len(cases)
 
     def _absorb_incrementally(self, cases: List[MappedCase]) -> bool:
@@ -83,10 +100,15 @@ class MiningModel:
         self._content_root = None
         return True
 
-    def _refit(self) -> None:
+    def _refit(self, pool=None, dop: int = 1) -> None:
         space = AttributeSpace(self.definition)
-        space.fit(self.training_cases)
+        space.fit_schema(self.training_cases)
+        if pool is not None and dop > 1:
+            from repro.exec.partition import train_partitioned
+            if train_partitioned(self, space, pool, dop):
+                return
         observations = space.encode_many(self.training_cases)
+        space.marginals_from_observations(observations)
         self.algorithm.train(space, observations)
         self.space = space
         self._content_root = None

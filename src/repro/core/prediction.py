@@ -258,13 +258,74 @@ def _prediction_case_batches(provider, statement: ast.SelectStatement,
     return model, alias, columns, produce()
 
 
+def _parallel_plan(provider, statement: ast.SelectStatement,
+                   batch_size: Optional[int] = None):
+    """The parallel PREDICTION JOIN plan, or None to run serially.
+
+    Cheap pre-gates live here (no pool, effective dop of 1); the soundness
+    gates (blocking clauses, subqueries, pickling) live in
+    :func:`repro.exec.partition.parallel_prediction_plan`, which records a
+    ``pool.serial_fallbacks.*`` metric when it declines.
+    """
+    pool = getattr(provider, "pool", None)
+    if pool is None:
+        return None
+    if pool.effective_dop(statement.maxdop) <= 1:
+        return None
+    from repro.exec.partition import parallel_prediction_plan
+    return parallel_prediction_plan(provider, statement,
+                                    pool.effective_dop(statement.maxdop),
+                                    batch_size)
+
+
+class _ReadLease:
+    """A one-shot, idempotent hold on a model's read lock.
+
+    Streaming predictions outlive the statement call, so the read side of
+    the model lock must be released wherever consumption actually ends —
+    normal exhaustion, an error mid-stream, or the consumer abandoning the
+    generator.  Idempotence makes every such path safe to run.
+    """
+
+    __slots__ = ("_lock", "_held")
+
+    def __init__(self, lock):
+        self._lock = lock
+        lock.acquire_read()
+        self._held = True
+
+    def release(self) -> None:
+        if self._held:
+            self._held = False
+            self._lock.release_read()
+
+
+def _released_when_done(batches, lease: _ReadLease):
+    try:
+        yield from batches
+    finally:
+        lease.release()
+
+
 def execute_prediction_select(provider,
                               statement: ast.SelectStatement) -> Rowset:
     join: ast.PredictionJoin = statement.from_clause
-    with obs_trace.span("predict", model=join.model):
-        result = _execute_prediction_select(provider, statement)
-        obs_trace.add("rows_out", len(result.rows))
-        return result
+    model = provider.model(join.model)
+    with model.lock.read():
+        with obs_trace.span("predict", model=join.model):
+            plan = _parallel_plan(provider, statement)
+            if plan is not None:
+                expanded, batches = plan
+                rows = [values for batch in batches for values in batch]
+                columns = _column_metadata(expanded, rows,
+                                           lambda entry: entry)
+                result = Rowset(columns, rows)
+                if statement.flattened:
+                    result = flatten_rowset(result)
+            else:
+                result = _execute_prediction_select(provider, statement)
+            obs_trace.add("rows_out", len(result.rows))
+            return result
 
 
 def execute_prediction_stream(provider, statement: ast.SelectStatement,
@@ -284,57 +345,75 @@ def execute_prediction_stream(provider, statement: ast.SelectStatement,
             execute_prediction_select(provider, statement), batch_size)
 
     join: ast.PredictionJoin = statement.from_clause
-    with obs_trace.span("predict", model=join.model, streaming=True):
-        model, alias, source_columns, case_batches = \
-            _prediction_case_batches(provider, statement, batch_size)
-        source_context = _source_context(source_columns, alias)
-        source_context.subquery_executor = provider.database.execute_select
-        expanded = _expand_select_list(statement, model, source_columns,
-                                       alias)
+    lease = _ReadLease(provider.model(join.model).lock)
+    try:
+        with obs_trace.span("predict", model=join.model, streaming=True):
+            plan = _parallel_plan(provider, statement, batch_size)
+            if plan is not None:
+                expanded, raw_batches = plan
 
-        def value_batches():
-            remaining = statement.top
-            for batch in case_batches:
-                out = []
-                for row, case in batch:
-                    context = PredictionEvalContext(
-                        model, source_context, row, case)
-                    if statement.where is not None and \
-                            evaluate(statement.where, context) is not True:
-                        continue
-                    out.append(tuple(evaluate(expr, context)
-                                     for expr, _ in expanded))
-                if remaining is not None:
-                    if len(out) >= remaining:
-                        if out[:remaining]:
-                            obs_trace.add("rows_out", remaining)
-                            yield out[:remaining]
-                        return
-                    remaining -= len(out)
-                if out:
-                    obs_trace.add("rows_out", len(out))
-                    yield out
+                def value_batches():
+                    for values in raw_batches:
+                        obs_trace.add("rows_out", len(values))
+                        yield values
+            else:
+                model, alias, source_columns, case_batches = \
+                    _prediction_case_batches(provider, statement, batch_size)
+                source_context = _source_context(source_columns, alias)
+                source_context.subquery_executor = \
+                    provider.database.execute_select
+                expanded = _expand_select_list(statement, model,
+                                               source_columns, alias)
 
-        # Buffer a prefix until every output column has a sample value
-        # (or the stream ends), then replay it ahead of the live tail.
-        produced = value_batches()
-        head: List[List[tuple]] = []
-        sample_rows: List[tuple] = []
-        needed = len(expanded)
-        while needed:
-            batch = next(produced, None)
-            if batch is None:
-                break
-            head.append(batch)
-            sample_rows.extend(batch)
-            needed = sum(
-                1 for position in range(len(expanded))
-                if not any(row[position] is not None for row in sample_rows))
-        columns = _column_metadata(expanded, sample_rows, lambda entry: entry)
-        result = RowStream(columns, _chain_batches(head, produced))
-        if statement.flattened:
-            result = flatten_stream(result)
-        return result
+                def value_batches():
+                    remaining = statement.top
+                    for batch in case_batches:
+                        out = []
+                        for row, case in batch:
+                            context = PredictionEvalContext(
+                                model, source_context, row, case)
+                            if statement.where is not None and \
+                                    evaluate(statement.where,
+                                             context) is not True:
+                                continue
+                            out.append(tuple(evaluate(expr, context)
+                                             for expr, _ in expanded))
+                        if remaining is not None:
+                            if len(out) >= remaining:
+                                if out[:remaining]:
+                                    obs_trace.add("rows_out", remaining)
+                                    yield out[:remaining]
+                                return
+                            remaining -= len(out)
+                        if out:
+                            obs_trace.add("rows_out", len(out))
+                            yield out
+
+            # Buffer a prefix until every output column has a sample value
+            # (or the stream ends), then replay it ahead of the live tail.
+            produced = _released_when_done(value_batches(), lease)
+            head: List[List[tuple]] = []
+            sample_rows: List[tuple] = []
+            needed = len(expanded)
+            while needed:
+                batch = next(produced, None)
+                if batch is None:
+                    break
+                head.append(batch)
+                sample_rows.extend(batch)
+                needed = sum(
+                    1 for position in range(len(expanded))
+                    if not any(row[position] is not None
+                               for row in sample_rows))
+            columns = _column_metadata(expanded, sample_rows,
+                                       lambda entry: entry)
+            result = RowStream(columns, _chain_batches(head, produced))
+            if statement.flattened:
+                result = flatten_stream(result)
+            return result
+    except BaseException:
+        lease.release()
+        raise
 
 
 def _chain_batches(head, tail):

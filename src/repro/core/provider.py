@@ -29,6 +29,7 @@ from repro.shaping.shape import (
 )
 from repro.sqlstore.engine import Database, SourceRelation
 from repro.sqlstore.rowset import DEFAULT_BATCH_SIZE, Rowset, RowStream
+from repro.exec.pool import WorkerPool
 from repro.core.bindings import iter_mapped_cases
 from repro.core.casecache import CasesetCache, definition_fingerprint
 from repro.core.columns import compile_model_definition
@@ -98,11 +99,17 @@ class Provider:
     batch exchanged between operators); ``caseset_cache_capacity`` and
     ``caseset_cache_max_rows`` tune the LRU cache of bound casesets
     (capacity 0 disables it, casesets above ``max_rows`` are never cached).
+    ``max_workers`` caps the shared worker pool used by partitioned
+    training and parallel PREDICTION JOIN (1 = always serial), and
+    ``pool_mode`` picks its transport (``auto``/``serial``/``thread``/
+    ``process``); a statement's ``WITH MAXDOP n`` can only lower the cap.
     """
 
     def __init__(self, batch_size: int = DEFAULT_BATCH_SIZE,
                  caseset_cache_capacity: int = 8,
-                 caseset_cache_max_rows: int = 50_000):
+                 caseset_cache_max_rows: int = 50_000,
+                 max_workers: int = 1,
+                 pool_mode: str = "auto"):
         self.database = Database(external_resolver=self._resolve_external,
                                  batch_size=batch_size)
         self.models: Dict[str, MiningModel] = {}
@@ -112,7 +119,13 @@ class Provider:
             capacity=caseset_cache_capacity,
             max_rows=caseset_cache_max_rows,
             metrics=self.metrics)
+        self.pool = WorkerPool(max_workers=max_workers, mode=pool_mode,
+                               metrics=self.metrics)
         self.tracer.on_statement = self._observe_statement
+
+    def close(self) -> None:
+        """Release pooled workers (the pool revives lazily if reused)."""
+        self.pool.shutdown()
 
     # -- catalog ----------------------------------------------------------------
 
@@ -168,7 +181,9 @@ class Provider:
         if isinstance(statement, ast.InsertValuesStatement):
             return self._insert_dispatch(statement)
         if isinstance(statement, ast.DeleteModelStatement):
-            self.model(statement.name).reset()
+            model = self.model(statement.name)
+            with model.lock.write():
+                model.reset()
             return 0
         if isinstance(statement, ast.DeleteStatement):
             if self.has_model(statement.table):
@@ -177,7 +192,9 @@ class Provider:
                         f"DELETE FROM a mining model resets it entirely; "
                         f"a WHERE clause is not supported "
                         f"({statement.table!r} is a model)")
-                self.model(statement.table).reset()
+                model = self.model(statement.table)
+                with model.lock.write():
+                    model.reset()
                 return 0
             return self.database.execute_ast(statement)
         if isinstance(statement, ast.DropMiningModelStatement):
@@ -256,7 +273,12 @@ class Provider:
     def _insert_model(self, statement: ast.InsertModelStatement) -> int:
         model = self.model(statement.model)
         cases = self._bind_training_cases(model, statement)
-        trained = model.train(cases)
+        maxdop = statement.maxdop
+        if maxdop is None:
+            maxdop = getattr(statement.source, "maxdop", None)
+        dop = self.pool.effective_dop(maxdop)
+        with model.lock.write():
+            trained = model.train(cases, pool=self.pool, dop=dop)
         self.metrics.counter("training.cases_total").inc(len(cases))
         self.metrics.gauge(f"model.{model.name}.case_count").set(
             model.case_count)
@@ -468,6 +490,7 @@ class Connection:
 
     def close(self) -> None:
         self._closed = True
+        self.provider.close()
 
     def __enter__(self) -> "Connection":
         return self
@@ -480,7 +503,8 @@ def connect(**kwargs) -> Connection:
     """Open a connection to a fresh in-memory OLE DB DM provider.
 
     Keyword arguments (``batch_size``, ``caseset_cache_capacity``,
-    ``caseset_cache_max_rows``) are forwarded to :class:`Provider`.
+    ``caseset_cache_max_rows``, ``max_workers``, ``pool_mode``) are
+    forwarded to :class:`Provider`.
     """
     return Connection(Provider(**kwargs))
 

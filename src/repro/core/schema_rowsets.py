@@ -102,6 +102,7 @@ def mining_services_rowset(provider=None) -> Rowset:
         RowsetColumn("PREDICTS_CONTINUOUS", BOOLEAN),
         RowsetColumn("SUPPORTS_NESTED_TABLES", BOOLEAN),
         RowsetColumn("SUPPORTS_INCREMENTAL", BOOLEAN),
+        RowsetColumn("SUPPORTS_PARALLEL_TRAINING", BOOLEAN),
         RowsetColumn("ALIASES", TEXT),
     ]
     rows = []
@@ -112,6 +113,7 @@ def mining_services_rowset(provider=None) -> Rowset:
                      service.PREDICTS_CONTINUOUS,
                      service.SUPPORTS_NESTED_TABLES,
                      service.SUPPORTS_INCREMENTAL,
+                     service.PARALLELIZABLE,
                      ", ".join(service.ALIASES)))
     return Rowset(columns, rows)
 

@@ -1,0 +1,70 @@
+"""A small writer-priority readers/writer lock.
+
+Mining models are read-mostly: many concurrent PREDICTION JOINs may share
+one model, but INSERT INTO (training) and DELETE FROM (reset) must be
+exclusive so a predictor never observes a half-swapped attribute space.
+``threading`` has no RW lock; this one is writer-priority (a waiting writer
+blocks *new* readers) so sustained prediction traffic cannot starve
+training.
+
+Locks are intentionally not picklable state: holders re-create them after
+unpickling (see ``MiningModel.__setstate__``).
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+
+
+class RWLock:
+    """Readers share, writers exclude; writers have priority."""
+
+    def __init__(self):
+        self._condition = threading.Condition()
+        self._readers = 0
+        self._writer = False
+        self._writers_waiting = 0
+
+    def acquire_read(self) -> None:
+        with self._condition:
+            while self._writer or self._writers_waiting:
+                self._condition.wait()
+            self._readers += 1
+
+    def release_read(self) -> None:
+        with self._condition:
+            self._readers -= 1
+            if self._readers == 0:
+                self._condition.notify_all()
+
+    def acquire_write(self) -> None:
+        with self._condition:
+            self._writers_waiting += 1
+            try:
+                while self._writer or self._readers:
+                    self._condition.wait()
+            finally:
+                self._writers_waiting -= 1
+            self._writer = True
+
+    def release_write(self) -> None:
+        with self._condition:
+            self._writer = False
+            self._condition.notify_all()
+
+    @contextmanager
+    def read(self):
+        self.acquire_read()
+        try:
+            yield self
+        finally:
+            self.release_read()
+
+    @contextmanager
+    def write(self):
+        self.acquire_write()
+        try:
+            yield self
+        finally:
+            self.release_write()

@@ -1,0 +1,211 @@
+"""The shared worker pool behind ``connect(max_workers=N)`` and MAXDOP.
+
+One :class:`WorkerPool` lives on each provider.  It is deliberately lazy:
+no executor exists until the first statement actually runs with an
+effective degree of parallelism above one, so the default serial provider
+pays nothing.  Three transports:
+
+* ``process`` — a :class:`~concurrent.futures.ProcessPoolExecutor` (the
+  ``fork`` start method when the platform offers it).  This is the mode
+  that yields wall-clock speedup for CPU-bound training/prediction under
+  CPython's GIL; tasks must be picklable module-level functions.
+* ``thread`` — a :class:`~concurrent.futures.ThreadPoolExecutor`.  Same
+  semantics and ordering, no pickling, but no CPU speedup under the GIL;
+  useful for tests and for I/O-ish workloads.
+* ``serial`` — never parallelize, run every task inline.
+
+``auto`` (the default) resolves to ``process`` where ``fork`` is available
+and ``thread`` elsewhere.
+
+Observability: the pool owns the ``pool.*`` metrics surfaced through
+``$SYSTEM.DM_PROVIDER_METRICS`` and pins per-task counters onto the
+caller's captured span via :func:`repro.obs.trace.add_to`, because results
+may be consumed lazily after the planning span has closed (and, in process
+mode, worker-side spans cannot cross the process boundary at all).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from concurrent.futures import (
+    Future,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+)
+from typing import Any, Callable, Iterable, Iterator, Optional
+
+from repro.errors import Error
+from repro.obs import trace as obs_trace
+from repro.obs.trace import NULL_SPAN
+
+MODES = ("auto", "serial", "thread", "process")
+
+
+def _fork_context():
+    """The ``fork`` multiprocessing context, or None if unavailable."""
+    import multiprocessing
+    try:
+        if "fork" in multiprocessing.get_all_start_methods():
+            return multiprocessing.get_context("fork")
+    except Exception:  # pragma: no cover - platform-specific
+        pass
+    return None
+
+
+def resolve_mode(mode: str) -> str:
+    """Normalize a ``pool_mode`` knob value to a concrete transport."""
+    mode = (mode or "auto").lower()
+    if mode not in MODES:
+        raise Error(
+            f"unknown pool_mode {mode!r}; expected one of {', '.join(MODES)}")
+    if mode == "auto":
+        return "process" if _fork_context() is not None else "thread"
+    return mode
+
+
+class WorkerPool:
+    """A lazily-created, shared executor with ordered fan-out helpers.
+
+    ``max_workers`` is the provider-level ceiling; a statement's
+    ``WITH MAXDOP n`` can only lower it (SQL Server semantics — the server
+    configuration wins).  ``effective_dop(None)`` and ``effective_dop(0)``
+    both mean "use the configured maximum".
+    """
+
+    def __init__(self, max_workers: int = 1, mode: str = "auto",
+                 metrics=None):
+        self.max_workers = max(1, int(max_workers))
+        self.mode = resolve_mode(mode)
+        self.metrics = metrics
+        self._executor = None
+        self._lock = threading.Lock()
+        if metrics is not None:
+            metrics.gauge("pool.max_workers").set(self.max_workers)
+            metrics.gauge("pool.workers_live").set(0)
+
+    # -- knobs ----------------------------------------------------------------
+
+    def effective_dop(self, requested: Optional[int] = None) -> int:
+        """Clamp a statement's MAXDOP request against the pool ceiling."""
+        if self.mode == "serial":
+            return 1
+        if requested is None or requested == 0:
+            return self.max_workers
+        return max(1, min(int(requested), self.max_workers))
+
+    # -- bookkeeping ----------------------------------------------------------
+
+    def _counter(self, name: str, amount: float = 1) -> None:
+        if self.metrics is not None:
+            self.metrics.counter(name).inc(amount)
+
+    def note_parallel_statement(self, kind: str) -> None:
+        """One statement chose the parallel path (training or prediction)."""
+        self._counter("pool.parallel_statements")
+        self._counter(f"pool.parallel_statements.{kind}")
+
+    def note_serial_fallback(self, reason: str) -> None:
+        """One statement requested dop>1 but ran serially; say why."""
+        self._counter("pool.serial_fallbacks")
+        self._counter(f"pool.serial_fallbacks.{reason}")
+        obs_trace.add("pool_serial_fallbacks", 1)
+
+    # -- executor life cycle --------------------------------------------------
+
+    def _ensure_executor(self):
+        with self._lock:
+            if self._executor is None:
+                if self.mode == "process":
+                    context = _fork_context()
+                    if context is not None:
+                        self._executor = ProcessPoolExecutor(
+                            max_workers=self.max_workers, mp_context=context)
+                    else:  # pragma: no cover - non-fork platforms
+                        self._executor = ProcessPoolExecutor(
+                            max_workers=self.max_workers)
+                else:
+                    self._executor = ThreadPoolExecutor(
+                        max_workers=self.max_workers,
+                        thread_name_prefix="repro-pool")
+                if self.metrics is not None:
+                    self.metrics.gauge("pool.workers_live").set(
+                        self.max_workers)
+            return self._executor
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop the executor; idempotent, and the pool lazily revives on
+        the next parallel statement (so closing one connection of a shared
+        provider is always safe)."""
+        with self._lock:
+            executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=wait)
+            if self.metrics is not None:
+                self.metrics.gauge("pool.workers_live").set(0)
+
+    # -- ordered fan-out ------------------------------------------------------
+
+    def map_ordered(self, func: Callable[[Any], Any],
+                    payloads: Iterable[Any],
+                    dop: Optional[int] = None,
+                    span=NULL_SPAN,
+                    window_factor: int = 2) -> Iterator[Any]:
+        """Apply ``func`` to each payload, yielding results in submission
+        order — the order-preserving merge primitive shared by partitioned
+        training and parallel PREDICTION JOIN.
+
+        At most ``dop * window_factor`` tasks are in flight, so a lazy
+        consumer keeps O(window) memory.  Abandoning the generator cancels
+        whatever has not started.  Task exceptions re-raise in submission
+        order, exactly where the serial loop would have raised them.
+        """
+        dop = self.effective_dop(dop)
+        if dop <= 1:
+            for payload in payloads:
+                yield func(payload)
+            return
+        executor = self._ensure_executor()
+        window = max(2, dop * window_factor)
+        pending: deque = deque()
+        iterator = iter(payloads)
+
+        def submit(payload) -> Future:
+            self._counter("pool.tasks_submitted")
+            future = executor.submit(func, payload)
+            future._repro_started = time.perf_counter()
+            return future
+
+        def collect(future: Future):
+            result = future.result()
+            elapsed_ms = (time.perf_counter() -
+                          future._repro_started) * 1000.0
+            self._counter("pool.tasks_completed")
+            if self.metrics is not None:
+                self.metrics.histogram("pool.task_ms").observe(elapsed_ms)
+            obs_trace.add_to(span, "pool_tasks", 1)
+            return result
+
+        try:
+            for payload in iterator:
+                pending.append(submit(payload))
+                if len(pending) >= window:
+                    yield collect(pending.popleft())
+            while pending:
+                yield collect(pending.popleft())
+        finally:
+            # Early exit (TOP, consumer error): account for every submitted
+            # task so pool.tasks_submitted == completed + cancelled +
+            # abandoned always holds — the "no torn counts" invariant.
+            while pending:
+                future = pending.popleft()
+                if future.cancel():
+                    self._counter("pool.tasks_cancelled")
+                else:
+                    self._counter("pool.tasks_abandoned")
+
+    def run_all(self, func: Callable[[Any], Any], payloads,
+                dop: Optional[int] = None, span=NULL_SPAN) -> list:
+        """Eager :meth:`map_ordered`: all results, in submission order."""
+        return list(self.map_ordered(func, payloads, dop=dop, span=span))

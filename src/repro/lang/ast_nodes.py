@@ -243,6 +243,7 @@ class SelectStatement(Statement):
     distinct: bool = False
     top: Optional[int] = None
     flattened: bool = False  # DMX SELECT FLATTENED: un-nest TABLE columns
+    maxdop: Optional[int] = None  # WITH MAXDOP n; 0 = provider maximum
 
 
 @dataclass
@@ -382,6 +383,7 @@ class InsertModelStatement(Statement):
     bindings: List[Union[BindingColumn, BindingSkip, BindingTable]] = \
         field(default_factory=list)
     source: Union[SelectStatement, ShapeExpr, None] = None
+    maxdop: Optional[int] = None  # WITH MAXDOP n; 0 = provider maximum
 
 
 @dataclass

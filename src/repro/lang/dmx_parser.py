@@ -68,6 +68,14 @@ def _parse_parameter(parser):
 
 def parse_model_column(parser) -> ast.ModelColumnDef:
     """One column definition, scalar or nested TABLE (section 3.2)."""
+    parser._enter()  # nested TABLE(...) columns recurse
+    try:
+        return _parse_model_column_body(parser)
+    finally:
+        parser._leave()
+
+
+def _parse_model_column_body(parser) -> ast.ModelColumnDef:
     name = parser.expect_identifier("column name")
     if parser.peek().is_keyword("TABLE"):
         parser.advance()
@@ -193,7 +201,8 @@ def parse_insert(parser) -> ast.Statement:
         if wrapped:
             parser.expect_symbol(")")
         return ast.InsertModelStatement(model=target, bindings=bindings,
-                                        source=shape)
+                                        source=shape,
+                                        maxdop=parser.parse_maxdop_option())
     if token.is_keyword("SELECT") or (
             token.is_symbol("(") and parser.peek(1).is_keyword("SELECT")):
         wrapped = parser.accept_symbol("(")
@@ -202,8 +211,11 @@ def parse_insert(parser) -> ast.Statement:
             parser.expect_symbol(")")
         if any(isinstance(b, (ast.BindingTable, ast.BindingSkip))
                for b in bindings):
+            # An unwrapped SELECT source consumes WITH MAXDOP itself (it
+            # lands on select.maxdop); a wrapped one leaves it out here.
             return ast.InsertModelStatement(model=target, bindings=bindings,
-                                            source=select)
+                                            source=select,
+                                            maxdop=parser.parse_maxdop_option())
         columns = _flat_binding_names(parser, bindings)
         return ast.InsertValuesStatement(table=target, columns=columns,
                                          select=select)
@@ -220,14 +232,18 @@ def _parse_binding_list(parser):
 
 
 def _parse_binding(parser):
-    if parser.peek().is_keyword("SKIP"):
-        parser.advance()
-        return ast.BindingSkip()
-    name = parser.expect_identifier("column name")
-    if parser.peek().is_symbol("("):
-        children = _parse_binding_list(parser)
-        return ast.BindingTable(name=name, children=children)
-    return ast.BindingColumn(name=name)
+    parser._enter()  # nested binding lists recurse; bound like expressions
+    try:
+        if parser.peek().is_keyword("SKIP"):
+            parser.advance()
+            return ast.BindingSkip()
+        name = parser.expect_identifier("column name")
+        if parser.peek().is_symbol("("):
+            children = _parse_binding_list(parser)
+            return ast.BindingTable(name=name, children=children)
+        return ast.BindingColumn(name=name)
+    finally:
+        parser._leave()
 
 
 def _flat_binding_names(parser, bindings) -> List[str]:

@@ -185,6 +185,8 @@ def format_select(statement: ast.SelectStatement) -> str:
                 text += " DESC"
             orders.append(text)
         parts.append("ORDER BY " + ", ".join(orders))
+    if statement.maxdop is not None:
+        parts.append(f"WITH MAXDOP {statement.maxdop}")
     return " ".join(parts)
 
 
@@ -300,8 +302,12 @@ def format_statement(statement: ast.Statement) -> str:
         if statement.bindings:
             text += f" ({_format_bindings(statement.bindings)})"
         if isinstance(statement.source, ast.ShapeExpr):
-            return f"{text} {format_shape(statement.source)}"
-        return f"{text} {format_select(statement.source)}"
+            text = f"{text} {format_shape(statement.source)}"
+        else:
+            text = f"{text} {format_select(statement.source)}"
+        if statement.maxdop is not None:
+            text += f" WITH MAXDOP {statement.maxdop}"
+        return text
     if isinstance(statement, ast.DeleteModelStatement):
         return f"DELETE FROM MINING MODEL {quote_ident(statement.name)}"
     if isinstance(statement, ast.DropMiningModelStatement):

@@ -25,8 +25,14 @@ _CLAUSE_KEYWORDS = {
     "FROM", "WHERE", "GROUP", "HAVING", "ORDER", "ON", "JOIN", "INNER",
     "LEFT", "CROSS", "NATURAL", "PREDICTION", "AND", "OR", "NOT", "AS",
     "APPEND", "RELATE", "USING", "VALUES", "SET", "TO", "BY", "ASC", "DESC",
-    "UNION", "THEN", "ELSE", "END", "WHEN", "LIMIT", "TOP",
+    "UNION", "THEN", "ELSE", "END", "WHEN", "LIMIT", "TOP", "WITH", "MAXDOP",
 }
+
+# Nesting ceiling for recursive constructs (parenthesised expressions,
+# subqueries, SHAPE trees).  Each level costs ~9 Python frames, so a hostile
+# input could otherwise blow the interpreter recursion limit into a
+# RecursionError — which is not our error type and not catchable as one.
+MAX_NESTING = 64
 
 
 class Parser:
@@ -36,6 +42,18 @@ class Parser:
         self.text = text
         self.tokens: List[Token] = list(Lexer(text).tokens())
         self.pos = 0
+        self.depth = 0
+
+    def _enter(self) -> None:
+        self.depth += 1
+        if self.depth > MAX_NESTING:
+            token = self.peek()
+            raise ParseError(
+                f"statement nesting exceeds the supported depth "
+                f"({MAX_NESTING})", token.line, token.column)
+
+    def _leave(self) -> None:
+        self.depth -= 1
 
     # -- token-stream helpers -------------------------------------------------
 
@@ -145,6 +163,13 @@ class Parser:
     # -- SELECT ---------------------------------------------------------------
 
     def parse_select(self) -> ast.SelectStatement:
+        self._enter()
+        try:
+            return self._parse_select_body()
+        finally:
+            self._leave()
+
+    def _parse_select_body(self) -> ast.SelectStatement:
         self.expect_keyword("SELECT")
         statement = ast.SelectStatement()
         # FLATTENED / TOP n / DISTINCT may appear in any order.
@@ -179,7 +204,25 @@ class Parser:
             statement.order_by = [self._parse_order_item()]
             while self.accept_symbol(","):
                 statement.order_by.append(self._parse_order_item())
+        statement.maxdop = self.parse_maxdop_option()
         return statement
+
+    def parse_maxdop_option(self) -> Optional[int]:
+        """``WITH MAXDOP n`` — per-statement degree-of-parallelism cap.
+
+        ``0`` means "use the provider's configured maximum" (SQL Server
+        semantics); the option can only lower ``connect(max_workers=N)``,
+        never raise it.
+        """
+        if not self.accept_keyword("WITH"):
+            return None
+        self.expect_keyword("MAXDOP")
+        token = self.peek()
+        if token.kind is not TokenKind.NUMBER or \
+                not isinstance(token.value, int) or token.value < 0:
+            raise self.error("expected a non-negative integer after MAXDOP")
+        self.advance()
+        return token.value
 
     def _parse_union_tail(self, first: ast.SelectStatement) -> ast.Statement:
         branches = [first]
@@ -281,20 +324,11 @@ class Parser:
     def _parse_primary_table(self) -> ast.TableRef:
         token = self.peek()
         if token.is_symbol("("):
-            self.advance()
-            if self.peek().is_keyword("SHAPE"):
-                shape = self.parse_shape()
-                self.expect_symbol(")")
-                return ast.ShapeSource(shape=shape, alias=self._parse_alias())
-            if self.peek().is_keyword("SELECT"):
-                select = self.parse_select()
-                self.expect_symbol(")")
-                return ast.SubquerySource(select=select,
-                                          alias=self._parse_alias())
-            # Parenthesised table reference.
-            ref = self._parse_from()
-            self.expect_symbol(")")
-            return ref
+            self._enter()
+            try:
+                return self._parse_paren_table()
+            finally:
+                self._leave()
         if token.is_keyword("SHAPE"):
             shape = self.parse_shape()
             return ast.ShapeSource(shape=shape, alias=self._parse_alias())
@@ -317,6 +351,22 @@ class Parser:
                                        alias=self._parse_alias())
         return ast.NamedTable(name=name, alias=self._parse_alias())
 
+    def _parse_paren_table(self) -> ast.TableRef:
+        self.advance()  # consume "("
+        if self.peek().is_keyword("SHAPE"):
+            shape = self.parse_shape()
+            self.expect_symbol(")")
+            return ast.ShapeSource(shape=shape, alias=self._parse_alias())
+        if self.peek().is_keyword("SELECT"):
+            select = self.parse_select()
+            self.expect_symbol(")")
+            return ast.SubquerySource(select=select,
+                                      alias=self._parse_alias())
+        # Parenthesised table reference.
+        ref = self._parse_from()
+        self.expect_symbol(")")
+        return ref
+
     def _parse_alias(self) -> Optional[str]:
         if self.accept_keyword("AS"):
             return self.expect_identifier("alias")
@@ -328,6 +378,13 @@ class Parser:
 
     def parse_shape(self) -> ast.ShapeExpr:
         """``SHAPE {master} APPEND ({child} RELATE m TO c) AS name, ...``."""
+        self._enter()
+        try:
+            return self._parse_shape_body()
+        finally:
+            self._leave()
+
+    def _parse_shape_body(self) -> ast.ShapeExpr:
         self.expect_keyword("SHAPE")
         master = self._parse_shape_source()
         shape = ast.ShapeExpr(master=master)
@@ -417,7 +474,11 @@ class Parser:
     # -- expressions ----------------------------------------------------------
 
     def parse_expression(self) -> ast.Expr:
-        return self._parse_or()
+        self._enter()
+        try:
+            return self._parse_or()
+        finally:
+            self._leave()
 
     def _parse_or(self) -> ast.Expr:
         left = self._parse_and()

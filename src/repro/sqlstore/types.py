@@ -29,6 +29,12 @@ class SqlType:
     def __repr__(self) -> str:
         return f"SqlType({self.name})"
 
+    def __reduce__(self):
+        # Identity IS equality for types, so unpickling must hand back the
+        # module-level singleton, not a fresh instance (process-pool workers
+        # receive pickled model definitions and coerce with `is` checks).
+        return (type_from_name, (self.name,))
+
     def __str__(self) -> str:
         return self.name
 

@@ -97,6 +97,116 @@ def test_concurrent_statement_mix_counts_exactly(conn):
     assert values.get("statements.errors", 0) == 0
 
 
+SHARED_DDL = ("CREATE MINING MODEL Shared (pid LONG KEY, "
+              "color TEXT DISCRETE, grade TEXT DISCRETE PREDICT) "
+              "USING Repro_Naive_Bayes")
+SHARED_TRAIN = ("INSERT INTO Shared (pid, color, grade) "
+                "SELECT pid, color, grade FROM Cat WITH MAXDOP 3")
+SHARED_PREDICT = ("SELECT t.pid, Shared.grade FROM Shared "
+                  "NATURAL PREDICTION JOIN (SELECT pid, color FROM Cat) AS t")
+
+
+def test_same_model_name_stress_with_active_pool():
+    """Threads create/train/predict/DROP one model name over a live pool.
+
+    Every worker races the SAME model name, barrier-synchronized so each
+    round's operations collide as hard as the scheduler allows, while the
+    worker pool parallelizes eligible training and prediction underneath.
+    Lifecycle races must surface as the package's own errors (model missing,
+    not trained, already exists) — never deadlock, never a torn counter:
+    ``statements.total`` must equal the number of attempts exactly, the
+    pool's task ledger must balance, and the caseset cache must respect its
+    invariants.
+    """
+    connection = repro.connect(max_workers=3, pool_mode="thread",
+                               batch_size=3)
+    try:
+        connection.execute("CREATE TABLE Cat (pid INT, color TEXT, "
+                           "grade TEXT)")
+        connection.execute("INSERT INTO Cat VALUES " + ", ".join(
+            f"({pid}, '{('red', 'green', 'blue')[pid % 3]}', "
+            f"'{'pass' if pid % 2 else 'fail'}')"
+            for pid in range(1, 13)))
+        setup_statements = 2
+
+        barrier = threading.Barrier(THREADS)
+        ledger_lock = threading.Lock()
+        attempts = [0]
+        expected_errors = [0]
+        unexpected = []
+
+        def worker(index):
+            for loop in range(LOOPS):
+                try:
+                    barrier.wait(timeout=60)
+                except threading.BrokenBarrierError as exc:
+                    unexpected.append((index, loop, exc))
+                    return
+                op = (index + loop) % 4
+                if op == 0:
+                    statements = [SHARED_DDL, SHARED_TRAIN]
+                elif op == 3:
+                    statements = ["DROP MINING MODEL Shared"]
+                else:
+                    statements = [SHARED_PREDICT]
+                for statement in statements:
+                    try:
+                        with ledger_lock:
+                            attempts[0] += 1
+                        connection.execute(statement)
+                    except repro.Error:
+                        # Lifecycle race lost: model already exists, was
+                        # dropped mid-flight, or is not trained yet.
+                        with ledger_lock:
+                            expected_errors[0] += 1
+                    except Exception as exc:
+                        unexpected.append((index, loop, exc))
+                        return
+
+        threads = [threading.Thread(target=worker, args=(index,))
+                   for index in range(THREADS)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120)
+        hung = [thread for thread in threads if thread.is_alive()]
+        assert not hung, f"deadlock: {len(hung)} worker(s) never finished"
+        assert unexpected == []
+
+        metrics = connection.provider.metrics
+
+        # No torn statement counts: every attempt was traced exactly once,
+        # and every lifecycle race surfaced as a counted error.
+        assert metrics.value("statements.total") == \
+            setup_statements + attempts[0]
+        assert metrics.value("statements.errors") == expected_errors[0]
+
+        # The pool's task ledger balances: nothing lost, nothing leaked.
+        submitted = metrics.value("pool.tasks_submitted")
+        accounted = (metrics.value("pool.tasks_completed")
+                     + metrics.value("pool.tasks_cancelled")
+                     + metrics.value("pool.tasks_abandoned"))
+        assert submitted == accounted
+
+        # Caseset cache invariants hold under interleaving.
+        cache = connection.provider.caseset_cache
+        assert len(cache) <= cache.capacity
+        stats = cache.stats()
+        assert stats["evictions"] <= stats["misses"]
+
+        # The provider is still fully functional after the melee.
+        try:
+            connection.execute("DROP MINING MODEL Shared")
+        except repro.Error:
+            pass  # a worker's DROP already won the last round
+        connection.execute(SHARED_DDL)
+        connection.execute(SHARED_TRAIN)
+        after = connection.execute(SHARED_PREDICT)
+        assert len(after) == 12
+    finally:
+        connection.close()
+
+
 def test_concurrent_reads_of_one_stream_source(conn):
     """Parallel SELECTs over the same tables return consistent results."""
     for statement in SETUP:

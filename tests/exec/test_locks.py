@@ -1,0 +1,104 @@
+"""RWLock unit tests: shared reads, exclusive writes, writer priority."""
+
+import threading
+import time
+
+from repro.exec.locks import RWLock
+
+WAIT = 5.0
+
+
+def _spawn(target):
+    thread = threading.Thread(target=target)
+    thread.start()
+    return thread
+
+
+def test_readers_share():
+    lock = RWLock()
+    inside = threading.Barrier(3)
+
+    def reader():
+        with lock.read():
+            inside.wait(timeout=WAIT)  # all three hold the lock at once
+
+    threads = [_spawn(reader) for _ in range(3)]
+    for thread in threads:
+        thread.join(timeout=WAIT)
+    assert not any(thread.is_alive() for thread in threads)
+
+
+def test_writer_excludes_readers_and_writers():
+    lock = RWLock()
+    journal = []
+
+    with lock.write():
+        reader_started = threading.Event()
+
+        def reader():
+            reader_started.set()
+            with lock.read():
+                journal.append("read")
+
+        thread = _spawn(reader)
+        reader_started.wait(timeout=WAIT)
+        time.sleep(0.05)
+        assert journal == []  # reader blocked while the writer holds
+        journal.append("write-done")
+    thread.join(timeout=WAIT)
+    assert journal == ["write-done", "read"]
+
+
+def test_waiting_writer_blocks_new_readers():
+    """Writer priority: sustained read traffic cannot starve a writer."""
+    lock = RWLock()
+    journal = []
+    first_reader_in = threading.Event()
+    release_first_reader = threading.Event()
+
+    def long_reader():
+        with lock.read():
+            first_reader_in.set()
+            release_first_reader.wait(timeout=WAIT)
+        journal.append("reader1-out")
+
+    def writer():
+        with lock.write():
+            journal.append("writer")
+
+    def late_reader():
+        with lock.read():
+            journal.append("reader2")
+
+    reader1 = _spawn(long_reader)
+    first_reader_in.wait(timeout=WAIT)
+    writer_thread = _spawn(writer)
+    time.sleep(0.05)  # let the writer reach its wait loop
+    reader2 = _spawn(late_reader)
+    time.sleep(0.05)
+    # The late reader must queue BEHIND the waiting writer even though the
+    # lock is currently only read-held.
+    assert "reader2" not in journal
+    release_first_reader.set()
+    for thread in (reader1, writer_thread, reader2):
+        thread.join(timeout=WAIT)
+    assert journal.index("writer") < journal.index("reader2")
+
+
+def test_reentrant_sequence_of_acquisitions():
+    lock = RWLock()
+    for _ in range(3):
+        with lock.write():
+            pass
+        with lock.read():
+            pass
+    # Counters are back to rest: an immediate writer acquisition succeeds.
+    acquired = threading.Event()
+
+    def writer():
+        with lock.write():
+            acquired.set()
+
+    thread = _spawn(writer)
+    thread.join(timeout=WAIT)
+    assert acquired.is_set()

@@ -1,0 +1,82 @@
+"""WITH MAXDOP: parse, format round-trip, and error surface."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.lang.formatter import format_statement
+from repro.lang.parser import parse_statement
+
+
+class TestParse:
+    def test_select_with_maxdop(self):
+        statement = parse_statement("SELECT a FROM T WITH MAXDOP 4")
+        assert statement.maxdop == 4
+
+    def test_select_without_maxdop_defaults_none(self):
+        assert parse_statement("SELECT a FROM T").maxdop is None
+
+    def test_prediction_join_with_maxdop(self):
+        statement = parse_statement(
+            "SELECT t.Id, M.G FROM M NATURAL PREDICTION JOIN "
+            "(SELECT Id FROM C) AS t WITH MAXDOP 2")
+        assert statement.maxdop == 2
+
+    def test_training_insert_with_maxdop(self):
+        # A flat binding list parses as a table insert and is re-dispatched
+        # by the provider when the target is a model; MAXDOP rides on the
+        # SELECT source.
+        statement = parse_statement(
+            "INSERT INTO M (Id, G) SELECT Id, G FROM C WITH MAXDOP 8")
+        assert statement.select.maxdop == 8
+
+    def test_shape_training_insert_with_maxdop(self):
+        statement = parse_statement(
+            "INSERT INTO M (Id, B(P)) "
+            "SHAPE {SELECT Id FROM C ORDER BY Id} "
+            "APPEND ({SELECT Cid, P FROM S ORDER BY Cid} "
+            "RELATE Id TO Cid) AS B WITH MAXDOP 3")
+        assert statement.maxdop == 3
+
+    def test_maxdop_zero_means_provider_default(self):
+        assert parse_statement("SELECT a FROM T WITH MAXDOP 0").maxdop == 0
+
+
+class TestErrors:
+    @pytest.mark.parametrize("suffix", [
+        "WITH MAXDOP",          # missing the degree
+        "WITH MAXDOP -1",       # negative
+        "WITH MAXDOP two",      # not an integer
+        "WITH MAXDOP 2.5",      # not an integer
+        "WITH PARALLELISM 2",   # unknown option
+    ])
+    def test_malformed_option_raises_parse_error(self, suffix):
+        with pytest.raises(ParseError):
+            parse_statement(f"SELECT a FROM T {suffix}")
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("text", [
+        "SELECT a FROM T WITH MAXDOP 4",
+        "SELECT t.Id, M.G FROM M NATURAL PREDICTION JOIN "
+        "(SELECT Id FROM C) AS t WITH MAXDOP 2",
+        "INSERT INTO M (Id, G) SELECT Id, G FROM C WITH MAXDOP 8",
+    ])
+    def test_format_then_reparse_preserves_maxdop(self, text):
+        statement = parse_statement(text)
+        formatted = format_statement(statement)
+        assert "MAXDOP" in formatted
+        reparsed = parse_statement(formatted)
+
+        def dop(node):
+            for candidate in (node, getattr(node, "source", None),
+                              getattr(node, "select", None)):
+                value = getattr(candidate, "maxdop", None)
+                if value is not None:
+                    return value
+            return None
+
+        assert dop(reparsed) == dop(statement)
+
+    def test_format_omits_maxdop_when_unset(self):
+        statement = parse_statement("SELECT a FROM T")
+        assert "MAXDOP" not in format_statement(statement)

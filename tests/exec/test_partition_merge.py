@@ -1,0 +1,157 @@
+"""Partition-merge building blocks: chunks, statistics merges, protocol."""
+
+import random
+
+import pytest
+
+from repro.errors import CapabilityError, SchemaError
+from repro.algorithms.base import MiningAlgorithm
+from repro.algorithms.naive_bayes import NaiveBayesAlgorithm
+from repro.algorithms.registry import (
+    algorithm_services,
+    register_algorithm,
+    unregister_algorithm,
+)
+from repro.algorithms.statistics import CategoricalDistribution, GaussianStats
+from repro.exec.partition import contiguous_chunks
+
+
+class TestContiguousChunks:
+    def test_concatenation_reproduces_the_original(self):
+        items = list(range(23))
+        for parts in (1, 2, 3, 7, 23, 50):
+            chunks = contiguous_chunks(items, parts)
+            assert [x for chunk in chunks for x in chunk] == items
+            assert len(chunks) <= parts
+
+    def test_chunk_sizes_are_ceiling_division(self):
+        chunks = contiguous_chunks(list(range(10)), 3)
+        assert [len(chunk) for chunk in chunks] == [4, 4, 2]
+
+    def test_fewer_items_than_parts(self):
+        chunks = contiguous_chunks([1, 2], 7)
+        assert chunks == [[1], [2]]
+
+    def test_single_part(self):
+        assert contiguous_chunks([1, 2, 3], 1) == [[1, 2, 3]]
+
+
+class TestCategoricalMerge:
+    def test_merge_equals_serial_replay_exactly(self):
+        rng = random.Random(11)
+        values = [rng.choice("abcd") for _ in range(200)]
+        serial = CategoricalDistribution()
+        for value in values:
+            serial.add(value)
+        left, right = CategoricalDistribution(), CategoricalDistribution()
+        for value in values[:77]:
+            left.add(value)
+        for value in values[77:]:
+            right.add(value)
+        left.merge(right)
+        # Unit weights are exact float sums: equality, not approx.
+        assert left.counts == serial.counts
+        assert left.total == serial.total
+
+    def test_merge_preserves_first_encounter_order(self):
+        """Dict order drives content-rowset order, so merge must keep it."""
+        left, right = CategoricalDistribution(), CategoricalDistribution()
+        for value in ("b", "a"):
+            left.add(value)
+        for value in ("c", "a", "d"):
+            right.add(value)
+        left.merge(right)
+        assert list(left.counts) == ["b", "a", "c", "d"]
+
+
+class TestGaussianMerge:
+    def test_merge_matches_serial_replay(self):
+        rng = random.Random(5)
+        values = [rng.gauss(10.0, 3.0) for _ in range(500)]
+        serial = GaussianStats()
+        for value in values:
+            serial.add(value)
+        left, right = GaussianStats(), GaussianStats()
+        for value in values[:200]:
+            left.add(value)
+        for value in values[200:]:
+            right.add(value)
+        left.merge(right)
+        assert left.sum_weight == serial.sum_weight
+        assert left.mean == pytest.approx(serial.mean, rel=1e-12)
+        assert left.variance == pytest.approx(serial.variance, rel=1e-9)
+        assert left.minimum == serial.minimum
+        assert left.maximum == serial.maximum
+
+    def test_merge_into_empty_copies(self):
+        source = GaussianStats()
+        for value in (1.0, 2.0, 3.0):
+            source.add(value)
+        target = GaussianStats()
+        target.merge(source)
+        assert target.mean == source.mean
+        assert target.variance == source.variance
+        assert (target.minimum, target.maximum) == (1.0, 3.0)
+
+    def test_merge_of_empty_is_a_no_op(self):
+        target = GaussianStats()
+        target.add(4.0)
+        before = (target.sum_weight, target.mean, target.variance)
+        target.merge(GaussianStats())
+        assert (target.sum_weight, target.mean, target.variance) == before
+
+
+class TestMergeProtocol:
+    def test_only_naive_bayes_declares_parallelizable(self):
+        flags = {cls.SERVICE_NAME: cls.PARALLELIZABLE
+                 for cls in algorithm_services()}
+        assert flags.pop("Repro_Naive_Bayes") is True
+        assert not any(flags.values()), (
+            f"a service became parallelizable: cover it in the parallel "
+            f"differential grid ({flags})")
+
+    def test_base_merge_refuses(self):
+        class Opaque(MiningAlgorithm):
+            SERVICE_NAME = "Opaque_Test_Service"
+
+            def _train(self, space, observations):
+                pass
+
+            def predict(self, observation):
+                pass
+
+            def content_nodes(self):
+                pass
+
+        with pytest.raises(CapabilityError):
+            Opaque({}).merge([])
+
+    def test_registry_rejects_parallelizable_without_merge(self):
+        class Liar(MiningAlgorithm):
+            SERVICE_NAME = "Liar_Test_Service"
+            PARALLELIZABLE = True
+
+        with pytest.raises(SchemaError):
+            register_algorithm(Liar)
+
+    def test_registry_accepts_parallelizable_with_merge(self):
+        class Honest(MiningAlgorithm):
+            SERVICE_NAME = "Honest_Test_Service"
+            PARALLELIZABLE = True
+
+            def merge(self, others):
+                pass
+
+        register_algorithm(Honest)
+        try:
+            assert any(cls.SERVICE_NAME == "Honest_Test_Service"
+                       for cls in algorithm_services())
+        finally:
+            unregister_algorithm(Honest)
+
+    def test_naive_bayes_gate_rejects_continuous_spaces(self):
+        """can_parallelize is the exactness gate, probed end to end in the
+        differential suite; here just pin the flag wiring."""
+        assert NaiveBayesAlgorithm.PARALLELIZABLE is True
+        assert "SUPPORTS_PARALLEL_TRAINING" in \
+            NaiveBayesAlgorithm({}).describe()

@@ -1,0 +1,141 @@
+"""Parser fuzzing: mutated statements must parse or fail cleanly.
+
+The contract under fuzz: for ANY input string, ``parse_statement`` either
+returns a statement or raises the package's own :class:`repro.errors.Error`
+— promptly.  No hangs, no ``RecursionError`` from adversarial nesting, no
+raw ``IndexError``/``KeyError`` escaping the lexer or parser.
+
+Seeds are the 41 statements from the streaming differential harness plus a
+set of DMX statements (model DDL, SHAPE training, PREDICTION JOIN, WITH
+MAXDOP), mutated with deterministic seeded edits: token deletion,
+duplication, swaps, replacement with foreign tokens, truncation, and
+bracket injection.  A token-soup generator and explicit deep-nesting
+probes cover inputs no mutation of a valid statement would reach.
+"""
+
+import random
+import re
+import time
+
+import pytest
+
+from repro.errors import Error
+from repro.lang.ast_nodes import Statement
+from repro.lang.parser import parse_statement
+
+from tests.differential.test_stream_vs_materialize import STATEMENTS
+
+# Generous wall-clock bound per parse: catches quadratic blowups and hangs
+# while staying robust to CI scheduler noise.
+TIME_BOUND_SECONDS = 2.0
+
+DMX_SEEDS = [
+    "CREATE MINING MODEL M (Id LONG KEY, G TEXT DISCRETE, "
+    "Age DOUBLE DISCRETIZED(EQUAL_COUNT, 3) PREDICT, "
+    "B TABLE(P TEXT KEY)) USING Repro_Decision_Trees(MINIMUM_SUPPORT = 2)",
+    "INSERT INTO M (Id, G, Age) SELECT Id, G, Age FROM C WITH MAXDOP 4",
+    "INSERT INTO [M] SHAPE {SELECT Id, G, Age FROM C ORDER BY Id} "
+    "APPEND ({SELECT Cid, P FROM S ORDER BY Cid} RELATE Id TO Cid) AS B",
+    "SELECT t.Id, M.Buys, PredictProbability(Buys) FROM M PREDICTION JOIN "
+    "(SELECT Id, G, H FROM C) AS t ON M.G = t.G AND M.Id = t.Id "
+    "WITH MAXDOP 2",
+    "SELECT FLATTENED [M].* FROM [M] NATURAL PREDICTION JOIN "
+    "(SHAPE {SELECT Id FROM C ORDER BY Id} APPEND "
+    "({SELECT Cid, P FROM S ORDER BY Cid} RELATE Id TO Cid) AS B) AS t",
+    "SELECT * FROM $SYSTEM.DM_PROVIDER_METRICS WHERE METRIC LIKE 'pool.%'",
+    "DELETE FROM MINING MODEL M",
+    "DROP MINING MODEL M",
+    "EXPORT MINING MODEL M TO '/tmp/m.xml'",
+]
+
+SEEDS = list(STATEMENTS) + DMX_SEEDS
+
+FOREIGN_TOKENS = [
+    "SELECT", "FROM", "WHERE", "PREDICTION", "JOIN", "SHAPE", "APPEND",
+    "RELATE", "MAXDOP", "WITH", "(", ")", "{", "}", "[", "]", ",", ".",
+    "'", "''", "*", "=", "<", ">=", "NULL", "NOT", "IN", "TOP", "0",
+    "42", "1e309", "0x", "--", "/*", "*/", ";", "$SYSTEM", "@", "\\",
+    "é", "\0",
+]
+
+
+def _tokens(text):
+    return re.findall(r"\s+|\w+|'[^']*'|.", text)
+
+
+def _mutate(text, rng):
+    """One seeded mutation round: 1-3 random edits on the token list."""
+    tokens = _tokens(text)
+    for _ in range(rng.randint(1, 3)):
+        if not tokens:
+            break
+        op = rng.randrange(6)
+        position = rng.randrange(len(tokens))
+        if op == 0:  # delete a token
+            del tokens[position]
+        elif op == 1:  # duplicate a token
+            tokens.insert(position, tokens[position])
+        elif op == 2:  # swap two tokens
+            other = rng.randrange(len(tokens))
+            tokens[position], tokens[other] = tokens[other], tokens[position]
+        elif op == 3:  # replace with a foreign token
+            tokens[position] = rng.choice(FOREIGN_TOKENS)
+        elif op == 4:  # truncate
+            tokens = tokens[:position]
+        else:  # inject brackets/parens
+            tokens.insert(position, rng.choice("(){}[]"))
+    return "".join(tokens)
+
+
+def _assert_parses_or_raises_cleanly(text):
+    started = time.perf_counter()
+    try:
+        statement = parse_statement(text)
+        assert isinstance(statement, Statement)
+    except Error:
+        pass  # the package's own error type: the accepted failure mode
+    # Any other exception type (RecursionError, IndexError, ...) propagates
+    # and fails the test.
+    elapsed = time.perf_counter() - started
+    assert elapsed < TIME_BOUND_SECONDS, (
+        f"parser took {elapsed:.2f}s on {text[:120]!r}")
+
+
+@pytest.mark.parametrize("index", range(len(SEEDS)),
+                         ids=[f"seed{n:02d}" for n in range(len(SEEDS))])
+def test_mutated_statements_parse_or_fail_cleanly(index):
+    seed_text = SEEDS[index]
+    # The unmutated seed must parse: guards against dead seeds that would
+    # turn the whole fuzz case into noise.
+    assert isinstance(parse_statement(seed_text), Statement)
+    rng = random.Random(0xD1FF + index)
+    for _ in range(40):
+        _assert_parses_or_raises_cleanly(_mutate(seed_text, rng))
+
+
+def test_token_soup():
+    """Random token concatenations far from any valid statement."""
+    rng = random.Random(0x50FA)
+    for _ in range(300):
+        soup = " ".join(rng.choice(FOREIGN_TOKENS)
+                        for _ in range(rng.randint(1, 40)))
+        _assert_parses_or_raises_cleanly(soup)
+
+
+@pytest.mark.parametrize("text", [
+    "SELECT " + "(" * 500 + "1" + ")" * 500 + " FROM T",
+    "SELECT * FROM " + "(" * 500 + "SELECT 1" + ")" * 500,
+    "SELECT " + "NOT " * 500 + "1 FROM T",
+    "INSERT INTO M SHAPE " + "{SELECT " * 200 + "1" + "}" * 200,
+    "(" * 2000,
+    "SELECT 1 WHERE " + "1 AND " * 400 + "1",
+], ids=["paren-expr", "paren-table", "not-chain", "shape-nest",
+        "open-parens", "and-chain"])
+def test_deep_nesting_is_bounded(text):
+    """Adversarial nesting hits the depth guard, never RecursionError."""
+    _assert_parses_or_raises_cleanly(text)
+
+
+def test_empty_and_whitespace_inputs():
+    for text in ("", "   ", "\n\t", ";", "\0", "'"):
+        _assert_parses_or_raises_cleanly(text)

@@ -1,0 +1,141 @@
+"""Golden pin of the telemetry rowset schemas.
+
+Dashboards, log scrapers, and the differential harness all key on the exact
+column names and types of the ``$SYSTEM`` telemetry rowsets.  This test is
+the contract: any column rename, reorder, retype, addition, or removal must
+show up as a diff against these literals and be made deliberately.
+
+The pool's ``pool.*`` metric family is pinned the same way: the parallel
+subsystem promises these names to operators, and a silent rename would
+leave fleets graphing empty series.
+"""
+
+import pytest
+
+import repro
+
+# -- golden schemas: (name, type) in exact column order ------------------------
+
+DM_QUERY_LOG_SCHEMA = [
+    ("STATEMENT_ID", "LONG"),
+    ("STATEMENT", "TEXT"),
+    ("KIND", "TEXT"),
+    ("STATUS", "TEXT"),
+    ("ERROR", "TEXT"),
+    ("STARTED_AT", "TEXT"),
+    ("DURATION_MS", "DOUBLE"),
+    ("ROWS_SCANNED", "LONG"),
+    ("ROWS_OUT", "LONG"),
+    ("CASES", "LONG"),
+    ("SPAN_COUNT", "LONG"),
+]
+
+DM_TRACE_EVENTS_SCHEMA = [
+    ("STATEMENT_ID", "LONG"),
+    ("SPAN_ID", "TEXT"),
+    ("PARENT_SPAN_ID", "TEXT"),
+    ("DEPTH", "LONG"),
+    ("SPAN", "TEXT"),
+    ("DURATION_MS", "DOUBLE"),
+    ("COUNTERS", "TEXT"),
+    ("ATTRIBUTES", "TEXT"),
+]
+
+DM_PROVIDER_METRICS_SCHEMA = [
+    ("METRIC", "TEXT"),
+    ("KIND", "TEXT"),
+    ("COUNT", "LONG"),
+    ("VALUE", "DOUBLE"),
+    ("MIN", "DOUBLE"),
+    ("MAX", "DOUBLE"),
+    ("MEAN", "DOUBLE"),
+    ("P50", "DOUBLE"),
+    ("P95", "DOUBLE"),
+    ("P99", "DOUBLE"),
+]
+
+# The pool metric names the parallel subsystem promises to operators.
+POOL_METRIC_FAMILY = [
+    "pool.max_workers",
+    "pool.workers_live",
+    "pool.parallel_statements",
+    "pool.parallel_statements.train",
+    "pool.parallel_statements.predict",
+    "pool.serial_fallbacks",
+    "pool.serial_fallbacks.algorithm",
+    "pool.tasks_submitted",
+    "pool.tasks_completed",
+    "pool.task_ms",
+]
+
+
+@pytest.fixture(scope="module")
+def conn():
+    connection = repro.connect(max_workers=2, pool_mode="thread")
+    # One statement of each flavour so every telemetry rowset has rows and
+    # the pool counters materialize: a parallel train, a fallback train,
+    # and a parallel prediction.
+    connection.execute("CREATE TABLE T (Id LONG, G TEXT, Age DOUBLE, "
+                       "Buys TEXT)")
+    connection.execute("INSERT INTO T VALUES " + ", ".join(
+        f"({i}, '{'m' if i % 2 else 'f'}', {20 + i % 5}, "
+        f"'{'yes' if i % 3 else 'no'}')" for i in range(1, 13)))
+    connection.execute("CREATE MINING MODEL NB (Id LONG KEY, "
+                       "G TEXT DISCRETE, Buys TEXT DISCRETE PREDICT) "
+                       "USING Repro_Naive_Bayes")
+    connection.execute("INSERT INTO NB (Id, G, Buys) "
+                       "SELECT Id, G, Buys FROM T")
+    connection.execute("CREATE MINING MODEL DT (Id LONG KEY, "
+                       "Age DOUBLE CONTINUOUS, Buys TEXT DISCRETE PREDICT) "
+                       "USING Repro_Decision_Trees")
+    connection.execute("INSERT INTO DT (Id, Age, Buys) "
+                       "SELECT Id, Age, Buys FROM T")
+    connection.execute("SELECT t.Id, NB.Buys FROM NB "
+                       "NATURAL PREDICTION JOIN (SELECT Id, G FROM T) AS t")
+    yield connection
+    connection.close()
+
+
+def _schema(conn, rowset_name):
+    rowset = conn.execute(f"SELECT * FROM $SYSTEM.{rowset_name}")
+    return [(c.name, c.type.name) for c in rowset.columns]
+
+
+@pytest.mark.parametrize("rowset_name, expected", [
+    ("DM_QUERY_LOG", DM_QUERY_LOG_SCHEMA),
+    ("DM_TRACE_EVENTS", DM_TRACE_EVENTS_SCHEMA),
+    ("DM_PROVIDER_METRICS", DM_PROVIDER_METRICS_SCHEMA),
+])
+def test_telemetry_rowset_schema_is_pinned(conn, rowset_name, expected):
+    assert _schema(conn, rowset_name) == expected, (
+        f"$SYSTEM.{rowset_name} changed shape; telemetry consumers key on "
+        f"exact column names, order, and types — update the golden schema "
+        f"only with a deliberate, documented migration")
+
+
+def test_telemetry_rowsets_have_rows(conn):
+    for name in ("DM_QUERY_LOG", "DM_TRACE_EVENTS", "DM_PROVIDER_METRICS"):
+        assert len(conn.execute(f"SELECT * FROM $SYSTEM.{name}").rows) > 0
+
+
+def test_pool_metric_family_is_pinned(conn):
+    rows = conn.execute(
+        "SELECT METRIC FROM $SYSTEM.DM_PROVIDER_METRICS").rows
+    published = {row[0] for row in rows}
+    missing = [name for name in POOL_METRIC_FAMILY if name not in published]
+    assert not missing, (
+        f"pool metrics vanished from DM_PROVIDER_METRICS: {missing}")
+
+
+def test_pool_metrics_carry_sane_values(conn):
+    rows = conn.execute("SELECT METRIC, KIND, VALUE FROM "
+                        "$SYSTEM.DM_PROVIDER_METRICS").rows
+    values = {metric: (kind, value) for metric, kind, value in rows}
+    assert values["pool.max_workers"] == ("gauge", 2.0)
+    assert values["pool.parallel_statements"][0] == "counter"
+    submitted = values["pool.tasks_submitted"][1]
+    completed = values["pool.tasks_completed"][1]
+    cancelled = values.get("pool.tasks_cancelled", ("counter", 0.0))[1]
+    abandoned = values.get("pool.tasks_abandoned", ("counter", 0.0))[1]
+    assert submitted == completed + cancelled + abandoned
+    assert values["pool.task_ms"][0] == "histogram"
