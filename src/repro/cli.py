@@ -7,7 +7,12 @@ in-memory provider, with optional demo data preloaded.
 
 Usage::
 
-    dmxsh [--demo N] [--script FILE] [--trace]
+    dmxsh [--demo N] [--script FILE] [--trace] [--durable PATH]
+
+``--durable PATH`` opens (or recovers) a crash-safe store under PATH:
+acknowledged statements are journaled and survive process death, so
+quitting the shell and reopening the same path resumes the session's
+tables, views, and trained models.
 
 Commands end with ``;``.  Shell meta-commands: ``.help``, ``.models``,
 ``.tables``, ``.quit``.  ``--trace`` (or the ``TRACE ON`` verb) enables span
@@ -37,6 +42,7 @@ Meta-commands:
     .models      list mining models
     .tables      list tables and views
     .describe M  render a trained model's content as a report
+    .checkpoint  snapshot the durable store now (requires --durable)
     .quit        exit
 
 Statement surface (paper section 3):
@@ -101,6 +107,12 @@ def run_meta(connection: Connection, command: str, out=None) -> bool:
                 out.write(render_model(connection.model(name)) + "\n")
             except Error as exc:
                 out.write(f"error: {exc}\n")
+    elif word == ".checkpoint":
+        try:
+            connection.provider.checkpoint()
+            out.write("checkpoint written\n")
+        except Error as exc:
+            out.write(f"error: {exc}\n")
     elif word == ".tables":
         database = connection.database
         for name in sorted(database.tables):
@@ -161,9 +173,20 @@ def main(argv: Optional[list] = None) -> int:
     parser.add_argument("--trace", action="store_true",
                         help="enable span capture and print each "
                              "statement's trace tree")
+    parser.add_argument("--durable", metavar="PATH",
+                        help="open/recover a crash-safe store under PATH; "
+                             "acknowledged statements survive process death")
     args = parser.parse_args(argv)
 
-    connection = connect()
+    connection = connect(durable_path=args.durable)
+    if args.durable:
+        info = connection.provider.recovery_info or {}
+        sys.stdout.write(
+            f"Durable store {args.durable}: snapshot seq "
+            f"{info.get('snapshot_seq', 0)}, replayed "
+            f"{info.get('replayed', 0)} journaled statement(s)"
+            + (f", skipped {info['torn_records']} torn record(s)"
+               if info.get("torn_records") else "") + ".\n")
     if args.trace:
         connection.provider.tracer.enabled = True
     if args.demo:

@@ -113,6 +113,16 @@ class MiningModel:
         self.space = space
         self._content_root = None
 
+    def adopt_cases(self, cases: List[MappedCase]) -> None:
+        """Install a restored caseset without retraining (snapshot restore).
+
+        The trained state travels separately (PMML); adopting the cases a
+        snapshot preserved means a *subsequent* INSERT INTO still refreshes
+        over the full accumulated history, exactly as if the process had
+        never died.
+        """
+        self.training_cases = list(cases)
+
     def reset(self) -> None:
         """DELETE FROM semantics: drop content, keep the definition."""
         self.training_cases = []

@@ -7,11 +7,20 @@ and every mining model with its trained state — to one JSON document, so a
 warehouse-plus-models deployment can be saved and restored.
 
 The format is plain JSON (no pickle): table rows are serialised with a
-small type-tag scheme (dates/ISO), views as canonical SQL text, and models
-as their PMML documents.  ``load_provider`` rebuilds everything through the
-public construction paths, so a snapshot from one process version restores
+small type-tag scheme (``$date``/``$datetime``, ISO strings), views as
+canonical SQL text, and models as their PMML documents plus the life-cycle
+metadata PMML alone does not carry (``insert_count`` and the accumulated
+training caseset, so a post-restore INSERT INTO still refreshes over the
+full history).  ``load_provider`` rebuilds everything through the public
+construction paths, so a snapshot from one process version restores
 cleanly in another as long as the formats match (a ``format`` field is
-checked).
+checked; format 1 snapshots from older builds still load).
+
+Snapshots are written atomically (:func:`repro.store.atomic.atomic_write_text`:
+temp file + fsync + ``os.replace``), so a crash mid-``save_provider`` never
+destroys the previous good snapshot.  :class:`repro.store.durable.DurableStore`
+uses the same document as its checkpoint format, adding ``last_seq`` for
+journal-replay continuity.
 """
 
 from __future__ import annotations
@@ -20,30 +29,68 @@ import datetime
 import json
 from typing import Any, Dict, List
 
-from repro.errors import Error
+from repro.errors import Error, NotTrainedError
 from repro.lang.formatter import format_statement
 from repro.lang.parser import parse_statement
 from repro.sqlstore.engine import Database
 from repro.sqlstore.schema import ColumnSchema, TableSchema
 from repro.sqlstore.types import type_from_name
+from repro.store.atomic import atomic_write_text
 
-FORMAT_VERSION = 1
+FORMAT_VERSION = 2
+SUPPORTED_FORMATS = (1, FORMAT_VERSION)
 
 
 def _encode_value(value: Any) -> Any:
+    # datetime.datetime subclasses datetime.date: test it first, else a
+    # datetime would be tagged $date and its time part lost on restore.
+    if isinstance(value, datetime.datetime):
+        return {"$datetime": value.isoformat()}
     if isinstance(value, datetime.date):
         return {"$date": value.isoformat()}
     return value
 
 
 def _decode_value(value: Any) -> Any:
-    if isinstance(value, dict) and "$date" in value:
-        return datetime.date.fromisoformat(value["$date"])
+    if isinstance(value, dict):
+        if "$datetime" in value:
+            return datetime.datetime.fromisoformat(value["$datetime"])
+        if "$date" in value:
+            return datetime.date.fromisoformat(value["$date"])
     return value
 
 
-def dump_provider(provider) -> str:
-    """Serialise a provider (tables + views + models) to a JSON string."""
+def _encode_case(case) -> Dict[str, Any]:
+    return {
+        "scalars": {name: _encode_value(value)
+                    for name, value in case.scalars.items()},
+        "tables": {name: [{key: _encode_value(v) for key, v in row.items()}
+                          for row in rows]
+                   for name, rows in case.tables.items()},
+        "qualifiers": {name: dict(kinds)
+                       for name, kinds in case.qualifiers.items()},
+    }
+
+
+def _decode_case(entry: Dict[str, Any]):
+    from repro.core.bindings import MappedCase
+    case = MappedCase()
+    case.scalars = {name: _decode_value(value)
+                    for name, value in entry.get("scalars", {}).items()}
+    case.tables = {name: [{key: _decode_value(v) for key, v in row.items()}
+                          for row in rows]
+                   for name, rows in entry.get("tables", {}).items()}
+    case.qualifiers = {name: dict(kinds)
+                       for name, kinds in entry.get("qualifiers", {}).items()}
+    return case
+
+
+def dump_provider(provider, last_seq: int = 0) -> str:
+    """Serialise a provider (tables + views + models) to a JSON string.
+
+    ``last_seq`` is the durable store's journal high-water mark covered by
+    this snapshot; plain API snapshots leave it 0.
+    """
     from repro.pmml.writer import to_pmml
 
     tables: List[dict] = []
@@ -64,7 +111,13 @@ def dump_provider(provider) -> str:
     models = []
     for model in provider.list_models():
         if model.is_trained:
-            models.append({"trained": True, "pmml": to_pmml(model)})
+            models.append({
+                "trained": True,
+                "pmml": to_pmml(model),
+                "insert_count": model.insert_count,
+                "cases": [_encode_case(case)
+                          for case in model.training_cases],
+            })
         else:
             from repro.pmml.writer import definition_to_ddl
             models.append({"trained": False,
@@ -72,58 +125,106 @@ def dump_provider(provider) -> str:
     return json.dumps({
         "format": FORMAT_VERSION,
         "kind": "repro-provider-snapshot",
+        "last_seq": last_seq,
+        "data_version": provider.database.data_version,
         "tables": tables,
         "views": views,
         "models": models,
     })
 
 
-def load_provider(text: str):
-    """Rebuild a provider from :func:`dump_provider` output."""
-    from repro.core.provider import Provider
-    from repro.pmml.reader import read_pmml
-
+def _parse_snapshot(text: str) -> Dict[str, Any]:
     try:
         snapshot = json.loads(text)
     except json.JSONDecodeError as exc:
         raise Error(f"invalid provider snapshot: {exc}") from exc
-    if snapshot.get("kind") != "repro-provider-snapshot":
+    if not isinstance(snapshot, dict) or \
+            snapshot.get("kind") != "repro-provider-snapshot":
         raise Error("not a provider snapshot document")
-    if snapshot.get("format") != FORMAT_VERSION:
+    if snapshot.get("format") not in SUPPORTED_FORMATS:
         raise Error(
             f"snapshot format {snapshot.get('format')!r} is not supported "
-            f"(this build reads format {FORMAT_VERSION})")
+            f"(this build reads formats "
+            f"{', '.join(str(v) for v in SUPPORTED_FORMATS)})")
+    return snapshot
 
-    provider = Provider()
+
+def restore_into(provider, text: str) -> int:
+    """Restore a snapshot into an existing (empty) provider.
+
+    Returns the snapshot's ``last_seq`` journal high-water mark.  The
+    provider keeps its own configuration (batch size, pool, metrics,
+    durability); only catalog state — tables, views, models — is loaded.
+    Each restored view is validated against the restored schema here, so a
+    snapshot referencing a missing table fails at load time naming the
+    view, instead of exploding at first query.
+    """
+    from repro.pmml.reader import read_pmml
+    from repro.core.columns import compile_model_definition
+    from repro.core.model import MiningModel
+
+    snapshot = _parse_snapshot(text)
+    database = provider.database
     for entry in snapshot["tables"]:
         schema = TableSchema(entry["name"], [
             ColumnSchema(column["name"], type_from_name(column["type"]),
                          nullable=column["nullable"],
                          primary_key=column["primary_key"])
             for column in entry["columns"]])
-        table = provider.database.create_table(schema)
+        table = database.create_table(schema)
         for row in entry["rows"]:
             table.insert([_decode_value(v) for v in row])
+    # Install every view before validating any: views may reference views.
+    view_statements = {}
     for key, text_sql in snapshot["views"].items():
         statement = parse_statement(text_sql)
-        provider.database.views[key.upper()] = statement
+        database.views[key.upper()] = statement
+        view_statements[key] = statement
     for entry in snapshot["models"]:
         if entry["trained"]:
             model = read_pmml(entry["pmml"])
+            if "insert_count" in entry:
+                model.insert_count = entry["insert_count"]
+            if entry.get("cases"):
+                model.adopt_cases(
+                    [_decode_case(case) for case in entry["cases"]])
         else:
-            from repro.core.columns import compile_model_definition
-            from repro.core.model import MiningModel
             definition = compile_model_definition(
                 parse_statement(entry["ddl"]))
             model = MiningModel(definition)
         provider.models[model.name.upper()] = model
+    # Views are validated after models so a view over <model>.CONTENT or
+    # $SYSTEM resolves; NotTrainedError is not a resolution failure.
+    for key, statement in view_statements.items():
+        try:
+            database.execute_select_stream(statement)
+        except NotTrainedError:
+            pass
+        except Error as exc:
+            raise Error(
+                f"snapshot view {key!r} does not resolve against the "
+                f"restored schema: {exc}") from exc
+    database.advance_data_version(snapshot.get("data_version", 0))
+    return int(snapshot.get("last_seq", 0))
+
+
+def load_provider(text: str):
+    """Rebuild a fresh provider from :func:`dump_provider` output."""
+    from repro.core.provider import Provider
+
+    provider = Provider()
+    restore_into(provider, text)
     return provider
 
 
-def save_provider(provider, path: str) -> None:
-    """Write a provider snapshot to ``path``."""
-    with open(path, "w", encoding="utf-8") as handle:
-        handle.write(dump_provider(provider))
+def save_provider(provider, path: str, faults=None) -> None:
+    """Atomically write a provider snapshot to ``path``.
+
+    The write goes through the shared temp-file + fsync + ``os.replace``
+    helper: interrupting it never destroys an existing snapshot at ``path``.
+    """
+    atomic_write_text(path, dump_provider(provider), faults=faults,
+                      fault_prefix="snapshot")
 
 
 def open_provider(path: str):

@@ -29,6 +29,7 @@ from repro.shaping.shape import (
 )
 from repro.sqlstore.engine import Database, SourceRelation
 from repro.sqlstore.rowset import DEFAULT_BATCH_SIZE, Rowset, RowStream
+from repro.store.durable import is_mutating_statement
 from repro.exec.pool import WorkerPool
 from repro.core.bindings import iter_mapped_cases
 from repro.core.casecache import CasesetCache, definition_fingerprint
@@ -103,13 +104,24 @@ class Provider:
     training and parallel PREDICTION JOIN (1 = always serial), and
     ``pool_mode`` picks its transport (``auto``/``serial``/``thread``/
     ``process``); a statement's ``WITH MAXDOP n`` can only lower the cap.
+
+    ``durable_path`` attaches a crash-safe store (:mod:`repro.store`): the
+    directory's snapshot + journal are replayed into this provider at
+    construction, and every subsequent mutating statement is journaled and
+    fsync'd before it is acknowledged.  ``durable_checkpoint_interval``
+    sets how many journaled statements trigger an automatic checkpoint
+    (0 disables auto-checkpointing); ``durable_faults`` threads a
+    :class:`repro.store.FaultInjector` through the write paths (tests).
     """
 
     def __init__(self, batch_size: int = DEFAULT_BATCH_SIZE,
                  caseset_cache_capacity: int = 8,
                  caseset_cache_max_rows: int = 50_000,
                  max_workers: int = 1,
-                 pool_mode: str = "auto"):
+                 pool_mode: str = "auto",
+                 durable_path: Optional[str] = None,
+                 durable_checkpoint_interval: Optional[int] = None,
+                 durable_faults=None):
         self.database = Database(external_resolver=self._resolve_external,
                                  batch_size=batch_size)
         self.models: Dict[str, MiningModel] = {}
@@ -122,10 +134,34 @@ class Provider:
         self.pool = WorkerPool(max_workers=max_workers, mode=pool_mode,
                                metrics=self.metrics)
         self.tracer.on_statement = self._observe_statement
+        self.store = None
+        self.recovery_info = None
+        if durable_path is not None:
+            from repro.store.durable import (
+                DEFAULT_CHECKPOINT_INTERVAL,
+                DurableStore,
+            )
+            interval = (DEFAULT_CHECKPOINT_INTERVAL
+                        if durable_checkpoint_interval is None
+                        else durable_checkpoint_interval)
+            self.store = DurableStore(
+                durable_path, checkpoint_interval=interval,
+                faults=durable_faults, metrics=self.metrics)
+            self.recovery_info = self.store.recover(self)
 
     def close(self) -> None:
-        """Release pooled workers (the pool revives lazily if reused)."""
+        """Release pooled workers (the pool revives lazily if reused) and
+        the durable store's journal handle."""
         self.pool.shutdown()
+        if self.store is not None:
+            self.store.close()
+
+    def checkpoint(self) -> None:
+        """Snapshot the durable store now and truncate its journal."""
+        if self.store is None:
+            raise Error("this provider has no durable store; open one with "
+                        "connect(durable_path=...)")
+        self.store.checkpoint(self)
 
     # -- catalog ----------------------------------------------------------------
 
@@ -163,6 +199,26 @@ class Provider:
                     _attach_statement(exc, command)
                     raise
                 record.kind = _statement_kind(statement, self)
+                journaled = (self.store is not None and
+                             is_mutating_statement(statement))
+                if journaled:
+                    # Refuse up front if a previous durability failure left
+                    # memory ahead of disk: don't widen the divergence.
+                    self.store.ensure_healthy()
+                    # {apply, journal} must be atomic against concurrent
+                    # mutations so journal order equals apply order.
+                    with self.store.mutation_lock:
+                        try:
+                            result = self.execute_ast(statement)
+                        except BindError as exc:
+                            _attach_statement(exc, command)
+                            raise
+                        # Ack ordering: the statement is acknowledged
+                        # (returned to the caller) only after its journal
+                        # record is fsync'd.  A crash before this point
+                        # loses only an unacknowledged statement.
+                        self.store.record_statement(self, statement, command)
+                    return result
                 try:
                     return self.execute_ast(statement)
                 except BindError as exc:
@@ -500,11 +556,15 @@ class Connection:
 
 
 def connect(**kwargs) -> Connection:
-    """Open a connection to a fresh in-memory OLE DB DM provider.
+    """Open a connection to an OLE DB DM provider.
 
     Keyword arguments (``batch_size``, ``caseset_cache_capacity``,
-    ``caseset_cache_max_rows``, ``max_workers``, ``pool_mode``) are
-    forwarded to :class:`Provider`.
+    ``caseset_cache_max_rows``, ``max_workers``, ``pool_mode``,
+    ``durable_path``, ``durable_checkpoint_interval``) are forwarded to
+    :class:`Provider`.  Without ``durable_path`` the provider is purely
+    in-memory; with it, existing state under that directory is recovered
+    (snapshot + journal replay) and every acknowledged mutation survives
+    process death.
     """
     return Connection(Provider(**kwargs))
 

@@ -34,6 +34,11 @@ class RWLock:
 
     def release_read(self) -> None:
         with self._condition:
+            if self._readers <= 0:
+                # An unpaired release must fail loudly: silently driving
+                # _readers negative makes acquire_write wait forever.
+                raise RuntimeError(
+                    "RWLock.release_read() without a matching acquire_read()")
             self._readers -= 1
             if self._readers == 0:
                 self._condition.notify_all()
@@ -50,6 +55,10 @@ class RWLock:
 
     def release_write(self) -> None:
         with self._condition:
+            if not self._writer:
+                raise RuntimeError(
+                    "RWLock.release_write() without a matching "
+                    "acquire_write()")
             self._writer = False
             self._condition.notify_all()
 

@@ -133,8 +133,10 @@ def to_pmml(model) -> str:
 
 
 def write_pmml_file(model, path: str) -> None:
-    with open(path, "w", encoding="utf-8") as handle:
-        handle.write(to_pmml(model))
+    """EXPORT MODEL: atomic replace, so a crash mid-export never leaves a
+    truncated document over a previously good one."""
+    from repro.store.atomic import atomic_write_text
+    atomic_write_text(path, to_pmml(model), fault_prefix="export")
 
 
 def pmml_rowset(model) -> Rowset:

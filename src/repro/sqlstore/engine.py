@@ -131,6 +131,19 @@ class Database:
         return self._catalog_version + sum(
             table.version for table in self.tables.values())
 
+    def advance_data_version(self, floor: int) -> None:
+        """Raise ``data_version`` to at least ``floor`` (snapshot restore).
+
+        Rebuilding a catalog from a snapshot replays fewer mutations than
+        the original provider performed, so the freshly computed version
+        would restart low; bumping it to the snapshot's recorded value keeps
+        the counter monotonic across restore, so version-keyed consumers
+        (the caseset cache) can never alias pre-crash state.
+        """
+        current = self.data_version
+        if floor > current:
+            self._catalog_version += floor - current
+
     # -- catalog --------------------------------------------------------------
 
     def create_table(self, schema: TableSchema) -> Table:

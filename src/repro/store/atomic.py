@@ -1,0 +1,69 @@
+"""Atomic durable file replacement: temp file + fsync + ``os.replace``.
+
+A plain ``open(path, "w")`` truncates the target before the new bytes are
+safely on disk — a crash mid-write destroys the only copy.  This helper is
+the one write path shared by provider snapshots (``save_provider``, the
+durable store's checkpoints) and PMML export: the new content is written to
+a temporary sibling, flushed and fsync'd, and only then swapped in with
+``os.replace`` (atomic on POSIX and Windows).  A crash at *any* point
+leaves either the complete old file or the complete new file, never a
+truncated hybrid.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from typing import Optional
+
+
+def fsync_directory(path: str) -> None:
+    """fsync a directory so a rename/create within it is durable.
+
+    Best-effort: some platforms/filesystems refuse to open directories
+    (notably Windows), which is fine — ``os.replace`` is still atomic there.
+    """
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def atomic_write_text(path: str, text: str, *, faults=None,
+                      fault_prefix: str = "atomic",
+                      encoding: str = "utf-8") -> None:
+    """Atomically replace ``path`` with ``text``, durably.
+
+    ``faults`` (a :class:`~repro.store.faults.FaultInjector`) is consulted at
+    ``<fault_prefix>.before_write``, ``.before_replace``, and
+    ``.after_replace`` so the crash-safety suite can kill the writer at each
+    stage and assert the previous file survives intact.
+    """
+    directory = os.path.dirname(os.path.abspath(path))
+    if faults is not None:
+        faults.hit(f"{fault_prefix}.before_write")
+    fd, temp_path = tempfile.mkstemp(
+        prefix=os.path.basename(path) + ".", suffix=".tmp", dir=directory)
+    try:
+        with os.fdopen(fd, "w", encoding=encoding) as handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        if faults is not None:
+            faults.hit(f"{fault_prefix}.before_replace")
+        os.replace(temp_path, path)
+    except BaseException:
+        try:
+            os.unlink(temp_path)
+        except OSError:
+            pass
+        raise
+    fsync_directory(directory)
+    if faults is not None:
+        faults.hit(f"{fault_prefix}.after_replace")

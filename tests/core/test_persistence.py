@@ -84,6 +84,99 @@ class TestRoundTrip:
         assert restored.models() == []
 
 
+class TestTemporalValues:
+    """Regression: datetime.datetime subclasses date — it used to be tagged
+    ``$date`` and its time part rejected or truncated on restore."""
+
+    def test_datetime_date_and_none_round_trip(self, conn):
+        conn.execute("CREATE TABLE Times (Id LONG, At DATETIME)")
+        table = conn.database.table("Times")
+        moment = datetime.datetime(2001, 3, 4, 10, 30, 59)
+        day = datetime.date(2001, 3, 4)
+        table.insert([1, moment])
+        table.insert([2, day])
+        table.insert([3, None])
+        restored = restore(conn)
+        rows = restored.execute("SELECT At FROM Times").rows
+        assert rows == [(moment,), (day,), (None,)]
+        # The restored values keep their exact types: a datetime stays a
+        # datetime (with its time), a date stays a plain date.
+        assert type(rows[0][0]) is datetime.datetime
+        assert type(rows[1][0]) is datetime.date
+
+    def test_datetime_microseconds_survive(self, conn):
+        conn.execute("CREATE TABLE Ts (At DATETIME)")
+        moment = datetime.datetime(2020, 1, 2, 3, 4, 5, 678901)
+        conn.database.table("Ts").insert([moment])
+        restored = restore(conn)
+        assert restored.execute("SELECT At FROM Ts").rows == [(moment,)]
+
+    def test_encode_tags_are_distinct(self):
+        from repro.core.persistence import _encode_value
+        assert _encode_value(datetime.datetime(2001, 1, 1, 12)) == \
+            {"$datetime": "2001-01-01T12:00:00"}
+        assert _encode_value(datetime.date(2001, 1, 1)) == \
+            {"$date": "2001-01-01"}
+
+
+class TestViewValidation:
+    """Regression: restored views used to be installed unvalidated and
+    exploded at first query when the snapshot was inconsistent."""
+
+    def _snapshot_with_broken_view(self, conn):
+        import json
+        conn.execute("CREATE TABLE Known (Id LONG)")
+        conn.execute("CREATE VIEW V AS SELECT * FROM Known")
+        snapshot = json.loads(dump_provider(conn.provider))
+        snapshot["views"]["V"] = "SELECT * FROM NoSuchTable"
+        return json.dumps(snapshot)
+
+    def test_unresolvable_view_fails_at_load_naming_the_view(self, conn):
+        with pytest.raises(Error, match="view 'V'"):
+            load_provider(self._snapshot_with_broken_view(conn))
+
+    def test_view_over_view_resolves(self, populated):
+        populated.execute(
+            "CREATE VIEW OldMen AS SELECT * FROM Men WHERE Age > 40")
+        restored = restore(populated)
+        assert restored.execute("SELECT COUNT(*) FROM OldMen") \
+            .single_value() > 0
+
+    def test_view_over_untrained_model_content_loads(self, conn):
+        conn.execute("CREATE MINING MODEL NotYet (Id LONG KEY, G TEXT "
+                     "DISCRETE) USING Repro_Naive_Bayes")
+        conn.execute("CREATE VIEW C AS SELECT * FROM NotYet.CONTENT")
+        # NotTrainedError is not a resolution failure: the view loads.
+        restored = restore(conn)
+        assert "C" in restored.database.views
+
+
+class TestAtomicSave:
+    def test_interrupted_save_keeps_previous_snapshot(self, populated,
+                                                      tmp_path):
+        from repro.store.faults import FaultInjector, InjectedCrash
+        path = tmp_path / "snapshot.json"
+        save_provider(populated.provider, str(path))
+        good = path.read_text()
+        populated.execute("INSERT INTO T VALUES (99, 'm', 1.0, "
+                          "'2009-09-09')")
+        faults = FaultInjector()
+        faults.arm("snapshot.before_replace")
+        with pytest.raises(InjectedCrash):
+            save_provider(populated.provider, str(path), faults=faults)
+        assert path.read_text() == good
+        assert open_provider(str(path)).database.table("T") is not None
+
+    def test_export_model_is_atomic(self, populated, tmp_path):
+        path = tmp_path / "m.pmml"
+        populated.execute(f"EXPORT MINING MODEL M TO '{path}'")
+        text = path.read_text()
+        assert text.startswith("<?xml")
+        # Re-export replaces atomically (same content, no truncation window).
+        populated.execute(f"EXPORT MINING MODEL M TO '{path}'")
+        assert path.read_text() == text
+
+
 class TestErrors:
     def test_rejects_garbage(self):
         with pytest.raises(Error):

@@ -3,6 +3,8 @@
 import threading
 import time
 
+import pytest
+
 from repro.exec.locks import RWLock
 
 WAIT = 5.0
@@ -83,6 +85,48 @@ def test_waiting_writer_blocks_new_readers():
     for thread in (reader1, writer_thread, reader2):
         thread.join(timeout=WAIT)
     assert journal.index("writer") < journal.index("reader2")
+
+
+class TestUnpairedRelease:
+    """Regression: unpaired releases used to underflow silently, leaving
+    ``_readers`` negative so waiting writers deadlocked forever."""
+
+    def test_release_read_without_acquire_raises(self):
+        with pytest.raises(RuntimeError, match="release_read"):
+            RWLock().release_read()
+
+    def test_double_release_read_raises(self):
+        lock = RWLock()
+        lock.acquire_read()
+        lock.release_read()
+        with pytest.raises(RuntimeError, match="release_read"):
+            lock.release_read()
+
+    def test_release_write_without_acquire_raises(self):
+        with pytest.raises(RuntimeError, match="release_write"):
+            RWLock().release_write()
+
+    def test_double_release_write_raises(self):
+        lock = RWLock()
+        lock.acquire_write()
+        lock.release_write()
+        with pytest.raises(RuntimeError, match="release_write"):
+            lock.release_write()
+
+    def test_lock_still_usable_after_rejected_release(self):
+        lock = RWLock()
+        with pytest.raises(RuntimeError):
+            lock.release_read()
+        # A writer can still acquire immediately: no underflow happened.
+        acquired = threading.Event()
+
+        def writer():
+            with lock.write():
+                acquired.set()
+
+        thread = _spawn(writer)
+        thread.join(timeout=WAIT)
+        assert acquired.is_set()
 
 
 def test_reentrant_sequence_of_acquisitions():

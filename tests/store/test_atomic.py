@@ -1,0 +1,62 @@
+"""Atomic write helper: all-or-nothing replacement under injected crashes."""
+
+import os
+
+import pytest
+
+from repro.store.atomic import atomic_write_text
+from repro.store.faults import FaultInjector, InjectedCrash
+
+
+def test_creates_new_file(tmp_path):
+    path = tmp_path / "out.txt"
+    atomic_write_text(str(path), "hello")
+    assert path.read_text() == "hello"
+
+
+def test_replaces_existing_file(tmp_path):
+    path = tmp_path / "out.txt"
+    path.write_text("old")
+    atomic_write_text(str(path), "new")
+    assert path.read_text() == "new"
+
+
+def test_no_temp_file_left_behind(tmp_path):
+    path = tmp_path / "out.txt"
+    atomic_write_text(str(path), "content")
+    assert os.listdir(tmp_path) == ["out.txt"]
+
+
+@pytest.mark.parametrize("point", ["atomic.before_write",
+                                   "atomic.before_replace"])
+def test_crash_before_replace_keeps_old_content(tmp_path, point):
+    path = tmp_path / "out.txt"
+    path.write_text("the last good copy")
+    faults = FaultInjector()
+    faults.arm(point)
+    with pytest.raises(InjectedCrash):
+        atomic_write_text(str(path), "half-written replacement",
+                          faults=faults)
+    assert path.read_text() == "the last good copy"
+    # No stray temp file survives the crash either.
+    assert os.listdir(tmp_path) == ["out.txt"]
+
+
+def test_crash_after_replace_has_new_content(tmp_path):
+    path = tmp_path / "out.txt"
+    path.write_text("old")
+    faults = FaultInjector()
+    faults.arm("atomic.after_replace")
+    with pytest.raises(InjectedCrash):
+        atomic_write_text(str(path), "new", faults=faults)
+    assert path.read_text() == "new"
+
+
+def test_injected_io_error_propagates_and_keeps_old(tmp_path):
+    path = tmp_path / "out.txt"
+    path.write_text("old")
+    faults = FaultInjector()
+    faults.arm("atomic.before_replace", exc=OSError("disk full"))
+    with pytest.raises(OSError, match="disk full"):
+        atomic_write_text(str(path), "new", faults=faults)
+    assert path.read_text() == "old"

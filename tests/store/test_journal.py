@@ -1,0 +1,128 @@
+"""Journal record format, torn-tail handling, and corruption detection."""
+
+import pytest
+
+from repro.store.faults import FaultInjector, InjectedCrash
+from repro.store.journal import (
+    JournalCorruptError,
+    JournalWriter,
+    decode_record,
+    encode_record,
+    read_journal,
+)
+
+
+def _records(n):
+    return [{"seq": i + 1, "kind": "INSERT", "stmt": f"INSERT {i}"}
+            for i in range(n)]
+
+
+class TestRecordCodec:
+    def test_round_trip(self):
+        record = {"seq": 7, "kind": "TRAIN", "stmt": "INSERT INTO M ..."}
+        assert decode_record(encode_record(record).rstrip(b"\n")) == record
+
+    def test_bad_checksum_rejected(self):
+        line = encode_record({"seq": 1, "stmt": "x"}).rstrip(b"\n")
+        flipped = line[:-1] + (b"!" if line[-1:] != b"!" else b"?")
+        assert decode_record(flipped) is None
+
+    def test_bad_magic_rejected(self):
+        assert decode_record(b"XXX1 00000000 {}") is None
+
+    def test_unicode_statement_survives(self):
+        record = {"seq": 1, "kind": "INSERT",
+                  "stmt": "INSERT INTO T VALUES ('café ☃')"}
+        assert decode_record(encode_record(record).rstrip(b"\n")) == record
+
+
+class TestReadJournal:
+    def test_missing_file_is_empty(self, tmp_path):
+        records, torn, end = read_journal(str(tmp_path / "none.dmj"))
+        assert (records, torn, end) == ([], 0, 0)
+
+    def test_append_then_read(self, tmp_path):
+        path = str(tmp_path / "j.dmj")
+        writer = JournalWriter(path)
+        for record in _records(3):
+            writer.append(record)
+        writer.close()
+        records, torn, end = read_journal(path)
+        assert records == _records(3)
+        assert torn == 0
+        assert end == (tmp_path / "j.dmj").stat().st_size
+
+    def test_partial_trailing_record_is_torn(self, tmp_path):
+        path = tmp_path / "j.dmj"
+        good = b"".join(encode_record(r) for r in _records(2))
+        partial = encode_record({"seq": 3, "stmt": "x"})[:-7]  # no newline
+        path.write_bytes(good + partial)
+        records, torn, end = read_journal(str(path))
+        assert records == _records(2)
+        assert torn == 1
+        assert end == len(good)
+
+    def test_damaged_final_line_is_torn(self, tmp_path):
+        path = tmp_path / "j.dmj"
+        good = b"".join(encode_record(r) for r in _records(2))
+        path.write_bytes(good + b"DMJ1 00000000 {garbage\n")
+        records, torn, end = read_journal(str(path))
+        assert records == _records(2)
+        assert torn == 1
+        assert end == len(good)
+
+    def test_interior_damage_raises(self, tmp_path):
+        path = tmp_path / "j.dmj"
+        lines = [encode_record(r) for r in _records(3)]
+        lines[1] = b"DMJ1 deadbeef {broken}\n"
+        path.write_bytes(b"".join(lines))
+        with pytest.raises(JournalCorruptError, match="corrupt"):
+            read_journal(str(path))
+
+    def test_writer_truncates_torn_tail(self, tmp_path):
+        path = tmp_path / "j.dmj"
+        good = b"".join(encode_record(r) for r in _records(2))
+        path.write_bytes(good + b"DMJ1 torn")
+        records, torn, end = read_journal(str(path))
+        writer = JournalWriter(str(path), truncate_at=end)
+        writer.append({"seq": 3, "kind": "INSERT", "stmt": "INSERT 2"})
+        writer.close()
+        # The torn bytes are gone; the journal is clean end to end.
+        records, torn, end = read_journal(str(path))
+        assert [r["seq"] for r in records] == [1, 2, 3]
+        assert torn == 0
+
+
+class TestFaultedAppend:
+    def test_torn_write_persists_partial_record(self, tmp_path):
+        path = str(tmp_path / "j.dmj")
+        faults = FaultInjector()
+        writer = JournalWriter(path, faults=faults)
+        writer.append({"seq": 1, "kind": "INSERT", "stmt": "INSERT 0"})
+        faults.arm("journal.torn_write")
+        with pytest.raises(InjectedCrash):
+            writer.append({"seq": 2, "kind": "INSERT", "stmt": "INSERT 1"})
+        writer.close()
+        records, torn, _ = read_journal(path)
+        assert [r["seq"] for r in records] == [1]
+        assert torn == 1
+
+    def test_io_error_surfaces(self, tmp_path):
+        path = str(tmp_path / "j.dmj")
+        faults = FaultInjector()
+        writer = JournalWriter(path, faults=faults)
+        faults.arm("journal.before_write", exc=OSError("no space"))
+        with pytest.raises(OSError, match="no space"):
+            writer.append({"seq": 1, "stmt": "x"})
+        writer.close()
+
+    def test_reset_empties_file(self, tmp_path):
+        path = str(tmp_path / "j.dmj")
+        writer = JournalWriter(path)
+        for record in _records(5):
+            writer.append(record)
+        writer.reset()
+        writer.append({"seq": 6, "kind": "INSERT", "stmt": "INSERT 5"})
+        writer.close()
+        records, torn, _ = read_journal(path)
+        assert [r["seq"] for r in records] == [6]
