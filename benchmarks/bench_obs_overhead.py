@@ -12,13 +12,27 @@ Reported: statements/second per configuration.  A plain (non-benchmark)
 test asserts default dispatch stays within a generous factor of the
 recording-off baseline using min-of-N timing, so the suite fails if the
 disabled path ever grows a real cost.
+
+``EXPLAIN ANALYZE`` repeats the comparison for the plan profiler: it
+forces span capture on and reconciles the plan afterwards, so its cost
+over plain execution is the price of profiling a statement.  That ratio
+is reported and (generously) bounded too.
+
+Set ``REPRO_BENCH_QUICK=1`` to shrink the timing loops for CI smoke runs;
+the overhead bounds are asserted either way, which is what the CI
+quick-bench gate relies on.
 """
 
+import os
 import time
 
 import pytest
 
 from _helpers import make_warehouse
+
+QUICK = bool(os.environ.get("REPRO_BENCH_QUICK"))
+REPEATS = 3 if QUICK else 5
+BATCH = 15 if QUICK else 40
 
 WORKLOAD = "SELECT Gender, AVG(Age) FROM Customers GROUP BY Gender"
 
@@ -62,12 +76,12 @@ def test_bench_dispatch_tracing_on(benchmark, conn_tracing_on):
     assert len(result) == 2
 
 
-def _min_time(connection, repeats=5, batch=40):
+def _min_time(connection, statement=WORKLOAD, repeats=REPEATS, batch=BATCH):
     best = float("inf")
     for _ in range(repeats):
         start = time.perf_counter()
         for _ in range(batch):
-            connection.execute(WORKLOAD)
+            connection.execute(statement)
         best = min(best, time.perf_counter() - start)
     return best
 
@@ -93,3 +107,48 @@ def test_default_dispatch_overhead_is_bounded():
     assert ratio < 2.0, (
         f"default dispatch is {ratio:.2f}x slower than recording-off; "
         f"the disabled-tracing path has grown a real cost")
+
+
+def test_bench_explain_analyze(benchmark, conn_default):
+    result = benchmark(conn_default.execute, f"EXPLAIN ANALYZE {WORKLOAD}")
+    assert len(result) >= 2  # plan rows, not result rows
+
+
+def test_explain_analyze_overhead_is_bounded():
+    """Profiling a statement (EXPLAIN ANALYZE) vs just running it.
+
+    ANALYZE pays for: the planner pass, forced span capture during the
+    run, and the reconciliation walk.  On a real workload that should be
+    a small constant on top of execution, not a multiple of it.
+    """
+    connection = _fresh_connection()
+    for _ in range(10):
+        connection.execute(WORKLOAD)
+        connection.execute(f"EXPLAIN ANALYZE {WORKLOAD}")
+
+    plain = _min_time(connection)
+    analyzed = _min_time(connection, f"EXPLAIN ANALYZE {WORKLOAD}")
+    ratio = analyzed / plain
+    print(f"\nexplain-analyze overhead: plain {plain:.4f}s, "
+          f"analyze {analyzed:.4f}s, ratio {ratio:.2f}x")
+    # Span capture plus plan reconciliation; generous for CI noise on a
+    # millisecond-scale workload.
+    assert ratio < 3.0, (
+        f"EXPLAIN ANALYZE is {ratio:.2f}x plain execution; the profiler "
+        f"has grown a real cost beyond span capture + reconciliation")
+
+
+def test_plain_explain_is_cheaper_than_execution():
+    """Plain EXPLAIN never touches the data path, so it must not scale
+    with data volume — pin it under direct execution of the workload."""
+    connection = _fresh_connection(customers=2000)
+    for _ in range(5):
+        connection.execute(WORKLOAD)
+        connection.execute(f"EXPLAIN {WORKLOAD}")
+    plain = _min_time(connection)
+    explained = _min_time(connection, f"EXPLAIN {WORKLOAD}")
+    print(f"\nplain-explain: execute {plain:.4f}s, "
+          f"explain {explained:.4f}s")
+    assert explained < plain, (
+        "plain EXPLAIN took longer than executing the statement; the "
+        "planner pass is touching the data path")

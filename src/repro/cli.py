@@ -8,6 +8,7 @@ in-memory provider, with optional demo data preloaded.
 Usage::
 
     dmxsh [--demo N] [--script FILE] [--trace] [--durable PATH]
+          [--metrics-port N]
 
 ``--durable PATH`` opens (or recovers) a crash-safe store under PATH:
 acknowledged statements are journaled and survive process death, so
@@ -17,6 +18,8 @@ tables, views, and trained models.
 Commands end with ``;``.  Shell meta-commands: ``.help``, ``.models``,
 ``.tables``, ``.quit``.  ``--trace`` (or the ``TRACE ON`` verb) enables span
 capture and prints the span tree of every statement as it runs.
+``--metrics-port N`` serves ``/metrics`` (Prometheus text exposition),
+``/healthz``, and ``/queries`` over HTTP for the life of the session.
 """
 
 from __future__ import annotations
@@ -53,6 +56,7 @@ Statement surface (paper section 3):
     SELECT * FROM $SYSTEM.MINING_MODELS | MINING_COLUMNS | MINING_SERVICES
     SELECT * FROM $SYSTEM.DM_QUERY_LOG | DM_TRACE_EVENTS | DM_PROVIDER_METRICS
     TRACE ON | OFF | LAST | STATUS
+    EXPLAIN [ANALYZE] <statement>   -- plan tree, with actuals under ANALYZE
     DELETE FROM MINING MODEL <name>;  DROP MINING MODEL <name>
     EXPORT MINING MODEL <name> TO '<path>'
     IMPORT MINING MODEL FROM '<path>' [AS <name>]
@@ -66,7 +70,12 @@ def run_command(connection: Connection, command: str,
     out = out if out is not None else sys.stdout
     result = connection.execute(command)
     if isinstance(result, Rowset):
-        out.write(result.pretty() + "\n")
+        from repro.obs.explain import is_plan_rowset
+        if is_plan_rowset(result):
+            from repro.reporting import render_plan
+            out.write(render_plan(result) + "\n")
+        else:
+            out.write(result.pretty() + "\n")
         out.write(f"({len(result)} rows)\n")
     elif isinstance(result, str):
         out.write(result + "\n")
@@ -176,9 +185,17 @@ def main(argv: Optional[list] = None) -> int:
     parser.add_argument("--durable", metavar="PATH",
                         help="open/recover a crash-safe store under PATH; "
                              "acknowledged statements survive process death")
+    parser.add_argument("--metrics-port", type=int, metavar="N",
+                        default=None,
+                        help="serve /metrics, /healthz, and /queries over "
+                             "HTTP on port N (0 = ephemeral)")
     args = parser.parse_args(argv)
 
     connection = connect(durable_path=args.durable)
+    if args.metrics_port is not None:
+        server = connection.provider.serve_metrics(port=args.metrics_port)
+        sys.stdout.write(f"Telemetry endpoint at {server.url} "
+                         f"(/metrics, /healthz, /queries)\n")
     if args.durable:
         info = connection.provider.recovery_info or {}
         sys.stdout.write(

@@ -66,6 +66,17 @@ class CasesetCache:
             self._count("hits")
             return entry[0]
 
+    def contains(self, key: Hashable) -> bool:
+        """Non-mutating membership probe for the EXPLAIN planner.
+
+        Unlike :meth:`get` this bumps no recency and records no hit/miss
+        metric, so planning a statement never changes how it would execute.
+        """
+        if not self.enabled:
+            return False
+        with self._lock:
+            return key in self._entries
+
     def put(self, key: Hashable, value: Any, rows: int) -> bool:
         """Insert ``value`` (a caseset of ``rows`` rows); False if skipped."""
         if not self.enabled or rows > self.max_rows:

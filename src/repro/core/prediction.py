@@ -206,6 +206,9 @@ def _prediction_case_batches(provider, statement: ast.SelectStatement,
     batch_size = batch_size or getattr(database, "batch_size", 1024)
     alias = _source_alias(join.source)
 
+    # Pin counters onto the enclosing span (the ``predict`` span) so they
+    # stay attributed to it even when batches are consumed after it closes.
+    pin = obs_trace.current_span()
     cache = getattr(provider, "caseset_cache", None)
     key = None
     if cache is not None and cache.enabled:
@@ -216,7 +219,8 @@ def _prediction_case_batches(provider, statement: ast.SelectStatement,
         hit = cache.get(key)
         if hit is not None:
             columns, rows, cases = hit
-            obs_trace.add("prediction_cases", len(rows))
+            obs_trace.add_to(pin, "cache_hit", 1)
+            obs_trace.add_to(pin, "prediction_cases", len(rows))
             provider.metrics.histogram("prediction.join_fanout").observe(
                 len(rows))
 
@@ -226,6 +230,8 @@ def _prediction_case_batches(provider, statement: ast.SelectStatement,
                                    cases[start:start + batch_size]))
             return model, alias, columns, replay()
 
+    if key is not None:
+        obs_trace.add_to(pin, "cache_miss", 1)
     stream, alias = resolve_prediction_source_stream(
         provider, join.source, batch_size)
     if join.natural or join.condition is None:
@@ -241,7 +247,7 @@ def _prediction_case_batches(provider, statement: ast.SelectStatement,
         for batch in stream.batches():
             mapped = [(row, mapper(row)) for row in batch]
             total += len(mapped)
-            obs_trace.add("cases_bound", len(mapped))
+            obs_trace.add_to(pin, "cases_bound", len(mapped))
             if collected is not None:
                 if total <= cache.max_rows:
                     collected[0].extend(batch)
@@ -249,7 +255,7 @@ def _prediction_case_batches(provider, statement: ast.SelectStatement,
                 else:
                     collected = None  # too large: stop accumulating a copy
             yield mapped
-        obs_trace.add("prediction_cases", total)
+        obs_trace.add_to(pin, "prediction_cases", total)
         provider.metrics.histogram("prediction.join_fanout").observe(total)
         if collected is not None:
             cache.put(key, (columns, collected[0], collected[1]), total)
@@ -307,6 +313,85 @@ def _released_when_done(batches, lease: _ReadLease):
         lease.release()
 
 
+def plan_prediction(provider, statement: ast.SelectStatement):
+    """Describe a PREDICTION JOIN's plan for EXPLAIN, without executing it.
+
+    Mirrors the strategy gates of :func:`execute_prediction_stream`
+    read-only: parallel eligibility via the side-effect-free preview,
+    caseset-cache expectation via a non-mutating membership probe.
+    """
+    from repro.obs.explain import PlanNode
+    from repro.exec.partition import prediction_parallelism_preview
+
+    join: ast.PredictionJoin = statement.from_clause
+    model = provider.model(join.model)
+    database = provider.database
+    pool = getattr(provider, "pool", None)
+    dop = pool.effective_dop(statement.maxdop) if pool is not None else 1
+    parallelism, reason = prediction_parallelism_preview(
+        provider, statement, dop)
+    blockers = []
+    if statement.order_by:
+        blockers.append("order by")
+    if statement.distinct:
+        blockers.append("distinct")
+    flow = (f"materialized ({', '.join(blockers)})" if blockers
+            else f"streamed (batch {getattr(database, 'batch_size', 1024)})")
+    details = ["natural join" if join.natural
+               else ("ON join" if join.condition is not None
+                     else "positional join")]
+    if not model.is_trained:
+        details.append("model not trained")
+    node = PlanNode("prediction join", target=model.name,
+                    strategy=f"{flow}; {parallelism} ({reason})",
+                    span_name="predict", rows_counter="rows_out",
+                    detail=", ".join(details))
+
+    if isinstance(join.source, ast.ShapeSource):
+        from repro.shaping.shape import plan_shape
+        source = plan_shape(join.source.shape, database,
+                            getattr(provider, "plan_external_source", None))
+    elif isinstance(join.source, ast.SubquerySource):
+        source = database.plan_select(
+            join.source.select,
+            getattr(provider, "plan_external_source", None))
+    else:
+        source = database.plan_table_ref(
+            join.source, getattr(provider, "plan_external_source", None))
+
+    if parallelism == "parallel":
+        node.cache = "bypassed (parallel path)"
+        stage = node.add(PlanNode("parallel predict", target=model.name,
+                                  strategy=f"dop={dop}",
+                                  span_name="predict.parallel",
+                                  rows_counter="prediction_cases"))
+    else:
+        cache = getattr(provider, "caseset_cache", None)
+        if cache is None or not cache.enabled:
+            node.cache = "disabled"
+        else:
+            key = ("prediction", model.name.upper(),
+                   definition_fingerprint(model.definition),
+                   repr(join.source), bool(join.natural),
+                   repr(join.condition), database.data_version)
+            node.cache = ("hit expected" if cache.contains(key)
+                          else "miss expected")
+        stage = node.add(PlanNode("bind cases", target=model.name,
+                                  strategy="serial",
+                                  match="parent",
+                                  rows_counter="cases_bound"))
+    stage.add(source)
+    stage.est_rows = source.est_rows
+    est = None if statement.where is not None else source.est_rows
+    if statement.top is not None:
+        est = statement.top if est is None and statement.where is None \
+            else est
+        if est is not None:
+            est = min(est, statement.top)
+    node.est_rows = est
+    return node
+
+
 def execute_prediction_select(provider,
                               statement: ast.SelectStatement) -> Rowset:
     join: ast.PredictionJoin = statement.from_clause
@@ -347,14 +432,15 @@ def execute_prediction_stream(provider, statement: ast.SelectStatement,
     join: ast.PredictionJoin = statement.from_clause
     lease = _ReadLease(provider.model(join.model).lock)
     try:
-        with obs_trace.span("predict", model=join.model, streaming=True):
+        with obs_trace.span("predict", model=join.model,
+                            streaming=True) as pspan:
             plan = _parallel_plan(provider, statement, batch_size)
             if plan is not None:
                 expanded, raw_batches = plan
 
                 def value_batches():
                     for values in raw_batches:
-                        obs_trace.add("rows_out", len(values))
+                        obs_trace.add_to(pspan, "rows_out", len(values))
                         yield values
             else:
                 model, alias, source_columns, case_batches = \
@@ -381,12 +467,13 @@ def execute_prediction_stream(provider, statement: ast.SelectStatement,
                         if remaining is not None:
                             if len(out) >= remaining:
                                 if out[:remaining]:
-                                    obs_trace.add("rows_out", remaining)
+                                    obs_trace.add_to(pspan, "rows_out",
+                                                     remaining)
                                     yield out[:remaining]
                                 return
                             remaining -= len(out)
                         if out:
-                            obs_trace.add("rows_out", len(out))
+                            obs_trace.add_to(pspan, "rows_out", len(out))
                             yield out
 
             # Buffer a prefix until every output column has a sample value

@@ -65,6 +65,8 @@ def _attach_statement(exc: Error, command: str) -> None:
 
 def _statement_kind(statement: ast.Statement, provider=None) -> str:
     """Classify an AST node for the query log / per-kind metrics."""
+    if isinstance(statement, ast.ExplainStatement):
+        return "EXPLAIN_ANALYZE" if statement.analyze else "EXPLAIN"
     if isinstance(statement, ast.CreateMiningModelStatement):
         return "CREATE_MODEL"
     if isinstance(statement, ast.InsertModelStatement):
@@ -112,6 +114,12 @@ class Provider:
     sets how many journaled statements trigger an automatic checkpoint
     (0 disables auto-checkpointing); ``durable_faults`` threads a
     :class:`repro.store.FaultInjector` through the write paths (tests).
+
+    ``telemetry_path`` attaches a rotating JSONL slow-query sink: every
+    statement whose latency reaches ``slow_query_ms`` (default 0 — log
+    everything) is appended as one JSON record, including its span tree
+    when span capture was on.  :meth:`serve_metrics` starts the HTTP
+    telemetry endpoint (``/metrics``, ``/healthz``, ``/queries``).
     """
 
     def __init__(self, batch_size: int = DEFAULT_BATCH_SIZE,
@@ -121,7 +129,9 @@ class Provider:
                  pool_mode: str = "auto",
                  durable_path: Optional[str] = None,
                  durable_checkpoint_interval: Optional[int] = None,
-                 durable_faults=None):
+                 durable_faults=None,
+                 slow_query_ms: Optional[float] = None,
+                 telemetry_path: Optional[str] = None):
         self.database = Database(external_resolver=self._resolve_external,
                                  batch_size=batch_size)
         self.models: Dict[str, MiningModel] = {}
@@ -134,6 +144,13 @@ class Provider:
         self.pool = WorkerPool(max_workers=max_workers, mode=pool_mode,
                                metrics=self.metrics)
         self.tracer.on_statement = self._observe_statement
+        self.slow_sink = None
+        if telemetry_path is not None:
+            from repro.obs.sink import SlowQuerySink
+            self.slow_sink = SlowQuerySink(
+                telemetry_path,
+                threshold_ms=0.0 if slow_query_ms is None else slow_query_ms)
+        self._metrics_server = None
         self.store = None
         self.recovery_info = None
         if durable_path is not None:
@@ -150,11 +167,29 @@ class Provider:
             self.recovery_info = self.store.recover(self)
 
     def close(self) -> None:
-        """Release pooled workers (the pool revives lazily if reused) and
-        the durable store's journal handle."""
+        """Release pooled workers (the pool revives lazily if reused), the
+        durable store's journal handle, and any telemetry endpoint."""
+        if self._metrics_server is not None:
+            self._metrics_server.close()
+            self._metrics_server = None
         self.pool.shutdown()
         if self.store is not None:
             self.store.close()
+
+    def serve_metrics(self, port: int = 0, host: str = "127.0.0.1"):
+        """Start (or return) the HTTP telemetry endpoint for this provider.
+
+        Serves ``/metrics`` (Prometheus text exposition), ``/healthz``
+        (200 while the store is writable, 503 once it turns read-only),
+        and ``/queries`` (recent DM_QUERY_LOG as JSON) on a daemon thread.
+        ``port=0`` binds an ephemeral port; read it back from
+        ``server.port``.
+        """
+        if self._metrics_server is None:
+            from repro.obs.export import TelemetryServer
+            self._metrics_server = TelemetryServer(self, host=host,
+                                                   port=port)
+        return self._metrics_server
 
     def checkpoint(self) -> None:
         """Snapshot the durable store now and truncate its journal."""
@@ -199,37 +234,46 @@ class Provider:
                     _attach_statement(exc, command)
                     raise
                 record.kind = _statement_kind(statement, self)
-                journaled = (self.store is not None and
-                             is_mutating_statement(statement))
-                if journaled:
-                    # Refuse up front if a previous durability failure left
-                    # memory ahead of disk: don't widen the divergence.
-                    self.store.ensure_healthy()
-                    # {apply, journal} must be atomic against concurrent
-                    # mutations so journal order equals apply order.
-                    with self.store.mutation_lock:
-                        try:
-                            result = self.execute_ast(statement)
-                        except BindError as exc:
-                            _attach_statement(exc, command)
-                            raise
-                        # Ack ordering: the statement is acknowledged
-                        # (returned to the caller) only after its journal
-                        # record is fsync'd.  A crash before this point
-                        # loses only an unacknowledged statement.
-                        self.store.record_statement(self, statement, command)
-                    return result
+                return self._execute_statement(statement, command)
+        finally:
+            obs_trace.deactivate(previous)
+
+    def _execute_statement(self, statement: ast.Statement,
+                           command: str) -> Any:
+        """Journal-aware execution shared by :meth:`execute` and EXPLAIN
+        ANALYZE (which journals the *inner* statement's text, so crash
+        replay re-runs the mutation rather than the EXPLAIN wrapper)."""
+        journaled = (self.store is not None and
+                     is_mutating_statement(statement))
+        if journaled:
+            # Refuse up front if a previous durability failure left
+            # memory ahead of disk: don't widen the divergence.
+            self.store.ensure_healthy()
+            # {apply, journal} must be atomic against concurrent
+            # mutations so journal order equals apply order.
+            with self.store.mutation_lock:
                 try:
-                    return self.execute_ast(statement)
+                    result = self.execute_ast(statement)
                 except BindError as exc:
                     _attach_statement(exc, command)
                     raise
-        finally:
-            obs_trace.deactivate(previous)
+                # Ack ordering: the statement is acknowledged
+                # (returned to the caller) only after its journal
+                # record is fsync'd.  A crash before this point
+                # loses only an unacknowledged statement.
+                self.store.record_statement(self, statement, command)
+            return result
+        try:
+            return self.execute_ast(statement)
+        except BindError as exc:
+            _attach_statement(exc, command)
+            raise
 
     def execute_ast(self, statement: ast.Statement) -> Any:
         if isinstance(statement, ast.TraceStatement):
             return self._execute_trace(statement)
+        if isinstance(statement, ast.ExplainStatement):
+            return self._execute_explain(statement)
         if isinstance(statement, ast.CreateMiningModelStatement):
             return self._create_mining_model(statement)
         if isinstance(statement, ast.InsertModelStatement):
@@ -276,6 +320,66 @@ class Provider:
 
     # -- observability ------------------------------------------------------------
 
+    def _execute_explain(self, statement: ast.ExplainStatement) -> Rowset:
+        """EXPLAIN [ANALYZE]: plan description, optionally with actuals.
+
+        Plain EXPLAIN is pure — the planner pass reads catalog statistics
+        only, so no data-path span is opened and no state is mutated.
+        ANALYZE executes the wrapped statement with span capture forced on
+        and reconciles the captured span tree back onto the plan.
+        """
+        from repro.obs.explain import build_plan, explain_rowset, \
+            reconcile_plan
+
+        inner = statement.statement
+        plan = build_plan(self, inner)
+        if not statement.analyze:
+            return explain_rowset(plan, analyzed=False)
+
+        from repro.lang.formatter import format_statement
+        command = format_statement(inner)
+        was_enabled = self.tracer.enabled
+        self.tracer.enabled = True
+        # execute() has already activated the tracer on this thread; do it
+        # again defensively so a direct execute_ast() call still captures.
+        previous = obs_trace.activate(self.tracer)
+        span = self.tracer.start_span("explain.execute")
+        try:
+            result = self._execute_statement(inner, command)
+        finally:
+            self.tracer._finish_span(span)
+            self.tracer.enabled = was_enabled
+            obs_trace.deactivate(previous)
+        if isinstance(result, RowStream):
+            result = result.materialize()
+        rows = len(result.rows) if isinstance(result, Rowset) else (
+            result if isinstance(result, int) else None)
+        reconcile_plan(plan, span, rows)
+        return explain_rowset(plan, analyzed=True)
+
+    def plan_external_source(self, ref: ast.TableRef):
+        """The engine's EXPLAIN hook, mirroring :meth:`_resolve_external`."""
+        from repro.obs.explain import PlanNode
+        if isinstance(ref, ast.ShapeSource):
+            from repro.shaping.shape import plan_shape
+            return plan_shape(ref.shape, self.database,
+                              self.plan_external_source)
+        if isinstance(ref, ast.SystemRowsetRef):
+            return PlanNode("system rowset",
+                            target=f"$SYSTEM.{ref.rowset.upper()}",
+                            strategy="materialized snapshot")
+        if isinstance(ref, ast.ModelContentRef):
+            model = self.model(ref.model)
+            est = model.case_count if ref.facet == "CASES" else None
+            return PlanNode(f"model {ref.facet.lower()}", target=model.name,
+                            strategy="materialized", est_rows=est)
+        if isinstance(ref, ast.NamedTable) and self.has_model(ref.name):
+            raise Error(
+                f"{ref.name!r} is a mining model; query its content with "
+                f"SELECT * FROM [{ref.name}].CONTENT or predict with "
+                f"PREDICTION JOIN (section 3.3)")
+        return None
+
     def _execute_trace(self, statement: ast.TraceStatement) -> str:
         """TRACE ON|OFF|LAST|STATUS — control and inspect the tracer."""
         from repro import reporting
@@ -289,7 +393,8 @@ class Provider:
         if mode == "LAST":
             record = self.tracer.last()
             if record is None:
-                return "no traced statements yet"
+                return ("no traced statement in the ring — execute a "
+                        "statement first (TRACE ON enables span capture)")
             return reporting.render_trace(record)
         state = "ON" if self.tracer.enabled else "OFF"
         return (f"tracing is {state}; "
@@ -309,6 +414,8 @@ class Provider:
             metrics.counter("statements.errors").inc()
         for name, amount in record.totals().items():
             metrics.counter(f"activity.{name}").inc(amount)
+        if self.slow_sink is not None:
+            self.slow_sink.maybe_write(record)
 
     # -- model life cycle ---------------------------------------------------------
 
@@ -359,7 +466,9 @@ class Provider:
                    self.database.data_version)
             cached = cache.get(key)
             if cached is not None:
+                obs_trace.add("cache_hit", 1)
                 return cached
+            obs_trace.add("cache_miss", 1)
         if isinstance(statement.source, ast.ShapeExpr):
             stream = execute_shape_stream(statement.source, self.database)
         elif isinstance(statement.source, ast.SelectStatement):
@@ -560,11 +669,13 @@ def connect(**kwargs) -> Connection:
 
     Keyword arguments (``batch_size``, ``caseset_cache_capacity``,
     ``caseset_cache_max_rows``, ``max_workers``, ``pool_mode``,
-    ``durable_path``, ``durable_checkpoint_interval``) are forwarded to
-    :class:`Provider`.  Without ``durable_path`` the provider is purely
-    in-memory; with it, existing state under that directory is recovered
-    (snapshot + journal replay) and every acknowledged mutation survives
-    process death.
+    ``durable_path``, ``durable_checkpoint_interval``, ``slow_query_ms``,
+    ``telemetry_path``) are forwarded to :class:`Provider`.  Without
+    ``durable_path`` the provider is purely in-memory; with it, existing
+    state under that directory is recovered (snapshot + journal replay)
+    and every acknowledged mutation survives process death.
+    ``telemetry_path``/``slow_query_ms`` attach the rotating JSONL
+    slow-query sink.
     """
     return Connection(Provider(**kwargs))
 

@@ -260,6 +260,7 @@ def dm_query_log_rowset(provider) -> Rowset:
         RowsetColumn("ROWS_OUT", LONG),
         RowsetColumn("CASES", LONG),
         RowsetColumn("SPAN_COUNT", LONG),
+        RowsetColumn("THREAD", TEXT),
     ]
     rows = []
     for record in provider.tracer.statements():
@@ -280,6 +281,7 @@ def dm_query_log_rowset(provider) -> Rowset:
             int(totals.get("rows_out", 0)),
             cases,
             record.root.span_count() if record.root is not None else 0,
+            record.thread,
         ))
     return Rowset(columns, rows)
 
@@ -326,6 +328,7 @@ def dm_provider_metrics_rowset(provider) -> Rowset:
         RowsetColumn("KIND", TEXT),
         RowsetColumn("COUNT", LONG),
         RowsetColumn("VALUE", DOUBLE),
+        RowsetColumn("SUM", DOUBLE),
         RowsetColumn("MIN", DOUBLE),
         RowsetColumn("MAX", DOUBLE),
         RowsetColumn("MEAN", DOUBLE),
@@ -341,7 +344,8 @@ def dm_provider_metrics_rowset(provider) -> Rowset:
     for entry in provider.metrics.snapshot():
         rows.append((
             entry["name"], entry["kind"], entry.get("count"),
-            fmt(entry.get("value")), fmt(entry.get("min")),
+            fmt(entry.get("value")), fmt(entry.get("sum")),
+            fmt(entry.get("min")),
             fmt(entry.get("max")), fmt(entry.get("mean")),
             fmt(entry.get("p50")), fmt(entry.get("p95")),
             fmt(entry.get("p99")),

@@ -90,6 +90,47 @@ def _contains_subquery(nodes) -> bool:
     return False
 
 
+# -- EXPLAIN previews ----------------------------------------------------------
+#
+# Read-only mirrors of the eligibility gates below, for the EXPLAIN planner.
+# They must never touch pool metrics (no note_serial_fallback) and never
+# require run-time state (a fitted space, the post-INSERT caseset size), so
+# a gate that can only be decided mid-statement reports "candidate".
+
+
+def training_parallelism_preview(model, pool, dop: int):
+    """``(strategy, reason)`` for a training statement, without side effects."""
+    algorithm = model.algorithm
+    if pool is None or pool.mode == "serial":
+        return "serial", "pool mode is serial"
+    if dop < 2:
+        return "serial", "effective dop is 1"
+    if not algorithm.PARALLELIZABLE:
+        return "serial", f"{algorithm.SERVICE_NAME} is not parallelizable"
+    return ("parallel candidate",
+            f"dop={dop}; space and caseset-size checks at run time")
+
+
+def prediction_parallelism_preview(provider, statement, dop: int):
+    """``(strategy, reason)`` for a PREDICTION JOIN, without side effects."""
+    pool = provider.pool
+    if pool is None or pool.mode == "serial":
+        return "serial", "pool mode is serial"
+    if dop < 2:
+        return "serial", "effective dop is 1"
+    if statement.order_by or statement.distinct:
+        return "serial", "blocking clause (ORDER BY / DISTINCT)"
+    roots = [item.expr for item in statement.select_list]
+    if statement.where is not None:
+        roots.append(statement.where)
+    if _contains_subquery(roots):
+        return "serial", "subquery in projection or WHERE"
+    reason = f"dop={dop}"
+    if pool.mode == "process":
+        reason += "; pickle check at run time"
+    return "parallel", reason
+
+
 # -- partitioned training ------------------------------------------------------
 
 

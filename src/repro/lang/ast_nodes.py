@@ -421,3 +421,17 @@ class TraceStatement(Statement):
     TRACE statements are themselves excluded from the query log.
     """
     mode: str = "STATUS"
+
+
+@dataclass
+class ExplainStatement(Statement):
+    """``EXPLAIN [ANALYZE] <statement>`` — the per-statement plan profiler.
+
+    Plain EXPLAIN runs only the planner pass (no data-path work) and
+    returns the operator tree as a rowset with strategy and row estimates;
+    EXPLAIN ANALYZE also executes the wrapped statement with span capture
+    forced on and annotates each operator with actuals reconciled from the
+    span tree.  EXPLAIN and TRACE cannot themselves be wrapped.
+    """
+    statement: Optional[Statement] = None
+    analyze: bool = False

@@ -321,4 +321,9 @@ def format_statement(statement: ast.Statement) -> str:
         if statement.rename_to:
             text += f" AS {quote_ident(statement.rename_to)}"
         return text
+    if isinstance(statement, ast.TraceStatement):
+        return f"TRACE {statement.mode.upper()}"
+    if isinstance(statement, ast.ExplainStatement):
+        verb = "EXPLAIN ANALYZE" if statement.analyze else "EXPLAIN"
+        return f"{verb} {format_statement(statement.statement)}"
     raise Error(f"cannot format statement {type(statement).__name__}")

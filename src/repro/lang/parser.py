@@ -111,6 +111,18 @@ class Parser:
 
     def parse_statement(self) -> ast.Statement:
         """Parse one statement (SQL or DMX) and its optional ';'."""
+        statement = self._parse_statement_body()
+        self.accept_symbol(";")
+        if not (self.peek().kind is TokenKind.EOF):
+            raise self.error("unexpected trailing input")
+        return statement
+
+    def _parse_statement_body(self) -> ast.Statement:
+        """The statement dispatch, without the ';'/EOF bookkeeping.
+
+        Factored out so EXPLAIN can wrap any statement form the dispatcher
+        knows about.
+        """
         from repro.lang import dmx_parser
 
         token = self.peek()
@@ -145,11 +157,10 @@ class Parser:
             statement = dmx_parser.parse_import(self)
         elif token.is_keyword("TRACE"):
             statement = self.parse_trace()
+        elif token.is_keyword("EXPLAIN"):
+            statement = self.parse_explain()
         else:
             raise self.error("expected a statement")
-        self.accept_symbol(";")
-        if not (self.peek().kind is TokenKind.EOF):
-            raise self.error("unexpected trailing input")
         return statement
 
     def parse_trace(self) -> ast.TraceStatement:
@@ -159,6 +170,20 @@ class Parser:
             return ast.TraceStatement(mode="STATUS")
         token = self.expect_keyword("ON", "OFF", "LAST", "STATUS")
         return ast.TraceStatement(mode=token.upper)
+
+    def parse_explain(self) -> ast.ExplainStatement:
+        """``EXPLAIN [ANALYZE] <statement>`` — wraps any plannable statement."""
+        self.expect_keyword("EXPLAIN")
+        analyze = self.accept_keyword("ANALYZE")
+        token = self.peek()
+        if token.is_keyword("EXPLAIN"):
+            raise self.error("EXPLAIN cannot be nested")
+        if token.is_keyword("TRACE"):
+            raise self.error("EXPLAIN cannot wrap the TRACE verb")
+        if self.at_end():
+            raise self.error("expected a statement after EXPLAIN")
+        inner = self._parse_statement_body()
+        return ast.ExplainStatement(statement=inner, analyze=analyze)
 
     # -- SELECT ---------------------------------------------------------------
 

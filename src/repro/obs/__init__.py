@@ -1,4 +1,4 @@
-"""Queryable observability: statement tracing and provider metrics.
+"""Queryable observability: tracing, metrics, plans, and export surfaces.
 
 :mod:`repro.obs.trace` captures per-statement span trees with counters in a
 bounded ring buffer; :mod:`repro.obs.metrics` accumulates counters, gauges,
@@ -6,6 +6,11 @@ and latency histograms.  Both surface back through the SQL command surface
 as the ``$SYSTEM.DM_QUERY_LOG``, ``$SYSTEM.DM_TRACE_EVENTS``, and
 ``$SYSTEM.DM_PROVIDER_METRICS`` schema rowsets, and through the DMX shell's
 ``TRACE ON | OFF | LAST`` verb.
+
+:mod:`repro.obs.explain` is the ``EXPLAIN [ANALYZE]`` plan profiler;
+:mod:`repro.obs.export` renders Prometheus text exposition and serves the
+``/metrics`` / ``/healthz`` / ``/queries`` HTTP endpoint;
+:mod:`repro.obs.sink` is the rotating JSONL slow-query sink.
 """
 
 from repro.obs.trace import (
@@ -15,6 +20,15 @@ from repro.obs.trace import (
     Tracer,
 )
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.explain import (
+    PlanNode,
+    build_plan,
+    explain_rowset,
+    is_plan_rowset,
+    reconcile_plan,
+)
+from repro.obs.export import TelemetryServer, render_prometheus
+from repro.obs.sink import SlowQuerySink, statement_record_dict
 
 __all__ = [
     "Span",
@@ -25,4 +39,13 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "PlanNode",
+    "build_plan",
+    "explain_rowset",
+    "is_plan_rowset",
+    "reconcile_plan",
+    "TelemetryServer",
+    "render_prometheus",
+    "SlowQuerySink",
+    "statement_record_dict",
 ]

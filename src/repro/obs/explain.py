@@ -1,0 +1,396 @@
+"""EXPLAIN / EXPLAIN ANALYZE: the per-statement plan profiler.
+
+``EXPLAIN <statement>`` runs a lightweight planner pass over the parsed
+statement — reading only catalog statistics (table sizes, model case
+counts, pool configuration, caseset-cache membership), never touching the
+data path — and returns the operator tree as a rowset: operator, target,
+chosen strategy (streamed vs. materialized, parallel vs. serial with the
+worker count, caseset-cache hit expectation), and estimated row counts.
+
+``EXPLAIN ANALYZE`` additionally executes the statement with span capture
+forced on and annotates each plan operator with actuals reconciled from
+the captured span tree: rows, batches, wall-clock milliseconds, cache
+hits, and pool tasks, estimated-vs-actual side by side in one rowset.
+
+The plan tree itself is produced by plan-description hooks that live next
+to the executors they mirror (:meth:`Database.plan_select`,
+:func:`repro.shaping.shape.plan_shape`, the parallelism previews in
+:mod:`repro.exec.partition`, :func:`repro.core.prediction.plan_prediction`)
+so strategy decisions cannot drift from the real ones.  This module owns
+only the :class:`PlanNode` vocabulary, the statement-level dispatch, the
+span reconciliation, and the rowset rendering.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.errors import Error
+from repro.lang import ast_nodes as ast
+from repro.sqlstore.rowset import Rowset, RowsetColumn
+from repro.sqlstore.types import DOUBLE, LONG, TEXT
+
+
+class PlanNode:
+    """One operator of a statement plan, with estimates and (later) actuals.
+
+    ``span_name``/``match`` steer reconciliation against the captured span
+    tree of an ANALYZE run:
+
+    * ``match="one"`` — claim the first unclaimed span of that name; the
+      node's children then reconcile inside that span's subtree;
+    * ``match="all"`` — aggregate every in-scope span of that name
+      (e.g. per-batch ``bind`` spans);
+    * ``match="parent"`` — read ``rows_counter`` off the nearest matched
+      ancestor's own span (e.g. a scan's ``rows_scanned`` lives on the
+      enclosing ``engine.select`` span).
+    """
+
+    __slots__ = ("operator", "target", "strategy", "est_rows", "detail",
+                 "children", "span_name", "rows_counter", "match", "cache",
+                 "actual_rows", "actual_batches", "wall_ms", "pool_tasks",
+                 "cache_actual")
+
+    def __init__(self, operator: str, target: Optional[str] = None,
+                 strategy: Optional[str] = None,
+                 est_rows: Optional[int] = None,
+                 detail: Optional[str] = None,
+                 span_name: Optional[str] = None,
+                 rows_counter: Optional[str] = None,
+                 match: str = "one",
+                 cache: Optional[str] = None):
+        self.operator = operator
+        self.target = target
+        self.strategy = strategy
+        self.est_rows = est_rows
+        self.detail = detail
+        self.children: List[PlanNode] = []
+        self.span_name = span_name
+        self.rows_counter = rows_counter
+        self.match = match
+        self.cache = cache
+        # Actuals, filled by reconcile_plan after an ANALYZE run.
+        self.actual_rows: Optional[int] = None
+        self.actual_batches: Optional[int] = None
+        self.wall_ms: Optional[float] = None
+        self.pool_tasks: Optional[int] = None
+        self.cache_actual: Optional[str] = None
+
+    def add(self, child: "PlanNode") -> "PlanNode":
+        self.children.append(child)
+        return child
+
+    def walk(self, depth: int = 0):
+        yield self, depth
+        for child in self.children:
+            yield from child.walk(depth + 1)
+
+    def __repr__(self) -> str:
+        return (f"PlanNode({self.operator!r}, target={self.target!r}, "
+                f"est={self.est_rows}, {len(self.children)} children)")
+
+
+# ---------------------------------------------------------------------------
+# Statement-level plan dispatch
+# ---------------------------------------------------------------------------
+
+def build_plan(provider, statement: ast.Statement) -> PlanNode:
+    """Describe ``statement``'s execution plan without running it.
+
+    Reads catalog and statistics only: no table is scanned, no model is
+    trained or mutated, no span besides the parser's is opened.
+    """
+    database = provider.database
+    external = provider.plan_external_source
+    if isinstance(statement, ast.SelectStatement):
+        if isinstance(statement.from_clause, ast.PredictionJoin):
+            from repro.core.prediction import plan_prediction
+            node = plan_prediction(provider, statement)
+        else:
+            node = database.plan_select(statement, external)
+        if statement.flattened:
+            flat = PlanNode("flatten", strategy="streamed",
+                            est_rows=node.est_rows, span_name=None)
+            flat.add(node)
+            return flat
+        return node
+    if isinstance(statement, ast.UnionStatement):
+        return database.plan_union(statement, external)
+    if isinstance(statement, ast.InsertModelStatement):
+        return _plan_train(provider, statement)
+    if isinstance(statement, ast.InsertValuesStatement):
+        return _plan_insert(provider, statement)
+    if isinstance(statement, ast.CreateMiningModelStatement):
+        return PlanNode("create mining model", target=statement.name,
+                        strategy="catalog only", est_rows=0,
+                        detail=f"USING {statement.algorithm}")
+    if isinstance(statement, ast.CreateTableStatement):
+        return PlanNode("create table", target=statement.name,
+                        strategy="catalog only", est_rows=0)
+    if isinstance(statement, ast.CreateViewStatement):
+        node = PlanNode("create view", target=statement.name,
+                        strategy="catalog only (definition stored)",
+                        est_rows=0)
+        node.add(provider.database.plan_select(statement.select, external))
+        return node
+    if isinstance(statement, ast.DeleteModelStatement):
+        return _plan_model_reset(provider, statement.name,
+                                 "delete from mining model")
+    if isinstance(statement, ast.DeleteStatement):
+        if provider.has_model(statement.table):
+            return _plan_model_reset(provider, statement.table,
+                                     "delete from mining model")
+        est = _table_size(database, statement.table)
+        strategy = ("truncate" if statement.where is None
+                    else "scan + predicate delete")
+        return PlanNode("delete", target=statement.table, strategy=strategy,
+                        est_rows=est)
+    if isinstance(statement, ast.UpdateStatement):
+        return PlanNode("update", target=statement.table,
+                        strategy="scan + predicate update",
+                        est_rows=_table_size(database, statement.table))
+    if isinstance(statement, ast.DropMiningModelStatement):
+        return PlanNode("drop mining model", target=statement.name,
+                        strategy="catalog only", est_rows=0)
+    if isinstance(statement, ast.DropTableStatement):
+        if provider.has_model(statement.name):
+            return PlanNode("drop mining model", target=statement.name,
+                            strategy="catalog only", est_rows=0)
+        return PlanNode("drop table", target=statement.name,
+                        strategy="catalog only", est_rows=0)
+    if isinstance(statement, ast.ExportModelStatement):
+        return PlanNode("export model", target=statement.name,
+                        strategy="PMML file write", est_rows=0,
+                        detail=statement.path)
+    if isinstance(statement, ast.ImportModelStatement):
+        return PlanNode("import model", target=statement.rename_to,
+                        strategy="PMML file read", est_rows=0,
+                        detail=statement.path)
+    raise Error(
+        f"EXPLAIN does not support {type(statement).__name__}")
+
+
+def _table_size(database, name: str) -> Optional[int]:
+    table = database.tables.get(name.upper())
+    return len(table) if table is not None else None
+
+
+def _plan_model_reset(provider, name: str, operator: str) -> PlanNode:
+    model = provider.model(name)  # same missing-model error as execution
+    return PlanNode(operator, target=model.name,
+                    strategy="reset caseset and content", est_rows=0)
+
+
+def _plan_train(provider, statement: ast.InsertModelStatement) -> PlanNode:
+    from repro.exec.partition import training_parallelism_preview
+    from repro.core.casecache import definition_fingerprint
+
+    model = provider.model(statement.model)
+    maxdop = statement.maxdop
+    if maxdop is None:
+        maxdop = getattr(statement.source, "maxdop", None)
+    pool = provider.pool
+    dop = pool.effective_dop(maxdop) if pool is not None else 1
+    strategy, reason = training_parallelism_preview(model, pool, dop)
+
+    cache = provider.caseset_cache
+    cache_note = "disabled"
+    if cache is not None and cache.enabled:
+        key = ("train", model.name.upper(),
+               definition_fingerprint(model.definition),
+               repr(statement.source), repr(statement.bindings),
+               provider.database.data_version)
+        cache_note = "hit expected" if cache.contains(key) \
+            else "miss expected"
+
+    node = PlanNode("train", target=model.name,
+                    strategy=f"{strategy} ({reason})",
+                    detail=f"service {model.algorithm.SERVICE_NAME}, "
+                           f"{model.case_count} case(s) retained",
+                    cache=cache_note)
+    if strategy.startswith("parallel"):
+        node.add(PlanNode("partitioned refit", target=model.name,
+                          strategy=f"dop={dop}",
+                          span_name="train.partitioned",
+                          rows_counter="observations"))
+    else:
+        node.add(PlanNode("fit", target=model.algorithm.SERVICE_NAME,
+                          strategy="serial", span_name="algorithm.train",
+                          rows_counter="observations"))
+    bind = node.add(PlanNode("bind cases", target=model.name,
+                             span_name="bind", rows_counter="cases_bound",
+                             match="all"))
+    source = _plan_train_source(provider, statement.source)
+    bind.add(source)
+    node.est_rows = source.est_rows
+    bind.est_rows = source.est_rows
+    return node
+
+
+def _plan_train_source(provider, source) -> PlanNode:
+    if isinstance(source, ast.ShapeExpr):
+        from repro.shaping.shape import plan_shape
+        return plan_shape(source, provider.database,
+                          provider.plan_external_source)
+    if isinstance(source, ast.SelectStatement):
+        return provider.database.plan_select(source,
+                                             provider.plan_external_source)
+    raise Error("INSERT INTO a model requires a SHAPE or SELECT source")
+
+
+def _plan_insert(provider, statement: ast.InsertValuesStatement) -> PlanNode:
+    if provider.has_model(statement.table):
+        if statement.select is None:
+            raise Error(
+                f"INSERT INTO mining model {statement.table!r} requires "
+                f"a SELECT or SHAPE source, not VALUES")
+        bindings = [ast.BindingColumn(name) for name in statement.columns]
+        return _plan_train(provider, ast.InsertModelStatement(
+            model=statement.table, bindings=bindings,
+            source=statement.select))
+    node = PlanNode("insert", target=statement.table,
+                    strategy="row append")
+    if statement.select is not None:
+        child = provider.database.plan_select(
+            statement.select, provider.plan_external_source)
+        node.add(child)
+        node.est_rows = child.est_rows
+    else:
+        node.est_rows = len(statement.rows)
+    return node
+
+
+# ---------------------------------------------------------------------------
+# Reconciliation (EXPLAIN ANALYZE)
+# ---------------------------------------------------------------------------
+
+def reconcile_plan(plan: PlanNode, root_span,
+                   result_rows: Optional[int] = None) -> None:
+    """Annotate ``plan`` with actuals from an executed span tree.
+
+    ``root_span`` is the span that wrapped the ANALYZE execution; spans
+    are claimed in plan pre-order so nested operators of the same name
+    (sub-selects, views, union branches) pair up positionally.  The root
+    operator's actual row count is then pinned to the statement's real
+    result (``result_rows``), which is the invariant the differential
+    suite asserts against direct execution.
+    """
+    all_spans = [s for s, _ in root_span.walk()]
+    claimed: set = set()
+
+    def annotate(node: PlanNode, totals: Dict[str, float],
+                 wall_ms: Optional[float]) -> None:
+        node.wall_ms = wall_ms
+        if node.rows_counter is not None and node.rows_counter in totals:
+            node.actual_rows = int(totals[node.rows_counter])
+        if "batches" in totals:
+            node.actual_batches = int(totals["batches"])
+        if "pool_tasks" in totals:
+            node.pool_tasks = int(totals["pool_tasks"])
+        if totals.get("cache_hit"):
+            node.cache_actual = "hit"
+        elif totals.get("cache_miss"):
+            node.cache_actual = "miss"
+
+    def visit(node: PlanNode, scope: List[Any], context_span) -> None:
+        child_scope, context = scope, context_span
+        matched = None
+        if node.span_name is not None and node.match == "one":
+            matched = next(
+                (s for s in scope
+                 if s.name == node.span_name and id(s) not in claimed),
+                None)
+            if matched is not None:
+                claimed.add(id(matched))
+                # Own counters only: a nested select's rows_out must not
+                # roll up into its parent select's actuals.
+                annotate(node, dict(matched.counters), matched.duration_ms)
+                child_scope = [s for s, _ in matched.walk()]
+                context = matched
+        elif node.span_name is not None and node.match == "all":
+            group = [s for s in scope if s.name == node.span_name]
+            if group:
+                totals: Dict[str, float] = {}
+                wall = 0.0
+                for s in group:
+                    for name, amount in s.counters.items():
+                        totals[name] = totals.get(name, 0) + amount
+                    wall += s.duration_ms or 0.0
+                annotate(node, totals, round(wall, 6))
+        elif node.match == "parent" and context_span is not None and \
+                node.rows_counter is not None:
+            value = context_span.counters.get(node.rows_counter)
+            if value is not None:
+                node.actual_rows = int(value)
+        for child in node.children:
+            visit(child, child_scope, context)
+        if matched is not None:
+            # Seal the claimed subtree so later siblings cannot reach in.
+            claimed.update(id(s) for s, _ in matched.walk())
+
+    visit(plan, all_spans, root_span)
+    if result_rows is not None:
+        plan.actual_rows = result_rows
+    if plan.wall_ms is None:
+        plan.wall_ms = root_span.duration_ms
+
+
+# ---------------------------------------------------------------------------
+# Rowset rendering
+# ---------------------------------------------------------------------------
+
+PLAN_COLUMNS = [
+    RowsetColumn("OP_ID", LONG),
+    RowsetColumn("PARENT_ID", LONG),
+    RowsetColumn("DEPTH", LONG),
+    RowsetColumn("OPERATOR", TEXT),
+    RowsetColumn("TARGET", TEXT),
+    RowsetColumn("STRATEGY", TEXT),
+    RowsetColumn("EST_ROWS", LONG),
+    RowsetColumn("ACTUAL_ROWS", LONG),
+    RowsetColumn("ACTUAL_BATCHES", LONG),
+    RowsetColumn("WALL_MS", DOUBLE),
+    RowsetColumn("CACHE", TEXT),
+    RowsetColumn("POOL_TASKS", LONG),
+    RowsetColumn("DETAIL", TEXT),
+]
+
+
+def explain_rowset(plan: PlanNode, analyzed: bool) -> Rowset:
+    """Flatten a plan tree into the EXPLAIN rowset (pre-order)."""
+    rows: List[tuple] = []
+    ids: Dict[int, int] = {}
+    parents: Dict[int, Optional[int]] = {}
+    stack = [(plan, 0, None)]
+    order: List[tuple] = []
+    while stack:
+        node, depth, parent_id = stack.pop()
+        op_id = len(ids) + 1
+        ids[id(node)] = op_id
+        parents[op_id] = parent_id
+        order.append((node, depth, op_id, parent_id))
+        for child in reversed(node.children):
+            stack.append((child, depth + 1, op_id))
+    for node, depth, op_id, parent_id in order:
+        cache = node.cache
+        if analyzed and node.cache_actual is not None:
+            cache = (f"{cache}, actual {node.cache_actual}"
+                     if cache else node.cache_actual)
+        rows.append((
+            op_id, parent_id, depth, node.operator, node.target,
+            node.strategy, node.est_rows,
+            node.actual_rows if analyzed else None,
+            node.actual_batches if analyzed else None,
+            None if not analyzed or node.wall_ms is None
+            else round(node.wall_ms, 3),
+            cache,
+            node.pool_tasks if analyzed else None,
+            node.detail,
+        ))
+    return Rowset(list(PLAN_COLUMNS), rows)
+
+
+def is_plan_rowset(rowset) -> bool:
+    """True when ``rowset`` is an EXPLAIN plan (dmxsh renders it as a tree)."""
+    names = [c.name for c in getattr(rowset, "columns", [])]
+    return names == [c.name for c in PLAN_COLUMNS]

@@ -1,0 +1,189 @@
+"""Telemetry export: Prometheus text exposition + the HTTP endpoint.
+
+:func:`render_prometheus` turns :meth:`MetricsRegistry.snapshot` into the
+Prometheus text exposition format (version 0.0.4): counters and gauges as
+single samples, histograms as summaries (window-based ``quantile`` labels
+plus the monotonic ``_count``/``_sum`` series that survive window
+eviction).  Everything is stdlib-only — no client library.
+
+:class:`TelemetryServer` serves a provider's telemetry over plain
+``http.server`` on a daemon thread:
+
+* ``GET /metrics``  — the exposition text;
+* ``GET /healthz``  — 200 while the provider can accept writes, 503 once
+  the durable store has turned read-only after a durability failure;
+* ``GET /queries``  — the recent ``$SYSTEM.DM_QUERY_LOG`` ring as JSON.
+
+Started with ``connect(...).provider.serve_metrics(port)`` or
+``dmxsh --metrics-port N``.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, Optional
+from urllib.parse import parse_qs, urlparse
+
+from repro.obs.sink import statement_record_dict
+
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_NAME_OK = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def metric_name(name: str, namespace: str = "repro") -> str:
+    """Sanitize a registry metric name into a legal Prometheus name."""
+    flat = _NAME_OK.sub("_", name)
+    if flat and flat[0].isdigit():
+        flat = "_" + flat
+    return f"{namespace}_{flat}" if namespace else flat
+
+
+def escape_label_value(value: str) -> str:
+    """Escape per the text-format rules: backslash, quote, newline."""
+    return (str(value).replace("\\", "\\\\").replace('"', '\\"')
+            .replace("\n", "\\n"))
+
+
+def _format_value(value) -> str:
+    if value is None:
+        return "NaN"
+    number = float(value)
+    if number == int(number) and abs(number) < 1e15:
+        return str(int(number))
+    return repr(number)
+
+
+def render_prometheus(registry, namespace: str = "repro",
+                      info: Optional[Dict[str, str]] = None) -> str:
+    """The full exposition for one registry, one family per metric.
+
+    ``info`` adds a constant ``<namespace>_provider_info`` gauge whose
+    labels carry build/configuration facts (the conventional ``_info``
+    pattern); label values are escaped, so arbitrary strings are safe.
+    """
+    lines = []
+    for row in registry.snapshot():
+        name = metric_name(row["name"], namespace)
+        kind = row["kind"]
+        if kind == "counter":
+            lines.append(f"# HELP {name} counter {row['name']}")
+            lines.append(f"# TYPE {name} counter")
+            lines.append(f"{name} {_format_value(row['value'])}")
+        elif kind == "gauge":
+            lines.append(f"# HELP {name} gauge {row['name']}")
+            lines.append(f"# TYPE {name} gauge")
+            lines.append(f"{name} {_format_value(row['value'])}")
+        elif kind == "histogram":
+            lines.append(f"# HELP {name} histogram {row['name']}")
+            lines.append(f"# TYPE {name} summary")
+            for label, key in (("0.5", "p50"), ("0.95", "p95"),
+                               ("0.99", "p99")):
+                if row.get(key) is not None:
+                    lines.append(f'{name}{{quantile="{label}"}} '
+                                 f"{_format_value(row[key])}")
+            # Monotonic accumulators: unlike the quantile window these
+            # never forget, which is what rate() needs.
+            lines.append(f"{name}_count {_format_value(row['count'])}")
+            lines.append(f"{name}_sum {_format_value(row.get('sum', row['value']))}")
+    if info is not None:
+        name = metric_name("provider_info", namespace)
+        labels = ",".join(
+            f'{_NAME_OK.sub("_", key)}="{escape_label_value(value)}"'
+            for key, value in sorted(info.items()))
+        lines.append(f"# HELP {name} provider build/configuration info")
+        lines.append(f"# TYPE {name} gauge")
+        lines.append(f"{name}{{{labels}}} 1")
+    return "\n".join(lines) + "\n"
+
+
+def provider_info(provider) -> Dict[str, str]:
+    """The constant labels for the ``provider_info`` series."""
+    import repro
+    return {
+        "version": getattr(repro, "__version__", "0"),
+        "pool_mode": provider.pool.mode,
+        "max_workers": str(provider.pool.max_workers),
+        "durable": "yes" if provider.store is not None else "no",
+    }
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes /metrics, /healthz, /queries against ``server.provider``."""
+
+    server_version = "repro-telemetry"
+
+    def log_message(self, *args) -> None:  # silence per-request stderr noise
+        pass
+
+    def _reply(self, status: int, body: str, content_type: str) -> None:
+        payload = body.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        self.wfile.write(payload)
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        provider = self.server.provider
+        parsed = urlparse(self.path)
+        if parsed.path == "/metrics":
+            body = render_prometheus(provider.metrics,
+                                     info=provider_info(provider))
+            self._reply(200, body, CONTENT_TYPE)
+            return
+        if parsed.path == "/healthz":
+            store = provider.store
+            if store is not None and store.broken:
+                self._reply(503, json.dumps(
+                    {"status": "read-only",
+                     "reason": "durable store failed; writes refused"}),
+                    "application/json")
+                return
+            self._reply(200, json.dumps({"status": "ok"}),
+                        "application/json")
+            return
+        if parsed.path == "/queries":
+            try:
+                limit = int(parse_qs(parsed.query).get("limit", ["50"])[0])
+            except (TypeError, ValueError):
+                limit = 50
+            records = provider.tracer.statements()[-max(0, limit):]
+            body = json.dumps([statement_record_dict(record)
+                               for record in records], default=str)
+            self._reply(200, body, "application/json")
+            return
+        self._reply(404, json.dumps({"error": f"no route {parsed.path!r}"}),
+                    "application/json")
+
+
+class TelemetryServer:
+    """The provider's HTTP telemetry endpoint, on a daemon thread."""
+
+    def __init__(self, provider, host: str = "127.0.0.1", port: int = 0):
+        self._httpd = ThreadingHTTPServer((host, port), _Handler)
+        self._httpd.daemon_threads = True
+        self._httpd.provider = provider
+        self.host, self.port = self._httpd.server_address[:2]
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name=f"repro-telemetry:{self.port}", daemon=True)
+        self._thread.start()
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def close(self) -> None:
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        self._thread.join(timeout=5)
+
+    def __enter__(self) -> "TelemetryServer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -101,11 +101,22 @@ class Histogram:
     def mean(self) -> Optional[float]:
         return self.total / self.count if self.count else None
 
+    @property
+    def sum(self) -> float:
+        """Monotonic sum of every observation ever made.
+
+        Unlike the percentile window, ``count``/``sum`` never forget: they
+        survive eviction from the 512-sample window, which is what makes
+        them usable as Prometheus ``_count``/``_sum`` series (rates over
+        scrape intervals need monotonic accumulators, not windows).
+        """
+        return self.total
+
     def row(self) -> Dict[str, Any]:
         return {
             "name": self.name, "kind": self.KIND, "count": self.count,
-            "value": self.total, "min": self.min, "max": self.max,
-            "mean": self.mean, "p50": self.percentile(0.50),
+            "value": self.total, "sum": self.sum, "min": self.min,
+            "max": self.max, "mean": self.mean, "p50": self.percentile(0.50),
             "p95": self.percentile(0.95), "p99": self.percentile(0.99),
         }
 

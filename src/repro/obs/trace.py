@@ -119,12 +119,13 @@ class StatementRecord:
     """One executed statement: text, outcome, latency, and its span tree."""
 
     __slots__ = ("statement_id", "text", "kind", "status", "error",
-                 "started_at", "duration_ms", "root")
+                 "started_at", "duration_ms", "root", "thread")
 
     def __init__(self, statement_id: int, text: str, kind: str = "UNKNOWN"):
         self.statement_id = statement_id
         self.text = text
         self.kind = kind
+        self.thread = threading.current_thread().name
         self.status: Optional[str] = None
         self.error: Optional[str] = None
         self.started_at = time.time()
@@ -148,6 +149,7 @@ class _NullRecord:
     root = None
     statement_id = 0
     text = ""
+    thread = ""
     duration_ms = None
     status = None
     error = None
@@ -319,6 +321,21 @@ def add(counter: str, amount: float = 1) -> None:
     stack = tracer._stack()
     if stack:
         stack[-1].add(counter, amount)
+
+
+def current_span():
+    """The innermost open span of the active tracer, for pinning.
+
+    Lazy producers call this at plan time and pass the result to
+    :func:`add_to`, so counters produced after the enclosing span closes
+    still attribute to it.  Returns :data:`NULL_SPAN` when span capture is
+    off, which makes :func:`add_to` fall back to :func:`add`.
+    """
+    tracer = getattr(_local, "tracer", None)
+    if tracer is None or not tracer.enabled:
+        return NULL_SPAN
+    stack = tracer._stack()
+    return stack[-1] if stack else NULL_SPAN
 
 
 def add_to(span, counter: str, amount: float = 1) -> None:

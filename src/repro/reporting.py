@@ -151,6 +151,56 @@ def _describe_span(span) -> str:
     return "  ".join(parts)
 
 
+def _describe_plan_row(row: dict) -> str:
+    parts = [row["OPERATOR"]]
+    if row.get("TARGET"):
+        parts[0] = f"{row['OPERATOR']} [{row['TARGET']}]"
+    if row.get("STRATEGY"):
+        parts.append(str(row["STRATEGY"]))
+    if row.get("EST_ROWS") is not None:
+        parts.append(f"est={row['EST_ROWS']}")
+    if row.get("ACTUAL_ROWS") is not None:
+        parts.append(f"actual={row['ACTUAL_ROWS']}")
+    if row.get("ACTUAL_BATCHES") is not None:
+        parts.append(f"batches={row['ACTUAL_BATCHES']}")
+    if row.get("WALL_MS") is not None:
+        parts.append(f"{row['WALL_MS']:.2f} ms")
+    if row.get("CACHE"):
+        parts.append(f"cache={row['CACHE']}")
+    if row.get("POOL_TASKS") is not None:
+        parts.append(f"tasks={row['POOL_TASKS']}")
+    if row.get("DETAIL"):
+        parts.append(f"({row['DETAIL']})")
+    return "  ".join(parts)
+
+
+def render_plan(rowset) -> str:
+    """Indented operator tree for an EXPLAIN [ANALYZE] rowset (dmxsh)."""
+    names = [column.name for column in rowset.columns]
+    records = [dict(zip(names, row)) for row in rowset.rows]
+    children: dict = {}
+    for record in records:
+        children.setdefault(record["PARENT_ID"], []).append(record)
+
+    lines = []
+
+    def walk(record, prefix: str, is_last: bool, is_root: bool) -> None:
+        if is_root:
+            lines.append(_describe_plan_row(record))
+        else:
+            connector = "`- " if is_last else "|- "
+            lines.append(f"{prefix}{connector}{_describe_plan_row(record)}")
+        child_prefix = "" if is_root else prefix + ("   " if is_last
+                                                    else "|  ")
+        kids = children.get(record["OP_ID"], [])
+        for position, child in enumerate(kids):
+            walk(child, child_prefix, position == len(kids) - 1, False)
+
+    for position, root in enumerate(children.get(None, [])):
+        walk(root, "", True, True)
+    return "\n".join(lines)
+
+
 def render_trace(record) -> str:
     """Indented span tree for one traced statement (``TRACE LAST``)."""
     text = " ".join(record.text.split())

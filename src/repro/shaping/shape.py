@@ -79,6 +79,38 @@ def execute_shape_stream(shape: ast.ShapeExpr, database,
     return RowStream(columns, produce())
 
 
+def plan_shape(shape: ast.ShapeExpr, database, external_planner=None):
+    """Describe a SHAPE expression's plan for EXPLAIN, without executing it.
+
+    Mirrors :func:`execute_shape_stream`: the master streams, every APPEND
+    child materializes up front into RELATE-key buckets.
+    """
+    from repro.obs.explain import PlanNode
+
+    node = PlanNode("shape",
+                    strategy=f"master streamed, {len(shape.appends)} "
+                             f"append(s) materialized",
+                    span_name="shape", rows_counter="shape_cases_out")
+    master = _plan_source(shape.master, database, external_planner)
+    master.target = master.target or "master"
+    node.add(master)
+    node.est_rows = master.est_rows
+    for append in shape.appends:
+        child = _plan_source(append.child, database, external_planner)
+        child.operator = f"append [{append.alias}]"
+        child.strategy = (f"{child.strategy}; bucketed on "
+                          f"{append.relate_child}")
+        node.add(child)
+    return node
+
+
+def _plan_source(source: Union[ast.SelectStatement, ast.ShapeExpr],
+                 database, external_planner):
+    if isinstance(source, ast.ShapeExpr):
+        return plan_shape(source, database, external_planner)
+    return database.plan_select(source, external_planner)
+
+
 def _execute_source(source: Union[ast.SelectStatement, ast.ShapeExpr],
                     database) -> Rowset:
     if isinstance(source, ast.ShapeExpr):

@@ -405,6 +405,7 @@ class Database:
         """Scan + WHERE, batch at a time, counting scanned rows."""
         for batch in relation.batches(batch_size):
             obs_trace.add_to(span, "rows_scanned", len(batch))
+            obs_trace.add_to(span, "batches", 1)
             if statement.where is not None:
                 batch = [
                     row for row in batch
@@ -691,6 +692,127 @@ class Database:
         return _multi_key_sort(output_rows, keys, directions)
 
     # -- FROM resolution ------------------------------------------------------
+
+    # -- EXPLAIN planning ------------------------------------------------------
+
+    def plan_select(self, statement: ast.SelectStatement,
+                    external_planner: Optional[Callable] = None):
+        """Describe the plan of a SELECT without executing it.
+
+        Mirrors the strategy decisions of :meth:`execute_select_stream`
+        (blocking vs. streaming, join algorithm) read-only: no table is
+        scanned, no span opened.  ``external_planner`` plans FROM sources
+        the engine cannot (mining-provider sources), exactly as
+        ``external_resolver`` executes them.
+        """
+        from repro.obs.explain import PlanNode
+
+        grouped = bool(statement.group_by) or any(
+            contains_aggregate(item.expr) for item in statement.select_list)
+        blockers = []
+        if grouped:
+            blockers.append("group/aggregate")
+        if statement.order_by:
+            blockers.append("order by")
+        if statement.distinct:
+            blockers.append("distinct")
+        strategy = (f"materialized ({', '.join(blockers)})" if blockers
+                    else f"streamed (batch {self.batch_size})")
+        node = PlanNode("select", strategy=strategy,
+                        span_name="engine.select", rows_counter="rows_out")
+        details = []
+        if statement.where is not None:
+            details.append("filtered")
+        if statement.top is not None:
+            details.append(f"top {statement.top}")
+        node.detail = ", ".join(details) or None
+        if statement.from_clause is None:
+            node.strategy = "constant"
+            node.est_rows = 1
+            return node
+        child = self.plan_table_ref(statement.from_clause, external_planner)
+        node.add(child)
+        est = None if grouped or statement.where is not None \
+            else child.est_rows
+        if statement.top is not None and est is not None:
+            est = min(est, statement.top)
+        elif statement.top is not None and statement.where is None \
+                and not grouped:
+            est = statement.top
+        node.est_rows = est
+        return node
+
+    def plan_union(self, statement: ast.UnionStatement,
+                   external_planner: Optional[Callable] = None):
+        """Describe a UNION chain's plan (see :meth:`execute_union_stream`)."""
+        from repro.obs.explain import PlanNode
+
+        streaming = bool(statement.all_rows) and all(statement.all_rows)
+        node = PlanNode(
+            "union",
+            strategy="streamed (all branches ALL)" if streaming
+            else "materialized (dedup)")
+        ests = []
+        for branch in statement.branches:
+            child = self.plan_select(branch, external_planner)
+            node.add(child)
+            ests.append(child.est_rows)
+        if streaming and all(e is not None for e in ests):
+            node.est_rows = sum(ests)
+        return node
+
+    def plan_table_ref(self, ref: ast.TableRef,
+                       external_planner: Optional[Callable] = None):
+        """Describe a FROM source's plan (see :meth:`resolve_table_ref`)."""
+        from repro.obs.explain import PlanNode
+
+        if external_planner is not None:
+            planned = external_planner(ref)
+            if planned is not None:
+                return planned
+        if isinstance(ref, ast.NamedTable):
+            key = ref.name.upper()
+            if key in self.views:
+                node = PlanNode("view", target=ref.name,
+                                strategy="inline expansion")
+                child = self.plan_select(self.views[key], external_planner)
+                node.add(child)
+                node.est_rows = child.est_rows
+                return node
+            if key in self.tables:
+                return PlanNode("table scan", target=ref.name,
+                                strategy=f"sequential "
+                                         f"(batch {self.batch_size})",
+                                est_rows=len(self.tables[key]),
+                                match="parent",
+                                rows_counter="rows_scanned")
+            raise BindError(f"no table, view, or model named {ref.name!r}")
+        if isinstance(ref, ast.SubquerySource):
+            node = self.plan_select(ref.select, external_planner)
+            node.operator = "subquery"
+            node.target = ref.alias
+            return node
+        if isinstance(ref, ast.Join):
+            left = self.plan_table_ref(ref.left, external_planner)
+            right = self.plan_table_ref(ref.right, external_planner)
+            est = None
+            if ref.kind == "CROSS":
+                strategy = "cross product (right side materialized)"
+                if left.est_rows is not None and right.est_rows is not None:
+                    est = left.est_rows * right.est_rows
+            else:
+                equalities, _ = _split_equi_condition(ref.condition)
+                strategy = ("hash join (right side build)" if equalities
+                            else "nested loop (right side materialized)")
+            node = PlanNode("join", target=ref.kind.lower(),
+                            strategy=strategy, est_rows=est,
+                            span_name="engine.join",
+                            rows_counter="join_rows_out")
+            node.add(left)
+            node.add(right)
+            return node
+        raise BindError(
+            f"FROM source {type(ref).__name__} requires the mining provider")
 
     def resolve_table_ref(self, ref: ast.TableRef,
                           batch_size: Optional[int] = None) -> SourceRelation:

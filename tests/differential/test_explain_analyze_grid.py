@@ -1,0 +1,90 @@
+"""Differential harness: EXPLAIN ANALYZE actuals vs direct execution.
+
+For every statement shape in the stream-vs-materialize grid, running the
+statement under ``EXPLAIN ANALYZE`` must report a root-operator actual row
+count identical to what direct execution returns — the plan's actuals are
+reconciled from real spans, so any drift means the profiler is lying.
+
+A second sweep pins plain ``EXPLAIN`` to the planner path: with span
+capture on, explaining every grid statement must open no data-path spans
+at all (no scan, join, shape, bind, train, or predict work).
+"""
+
+import pytest
+
+from repro.obs.explain import is_plan_rowset
+
+from tests.differential.test_stream_vs_materialize import (
+    STATEMENTS,
+    TINY_BATCH,
+    _load,
+    _make,
+)
+
+DATA_PATH_SPANS = {"engine.select", "engine.join", "shape", "bind",
+                   "algorithm.train", "train.partitioned", "predict",
+                   "predict.parallel"}
+
+
+@pytest.fixture(scope="module")
+def grid_conn():
+    conn = _make(TINY_BATCH)
+    yield conn
+    conn.close()
+
+
+def _plan_rows(conn, statement):
+    rowset = conn.execute(statement)
+    assert is_plan_rowset(rowset)
+    names = [c.name for c in rowset.columns]
+    return [dict(zip(names, row)) for row in rowset.rows]
+
+
+@pytest.mark.parametrize("statement", STATEMENTS)
+def test_analyze_root_actuals_match_direct_execution(grid_conn, statement):
+    expected = len(grid_conn.execute(statement).rows)
+    root = _plan_rows(grid_conn, f"EXPLAIN ANALYZE {statement}")[0]
+    assert root["ACTUAL_ROWS"] == expected
+    assert root["WALL_MS"] is not None
+
+
+@pytest.mark.parametrize("statement", STATEMENTS)
+def test_plain_explain_opens_no_data_path_spans(grid_conn, statement):
+    grid_conn.execute("TRACE ON")
+    try:
+        rows = _plan_rows(grid_conn, f"EXPLAIN {statement}")
+        record = grid_conn.provider.tracer.last()
+        assert record.kind == "EXPLAIN"
+        names = {span.name for span, _ in record.spans()}
+        assert not names & DATA_PATH_SPANS, (
+            f"plain EXPLAIN touched the data path: {names & DATA_PATH_SPANS}")
+        # And it still produced a plan with no actuals.
+        assert all(r["ACTUAL_ROWS"] is None for r in rows)
+    finally:
+        grid_conn.execute("TRACE OFF")
+
+
+def test_analyze_prediction_join_actuals_match(grid_conn):
+    ddl = ("CREATE MINING MODEL GridRisk (cid LONG KEY, "
+           "age LONG CONTINUOUS, city TEXT DISCRETE PREDICT) "
+           "USING Microsoft_Decision_Trees")
+    train = ("INSERT INTO GridRisk (cid, age, city) "
+             "SELECT cid, age, city FROM Customers WHERE city IS NOT NULL")
+    query = ("SELECT t.cid, GridRisk.city FROM GridRisk "
+             "NATURAL PREDICTION JOIN "
+             "(SELECT cid, age FROM Customers) AS t")
+    grid_conn.execute(ddl)
+
+    # Plain EXPLAIN of the training statement must leave it untrained.
+    grid_conn.execute(f"EXPLAIN {train}")
+    assert not grid_conn.provider.model("GridRisk").is_trained
+
+    # ANALYZE trains for real and reports the bound caseset size.
+    rows = _plan_rows(grid_conn, f"EXPLAIN ANALYZE {train}")
+    assert grid_conn.provider.model("GridRisk").is_trained
+    assert rows[0]["ACTUAL_ROWS"] is not None
+
+    expected = len(grid_conn.execute(query).rows)
+    root = _plan_rows(grid_conn, f"EXPLAIN ANALYZE {query}")[0]
+    assert root["OPERATOR"] == "prediction join"
+    assert root["ACTUAL_ROWS"] == expected

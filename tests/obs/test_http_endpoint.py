@@ -1,0 +1,138 @@
+"""The HTTP telemetry endpoint: /metrics, /healthz, /queries."""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+import repro
+from tests.obs.test_export import parse_exposition
+
+
+def _get(url):
+    try:
+        with urllib.request.urlopen(url, timeout=5) as response:
+            return response.status, response.read().decode("utf-8"), \
+                response.headers.get("Content-Type", "")
+    except urllib.error.HTTPError as error:
+        return error.code, error.read().decode("utf-8"), \
+            error.headers.get("Content-Type", "")
+
+
+@pytest.fixture
+def served(conn):
+    server = conn.provider.serve_metrics(port=0)
+    conn.execute("CREATE TABLE T (x INT)")
+    conn.execute("INSERT INTO T VALUES (1), (2), (3)")
+    conn.execute("SELECT * FROM T")
+    yield conn, server
+    server.close()
+
+
+class TestMetricsRoute:
+    def test_exposition_parses_strictly(self, served):
+        conn, server = served
+        status, body, content_type = _get(server.url + "/metrics")
+        assert status == 200
+        assert content_type.startswith("text/plain")
+        families = parse_exposition(body)
+        samples = families["repro_statements_total"]["samples"]
+        assert samples[0][2] >= 3
+
+    def test_provider_info_series_is_present(self, served):
+        _, server = served
+        _, body, _ = _get(server.url + "/metrics")
+        families = parse_exposition(body)
+        name, labels, value = families["repro_provider_info"]["samples"][0]
+        assert value == 1
+        assert labels["durable"] == "no"
+        assert labels["version"] == repro.__version__
+
+    def test_scrapes_reflect_new_statements(self, served):
+        conn, server = served
+        def total():
+            _, body, _ = _get(server.url + "/metrics")
+            families = parse_exposition(body)
+            return families["repro_statements_total"]["samples"][0][2]
+        before = total()
+        conn.execute("SELECT 1 AS v")
+        assert total() == before + 1
+
+
+class TestHealthRoute:
+    def test_healthy_without_a_durable_store(self, served):
+        _, server = served
+        status, body, content_type = _get(server.url + "/healthz")
+        assert status == 200
+        assert content_type == "application/json"
+        assert json.loads(body) == {"status": "ok"}
+
+    def test_flips_to_503_when_store_goes_read_only(self, tmp_path):
+        conn = repro.connect(durable_path=str(tmp_path / "store"))
+        server = conn.provider.serve_metrics(port=0)
+        try:
+            status, _, _ = _get(server.url + "/healthz")
+            assert status == 200
+            conn.provider.store.broken = True
+            status, body, _ = _get(server.url + "/healthz")
+            assert status == 503
+            payload = json.loads(body)
+            assert payload["status"] == "read-only"
+            assert "reason" in payload
+        finally:
+            server.close()
+            conn.close()
+
+
+class TestQueriesRoute:
+    def test_recent_statements_as_json(self, served):
+        _, server = served
+        status, body, content_type = _get(server.url + "/queries")
+        assert status == 200
+        assert content_type == "application/json"
+        records = json.loads(body)
+        assert [r["kind"] for r in records] == \
+            ["CREATE_TABLE", "INSERT", "SELECT"]
+        assert all(r["status"] == "ok" for r in records)
+        assert all(r["statement_id"] > 0 for r in records)
+        assert all(r["thread"] for r in records)
+
+    def test_limit_parameter(self, served):
+        _, server = served
+        records = json.loads(_get(server.url + "/queries?limit=1")[1])
+        assert len(records) == 1
+        assert records[0]["kind"] == "SELECT"
+
+    def test_bad_limit_falls_back_to_default(self, served):
+        _, server = served
+        status, body, _ = _get(server.url + "/queries?limit=banana")
+        assert status == 200
+        assert len(json.loads(body)) == 3
+
+
+class TestRoutingAndLifecycle:
+    def test_unknown_route_is_404_json(self, served):
+        _, server = served
+        status, body, _ = _get(server.url + "/nope")
+        assert status == 404
+        assert "no route" in json.loads(body)["error"]
+
+    def test_url_names_the_bound_ephemeral_port(self, served):
+        _, server = served
+        assert server.url == f"http://127.0.0.1:{server.port}"
+        assert server.port != 0
+
+    def test_provider_close_shuts_the_server_down(self, tmp_path):
+        conn = repro.connect()
+        server = conn.provider.serve_metrics(port=0)
+        url = server.url
+        conn.close()
+        with pytest.raises(urllib.error.URLError):
+            urllib.request.urlopen(url + "/healthz", timeout=1)
+
+    def test_context_manager_closes(self, conn):
+        with conn.provider.serve_metrics(port=0) as server:
+            assert _get(server.url + "/healthz")[0] == 200
+        with pytest.raises(urllib.error.URLError):
+            urllib.request.urlopen(server.url + "/healthz", timeout=1)

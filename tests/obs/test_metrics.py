@@ -69,6 +69,9 @@ class TestHistogram:
         # ...but the exact aggregates cover everything.
         assert histogram.row()["count"] == 1000
         assert histogram.row()["min"] == 0.0
+        # The monotonic sum survives eviction too: sum(0..999).
+        assert histogram.row()["sum"] == 499500.0
+        assert histogram.sum == 499500.0
 
     def test_empty_histogram_has_null_stats(self):
         histogram = Histogram("latency")

@@ -192,7 +192,8 @@ class TestTraceVerb:
         assert "prediction_cases=5" in report
 
     def test_last_with_empty_ring(self, conn):
-        assert conn.execute("TRACE LAST") == "no traced statements yet"
+        assert "no traced statement in the ring" in \
+            conn.execute("TRACE LAST")
 
 
 class TestRingConfiguration:
@@ -225,6 +226,48 @@ class TestUnknownRowsetHint:
         with pytest.raises(BindError) as excinfo:
             conn.execute("SELECT * FROM $SYSTEM.ZZZZZZ")
         assert "did you mean" not in str(excinfo.value)
+
+
+class TestCliTraceLast:
+    """Both empty-ring paths print the actionable no-trace message."""
+
+    def _run(self, connection, command):
+        import io
+        from repro.cli import run_command
+        out = io.StringIO()
+        run_command(connection, command, out=out)
+        return out.getvalue()
+
+    def test_fresh_session_prints_the_hint(self, conn):
+        output = self._run(conn, "TRACE LAST")
+        assert "no traced statement in the ring" in output
+        assert "TRACE ON" in output
+
+    def test_cleared_ring_prints_the_hint(self, conn):
+        conn.execute("TRACE ON")
+        conn.execute("SELECT 1 AS v")
+        assert "no traced statement" not in self._run(conn, "TRACE LAST")
+        conn.provider.tracer.clear()
+        output = self._run(conn, "TRACE LAST")
+        assert "no traced statement in the ring" in output
+
+
+class TestCliPlanRendering:
+    def test_explain_renders_as_a_tree_not_a_table(self, conn):
+        import io
+        from repro.cli import run_command
+        conn.execute("CREATE TABLE T (x INT)")
+        conn.execute("INSERT INTO T VALUES (1), (2)")
+        out = io.StringIO()
+        run_command(conn, "EXPLAIN SELECT * FROM T", out=out)
+        output = out.getvalue()
+        assert "select" in output
+        assert "table scan [T]" in output
+        assert "est=2" in output
+        assert "OP_ID" not in output  # tree rendering, not the raw rowset
+        out = io.StringIO()
+        run_command(conn, "EXPLAIN ANALYZE SELECT * FROM T", out=out)
+        assert "actual=2" in out.getvalue()
 
 
 class TestCliTrace:

@@ -28,6 +28,7 @@ DM_QUERY_LOG_SCHEMA = [
     ("ROWS_OUT", "LONG"),
     ("CASES", "LONG"),
     ("SPAN_COUNT", "LONG"),
+    ("THREAD", "TEXT"),
 ]
 
 DM_TRACE_EVENTS_SCHEMA = [
@@ -46,6 +47,7 @@ DM_PROVIDER_METRICS_SCHEMA = [
     ("KIND", "TEXT"),
     ("COUNT", "LONG"),
     ("VALUE", "DOUBLE"),
+    ("SUM", "DOUBLE"),
     ("MIN", "DOUBLE"),
     ("MAX", "DOUBLE"),
     ("MEAN", "DOUBLE"),
