@@ -18,6 +18,13 @@ forces span capture on and reconciles the plan afterwards, so its cost
 over plain execution is the price of profiling a statement.  That ratio
 is reported and (generously) bounded too.
 
+The workload-introspection layer (DM_ACTIVE_STATEMENTS, cancellation
+checkpoints, per-statement resource accounting) rides the same hot path:
+a registry entry per statement and a checkpoint per scan batch.  Its
+gate compares a row-heavy streaming scan with the registry on (shipping
+default) against ``provider.workload.enabled = False`` and bounds the
+added cost at 10%.
+
 Set ``REPRO_BENCH_QUICK=1`` to shrink the timing loops for CI smoke runs;
 the overhead bounds are asserted either way, which is what the CI
 quick-bench gate relies on.
@@ -107,6 +114,31 @@ def test_default_dispatch_overhead_is_bounded():
     assert ratio < 2.0, (
         f"default dispatch is {ratio:.2f}x slower than recording-off; "
         f"the disabled-tracing path has grown a real cost")
+
+
+def test_workload_accounting_overhead_is_bounded():
+    """Per-statement accounting vs the registry disabled, on a scan whose
+    batch count makes the per-checkpoint cost visible if it ever grows."""
+    scan = "SELECT * FROM Customers"
+    accounted = _fresh_connection(customers=2000)
+    unaccounted = _fresh_connection(customers=2000)
+    unaccounted.provider.workload.enabled = False
+
+    for connection in (accounted, unaccounted):
+        for _ in range(10):
+            connection.execute(scan)
+
+    baseline = _min_time(unaccounted, scan)
+    accounted_time = _min_time(accounted, scan)
+    ratio = accounted_time / baseline
+    print(f"\nworkload accounting overhead: registry-off {baseline:.4f}s, "
+          f"default {accounted_time:.4f}s, ratio {ratio:.2f}x")
+    # The per-batch checkpoint is a thread-local read plus three integer
+    # adds; the per-statement cost is one registry entry.  10% is the gate
+    # the introspection layer ships under.
+    assert ratio < 1.10, (
+        f"workload accounting adds {(ratio - 1) * 100:.0f}% to a streaming "
+        f"scan; the checkpoint/accounting hot path has grown a real cost")
 
 
 def test_bench_explain_analyze(benchmark, conn_default):

@@ -16,6 +16,7 @@ from typing import Any, Dict, List, Optional
 
 from repro.errors import CapabilityError, NotTrainedError, SchemaError
 from repro.obs import trace as obs_trace
+from repro.obs import workload as obs_workload
 from repro.algorithms.attributes import Attribute, AttributeSpace, Observation
 from repro.algorithms.statistics import CategoricalDistribution, GaussianStats
 from repro.core.content import ContentNode
@@ -166,6 +167,7 @@ class MiningAlgorithm(abc.ABC):
               observations: List[Observation]) -> None:
         """Consume the caseset (INSERT INTO semantics, section 3.3)."""
         self.space = space
+        obs_workload.check()
         with obs_trace.span("algorithm.train", service=self.SERVICE_NAME):
             obs_trace.add("observations", len(observations))
             self._train(space, observations)
@@ -210,8 +212,12 @@ class MiningAlgorithm(abc.ABC):
 
         Iterative services call this from their fitting loop so the span
         tree (and ``DM_QUERY_LOG`` totals) carry a ``training_passes``
-        count plus any extra per-pass counters the service supplies.
+        count plus any extra per-pass counters the service supplies.  It
+        doubles as the cooperative-cancellation checkpoint between passes:
+        a ``CANCEL`` lands here, so long iterative fits stop at the next
+        iteration boundary rather than running to completion.
         """
+        obs_workload.checkpoint()
         obs_trace.add("training_passes", 1)
         for name, amount in counters.items():
             obs_trace.add(name, amount)

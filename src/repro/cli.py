@@ -46,6 +46,8 @@ Meta-commands:
     .tables      list tables and views
     .describe M  render a trained model's content as a report
     .checkpoint  snapshot the durable store now (requires --durable)
+    .kill ID     cancel a live statement (ids: $SYSTEM.DM_ACTIVE_STATEMENTS)
+    .tracefile F export the trace ring to F as Chrome-trace JSON (Perfetto)
     .quit        exit
 
 Statement surface (paper section 3):
@@ -55,7 +57,10 @@ Statement surface (paper section 3):
     SELECT * FROM <model>.CONTENT | <model>.PMML
     SELECT * FROM $SYSTEM.MINING_MODELS | MINING_COLUMNS | MINING_SERVICES
     SELECT * FROM $SYSTEM.DM_QUERY_LOG | DM_TRACE_EVENTS | DM_PROVIDER_METRICS
+    SELECT * FROM $SYSTEM.DM_ACTIVE_STATEMENTS | DM_STATEMENT_RESOURCES
+    SELECT * FROM $SYSTEM.DM_LOCK_WAITS
     TRACE ON | OFF | LAST | STATUS
+    CANCEL <statement id>           -- stop a live statement cooperatively
     EXPLAIN [ANALYZE] <statement>   -- plan tree, with actuals under ANALYZE
     DELETE FROM MINING MODEL <name>;  DROP MINING MODEL <name>
     EXPORT MINING MODEL <name> TO '<path>'
@@ -122,6 +127,27 @@ def run_meta(connection: Connection, command: str, out=None) -> bool:
             out.write("checkpoint written\n")
         except Error as exc:
             out.write(f"error: {exc}\n")
+    elif word.startswith(".kill"):
+        argument = command.strip()[len(".kill"):].strip()
+        if not argument or not argument.isdigit():
+            out.write("usage: .kill <statement id>  "
+                      "(ids: SELECT * FROM $SYSTEM.DM_ACTIVE_STATEMENTS)\n")
+        else:
+            try:
+                out.write(connection.cancel(int(argument)) + "\n")
+            except Error as exc:
+                out.write(f"error: {exc}\n")
+    elif word.startswith(".tracefile"):
+        path = command.strip()[len(".tracefile"):].strip()
+        if not path:
+            out.write("usage: .tracefile <path>\n")
+        else:
+            try:
+                count = connection.provider.export_trace(path)
+                out.write(f"wrote {count} statement trace(s) to {path} "
+                          f"(open in chrome://tracing or Perfetto)\n")
+            except OSError as exc:
+                out.write(f"error: {exc}\n")
     elif word == ".tables":
         database = connection.database
         for name in sorted(database.tables):
@@ -187,15 +213,15 @@ def main(argv: Optional[list] = None) -> int:
                              "acknowledged statements survive process death")
     parser.add_argument("--metrics-port", type=int, metavar="N",
                         default=None,
-                        help="serve /metrics, /healthz, and /queries over "
-                             "HTTP on port N (0 = ephemeral)")
+                        help="serve /metrics, /healthz, /queries, and "
+                             "/active over HTTP on port N (0 = ephemeral)")
     args = parser.parse_args(argv)
 
     connection = connect(durable_path=args.durable)
     if args.metrics_port is not None:
         server = connection.provider.serve_metrics(port=args.metrics_port)
         sys.stdout.write(f"Telemetry endpoint at {server.url} "
-                         f"(/metrics, /healthz, /queries)\n")
+                         f"(/metrics, /healthz, /queries, /active)\n")
     if args.durable:
         info = connection.provider.recovery_info or {}
         sys.stdout.write(

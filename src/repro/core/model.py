@@ -38,8 +38,9 @@ class MiningModel:
         self.insert_count = 0       # number of INSERT INTO statements consumed
         self._content_root: Optional[ContentNode] = None
         # Concurrency: predictions/content reads share, training/reset/DROP
-        # are exclusive.  Not pickled — recreated on unpickle.
-        self.lock = RWLock()
+        # are exclusive.  Not pickled — recreated on unpickle.  The name
+        # keys the DM_LOCK_WAITS contention table.
+        self.lock = RWLock(name=f"model:{definition.name.upper()}")
 
     def __getstate__(self):
         state = dict(self.__dict__)
@@ -48,7 +49,7 @@ class MiningModel:
 
     def __setstate__(self, state):
         self.__dict__.update(state)
-        self.lock = RWLock()
+        self.lock = RWLock(name=f"model:{self.definition.name.upper()}")
 
     @property
     def name(self) -> str:
@@ -81,11 +82,20 @@ class MiningModel:
         if not cases:
             raise TrainError(
                 f"INSERT INTO {self.name!r}: the source produced no cases")
+        before = len(self.training_cases)
         self.training_cases.extend(cases)
         self.insert_count += 1
-        if self._absorb_incrementally(cases):
-            return len(cases)
-        self._refit(pool=pool, dop=dop)
+        try:
+            if self._absorb_incrementally(cases):
+                return len(cases)
+            self._refit(pool=pool, dop=dop)
+        except BaseException:
+            # A failed (or cancelled) refit must not leave this INSERT's
+            # cases in the accumulated caseset: the next INSERT would then
+            # silently train over data no acknowledged statement delivered.
+            del self.training_cases[before:]
+            self.insert_count -= 1
+            raise
         return len(cases)
 
     def _absorb_incrementally(self, cases: List[MappedCase]) -> bool:

@@ -20,8 +20,9 @@ from typing import Any, Dict, List, Optional
 from repro.errors import BindError, CatalogError, Error, ParseError
 from repro.lang import ast_nodes as ast
 from repro.lang.parser import parse_statement
-from repro.obs import MetricsRegistry, Tracer
+from repro.obs import MetricsRegistry, Tracer, WorkloadRegistry
 from repro.obs import trace as obs_trace
+from repro.obs import workload as obs_workload
 from repro.shaping.shape import (
     execute_shape_stream,
     flatten_rowset,
@@ -143,6 +144,7 @@ class Provider:
             metrics=self.metrics)
         self.pool = WorkerPool(max_workers=max_workers, mode=pool_mode,
                                metrics=self.metrics)
+        self.workload = WorkloadRegistry(metrics=self.metrics)
         self.tracer.on_statement = self._observe_statement
         self.slow_sink = None
         if telemetry_path is not None:
@@ -183,9 +185,10 @@ class Provider:
         (200 while the store is writable, 503 once it turns read-only),
         and ``/queries`` (recent DM_QUERY_LOG as JSON) on a daemon thread.
         ``port=0`` binds an ephemeral port; read it back from
-        ``server.port``.
+        ``server.port``.  A closed server is replaced rather than returned,
+        so serve/close cycles on one provider always yield a live endpoint.
         """
-        if self._metrics_server is None:
+        if self._metrics_server is None or self._metrics_server.closed:
             from repro.obs.export import TelemetryServer
             self._metrics_server = TelemetryServer(self, host=host,
                                                    port=port)
@@ -228,13 +231,21 @@ class Provider:
         previous = obs_trace.activate(self.tracer)
         try:
             with self.tracer.statement(command) as record:
+                active = self.workload.register(record.statement_id, command)
+                prior = obs_workload.activate(active)
                 try:
-                    statement = parse_statement(command)
-                except ParseError as exc:
-                    _attach_statement(exc, command)
-                    raise
-                record.kind = _statement_kind(statement, self)
-                return self._execute_statement(statement, command)
+                    obs_workload.set_phase("parse")
+                    try:
+                        statement = parse_statement(command)
+                    except ParseError as exc:
+                        _attach_statement(exc, command)
+                        raise
+                    record.kind = _statement_kind(statement, self)
+                    if active is not None:
+                        active.kind = record.kind
+                    return self._execute_statement(statement, command)
+                finally:
+                    obs_workload.deactivate(prior)
         finally:
             obs_trace.deactivate(previous)
 
@@ -272,6 +283,8 @@ class Provider:
     def execute_ast(self, statement: ast.Statement) -> Any:
         if isinstance(statement, ast.TraceStatement):
             return self._execute_trace(statement)
+        if isinstance(statement, ast.CancelStatement):
+            return self._execute_cancel(statement)
         if isinstance(statement, ast.ExplainStatement):
             return self._execute_explain(statement)
         if isinstance(statement, ast.CreateMiningModelStatement):
@@ -401,8 +414,27 @@ class Provider:
                 f"{len(self.tracer)} statement(s) in the ring "
                 f"(capacity {self.tracer.ring_size})")
 
+    def _execute_cancel(self, statement: ast.CancelStatement) -> str:
+        """CANCEL <id> — request cooperative cancellation of a live statement.
+
+        Returns immediately; the target unwinds at its next batch,
+        partition, or training-iteration checkpoint and lands in
+        ``DM_QUERY_LOG`` with status ``cancelled``.
+        """
+        target = self.workload.cancel(statement.statement_id)
+        return (f"cancel requested for statement {target.statement_id} "
+                f"({target.kind}, phase {target.phase}); it will stop at "
+                f"its next checkpoint")
+
+    def export_trace(self, path: str) -> int:
+        """Write the trace ring as Chrome-trace JSON (chrome://tracing,
+        Perfetto).  Returns the number of statements exported."""
+        from repro.obs.export import export_chrome_trace
+        return export_chrome_trace(self, path)
+
     def _observe_statement(self, record) -> None:
         """Tracer callback: fold each finished statement into the metrics."""
+        self.workload.observe(record)
         metrics = self.metrics
         metrics.counter("statements.total").inc()
         kind = (record.kind or "UNKNOWN").lower()
@@ -412,8 +444,21 @@ class Provider:
             record.duration_ms)
         if record.status == "error":
             metrics.counter("statements.errors").inc()
+        elif record.status == "cancelled":
+            metrics.counter("statements.cancelled").inc()
         for name, amount in record.totals().items():
             metrics.counter(f"activity.{name}").inc(amount)
+        resources = record.resources
+        if resources is not None:
+            metrics.counter("resource.cpu_ms").inc(resources["cpu_ms"])
+            metrics.counter("resource.pool_cpu_ms").inc(
+                resources["pool_cpu_ms"])
+            metrics.counter("resource.lock_wait_ms").inc(
+                resources["lock_wait_ms"])
+            metrics.counter("resource.rows_processed").inc(
+                resources["rows_processed"])
+            metrics.histogram("resource.statement_cpu_ms").observe(
+                resources["cpu_ms"])
         if self.slow_sink is not None:
             self.slow_sink.maybe_write(record)
 
@@ -440,6 +485,7 @@ class Provider:
         if maxdop is None:
             maxdop = getattr(statement.source, "maxdop", None)
         dop = self.pool.effective_dop(maxdop)
+        obs_workload.set_phase("train")
         with model.lock.write():
             trained = model.train(cases, pool=self.pool, dop=dop)
         self.metrics.counter("training.cases_total").inc(len(cases))
@@ -457,6 +503,7 @@ class Provider:
         batch — only the bound :class:`MappedCase` list accumulates, which
         the model would retain anyway as its training caseset.
         """
+        obs_workload.set_phase("bind")
         cache = self.caseset_cache
         key = None
         if cache.enabled:
@@ -467,8 +514,10 @@ class Provider:
             cached = cache.get(key)
             if cached is not None:
                 obs_trace.add("cache_hit", 1)
+                obs_workload.note_cache(hit=True)
                 return cached
             obs_trace.add("cache_miss", 1)
+            obs_workload.note_cache(hit=False)
         if isinstance(statement.source, ast.ShapeExpr):
             stream = execute_shape_stream(statement.source, self.database)
         elif isinstance(statement.source, ast.SelectStatement):
@@ -480,6 +529,9 @@ class Provider:
         for batch in iter_mapped_cases(model.definition, stream,
                                        statement.bindings):
             cases.extend(batch)
+            # Cancellation checkpoint per bound batch (row counts are
+            # attributed by the engine's scan loop underneath).
+            obs_workload.checkpoint()
         if key is not None:
             cache.put(key, cases, len(cases))
         return cases
@@ -503,7 +555,9 @@ class Provider:
 
     def _execute_select(self, statement: ast.SelectStatement) -> Rowset:
         if isinstance(statement.from_clause, ast.PredictionJoin):
+            obs_workload.set_phase("predict")
             return execute_prediction_select(self, statement)
+        obs_workload.set_phase("scan")
         result = self.database.execute_select(statement)
         if statement.flattened:
             result = flatten_rowset(result)
@@ -512,7 +566,9 @@ class Provider:
     def _execute_select_stream(self, statement: ast.SelectStatement,
                                batch_size: Optional[int] = None) -> RowStream:
         if isinstance(statement.from_clause, ast.PredictionJoin):
+            obs_workload.set_phase("predict")
             return execute_prediction_stream(self, statement, batch_size)
+        obs_workload.set_phase("scan")
         result = self.database.execute_select_stream(statement, batch_size)
         if statement.flattened:
             result = flatten_stream(result)
@@ -529,25 +585,33 @@ class Provider:
         previous = obs_trace.activate(self.tracer)
         try:
             with self.tracer.statement(command) as record:
+                active = self.workload.register(record.statement_id, command)
+                prior = obs_workload.activate(active)
                 try:
-                    statement = parse_statement(command)
-                except ParseError as exc:
-                    _attach_statement(exc, command)
-                    raise
-                record.kind = _statement_kind(statement, self)
-                try:
-                    if isinstance(statement, ast.UnionStatement):
-                        return self.database.execute_union_stream(
-                            statement, batch_size)
-                    if isinstance(statement, ast.SelectStatement):
-                        return self._execute_select_stream(statement,
-                                                           batch_size)
-                except BindError as exc:
-                    _attach_statement(exc, command)
-                    raise
-                raise Error(
-                    "execute_stream supports SELECT statements only; "
-                    "use execute() for DDL/DML")
+                    obs_workload.set_phase("parse")
+                    try:
+                        statement = parse_statement(command)
+                    except ParseError as exc:
+                        _attach_statement(exc, command)
+                        raise
+                    record.kind = _statement_kind(statement, self)
+                    if active is not None:
+                        active.kind = record.kind
+                    try:
+                        if isinstance(statement, ast.UnionStatement):
+                            return self.database.execute_union_stream(
+                                statement, batch_size)
+                        if isinstance(statement, ast.SelectStatement):
+                            return self._execute_select_stream(statement,
+                                                               batch_size)
+                    except BindError as exc:
+                        _attach_statement(exc, command)
+                        raise
+                    raise Error(
+                        "execute_stream supports SELECT statements only; "
+                        "use execute() for DDL/DML")
+                finally:
+                    obs_workload.deactivate(prior)
         finally:
             obs_trace.deactivate(previous)
 
@@ -635,6 +699,19 @@ class Connection:
         if self._closed:
             raise Error("connection is closed")
         return self.provider.execute_stream(command, batch_size)
+
+    def cancel(self, statement_id: int) -> str:
+        """Request cooperative cancellation of a live statement by id.
+
+        Equivalent to executing ``CANCEL <id>`` (the id space is the one in
+        ``$SYSTEM.DM_ACTIVE_STATEMENTS`` / ``DM_QUERY_LOG``); safe to call
+        from another thread while the target is executing.
+        """
+        if self._closed:
+            raise Error("connection is closed")
+        target = self.provider.workload.cancel(statement_id)
+        return (f"cancel requested for statement {target.statement_id} "
+                f"({target.kind}, phase {target.phase})")
 
     def execute_script(self, script: str) -> List[Any]:
         """Execute ';'-separated statements; returns each result."""

@@ -15,7 +15,10 @@ Queryable as ``SELECT * FROM $SYSTEM.<rowset>``:
   reachable per-model as ``SELECT * FROM <model>.CONTENT``);
 * DM_QUERY_LOG, DM_TRACE_EVENTS, DM_PROVIDER_METRICS — the provider's own
   telemetry (statement log, span trees, metric snapshot), applying the
-  schema-rowset idea to the provider's runtime behaviour.
+  schema-rowset idea to the provider's runtime behaviour;
+* DM_ACTIVE_STATEMENTS, DM_STATEMENT_RESOURCES, DM_LOCK_WAITS — the live
+  workload view (what is running now, what it cost, where locks blocked),
+  backing the ``CANCEL <id>`` verb.
 """
 
 from __future__ import annotations
@@ -353,6 +356,127 @@ def dm_provider_metrics_rowset(provider) -> Rowset:
     return Rowset(columns, rows)
 
 
+def dm_active_statements_rowset(provider) -> Rowset:
+    """``$SYSTEM.DM_ACTIVE_STATEMENTS``: statements executing right now.
+
+    The live counterpart to ``DM_QUERY_LOG`` (same statement-id space):
+    phase, progress, lock waits, and whether a ``CANCEL`` is pending.  A
+    statement querying this rowset sees itself, in phase ``scan``.
+    """
+    columns = [
+        RowsetColumn("STATEMENT_ID", LONG),
+        RowsetColumn("STATEMENT", TEXT),
+        RowsetColumn("KIND", TEXT),
+        RowsetColumn("PHASE", TEXT),
+        RowsetColumn("STARTED_AT", TEXT),
+        RowsetColumn("ELAPSED_MS", DOUBLE),
+        RowsetColumn("ROWS_PROCESSED", LONG),
+        RowsetColumn("BATCHES", LONG),
+        RowsetColumn("PARTITIONS_DONE", LONG),
+        RowsetColumn("PARTITIONS_TOTAL", LONG),
+        RowsetColumn("POOL_TASKS_IN_FLIGHT", LONG),
+        RowsetColumn("LOCK_WAIT_MS", DOUBLE),
+        RowsetColumn("THREAD", TEXT),
+        RowsetColumn("CANCEL_REQUESTED", BOOLEAN),
+    ]
+    rows = []
+    for statement in provider.workload.active():
+        rows.append((
+            statement.statement_id,
+            " ".join(statement.text.split()),
+            statement.kind,
+            statement.phase,
+            datetime.fromtimestamp(statement.started_at).isoformat(
+                timespec="milliseconds"),
+            round(statement.elapsed_ms(), 3),
+            statement.rows_processed,
+            statement.batches,
+            statement.partitions_done,
+            statement.partitions_total,
+            statement.pool_tasks_in_flight,
+            round(statement.lock_wait_ms, 3),
+            statement.thread,
+            statement.token.cancelled,
+        ))
+    return Rowset(columns, rows)
+
+
+def dm_statement_resources_rowset(provider) -> Rowset:
+    """``$SYSTEM.DM_STATEMENT_RESOURCES``: per-statement resource accounting.
+
+    Live statements first (CPU still accumulating), then the finished ring.
+    CPU_MS is statement-thread CPU plus worker CPU shipped back from the
+    pool; LOCK_WAIT_MS is time blocked in RWLock acquires.
+    """
+    columns = [
+        RowsetColumn("STATEMENT_ID", LONG),
+        RowsetColumn("STATEMENT", TEXT),
+        RowsetColumn("KIND", TEXT),
+        RowsetColumn("STATUS", TEXT),
+        RowsetColumn("DURATION_MS", DOUBLE),
+        RowsetColumn("CPU_MS", DOUBLE),
+        RowsetColumn("POOL_CPU_MS", DOUBLE),
+        RowsetColumn("LOCK_WAIT_MS", DOUBLE),
+        RowsetColumn("LOCK_WAITS", LONG),
+        RowsetColumn("ROWS_PROCESSED", LONG),
+        RowsetColumn("PEAK_BATCH_ROWS", LONG),
+        RowsetColumn("BATCHES", LONG),
+        RowsetColumn("POOL_TASKS", LONG),
+        RowsetColumn("CACHE_HITS", LONG),
+        RowsetColumn("CACHE_MISSES", LONG),
+    ]
+    rows = []
+    for statement in provider.workload.resource_records():
+        rows.append((
+            statement.statement_id,
+            " ".join(statement.text.split()),
+            statement.kind,
+            statement.status,
+            None if statement.duration_ms is None
+            else round(statement.duration_ms, 3),
+            round(statement.total_cpu_ms(), 3),
+            round(statement.pool_cpu_ms, 3),
+            round(statement.lock_wait_ms, 3),
+            statement.lock_waits,
+            statement.rows_processed,
+            statement.peak_batch_rows,
+            statement.batches,
+            statement.pool_tasks,
+            statement.cache_hits,
+            statement.cache_misses,
+        ))
+    return Rowset(columns, rows)
+
+
+def dm_lock_waits_rowset(provider) -> Rowset:
+    """``$SYSTEM.DM_LOCK_WAITS``: contended-lock aggregate, per (lock, mode).
+
+    Only *contended* acquisitions register — an uncontended fast-path
+    acquire is never counted — so a nonempty rowset means real blocking.
+    """
+    columns = [
+        RowsetColumn("LOCK", TEXT),
+        RowsetColumn("MODE", TEXT),
+        RowsetColumn("WAITS", LONG),
+        RowsetColumn("TOTAL_WAIT_MS", DOUBLE),
+        RowsetColumn("MAX_WAIT_MS", DOUBLE),
+        RowsetColumn("LAST_WAIT_AT", TEXT),
+    ]
+    rows = []
+    for entry in provider.workload.contention():
+        rows.append((
+            entry.lock,
+            entry.mode,
+            entry.waits,
+            round(entry.total_wait_ms, 3),
+            round(entry.max_wait_ms, 3),
+            None if entry.last_wait_at is None
+            else datetime.fromtimestamp(entry.last_wait_at).isoformat(
+                timespec="milliseconds"),
+        ))
+    return Rowset(columns, rows)
+
+
 SYSTEM_ROWSETS = {
     "MINING_MODELS": mining_models_rowset,
     "MINING_COLUMNS": mining_columns_rowset,
@@ -363,6 +487,9 @@ SYSTEM_ROWSETS = {
     "DM_QUERY_LOG": dm_query_log_rowset,
     "DM_TRACE_EVENTS": dm_trace_events_rowset,
     "DM_PROVIDER_METRICS": dm_provider_metrics_rowset,
+    "DM_ACTIVE_STATEMENTS": dm_active_statements_rowset,
+    "DM_STATEMENT_RESOURCES": dm_statement_resources_rowset,
+    "DM_LOCK_WAITS": dm_lock_waits_rowset,
 }
 
 

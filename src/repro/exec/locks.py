@@ -1,4 +1,4 @@
-"""A small writer-priority readers/writer lock.
+"""A small writer-priority readers/writer lock, with wait profiling.
 
 Mining models are read-mostly: many concurrent PREDICTION JOINs may share
 one model, but INSERT INTO (training) and DELETE FROM (reset) must be
@@ -7,6 +7,13 @@ exclusive so a predictor never observes a half-swapped attribute space.
 blocks *new* readers) so sustained prediction traffic cannot starve
 training.
 
+Contended acquisitions are reported to the workload layer
+(:func:`repro.obs.workload.note_lock_wait`): the blocked time lands on the
+waiting statement's resource account and in the provider-wide
+``$SYSTEM.DM_LOCK_WAITS`` contention table, keyed by the lock's ``name``.
+The uncontended fast path takes no timestamps — profiling costs nothing
+when nothing blocks.
+
 Locks are intentionally not picklable state: holders re-create them after
 unpickling (see ``MiningModel.__setstate__``).
 """
@@ -14,13 +21,21 @@ unpickling (see ``MiningModel.__setstate__``).
 from __future__ import annotations
 
 import threading
+import time
 from contextlib import contextmanager
+
+from repro.obs import workload as obs_workload
 
 
 class RWLock:
-    """Readers share, writers exclude; writers have priority."""
+    """Readers share, writers exclude; writers have priority.
 
-    def __init__(self):
+    ``name`` identifies the lock in lock-wait profiles (e.g.
+    ``model:IRIS``); anonymous locks report as ``"lock"``.
+    """
+
+    def __init__(self, name: str = "lock"):
+        self.name = name
         self._condition = threading.Condition()
         self._readers = 0
         self._writer = False
@@ -28,9 +43,15 @@ class RWLock:
 
     def acquire_read(self) -> None:
         with self._condition:
+            if not (self._writer or self._writers_waiting):
+                self._readers += 1
+                return
+            waited = time.perf_counter()
             while self._writer or self._writers_waiting:
                 self._condition.wait()
             self._readers += 1
+        obs_workload.note_lock_wait(
+            self.name, "read", (time.perf_counter() - waited) * 1000.0)
 
     def release_read(self) -> None:
         with self._condition:
@@ -44,14 +65,20 @@ class RWLock:
                 self._condition.notify_all()
 
     def acquire_write(self) -> None:
+        waited = None
         with self._condition:
             self._writers_waiting += 1
             try:
+                if self._writer or self._readers:
+                    waited = time.perf_counter()
                 while self._writer or self._readers:
                     self._condition.wait()
             finally:
                 self._writers_waiting -= 1
             self._writer = True
+        if waited is not None:
+            obs_workload.note_lock_wait(
+                self.name, "write", (time.perf_counter() - waited) * 1000.0)
 
     def release_write(self) -> None:
         with self._condition:

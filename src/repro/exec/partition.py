@@ -33,6 +33,7 @@ from typing import Any, List, Optional, Sequence
 
 from repro.lang import ast_nodes as ast
 from repro.obs import trace as obs_trace
+from repro.obs import workload as obs_workload
 from repro.sqlstore.expressions import evaluate
 from repro.core.bindings import case_mapper, pair_mapper
 from repro.core.prediction import (
@@ -180,7 +181,13 @@ def train_partitioned(model, space, pool, dop: int) -> bool:
     with span:
         task = functools.partial(_train_partition, space, type(algorithm),
                                  parameters)
-        results = pool.run_all(task, chunks, dop=dop, span=span)
+        # Collect incrementally (not run_all) so DM_ACTIVE_STATEMENTS shows
+        # partitions_done advancing and a CANCEL lands between partitions.
+        obs_workload.set_partitions(len(chunks))
+        results = []
+        for result in pool.map_ordered(task, chunks, dop=dop, span=span):
+            results.append(result)
+            obs_workload.partition_done()
         space.merge_marginal_partials([partials for _, partials in results])
         merged = results[0][0]
         merged.merge([replica for replica, _ in results[1:]])

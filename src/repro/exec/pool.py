@@ -38,9 +38,24 @@ from typing import Any, Callable, Iterable, Iterator, Optional
 
 from repro.errors import Error
 from repro.obs import trace as obs_trace
+from repro.obs import workload as obs_workload
 from repro.obs.trace import NULL_SPAN
 
 MODES = ("auto", "serial", "thread", "process")
+
+
+def _cpu_timed(func: Callable[[Any], Any], payload: Any) -> tuple:
+    """Run one task, measuring its own CPU time where it executes.
+
+    ``time.thread_time`` is per-thread, so the submitting thread cannot
+    observe worker CPU; instead the delta is taken inside the task (worker
+    thread, or worker *process* — the value is picklable either way) and
+    shipped back alongside the result for the collector to aggregate onto
+    the statement's resource account.
+    """
+    started = time.thread_time()
+    result = func(payload)
+    return time.thread_time() - started, result
 
 
 def _fork_context():
@@ -162,8 +177,14 @@ class WorkerPool:
         order, exactly where the serial loop would have raised them.
         """
         dop = self.effective_dop(dop)
+        # Pin the active statement at entry, like the span: results may be
+        # collected lazily, and worker threads/processes have no thread-local
+        # statement of their own.
+        stmt = obs_workload.current()
         if dop <= 1:
             for payload in payloads:
+                if stmt is not None:
+                    stmt.token.check()
                 yield func(payload)
             return
         executor = self._ensure_executor()
@@ -173,7 +194,13 @@ class WorkerPool:
 
         def submit(payload) -> Future:
             self._counter("pool.tasks_submitted")
-            future = executor.submit(func, payload)
+            if stmt is not None:
+                # Wrap so the task reports its own CPU delta from wherever
+                # it runs; unwrapped tasks stay zero-overhead.
+                future = executor.submit(_cpu_timed, func, payload)
+                stmt.pool_tasks_in_flight += 1
+            else:
+                future = executor.submit(func, payload)
             future._repro_started = time.perf_counter()
             return future
 
@@ -185,21 +212,36 @@ class WorkerPool:
             if self.metrics is not None:
                 self.metrics.histogram("pool.task_ms").observe(elapsed_ms)
             obs_trace.add_to(span, "pool_tasks", 1)
+            if stmt is not None:
+                cpu_seconds, result = result
+                stmt.pool_tasks_in_flight -= 1
+                stmt.pool_tasks += 1
+                stmt.pool_cpu_ms += cpu_seconds * 1000.0
             return result
 
         try:
+            # The token checks run while every submitted future is still in
+            # ``pending``, so a cancellation unwinds through the finally
+            # below with the accounting invariant intact.
             for payload in iterator:
+                if stmt is not None:
+                    stmt.token.check()
                 pending.append(submit(payload))
                 if len(pending) >= window:
                     yield collect(pending.popleft())
             while pending:
+                if stmt is not None:
+                    stmt.token.check()
                 yield collect(pending.popleft())
         finally:
-            # Early exit (TOP, consumer error): account for every submitted
-            # task so pool.tasks_submitted == completed + cancelled +
-            # abandoned always holds — the "no torn counts" invariant.
+            # Early exit (TOP, consumer error, CANCEL): account for every
+            # submitted task so pool.tasks_submitted == completed +
+            # cancelled + abandoned always holds — the "no torn counts"
+            # invariant.
             while pending:
                 future = pending.popleft()
+                if stmt is not None:
+                    stmt.pool_tasks_in_flight -= 1
                 if future.cancel():
                     self._counter("pool.tasks_cancelled")
                 else:

@@ -424,6 +424,18 @@ class TraceStatement(Statement):
 
 
 @dataclass
+class CancelStatement(Statement):
+    """``CANCEL <statement-id>`` — cooperative cancellation of a live statement.
+
+    The id is the shared statement id visible in both
+    ``$SYSTEM.DM_ACTIVE_STATEMENTS`` and ``$SYSTEM.DM_QUERY_LOG``.  The
+    target unwinds at its next checkpoint (batch, partition, or training
+    iteration boundary) with a ``cancelled`` status in the query log.
+    """
+    statement_id: int = 0
+
+
+@dataclass
 class ExplainStatement(Statement):
     """``EXPLAIN [ANALYZE] <statement>`` — the per-statement plan profiler.
 

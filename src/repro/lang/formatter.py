@@ -323,6 +323,8 @@ def format_statement(statement: ast.Statement) -> str:
         return text
     if isinstance(statement, ast.TraceStatement):
         return f"TRACE {statement.mode.upper()}"
+    if isinstance(statement, ast.CancelStatement):
+        return f"CANCEL {statement.statement_id}"
     if isinstance(statement, ast.ExplainStatement):
         verb = "EXPLAIN ANALYZE" if statement.analyze else "EXPLAIN"
         return f"{verb} {format_statement(statement.statement)}"

@@ -157,6 +157,8 @@ class Parser:
             statement = dmx_parser.parse_import(self)
         elif token.is_keyword("TRACE"):
             statement = self.parse_trace()
+        elif token.is_keyword("CANCEL"):
+            statement = self.parse_cancel()
         elif token.is_keyword("EXPLAIN"):
             statement = self.parse_explain()
         else:
@@ -171,6 +173,17 @@ class Parser:
         token = self.expect_keyword("ON", "OFF", "LAST", "STATUS")
         return ast.TraceStatement(mode=token.upper)
 
+    def parse_cancel(self) -> ast.CancelStatement:
+        """``CANCEL <statement-id>`` — the id from DM_ACTIVE_STATEMENTS."""
+        self.expect_keyword("CANCEL")
+        token = self.peek()
+        if token.kind is not TokenKind.NUMBER or \
+                not isinstance(token.value, int) or token.value <= 0:
+            raise self.error("expected a positive statement id after CANCEL "
+                             "(see $SYSTEM.DM_ACTIVE_STATEMENTS)")
+        self.advance()
+        return ast.CancelStatement(statement_id=token.value)
+
     def parse_explain(self) -> ast.ExplainStatement:
         """``EXPLAIN [ANALYZE] <statement>`` — wraps any plannable statement."""
         self.expect_keyword("EXPLAIN")
@@ -180,6 +193,8 @@ class Parser:
             raise self.error("EXPLAIN cannot be nested")
         if token.is_keyword("TRACE"):
             raise self.error("EXPLAIN cannot wrap the TRACE verb")
+        if token.is_keyword("CANCEL"):
+            raise self.error("EXPLAIN cannot wrap the CANCEL verb")
         if self.at_end():
             raise self.error("expected a statement after EXPLAIN")
         inner = self._parse_statement_body()

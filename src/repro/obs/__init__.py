@@ -29,8 +29,16 @@ from repro.obs.explain import (
 )
 from repro.obs.export import TelemetryServer, render_prometheus
 from repro.obs.sink import SlowQuerySink, statement_record_dict
+from repro.obs.workload import (
+    ActiveStatement,
+    CancelToken,
+    WorkloadRegistry,
+)
 
 __all__ = [
+    "ActiveStatement",
+    "CancelToken",
+    "WorkloadRegistry",
     "Span",
     "StatementRecord",
     "Tracer",

@@ -12,10 +12,17 @@ eviction).  Everything is stdlib-only — no client library.
 * ``GET /metrics``  — the exposition text;
 * ``GET /healthz``  — 200 while the provider can accept writes, 503 once
   the durable store has turned read-only after a durability failure;
-* ``GET /queries``  — the recent ``$SYSTEM.DM_QUERY_LOG`` ring as JSON.
+* ``GET /queries``  — the recent ``$SYSTEM.DM_QUERY_LOG`` ring as JSON;
+* ``GET /active``   — the live ``$SYSTEM.DM_ACTIVE_STATEMENTS`` view as
+  JSON (phase, progress, pending cancels).
 
 Started with ``connect(...).provider.serve_metrics(port)`` or
 ``dmxsh --metrics-port N``.
+
+:func:`export_chrome_trace` writes the tracer's statement ring as a
+Chrome-trace JSON array (the ``chrome://tracing`` / Perfetto format), one
+complete ("X") event per span, so a whole statement's span tree can be
+inspected on a timeline.
 """
 
 from __future__ import annotations
@@ -156,18 +163,30 @@ class _Handler(BaseHTTPRequestHandler):
                                for record in records], default=str)
             self._reply(200, body, "application/json")
             return
+        if parsed.path == "/active":
+            body = json.dumps([statement.active_dict()
+                               for statement in provider.workload.active()],
+                              default=str)
+            self._reply(200, body, "application/json")
+            return
         self._reply(404, json.dumps({"error": f"no route {parsed.path!r}"}),
                     "application/json")
 
 
 class TelemetryServer:
-    """The provider's HTTP telemetry endpoint, on a daemon thread."""
+    """The provider's HTTP telemetry endpoint, on a daemon thread.
+
+    :meth:`close` releases the socket and joins the serving thread, and is
+    idempotent — repeated serve/close cycles in one process neither leak
+    daemon threads nor hold ports.
+    """
 
     def __init__(self, provider, host: str = "127.0.0.1", port: int = 0):
         self._httpd = ThreadingHTTPServer((host, port), _Handler)
         self._httpd.daemon_threads = True
         self._httpd.provider = provider
         self.host, self.port = self._httpd.server_address[:2]
+        self._closed = False
         self._thread = threading.Thread(
             target=self._httpd.serve_forever,
             name=f"repro-telemetry:{self.port}", daemon=True)
@@ -177,7 +196,14 @@ class TelemetryServer:
     def url(self) -> str:
         return f"http://{self.host}:{self.port}"
 
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
     def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
         self._httpd.shutdown()
         self._httpd.server_close()
         self._thread.join(timeout=5)
@@ -187,3 +213,81 @@ class TelemetryServer:
 
     def __exit__(self, *exc_info) -> None:
         self.close()
+
+
+# ---------------------------------------------------------------------------
+# Chrome-trace export (chrome://tracing / Perfetto JSON array format)
+# ---------------------------------------------------------------------------
+
+def chrome_trace_events(provider) -> list:
+    """The tracer ring as a list of Chrome-trace event dicts.
+
+    Each span becomes one complete ("X") event: ``ts``/``dur`` in
+    microseconds, ``pid`` fixed, ``tid`` the executing thread.  Span
+    counters, attributes, and the statement's resource summary travel in
+    ``args`` so Perfetto shows them on selection.  Thread names are
+    emitted as metadata ("M") events.
+    """
+    events = []
+    threads = {}
+
+    def tid_for(thread_name):
+        if thread_name not in threads:
+            threads[thread_name] = len(threads) + 1
+            events.append({
+                "name": "thread_name", "ph": "M", "pid": 1,
+                "tid": threads[thread_name],
+                "args": {"name": thread_name},
+            })
+        return threads[thread_name]
+
+    for record in provider.tracer.statements():
+        if record.root is None or record.duration_ms is None:
+            continue
+        tid = tid_for(record.thread or "main")
+        # Wall-clock anchor for the statement; span offsets are the
+        # perf_counter deltas from the root span's start.
+        base_us = record.started_at * 1e6
+        root_started = record.root.started
+        label = " ".join(record.text.split())
+        for span, _depth in record.root.walk():
+            if span.duration_ms is None:
+                continue
+            args = {}
+            if span is record.root:
+                args["statement"] = label
+                args["kind"] = record.kind
+                args["status"] = record.status
+                if record.resources is not None:
+                    args["resources"] = record.resources
+            if span.counters:
+                args["counters"] = dict(span.counters)
+            if span.attributes:
+                args["attributes"] = {key: str(value) for key, value
+                                      in span.attributes.items()}
+            events.append({
+                "name": (f"#{record.statement_id} {record.kind}"
+                         if span is record.root else span.name),
+                "cat": record.kind or "statement",
+                "ph": "X",
+                "pid": 1,
+                "tid": tid,
+                "ts": base_us + (span.started - root_started) * 1e6,
+                "dur": span.duration_ms * 1000.0,
+                "args": args,
+            })
+    return events
+
+
+def export_chrome_trace(provider, path: str) -> int:
+    """Write the trace ring to ``path`` as Chrome-trace JSON.
+
+    Returns the number of statements exported.  Load the file in
+    ``chrome://tracing`` or https://ui.perfetto.dev.
+    """
+    events = chrome_trace_events(provider)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump({"traceEvents": events, "displayTimeUnit": "ms"},
+                  handle, default=str)
+    return sum(1 for record in provider.tracer.statements()
+               if record.root is not None and record.duration_ms is not None)

@@ -57,6 +57,9 @@ def statement_record_dict(record) -> Dict[str, Any]:
         "span_count": record.root.span_count()
         if record.root is not None else 0,
     }
+    resources = getattr(record, "resources", None)
+    if resources is not None:
+        out["resources"] = resources
     if record.root is not None and record.root.children:
         out["spans"] = [_span_dict(child)
                         for child in record.root.children]

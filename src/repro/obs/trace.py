@@ -119,7 +119,7 @@ class StatementRecord:
     """One executed statement: text, outcome, latency, and its span tree."""
 
     __slots__ = ("statement_id", "text", "kind", "status", "error",
-                 "started_at", "duration_ms", "root", "thread")
+                 "started_at", "duration_ms", "root", "thread", "resources")
 
     def __init__(self, statement_id: int, text: str, kind: str = "UNKNOWN"):
         self.statement_id = statement_id
@@ -131,6 +131,10 @@ class StatementRecord:
         self.started_at = time.time()
         self.duration_ms: Optional[float] = None
         self.root: Optional[Span] = None
+        # Resource summary dict stamped by the workload registry at finish
+        # (CPU-ms, lock-wait-ms, rows, partitions, ...); None when the
+        # workload layer is disabled.
+        self.resources: Optional[Dict[str, Any]] = None
 
     def totals(self) -> Dict[str, float]:
         return self.root.totals() if self.root is not None else {}
@@ -153,6 +157,7 @@ class _NullRecord:
     duration_ms = None
     status = None
     error = None
+    resources = None
 
     def __setattr__(self, name: str, value: Any) -> None:
         pass  # swallow kind/status assignments from the dispatcher
@@ -229,7 +234,9 @@ class Tracer:
             if record.status is None:
                 record.status = "ok"
         except Exception as exc:
-            record.status = "error"
+            from repro.errors import CancelledError
+            record.status = ("cancelled" if isinstance(exc, CancelledError)
+                             else "error")
             record.error = f"{type(exc).__name__}: {exc}"
             raise
         finally:

@@ -1,0 +1,413 @@
+"""Live workload introspection: active statements, cancellation, resources.
+
+``$SYSTEM.DM_QUERY_LOG`` answers "what ran"; this module answers "what is
+running *right now*, how far along is it, what is it costing, and how do I
+stop it".  Three cooperating pieces:
+
+* :class:`WorkloadRegistry` — one per provider.  Every executing statement
+  registers an :class:`ActiveStatement` keyed by its query-log statement id,
+  so ``$SYSTEM.DM_ACTIVE_STATEMENTS`` and ``CANCEL <id>`` share the id
+  space operators already see in ``DM_QUERY_LOG``.  Finished statements
+  move into a bounded ring that backs ``$SYSTEM.DM_STATEMENT_RESOURCES``.
+* :class:`CancelToken` — cooperative cancellation.  ``CANCEL <id>`` (or
+  :meth:`Connection.cancel`) sets the token; the executing statement
+  observes it at its next progress checkpoint — a batch boundary in the
+  engine, a partition boundary in partitioned training, a training
+  iteration in iterative algorithms — and unwinds with
+  :class:`~repro.errors.CancelledError`.  Nothing is interrupted
+  mid-mutation: the mutation either completes or is rolled back by its
+  owner, and a cancelled statement is never journaled.
+* Per-statement resource accounting — CPU-ms (``time.thread_time`` deltas
+  on the statement thread plus per-task deltas shipped back from pool
+  workers), lock-wait-ms reported by :class:`repro.exec.locks.RWLock`,
+  rows/batches processed, partition progress, and pool tasks in flight.
+  Lock waits also aggregate per (lock, mode) into the contention table
+  behind ``$SYSTEM.DM_LOCK_WAITS``.
+
+Instrumented modules never hold a registry; like :mod:`repro.obs.trace`
+they call the module-level functions (:func:`checkpoint`, :func:`progress`,
+:func:`set_phase`, :func:`note_lock_wait`, ...), which resolve the active
+statement from a thread-local slot the provider populates around each
+statement.  With no active statement every call is a near-free no-op, so
+the engine and algorithm layers stay usable standalone.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Any, Dict, List, Optional
+
+from repro.errors import CancelledError
+
+_local = threading.local()
+
+#: Finished statements retained for ``$SYSTEM.DM_STATEMENT_RESOURCES``.
+DEFAULT_RESOURCE_RING = 256
+
+#: The execution phases a statement moves through, for DM_ACTIVE_STATEMENTS.
+PHASES = ("queued", "parse", "bind", "train", "predict", "scan")
+
+
+class CancelToken:
+    """A one-way latch checked cooperatively at batch/partition boundaries."""
+
+    __slots__ = ("_cancelled", "reason", "statement_id")
+
+    def __init__(self, statement_id: int = 0):
+        self.statement_id = statement_id
+        self._cancelled = False
+        self.reason: Optional[str] = None
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled
+
+    def cancel(self, reason: str = "cancelled by operator") -> None:
+        # Write order matters for lock-free readers: reason first, then the
+        # flag that makes check() raise.
+        self.reason = reason
+        self._cancelled = True
+
+    def check(self) -> None:
+        """Raise :class:`CancelledError` if cancellation was requested."""
+        if self._cancelled:
+            raise CancelledError(
+                f"statement {self.statement_id} was cancelled "
+                f"({self.reason})")
+
+
+class ActiveStatement:
+    """One executing (or recently finished) statement and its accounting.
+
+    Progress counters are written by the statement's own thread (pool
+    results are collected there too); snapshot readers on other threads see
+    monotonically advancing plain attributes, which is all the live view
+    needs.
+    """
+
+    __slots__ = (
+        "statement_id", "text", "kind", "phase", "thread", "registry",
+        "started_at", "_started_perf", "_cpu_start", "token",
+        "rows_processed", "batches", "peak_batch_rows",
+        "partitions_done", "partitions_total",
+        "pool_tasks", "pool_tasks_in_flight", "pool_cpu_ms",
+        "cpu_ms", "lock_wait_ms", "lock_waits",
+        "cache_hits", "cache_misses",
+        "finished", "status", "duration_ms",
+    )
+
+    def __init__(self, statement_id: int, text: str,
+                 kind: str = "UNKNOWN", registry=None):
+        self.statement_id = statement_id
+        self.text = text
+        self.kind = kind
+        self.phase = "queued"
+        self.thread = threading.current_thread().name
+        self.registry = registry
+        self.started_at = time.time()
+        self._started_perf = time.perf_counter()
+        self._cpu_start = time.thread_time()
+        self.token = CancelToken(statement_id)
+        self.rows_processed = 0
+        self.batches = 0
+        self.peak_batch_rows = 0
+        self.partitions_done = 0
+        self.partitions_total = 0
+        self.pool_tasks = 0
+        self.pool_tasks_in_flight = 0
+        self.pool_cpu_ms = 0.0
+        self.cpu_ms = 0.0            # statement-thread CPU, stamped at finish
+        self.lock_wait_ms = 0.0
+        self.lock_waits = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.finished = False
+        self.status = "running"
+        self.duration_ms: Optional[float] = None
+
+    # -- progress (statement thread) ------------------------------------------
+
+    def advance(self, rows: int = 0) -> None:
+        """One batch boundary: record progress, then honor cancellation."""
+        if rows:
+            self.rows_processed += rows
+            if rows > self.peak_batch_rows:
+                self.peak_batch_rows = rows
+        self.batches += 1
+        self.token.check()
+
+    def elapsed_ms(self) -> float:
+        if self.duration_ms is not None:
+            return self.duration_ms
+        return (time.perf_counter() - self._started_perf) * 1000.0
+
+    def total_cpu_ms(self) -> float:
+        """Statement-thread CPU plus worker CPU shipped back from the pool."""
+        if self.finished:
+            return self.cpu_ms + self.pool_cpu_ms
+        return ((time.thread_time() - self._cpu_start) * 1000.0
+                + self.pool_cpu_ms
+                if threading.current_thread().name == self.thread
+                else self.pool_cpu_ms)
+
+    def resource_dict(self) -> Dict[str, Any]:
+        """JSON-ready resource summary (sink records and ``/active``)."""
+        return {
+            "statement_id": self.statement_id,
+            "phase": self.phase,
+            "status": self.status,
+            "cpu_ms": round(self.cpu_ms + self.pool_cpu_ms, 3),
+            "pool_cpu_ms": round(self.pool_cpu_ms, 3),
+            "lock_wait_ms": round(self.lock_wait_ms, 3),
+            "lock_waits": self.lock_waits,
+            "rows_processed": self.rows_processed,
+            "peak_batch_rows": self.peak_batch_rows,
+            "batches": self.batches,
+            "partitions_done": self.partitions_done,
+            "partitions_total": self.partitions_total,
+            "pool_tasks": self.pool_tasks,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+        }
+
+    def active_dict(self) -> Dict[str, Any]:
+        """JSON-ready live view (the ``/active`` HTTP route)."""
+        return {
+            "statement_id": self.statement_id,
+            "statement": " ".join(self.text.split()),
+            "kind": self.kind,
+            "phase": self.phase,
+            "thread": self.thread,
+            "elapsed_ms": round(self.elapsed_ms(), 3),
+            "rows_processed": self.rows_processed,
+            "batches": self.batches,
+            "partitions_done": self.partitions_done,
+            "partitions_total": self.partitions_total,
+            "pool_tasks_in_flight": self.pool_tasks_in_flight,
+            "lock_wait_ms": round(self.lock_wait_ms, 3),
+            "cancel_requested": self.token.cancelled,
+        }
+
+    def __repr__(self) -> str:
+        return (f"ActiveStatement(#{self.statement_id}, {self.kind}, "
+                f"{self.phase}, {self.rows_processed} rows)")
+
+
+class _LockContention:
+    """Aggregated waits for one (lock, mode) pair — a DM_LOCK_WAITS row."""
+
+    __slots__ = ("lock", "mode", "waits", "total_wait_ms", "max_wait_ms",
+                 "last_wait_at")
+
+    def __init__(self, lock: str, mode: str):
+        self.lock = lock
+        self.mode = mode
+        self.waits = 0
+        self.total_wait_ms = 0.0
+        self.max_wait_ms = 0.0
+        self.last_wait_at: Optional[float] = None
+
+
+class WorkloadRegistry:
+    """Per-provider catalog of executing statements and contention stats.
+
+    ``enabled = False`` turns the whole layer off (used by the accounting
+    overhead benchmark to measure its own cost): nothing registers, so every
+    module-level call short-circuits on the empty thread-local slot.
+    """
+
+    def __init__(self, metrics=None, resource_ring: int = DEFAULT_RESOURCE_RING):
+        self.enabled = True
+        self.metrics = metrics
+        self._lock = threading.Lock()
+        self._active: Dict[int, ActiveStatement] = {}
+        self._finished: deque = deque(maxlen=max(1, int(resource_ring)))
+        self._contention: Dict[tuple, _LockContention] = {}
+
+    # -- statement lifecycle ---------------------------------------------------
+
+    def register(self, statement_id: int, text: str,
+                 kind: str = "UNKNOWN") -> Optional[ActiveStatement]:
+        """Admit one executing statement; None when the layer is off."""
+        if not self.enabled or not statement_id:
+            return None
+        statement = ActiveStatement(statement_id, text, kind, registry=self)
+        with self._lock:
+            self._active[statement_id] = statement
+        return statement
+
+    def finish(self, statement: Optional[ActiveStatement],
+               status: str = "ok",
+               duration_ms: Optional[float] = None) -> None:
+        """Retire a statement into the resource ring, stamping CPU time."""
+        if statement is None:
+            return
+        statement.cpu_ms += (time.thread_time() - statement._cpu_start) * 1000.0
+        statement.status = status
+        statement.duration_ms = (duration_ms if duration_ms is not None
+                                 else statement.elapsed_ms())
+        statement.finished = True
+        with self._lock:
+            self._active.pop(statement.statement_id, None)
+            self._finished.append(statement)
+
+    def observe(self, record) -> None:
+        """Retire the statement behind a finished trace record.
+
+        Called from the tracer's ``on_statement`` callback (still on the
+        statement's own thread, so the CPU delta is valid).  Stamps the
+        resource summary onto ``record.resources`` so the slow-query sink
+        and ``DM_STATEMENT_RESOURCES`` agree with the query log.
+        """
+        statement_id = getattr(record, "statement_id", 0)
+        if not statement_id:
+            return
+        with self._lock:
+            statement = self._active.get(statement_id)
+        if statement is None:
+            return
+        self.finish(statement, status=record.status or "ok",
+                    duration_ms=record.duration_ms)
+        try:
+            record.resources = statement.resource_dict()
+        except AttributeError:  # pragma: no cover - null records
+            pass
+
+    def cancel(self, statement_id: int,
+               reason: str = "cancelled by operator") -> ActiveStatement:
+        """Request cancellation of an active statement; raises on unknown id."""
+        from repro.errors import Error
+        with self._lock:
+            statement = self._active.get(statement_id)
+            active_ids = sorted(self._active)
+        if statement is None:
+            raise Error(
+                f"no active statement with id {statement_id} "
+                f"(active: {', '.join(map(str, active_ids)) or 'none'}); "
+                f"see SELECT * FROM $SYSTEM.DM_ACTIVE_STATEMENTS")
+        statement.token.cancel(reason)
+        if self.metrics is not None:
+            self.metrics.counter("resource.cancel_requests").inc()
+        return statement
+
+    # -- snapshots -------------------------------------------------------------
+
+    def active(self) -> List[ActiveStatement]:
+        """Live statements, oldest first."""
+        with self._lock:
+            return sorted(self._active.values(),
+                          key=lambda s: s.statement_id)
+
+    def resource_records(self) -> List[ActiveStatement]:
+        """Active statements then the finished ring, id order within each."""
+        with self._lock:
+            live = sorted(self._active.values(), key=lambda s: s.statement_id)
+            done = list(self._finished)
+        return live + done
+
+    def contention(self) -> List[_LockContention]:
+        """DM_LOCK_WAITS rows, sorted by (lock, mode)."""
+        with self._lock:
+            return [self._contention[key]
+                    for key in sorted(self._contention)]
+
+    # -- lock-wait profiling ---------------------------------------------------
+
+    def record_lock_wait(self, lock: str, mode: str, wait_ms: float) -> None:
+        with self._lock:
+            entry = self._contention.get((lock, mode))
+            if entry is None:
+                entry = self._contention[(lock, mode)] = \
+                    _LockContention(lock, mode)
+            entry.waits += 1
+            entry.total_wait_ms += wait_ms
+            if wait_ms > entry.max_wait_ms:
+                entry.max_wait_ms = wait_ms
+            entry.last_wait_at = time.time()
+        if self.metrics is not None:
+            self.metrics.counter("lock.waits").inc()
+            self.metrics.counter(f"lock.waits.{mode}").inc()
+            self.metrics.counter("lock.wait_ms").inc(wait_ms)
+
+
+# ---------------------------------------------------------------------------
+# Module-level instrumentation API (resolves the thread-active statement)
+# ---------------------------------------------------------------------------
+
+def activate(statement: Optional[ActiveStatement]) -> Optional[ActiveStatement]:
+    """Install the statement as this thread's active one; returns the prior."""
+    previous = getattr(_local, "statement", None)
+    _local.statement = statement
+    return previous
+
+
+def deactivate(previous: Optional[ActiveStatement]) -> None:
+    """Restore the statement returned by the matching :func:`activate`."""
+    _local.statement = previous
+
+
+def current() -> Optional[ActiveStatement]:
+    """This thread's active statement, or None."""
+    return getattr(_local, "statement", None)
+
+
+def checkpoint(rows: int = 0) -> None:
+    """One batch boundary: record progress and honor cancellation.
+
+    This is the cooperative-cancellation point the engine's scan loops, the
+    pool's ordered merge, and the binding pipeline call once per batch.  It
+    raises :class:`CancelledError` when the statement's token is set.
+    """
+    statement = getattr(_local, "statement", None)
+    if statement is not None:
+        statement.advance(rows)
+
+
+def check() -> None:
+    """Honor cancellation without recording progress (entry-point guard)."""
+    statement = getattr(_local, "statement", None)
+    if statement is not None:
+        statement.token.check()
+
+
+def set_phase(phase: str) -> None:
+    """Move the active statement into a new execution phase."""
+    statement = getattr(_local, "statement", None)
+    if statement is not None:
+        statement.phase = phase
+
+
+def note_lock_wait(lock: str, mode: str, wait_ms: float) -> None:
+    """Report one contended lock acquisition (called by RWLock)."""
+    statement = getattr(_local, "statement", None)
+    if statement is None:
+        return
+    statement.lock_wait_ms += wait_ms
+    statement.lock_waits += 1
+    if statement.registry is not None:
+        statement.registry.record_lock_wait(lock, mode, wait_ms)
+
+
+def note_cache(hit: bool) -> None:
+    """Attribute one caseset-cache lookup to the active statement."""
+    statement = getattr(_local, "statement", None)
+    if statement is not None:
+        if hit:
+            statement.cache_hits += 1
+        else:
+            statement.cache_misses += 1
+
+
+def set_partitions(total: int) -> None:
+    statement = getattr(_local, "statement", None)
+    if statement is not None:
+        statement.partitions_total = total
+        statement.partitions_done = 0
+
+
+def partition_done() -> None:
+    statement = getattr(_local, "statement", None)
+    if statement is not None:
+        statement.partitions_done += 1

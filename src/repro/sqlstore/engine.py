@@ -17,6 +17,7 @@ from repro.errors import BindError, CatalogError, Error, SchemaError
 from repro.lang import ast_nodes as ast
 from repro.lang.parser import parse_statement
 from repro.obs import trace as obs_trace
+from repro.obs import workload as obs_workload
 from repro.sqlstore import values as V
 from repro.sqlstore.expressions import (
     EvalContext,
@@ -402,10 +403,16 @@ class Database:
     def _filtered_batches(self, statement: ast.SelectStatement,
                           relation: SourceRelation, context: EvalContext,
                           batch_size: int, span):
-        """Scan + WHERE, batch at a time, counting scanned rows."""
+        """Scan + WHERE, batch at a time, counting scanned rows.
+
+        Each batch boundary is also a workload checkpoint: live progress
+        (rows processed) for ``DM_ACTIVE_STATEMENTS``, and the point where
+        a ``CANCEL`` lands mid-scan.
+        """
         for batch in relation.batches(batch_size):
             obs_trace.add_to(span, "rows_scanned", len(batch))
             obs_trace.add_to(span, "batches", 1)
+            obs_workload.checkpoint(rows=len(batch))
             if statement.where is not None:
                 batch = [
                     row for row in batch

@@ -56,6 +56,50 @@ DM_PROVIDER_METRICS_SCHEMA = [
     ("P99", "DOUBLE"),
 ]
 
+DM_ACTIVE_STATEMENTS_SCHEMA = [
+    ("STATEMENT_ID", "LONG"),
+    ("STATEMENT", "TEXT"),
+    ("KIND", "TEXT"),
+    ("PHASE", "TEXT"),
+    ("STARTED_AT", "TEXT"),
+    ("ELAPSED_MS", "DOUBLE"),
+    ("ROWS_PROCESSED", "LONG"),
+    ("BATCHES", "LONG"),
+    ("PARTITIONS_DONE", "LONG"),
+    ("PARTITIONS_TOTAL", "LONG"),
+    ("POOL_TASKS_IN_FLIGHT", "LONG"),
+    ("LOCK_WAIT_MS", "DOUBLE"),
+    ("THREAD", "TEXT"),
+    ("CANCEL_REQUESTED", "BOOLEAN"),
+]
+
+DM_STATEMENT_RESOURCES_SCHEMA = [
+    ("STATEMENT_ID", "LONG"),
+    ("STATEMENT", "TEXT"),
+    ("KIND", "TEXT"),
+    ("STATUS", "TEXT"),
+    ("DURATION_MS", "DOUBLE"),
+    ("CPU_MS", "DOUBLE"),
+    ("POOL_CPU_MS", "DOUBLE"),
+    ("LOCK_WAIT_MS", "DOUBLE"),
+    ("LOCK_WAITS", "LONG"),
+    ("ROWS_PROCESSED", "LONG"),
+    ("PEAK_BATCH_ROWS", "LONG"),
+    ("BATCHES", "LONG"),
+    ("POOL_TASKS", "LONG"),
+    ("CACHE_HITS", "LONG"),
+    ("CACHE_MISSES", "LONG"),
+]
+
+DM_LOCK_WAITS_SCHEMA = [
+    ("LOCK", "TEXT"),
+    ("MODE", "TEXT"),
+    ("WAITS", "LONG"),
+    ("TOTAL_WAIT_MS", "DOUBLE"),
+    ("MAX_WAIT_MS", "DOUBLE"),
+    ("LAST_WAIT_AT", "TEXT"),
+]
+
 # The pool metric names the parallel subsystem promises to operators.
 POOL_METRIC_FAMILY = [
     "pool.max_workers",
@@ -107,6 +151,9 @@ def _schema(conn, rowset_name):
     ("DM_QUERY_LOG", DM_QUERY_LOG_SCHEMA),
     ("DM_TRACE_EVENTS", DM_TRACE_EVENTS_SCHEMA),
     ("DM_PROVIDER_METRICS", DM_PROVIDER_METRICS_SCHEMA),
+    ("DM_ACTIVE_STATEMENTS", DM_ACTIVE_STATEMENTS_SCHEMA),
+    ("DM_STATEMENT_RESOURCES", DM_STATEMENT_RESOURCES_SCHEMA),
+    ("DM_LOCK_WAITS", DM_LOCK_WAITS_SCHEMA),
 ])
 def test_telemetry_rowset_schema_is_pinned(conn, rowset_name, expected):
     assert _schema(conn, rowset_name) == expected, (
