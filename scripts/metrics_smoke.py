@@ -49,9 +49,12 @@ def main() -> int:
     try:
         # The CLI announces the bound ephemeral port before the banner.
         line = process.stdout.readline()
-        match = re.search(r"(http://[\d.]+:\d+)", line)
+        match = re.search(r"(http://[\d.]+:(\d+))", line)
         assert match, f"no endpoint URL announced: {line!r}"
         url = match.group(1)
+        # --metrics-port 0 asks for an ephemeral port; the URL must carry
+        # the real bound port, never the literal 0 back.
+        assert int(match.group(2)) != 0, f"announced port 0: {line!r}"
 
         process.stdin.write(STATEMENTS)
         process.stdin.flush()

@@ -1,0 +1,95 @@
+"""CI smoke check for the DMX network server.
+
+Exercises the real deployment path end to end: start
+``python -m repro --serve 0`` (ephemeral port, announced on stdout) with
+demo data preloaded, connect with the real client library, run a
+statement mix (SELECT, TRAIN, PREDICTION JOIN, a stream, a deliberate
+error), check ``$SYSTEM.DM_SESSIONS`` sees the session, then close stdin
+and verify the server drains and exits 0.
+
+Exit code 0 on success; raises (non-zero exit) on any failure.
+
+    PYTHONPATH=src python scripts/server_smoke.py
+"""
+
+import os
+import re
+import subprocess
+import sys
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO, "src"))
+
+from repro.client import connect as net_connect  # noqa: E402
+from repro.errors import BindError  # noqa: E402
+
+
+def main() -> int:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        filter(None, ["src", env.get("PYTHONPATH")]))
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro", "--serve", "0", "--demo", "50"],
+        stdin=subprocess.PIPE, stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT, text=True, cwd=REPO, env=env)
+    try:
+        port = None
+        for _ in range(20):
+            line = process.stdout.readline()
+            match = re.search(r"Serving DMX on [\d.]+:(\d+)", line)
+            if match:
+                port = int(match.group(1))
+                break
+        assert port, "server never announced its port"
+        assert port != 0, "announced port must be the bound ephemeral one"
+
+        with net_connect("127.0.0.1", port) as client:
+            count = client.execute(
+                "SELECT COUNT(*) AS n FROM Customers").rows[0][0]
+            assert count == 50, f"expected 50 demo customers, got {count}"
+
+            client.execute(
+                "CREATE MINING MODEL SmokeNB ([Customer ID] LONG KEY, "
+                "Gender TEXT DISCRETE PREDICT) USING Repro_Naive_Bayes")
+            client.execute(
+                "INSERT INTO SmokeNB ([Customer ID], Gender) "
+                "SELECT [Customer ID], Gender FROM Customers")
+            predicted = client.execute(
+                "SELECT t.[Customer ID], SmokeNB.Gender FROM SmokeNB "
+                "NATURAL PREDICTION JOIN "
+                "(SELECT [Customer ID] FROM Customers) AS t")
+            assert len(predicted.rows) == 50
+
+            streamed = list(client.execute_stream(
+                "SELECT [Customer ID] FROM Customers", batch_size=7))
+            assert len(streamed) == 50
+
+            try:
+                client.execute("SELECT * FROM NoSuchTable")
+                raise AssertionError("expected a BindError over the wire")
+            except BindError:
+                pass
+
+            sessions = client.execute("SELECT * FROM $SYSTEM.DM_SESSIONS")
+            states = [row[sessions.index_of("STATE")]
+                      for row in sessions.rows]
+            assert "active" in states, f"no active session rows: {states}"
+
+        process.stdin.close()
+        process.wait(timeout=30)
+        tail = process.stdout.read()
+        assert process.returncode == 0, \
+            f"server exited {process.returncode}: {tail}"
+        assert "Server stopped." in tail, f"no clean shutdown line: {tail}"
+        print(f"server smoke OK: port {port}, 50 customers served, "
+              f"TRAIN + PREDICTION JOIN + stream + typed error + "
+              f"DM_SESSIONS verified, clean drain")
+        return 0
+    finally:
+        if process.poll() is None:
+            process.kill()
+            process.wait(timeout=10)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -8,7 +8,15 @@ in-memory provider, with optional demo data preloaded.
 Usage::
 
     dmxsh [--demo N] [--script FILE] [--trace] [--durable PATH]
-          [--metrics-port N]
+          [--metrics-port N] [--serve PORT | --connect HOST:PORT]
+
+``--serve PORT`` turns the session into a network server: after any
+``--demo``/``--script`` preload, the provider is served over the DMX wire
+protocol (``repro.server``) until stdin closes; port 0 picks an ephemeral
+port, and the bound port is announced on stdout.  ``--connect HOST:PORT``
+is the other side: the shell runs against a remote server instead of an
+embedded provider (meta-commands that need in-process state are
+unavailable there).
 
 ``--durable PATH`` opens (or recovers) a crash-safe store under PATH:
 acknowledged statements are journaled and survive process death, so
@@ -98,12 +106,22 @@ def _print_trace(connection: Connection, command: str, out) -> None:
         out.write(render_trace(record) + "\n")
 
 
-def run_meta(connection: Connection, command: str, out=None) -> bool:
+_EMBEDDED_META = (".models", ".describe", ".checkpoint", ".tracefile",
+                  ".tables")
+
+
+def run_meta(connection, command: str, out=None) -> bool:
     """Handle a .meta command; returns False to exit the loop."""
     out = out if out is not None else sys.stdout
     word = command.strip().lower()
     if word in (".quit", ".exit"):
         return False
+    if not hasattr(connection, "provider") and \
+            any(word.startswith(name) for name in _EMBEDDED_META):
+        out.write(f"{word.split()[0]} needs an embedded session; over "
+                  f"--connect query the $SYSTEM rowsets instead "
+                  f"(e.g. SELECT * FROM $SYSTEM.MINING_MODELS;)\n")
+        return True
     if word == ".help":
         out.write(HELP)
     elif word == ".models":
@@ -215,7 +233,17 @@ def main(argv: Optional[list] = None) -> int:
                         default=None,
                         help="serve /metrics, /healthz, /queries, and "
                              "/active over HTTP on port N (0 = ephemeral)")
+    parser.add_argument("--serve", type=int, metavar="PORT", default=None,
+                        help="serve the provider over the DMX wire protocol "
+                             "on PORT (0 = ephemeral; the bound port is "
+                             "announced) until stdin closes")
+    parser.add_argument("--connect", metavar="HOST:PORT", default=None,
+                        help="run the shell against a remote DMX server "
+                             "instead of an embedded provider")
     args = parser.parse_args(argv)
+
+    if args.connect is not None:
+        return _run_remote(args, parser)
 
     connection = connect(durable_path=args.durable)
     if args.metrics_port is not None:
@@ -242,8 +270,68 @@ def main(argv: Optional[list] = None) -> int:
                 except Error as exc:
                     sys.stderr.write(f"error: {exc}\n")
                     return 1
-        return 0
+        if args.serve is None:
+            return 0
+    if args.serve is not None:
+        return _run_server(connection, args)
     repl(connection, show_trace=args.trace)
+    return 0
+
+
+def _run_server(connection: Connection, args) -> int:
+    """--serve PORT: serve the (preloaded) provider until stdin closes."""
+    from repro.server import DmxServer
+    server = DmxServer(connection.provider, port=args.serve,
+                       checkpoint_on_close=bool(args.durable))
+    sys.stdout.write(f"Serving DMX on {server.host}:{server.port} "
+                     f"(close stdin or Ctrl-C to stop)\n")
+    sys.stdout.flush()
+    try:
+        for _ in sys.stdin:
+            pass  # stay up until the controlling process closes stdin
+    except KeyboardInterrupt:
+        pass
+    sys.stdout.write("Draining sessions...\n")
+    server.close()
+    connection.close()
+    sys.stdout.write("Server stopped.\n")
+    return 0
+
+
+def _run_remote(args, parser) -> int:
+    """--connect HOST:PORT: the shell against a remote DMX server."""
+    for flag, value in (("--serve", args.serve), ("--durable", args.durable),
+                        ("--demo", args.demo or None),
+                        ("--metrics-port", args.metrics_port),
+                        ("--trace", args.trace or None)):
+        if value is not None:
+            parser.error(f"{flag} applies to an embedded session and "
+                         f"cannot be combined with --connect")
+    host, _, port_text = args.connect.rpartition(":")
+    if not host or not port_text.isdigit():
+        parser.error("--connect expects HOST:PORT, e.g. 127.0.0.1:8123")
+    from repro.client import connect as net_connect
+    try:
+        connection = net_connect(host, int(port_text))
+    except OSError as exc:
+        sys.stderr.write(f"error: cannot connect to {args.connect}: "
+                         f"{exc}\n")
+        return 1
+    sys.stdout.write(f"Connected to {args.connect} "
+                     f"(session {connection.session_id}).\n")
+    try:
+        if args.script:
+            with open(args.script) as handle:
+                for command in split_statements(handle.read()):
+                    try:
+                        run_command(connection, command)
+                    except Error as exc:
+                        sys.stderr.write(f"error: {exc}\n")
+                        return 1
+            return 0
+        repl(connection)
+    finally:
+        connection.close()
     return 0
 
 

@@ -1,0 +1,11 @@
+"""The DMX network client.
+
+``repro.client.connect(host, port)`` opens a session on a running
+:class:`repro.server.DmxServer` and returns a :class:`Connection` that is
+drop-in compatible with the embedded one — same ``execute`` /
+``execute_stream`` / ``cancel`` surface, same :mod:`repro.errors` types.
+"""
+
+from repro.client.connection import Connection, connect
+
+__all__ = ["Connection", "connect"]

@@ -60,6 +60,13 @@ def _decode_value(value: Any) -> Any:
     return value
 
 
+# The scalar tag scheme is shared with the wire protocol
+# (repro.server.protocol), so snapshots and network frames round-trip
+# temporal values identically.
+encode_value = _encode_value
+decode_value = _decode_value
+
+
 def _encode_case(case) -> Dict[str, Any]:
     return {
         "scalars": {name: _encode_value(value)

@@ -153,6 +153,10 @@ class Provider:
                 telemetry_path,
                 threshold_ms=0.0 if slow_query_ms is None else slow_query_ms)
         self._metrics_server = None
+        # Attached DMX network server (repro.server.DmxServer), if any;
+        # set by the server itself so checkpoint() can drain in-flight
+        # wire statements first and $SYSTEM.DM_SESSIONS can see sessions.
+        self.dmx_server = None
         self.store = None
         self.recovery_info = None
         if durable_path is not None:
@@ -170,7 +174,10 @@ class Provider:
 
     def close(self) -> None:
         """Release pooled workers (the pool revives lazily if reused), the
-        durable store's journal handle, and any telemetry endpoint."""
+        durable store's journal handle, any telemetry endpoint, and an
+        attached DMX network server (drained before teardown)."""
+        if self.dmx_server is not None:
+            self.dmx_server.close()
         if self._metrics_server is not None:
             self._metrics_server.close()
             self._metrics_server = None
@@ -195,11 +202,22 @@ class Provider:
         return self._metrics_server
 
     def checkpoint(self) -> None:
-        """Snapshot the durable store now and truncate its journal."""
+        """Snapshot the durable store now and truncate its journal.
+
+        With a DMX server attached, in-flight wire statements are drained
+        first (`quiesce`): new statements briefly queue at the admission
+        gate, running ones finish, and only then is the snapshot taken —
+        so a checkpoint always lands on a statement boundary.
+        """
         if self.store is None:
             raise Error("this provider has no durable store; open one with "
                         "connect(durable_path=...)")
-        self.store.checkpoint(self)
+        server = self.dmx_server
+        if server is not None and not server.closed:
+            with server.quiesce():
+                self.store.checkpoint(self)
+        else:
+            self.store.checkpoint(self)
 
     # -- catalog ----------------------------------------------------------------
 
@@ -231,6 +249,7 @@ class Provider:
         previous = obs_trace.activate(self.tracer)
         try:
             with self.tracer.statement(command) as record:
+                record.session = obs_workload.session_id()
                 active = self.workload.register(record.statement_id, command)
                 prior = obs_workload.activate(active)
                 try:
@@ -419,9 +438,12 @@ class Provider:
 
         Returns immediately; the target unwinds at its next batch,
         partition, or training-iteration checkpoint and lands in
-        ``DM_QUERY_LOG`` with status ``cancelled``.
+        ``DM_QUERY_LOG`` with status ``cancelled``.  When the CANCEL verb
+        itself arrives over the wire, the request is scoped to the issuing
+        session — a session can only cancel its own statements.
         """
-        target = self.workload.cancel(statement.statement_id)
+        target = self.workload.cancel(statement.statement_id,
+                                      session=obs_workload.session_id())
         return (f"cancel requested for statement {target.statement_id} "
                 f"({target.kind}, phase {target.phase}); it will stop at "
                 f"its next checkpoint")
@@ -585,6 +607,7 @@ class Provider:
         previous = obs_trace.activate(self.tracer)
         try:
             with self.tracer.statement(command) as record:
+                record.session = obs_workload.session_id()
                 active = self.workload.register(record.statement_id, command)
                 prior = obs_workload.activate(active)
                 try:

@@ -18,7 +18,10 @@ Queryable as ``SELECT * FROM $SYSTEM.<rowset>``:
   schema-rowset idea to the provider's runtime behaviour;
 * DM_ACTIVE_STATEMENTS, DM_STATEMENT_RESOURCES, DM_LOCK_WAITS — the live
   workload view (what is running now, what it cost, where locks blocked),
-  backing the ``CANCEL <id>`` verb.
+  backing the ``CANCEL <id>`` verb;
+* DM_SESSIONS — the network sessions connected through the DMX server
+  (:mod:`repro.server`): one row per live or recently-closed session with
+  its negotiated knobs and traffic accounting.
 """
 
 from __future__ import annotations
@@ -264,6 +267,7 @@ def dm_query_log_rowset(provider) -> Rowset:
         RowsetColumn("CASES", LONG),
         RowsetColumn("SPAN_COUNT", LONG),
         RowsetColumn("THREAD", TEXT),
+        RowsetColumn("SESSION", LONG),
     ]
     rows = []
     for record in provider.tracer.statements():
@@ -285,6 +289,7 @@ def dm_query_log_rowset(provider) -> Rowset:
             cases,
             record.root.span_count() if record.root is not None else 0,
             record.thread,
+            getattr(record, "session", None),
         ))
     return Rowset(columns, rows)
 
@@ -377,6 +382,7 @@ def dm_active_statements_rowset(provider) -> Rowset:
         RowsetColumn("POOL_TASKS_IN_FLIGHT", LONG),
         RowsetColumn("LOCK_WAIT_MS", DOUBLE),
         RowsetColumn("THREAD", TEXT),
+        RowsetColumn("SESSION", LONG),
         RowsetColumn("CANCEL_REQUESTED", BOOLEAN),
     ]
     rows = []
@@ -396,6 +402,7 @@ def dm_active_statements_rowset(provider) -> Rowset:
             statement.pool_tasks_in_flight,
             round(statement.lock_wait_ms, 3),
             statement.thread,
+            statement.session,
             statement.token.cancelled,
         ))
     return Rowset(columns, rows)
@@ -477,6 +484,47 @@ def dm_lock_waits_rowset(provider) -> Rowset:
     return Rowset(columns, rows)
 
 
+def dm_sessions_rowset(provider) -> Rowset:
+    """``$SYSTEM.DM_SESSIONS``: network sessions on the attached DMX server.
+
+    One row per live session (state ``active``) plus a bounded ring of
+    recently closed ones (state ``closed``).  Empty when no server is
+    attached — the embedded library has no session concept.
+    """
+    columns = [
+        RowsetColumn("SESSION_ID", LONG),
+        RowsetColumn("REMOTE", TEXT),
+        RowsetColumn("STATE", TEXT),
+        RowsetColumn("CONNECTED_AT", TEXT),
+        RowsetColumn("STATEMENTS", LONG),
+        RowsetColumn("ROWS_SENT", LONG),
+        RowsetColumn("BYTES_IN", LONG),
+        RowsetColumn("BYTES_OUT", LONG),
+        RowsetColumn("BATCH_SIZE", LONG),
+        RowsetColumn("MAX_DOP", LONG),
+        RowsetColumn("LAST_STATEMENT", TEXT),
+    ]
+    server = getattr(provider, "dmx_server", None)
+    rows = []
+    if server is not None:
+        for session in server.sessions():
+            rows.append((
+                session.session_id,
+                session.remote,
+                session.state,
+                datetime.fromtimestamp(session.connected_at).isoformat(
+                    timespec="milliseconds"),
+                session.statements,
+                session.rows_sent,
+                session.bytes_in,
+                session.bytes_out,
+                session.batch_size,
+                session.max_dop,
+                session.last_statement,
+            ))
+    return Rowset(columns, rows)
+
+
 SYSTEM_ROWSETS = {
     "MINING_MODELS": mining_models_rowset,
     "MINING_COLUMNS": mining_columns_rowset,
@@ -490,6 +538,7 @@ SYSTEM_ROWSETS = {
     "DM_ACTIVE_STATEMENTS": dm_active_statements_rowset,
     "DM_STATEMENT_RESOURCES": dm_statement_resources_rowset,
     "DM_LOCK_WAITS": dm_lock_waits_rowset,
+    "DM_SESSIONS": dm_sessions_rowset,
 }
 
 

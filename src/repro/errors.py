@@ -77,6 +77,26 @@ class CancelledError(Error):
     """
 
 
+class ProtocolError(Error):
+    """A wire-protocol frame could not be read or was malformed.
+
+    Raised by the network layer (:mod:`repro.server`, :mod:`repro.client`)
+    for torn frames, oversize length prefixes, undecodable payloads, or
+    out-of-sequence messages.  The peer that detects it answers with a
+    typed error frame when the stream is still usable and tears the
+    connection down when it is not.
+    """
+
+
+class ServerBusyError(Error):
+    """The DMX server refused admission (capacity, queue full, or drain).
+
+    Backpressure made typed: clients receive this instead of a hang when
+    the session table and the bounded accept queue are both full, or when
+    the server is draining for shutdown/checkpoint.
+    """
+
+
 class CapabilityError(Error):
     """The chosen mining service does not support the requested operation.
 

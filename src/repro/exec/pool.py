@@ -43,6 +43,23 @@ from repro.obs.trace import NULL_SPAN
 
 MODES = ("auto", "serial", "thread", "process")
 
+_session_local = threading.local()
+
+
+def set_session_dop_cap(cap: Optional[int]) -> None:
+    """Cap the effective DOP for statements run on this thread.
+
+    The DMX server binds each session thread to the client's negotiated
+    ``max_dop`` knob; like ``WITH MAXDOP`` it can only lower the pool
+    ceiling, never raise it.  ``None`` clears the cap (embedded default).
+    """
+    _session_local.cap = cap
+
+
+def session_dop_cap() -> Optional[int]:
+    """This thread's session DOP cap, or None when unbound."""
+    return getattr(_session_local, "cap", None)
+
 
 def _cpu_timed(func: Callable[[Any], Any], payload: Any) -> tuple:
     """Run one task, measuring its own CPU time where it executes.
@@ -103,12 +120,21 @@ class WorkerPool:
     # -- knobs ----------------------------------------------------------------
 
     def effective_dop(self, requested: Optional[int] = None) -> int:
-        """Clamp a statement's MAXDOP request against the pool ceiling."""
+        """Clamp a statement's MAXDOP request against the pool ceiling.
+
+        The ceiling is the provider's ``max_workers``, further lowered by
+        the calling thread's session DOP cap when the statement arrived
+        over the wire (:func:`set_session_dop_cap`).
+        """
         if self.mode == "serial":
             return 1
+        ceiling = self.max_workers
+        session_cap = session_dop_cap()
+        if session_cap is not None:
+            ceiling = max(1, min(int(session_cap), ceiling))
         if requested is None or requested == 0:
-            return self.max_workers
-        return max(1, min(int(requested), self.max_workers))
+            return ceiling
+        return max(1, min(int(requested), ceiling))
 
     # -- bookkeeping ----------------------------------------------------------
 

@@ -57,6 +57,9 @@ def statement_record_dict(record) -> Dict[str, Any]:
         "span_count": record.root.span_count()
         if record.root is not None else 0,
     }
+    session = getattr(record, "session", None)
+    if session is not None:
+        out["session"] = session
     resources = getattr(record, "resources", None)
     if resources is not None:
         out["resources"] = resources

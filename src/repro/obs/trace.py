@@ -119,13 +119,17 @@ class StatementRecord:
     """One executed statement: text, outcome, latency, and its span tree."""
 
     __slots__ = ("statement_id", "text", "kind", "status", "error",
-                 "started_at", "duration_ms", "root", "thread", "resources")
+                 "started_at", "duration_ms", "root", "thread", "session",
+                 "resources")
 
     def __init__(self, statement_id: int, text: str, kind: str = "UNKNOWN"):
         self.statement_id = statement_id
         self.text = text
         self.kind = kind
         self.thread = threading.current_thread().name
+        # Network session id, stamped by the dispatcher when the statement
+        # arrived over the wire; None for embedded statements.
+        self.session: Optional[int] = None
         self.status: Optional[str] = None
         self.error: Optional[str] = None
         self.started_at = time.time()
@@ -154,6 +158,7 @@ class _NullRecord:
     statement_id = 0
     text = ""
     thread = ""
+    session = None
     duration_ms = None
     status = None
     error = None

@@ -88,7 +88,8 @@ class ActiveStatement:
     """
 
     __slots__ = (
-        "statement_id", "text", "kind", "phase", "thread", "registry",
+        "statement_id", "text", "kind", "phase", "thread", "session",
+        "registry",
         "started_at", "_started_perf", "_cpu_start", "token",
         "rows_processed", "batches", "peak_batch_rows",
         "partitions_done", "partitions_total",
@@ -105,6 +106,10 @@ class ActiveStatement:
         self.kind = kind
         self.phase = "queued"
         self.thread = threading.current_thread().name
+        # Network sessions run statements on their own session thread; the
+        # server stamps the session id into a thread-local, so statements
+        # registered here inherit their owning session automatically.
+        self.session = session_id()
         self.registry = registry
         self.started_at = time.time()
         self._started_perf = time.perf_counter()
@@ -180,6 +185,7 @@ class ActiveStatement:
             "kind": self.kind,
             "phase": self.phase,
             "thread": self.thread,
+            "session": self.session,
             "elapsed_ms": round(self.elapsed_ms(), 3),
             "rows_processed": self.rows_processed,
             "batches": self.batches,
@@ -276,8 +282,15 @@ class WorkloadRegistry:
             pass
 
     def cancel(self, statement_id: int,
-               reason: str = "cancelled by operator") -> ActiveStatement:
-        """Request cancellation of an active statement; raises on unknown id."""
+               reason: str = "cancelled by operator",
+               session: Optional[int] = None) -> ActiveStatement:
+        """Request cancellation of an active statement; raises on unknown id.
+
+        ``session`` scopes the request: a network session may cancel only
+        statements it owns (the server and the CANCEL verb pass the
+        caller's session id), while an embedded caller (``session=None``)
+        acts as the operator and may cancel anything.
+        """
         from repro.errors import Error
         with self._lock:
             statement = self._active.get(statement_id)
@@ -287,6 +300,13 @@ class WorkloadRegistry:
                 f"no active statement with id {statement_id} "
                 f"(active: {', '.join(map(str, active_ids)) or 'none'}); "
                 f"see SELECT * FROM $SYSTEM.DM_ACTIVE_STATEMENTS")
+        if session is not None and statement.session != session:
+            owner = (f"session {statement.session}"
+                     if statement.session is not None
+                     else "the embedded connection")
+            raise Error(
+                f"statement {statement_id} is owned by {owner}; a session "
+                f"may only cancel its own statements")
         statement.token.cancel(reason)
         if self.metrics is not None:
             self.metrics.counter("resource.cancel_requests").inc()
@@ -351,6 +371,22 @@ def deactivate(previous: Optional[ActiveStatement]) -> None:
 def current() -> Optional[ActiveStatement]:
     """This thread's active statement, or None."""
     return getattr(_local, "statement", None)
+
+
+def set_session(session: Optional[int]) -> None:
+    """Bind this thread to a network session id (None to unbind).
+
+    The DMX server calls this once on each session thread; every statement
+    registered on the thread then carries the session id into
+    ``DM_ACTIVE_STATEMENTS`` / ``DM_QUERY_LOG`` and is protected by the
+    cancel ownership check.
+    """
+    _local.session = session
+
+
+def session_id() -> Optional[int]:
+    """The network session id bound to this thread, or None (embedded)."""
+    return getattr(_local, "session", None)
 
 
 def checkpoint(rows: int = 0) -> None:

@@ -1,0 +1,29 @@
+"""DMX over the wire: the network server for a provider.
+
+``repro.server`` turns the embedded provider into a multi-session network
+service: :class:`DmxServer` listens on TCP, admits sessions (with bounded
+queueing and typed backpressure), and executes each session's statements
+on a dedicated thread through the ordinary embedded paths — which is why
+results over the wire are byte-identical to embedded ones.  The matching
+client lives in :mod:`repro.client`; the frame protocol both sides speak
+is :mod:`repro.server.protocol`.
+"""
+
+from repro.server.protocol import (
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    recv_frame,
+    rowset_dump,
+    send_frame,
+)
+from repro.server.server import DmxServer, serve
+
+__all__ = [
+    "DmxServer",
+    "serve",
+    "PROTOCOL_VERSION",
+    "MAX_FRAME_BYTES",
+    "send_frame",
+    "recv_frame",
+    "rowset_dump",
+]

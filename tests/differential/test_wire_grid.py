@@ -1,0 +1,202 @@
+"""Differential harness: the wire transport vs the embedded API.
+
+Both transports talk to ONE provider holding one copy of the grid data —
+an embedded :class:`repro.core.provider.Connection` directly, and a
+:class:`repro.client.Connection` through a live :class:`DmxServer` — so
+any divergence is the wire's fault, not the data's.  For every statement
+shape in the stream-vs-materialize grid, the canonical
+:func:`~repro.server.protocol.rowset_dump` of the wire result must be
+*byte-identical* to the embedded one: same column names, same type names,
+same nesting, same rows in the same order.
+
+The sweep also covers the streaming API (batch boundaries included), the
+EXPLAIN grid (plain EXPLAIN byte-identical; ANALYZE with the volatile
+WALL_MS column masked), and error parity — the wire must raise the same
+:mod:`repro.errors` class with the same message as embedded.
+"""
+
+import pytest
+
+import repro
+from repro.client import connect as net_connect
+from repro.errors import (
+    BindError,
+    CatalogError,
+    Error,
+    ParseError,
+    PredictionError,
+)
+from repro.server import DmxServer
+from repro.server.protocol import rowset_dump
+from repro.sqlstore.rowset import Rowset
+
+from tests.differential.test_stream_vs_materialize import (
+    STATEMENTS,
+    TINY_BATCH,
+    _load,
+)
+
+TRANSPORTS = ("embedded", "wire")
+
+PREDICTION_DDL = ("CREATE MINING MODEL WireRisk (cid LONG KEY, "
+                  "age LONG CONTINUOUS, city TEXT DISCRETE PREDICT) "
+                  "USING Microsoft_Decision_Trees")
+PREDICTION_TRAIN = ("INSERT INTO WireRisk (cid, age, city) "
+                    "SELECT cid, age, city FROM Customers "
+                    "WHERE city IS NOT NULL")
+PREDICTION_QUERY = ("SELECT t.cid, WireRisk.city, "
+                    "PredictProbability(WireRisk.city) AS p FROM WireRisk "
+                    "NATURAL PREDICTION JOIN "
+                    "(SELECT cid, age FROM Customers) AS t")
+
+
+@pytest.fixture(scope="module")
+def embedded():
+    conn = repro.connect(batch_size=TINY_BATCH, caseset_cache_capacity=0)
+    _load(conn)
+    conn.execute(PREDICTION_DDL)
+    conn.execute(PREDICTION_TRAIN)
+    yield conn
+    conn.close()
+
+
+@pytest.fixture(scope="module")
+def server(embedded):
+    with DmxServer(embedded.provider, port=0) as srv:
+        yield srv
+    assert srv.thread_errors == []
+
+
+@pytest.fixture(scope="module")
+def wire(server):
+    with net_connect("127.0.0.1", server.port) as conn:
+        yield conn
+
+
+@pytest.fixture(params=TRANSPORTS)
+def transport(request, embedded, wire):
+    return embedded if request.param == "embedded" else wire
+
+
+# -- the 40-shape grid, byte for byte -----------------------------------------
+
+@pytest.mark.parametrize("statement", STATEMENTS)
+def test_wire_dump_matches_embedded(embedded, wire, statement):
+    assert rowset_dump(wire.execute(statement)) == \
+        rowset_dump(embedded.execute(statement))
+
+
+@pytest.mark.parametrize("statement", STATEMENTS)
+def test_wire_stream_matches_embedded_execute(embedded, wire, statement):
+    """Streamed over the wire, drained, and dumped: still byte-identical."""
+    streamed = wire.execute_stream(statement, batch_size=5).materialize()
+    assert rowset_dump(streamed) == rowset_dump(embedded.execute(statement))
+
+
+def test_prediction_join_matches_over_wire(embedded, wire):
+    assert rowset_dump(wire.execute(PREDICTION_QUERY)) == \
+        rowset_dump(embedded.execute(PREDICTION_QUERY))
+
+
+def test_nested_rowset_content_matches_over_wire(embedded, wire):
+    """Model CONTENT carries TABLE-typed cells; nesting must survive."""
+    statement = "SELECT * FROM WireRisk.CONTENT"
+    left = wire.execute(statement)
+    assert any(isinstance(value, Rowset)
+               for row in left.rows for value in row), \
+        "expected nested rowsets in model content"
+    assert rowset_dump(left) == rowset_dump(embedded.execute(statement))
+
+
+# -- transport-fixture sweep: both transports satisfy the same contract -------
+
+def test_transport_fixture_results_are_rowsets(transport):
+    rowset = transport.execute("SELECT TOP 3 cid, name FROM Customers")
+    assert isinstance(rowset, Rowset)
+    assert [c.name for c in rowset.columns] == ["cid", "name"]
+    assert len(rowset.rows) == 3
+
+
+def test_transport_fixture_rowcounts_match(transport):
+    assert transport.execute(
+        "INSERT INTO Stores VALUES ('Fresno', 'West')") == 1
+    assert transport.execute(
+        "DELETE FROM Stores WHERE city = 'Fresno'") == 1
+
+
+# -- EXPLAIN grid over the wire -----------------------------------------------
+
+@pytest.mark.parametrize("statement", STATEMENTS)
+def test_wire_explain_matches_embedded(embedded, wire, statement):
+    """Plain EXPLAIN is pure and deterministic: byte-identical too."""
+    command = f"EXPLAIN {statement}"
+    assert rowset_dump(wire.execute(command)) == \
+        rowset_dump(embedded.execute(command))
+
+
+def _masked_plan(rowset):
+    names = [c.name for c in rowset.columns]
+    wall = names.index("WALL_MS")
+    return names, [tuple(None if i == wall else v
+                         for i, v in enumerate(row)) for row in rowset.rows]
+
+
+@pytest.mark.parametrize("statement", STATEMENTS[::4])
+def test_wire_explain_analyze_matches_embedded(embedded, wire, statement):
+    """ANALYZE runs for real on both sides; actuals must agree with only
+    the wall-clock column allowed to differ."""
+    command = f"EXPLAIN ANALYZE {statement}"
+    left_names, left_rows = _masked_plan(wire.execute(command))
+    right_names, right_rows = _masked_plan(embedded.execute(command))
+    assert left_names == right_names
+    assert left_rows == right_rows
+
+
+# -- error parity -------------------------------------------------------------
+
+ERROR_CASES = [
+    ("SELECT * FROM no_such_table", BindError),
+    ("SELECT nope FROM Customers", BindError),
+    ("SELEC * FROM Customers", ParseError),
+    ("DROP MINING MODEL NoSuchModel", CatalogError),
+    ("SELECT t.cid, WireRisk.spend FROM WireRisk NATURAL PREDICTION JOIN "
+     "(SELECT cid, age FROM Customers) AS t", (BindError, PredictionError)),
+]
+
+
+@pytest.mark.parametrize("statement, exc_type", ERROR_CASES)
+def test_wire_errors_match_embedded(embedded, wire, statement, exc_type):
+    with pytest.raises(exc_type) as embedded_exc:
+        embedded.execute(statement)
+    with pytest.raises(exc_type) as wire_exc:
+        wire.execute(statement)
+    assert type(wire_exc.value) is type(embedded_exc.value)
+    assert str(wire_exc.value) == str(embedded_exc.value)
+
+
+def test_wire_parse_error_carries_position(wire):
+    with pytest.raises(ParseError) as excinfo:
+        wire.execute("SELEC 1")
+    assert excinfo.value.line == 1
+    assert excinfo.value.column == 1
+    # The position suffix appears exactly once (not re-appended on decode).
+    assert str(excinfo.value).count("(line 1, column 1)") == 1
+
+
+def test_wire_stream_error_raises_at_consumption(embedded, wire):
+    """A statement error surfaces from execute_stream the same way on
+    both transports: eagerly at call time (parse/bind run up front)."""
+    with pytest.raises(BindError) as embedded_exc:
+        embedded.execute_stream("SELECT * FROM no_such_table")
+    with pytest.raises(BindError) as wire_exc:
+        wire.execute_stream("SELECT * FROM no_such_table")
+    assert str(wire_exc.value) == str(embedded_exc.value)
+
+
+def test_wire_and_embedded_share_one_catalog(embedded, wire):
+    """Sanity: the differential setup really is one provider, two doors."""
+    wire.execute("CREATE TABLE WireOnly (x INT)")
+    try:
+        assert embedded.execute("SELECT * FROM WireOnly").rows == []
+    finally:
+        embedded.execute("DROP TABLE WireOnly")

@@ -29,6 +29,7 @@ DM_QUERY_LOG_SCHEMA = [
     ("CASES", "LONG"),
     ("SPAN_COUNT", "LONG"),
     ("THREAD", "TEXT"),
+    ("SESSION", "LONG"),
 ]
 
 DM_TRACE_EVENTS_SCHEMA = [
@@ -70,6 +71,7 @@ DM_ACTIVE_STATEMENTS_SCHEMA = [
     ("POOL_TASKS_IN_FLIGHT", "LONG"),
     ("LOCK_WAIT_MS", "DOUBLE"),
     ("THREAD", "TEXT"),
+    ("SESSION", "LONG"),
     ("CANCEL_REQUESTED", "BOOLEAN"),
 ]
 
@@ -98,6 +100,20 @@ DM_LOCK_WAITS_SCHEMA = [
     ("TOTAL_WAIT_MS", "DOUBLE"),
     ("MAX_WAIT_MS", "DOUBLE"),
     ("LAST_WAIT_AT", "TEXT"),
+]
+
+DM_SESSIONS_SCHEMA = [
+    ("SESSION_ID", "LONG"),
+    ("REMOTE", "TEXT"),
+    ("STATE", "TEXT"),
+    ("CONNECTED_AT", "TEXT"),
+    ("STATEMENTS", "LONG"),
+    ("ROWS_SENT", "LONG"),
+    ("BYTES_IN", "LONG"),
+    ("BYTES_OUT", "LONG"),
+    ("BATCH_SIZE", "LONG"),
+    ("MAX_DOP", "LONG"),
+    ("LAST_STATEMENT", "TEXT"),
 ]
 
 # The pool metric names the parallel subsystem promises to operators.
@@ -154,6 +170,7 @@ def _schema(conn, rowset_name):
     ("DM_ACTIVE_STATEMENTS", DM_ACTIVE_STATEMENTS_SCHEMA),
     ("DM_STATEMENT_RESOURCES", DM_STATEMENT_RESOURCES_SCHEMA),
     ("DM_LOCK_WAITS", DM_LOCK_WAITS_SCHEMA),
+    ("DM_SESSIONS", DM_SESSIONS_SCHEMA),
 ])
 def test_telemetry_rowset_schema_is_pinned(conn, rowset_name, expected):
     assert _schema(conn, rowset_name) == expected, (
