@@ -25,7 +25,6 @@ journal-replay continuity.
 
 from __future__ import annotations
 
-import datetime
 import json
 from typing import Any, Dict, List
 
@@ -41,28 +40,15 @@ FORMAT_VERSION = 2
 SUPPORTED_FORMATS = (1, FORMAT_VERSION)
 
 
-def _encode_value(value: Any) -> Any:
-    # datetime.datetime subclasses datetime.date: test it first, else a
-    # datetime would be tagged $date and its time part lost on restore.
-    if isinstance(value, datetime.datetime):
-        return {"$datetime": value.isoformat()}
-    if isinstance(value, datetime.date):
-        return {"$date": value.isoformat()}
-    return value
+# The scalar tag scheme lives in repro.sqlstore.pages (the leaf of the
+# module graph) and is shared with the wire protocol and page payloads, so
+# snapshots, network frames, and spilled pages round-trip temporal values
+# identically.
+from repro.sqlstore.pages import (  # noqa: E402  (re-export)
+    decode_scalar as _decode_value,
+    encode_scalar as _encode_value,
+)
 
-
-def _decode_value(value: Any) -> Any:
-    if isinstance(value, dict):
-        if "$datetime" in value:
-            return datetime.datetime.fromisoformat(value["$datetime"])
-        if "$date" in value:
-            return datetime.date.fromisoformat(value["$date"])
-    return value
-
-
-# The scalar tag scheme is shared with the wire protocol
-# (repro.server.protocol), so snapshots and network frames round-trip
-# temporal values identically.
 encode_value = _encode_value
 decode_value = _decode_value
 
@@ -113,6 +99,10 @@ def dump_provider(provider, last_seq: int = 0) -> str:
             "rows": [[_encode_value(v) for v in row]
                      for row in table.rows],
         })
+        if table.indexes:
+            tables[-1]["indexes"] = [
+                {"name": index.name, "column": index.column_name}
+                for index in table.indexes.values()]
     views = {key: format_statement(select)
              for key, select in sorted(provider.database.views.items())}
     models = []
@@ -181,6 +171,8 @@ def restore_into(provider, text: str) -> int:
         table = database.create_table(schema)
         for row in entry["rows"]:
             table.insert([_decode_value(v) for v in row])
+        for index in entry.get("indexes", []):
+            table.create_index(index["name"], index["column"])
     # Install every view before validating any: views may reference views.
     view_statements = {}
     for key, text_sql in snapshot["views"].items():

@@ -116,6 +116,17 @@ class Provider:
     (0 disables auto-checkpointing); ``durable_faults`` threads a
     :class:`repro.store.FaultInjector` through the write paths (tests).
 
+    ``storage_path`` attaches the paged row store (:mod:`repro.sqlstore.
+    storage`): base-table rows live in fixed-budget pages cached by a
+    shared buffer pool of ``buffer_pages`` frames and spilled to versioned
+    files, so tables larger than the pool stream from disk.  Alone, the
+    paged store is itself the restart-surviving database (shadow-paged
+    commit per mutation); combined with ``durable_path`` it runs ephemeral
+    — journal replay stays the authority and the directory is pure spill
+    space.  ``storage_page_bytes`` overrides the page budget (tests force
+    tiny pages), ``storage_faults`` threads a FaultInjector through page
+    and catalog writes.
+
     ``telemetry_path`` attaches a rotating JSONL slow-query sink: every
     statement whose latency reaches ``slow_query_ms`` (default 0 — log
     everything) is appended as one JSON record, including its span tree
@@ -131,6 +142,10 @@ class Provider:
                  durable_path: Optional[str] = None,
                  durable_checkpoint_interval: Optional[int] = None,
                  durable_faults=None,
+                 storage_path: Optional[str] = None,
+                 buffer_pages: Optional[int] = None,
+                 storage_page_bytes: Optional[int] = None,
+                 storage_faults=None,
                  slow_query_ms: Optional[float] = None,
                  telemetry_path: Optional[str] = None):
         self.database = Database(external_resolver=self._resolve_external,
@@ -138,6 +153,7 @@ class Provider:
         self.models: Dict[str, MiningModel] = {}
         self.tracer = Tracer()
         self.metrics = MetricsRegistry()
+        self.database.metrics = self.metrics
         self.caseset_cache = CasesetCache(
             capacity=caseset_cache_capacity,
             max_rows=caseset_cache_max_rows,
@@ -159,6 +175,24 @@ class Provider:
         self.dmx_server = None
         self.store = None
         self.recovery_info = None
+        self.storage = None
+        if storage_path is not None:
+            from repro.sqlstore.buffer import DEFAULT_BUFFER_PAGES
+            from repro.sqlstore.pages import DEFAULT_PAGE_BYTES
+            from repro.sqlstore.storage import StorageManager
+            # With a durable journal attached, replay is the authority and
+            # the paged store is pure spill space (ephemeral); alone, the
+            # paged store *is* the restart-surviving database.
+            self.storage = StorageManager(
+                storage_path,
+                buffer_pages=(DEFAULT_BUFFER_PAGES if buffer_pages is None
+                              else buffer_pages),
+                faults=storage_faults, metrics=self.metrics,
+                ephemeral=durable_path is not None,
+                page_bytes=(DEFAULT_PAGE_BYTES if storage_page_bytes is None
+                            else storage_page_bytes))
+            self.database.store_factory = self.storage.make_store
+            self.storage.open_into(self.database)
         if durable_path is not None:
             from repro.store.durable import (
                 DEFAULT_CHECKPOINT_INTERVAL,
@@ -184,6 +218,8 @@ class Provider:
         self.pool.shutdown()
         if self.store is not None:
             self.store.close()
+        if self.storage is not None:
+            self.storage.close(self.database)
 
     def serve_metrics(self, port: int = 0, host: str = "127.0.0.1"):
         """Start (or return) the HTTP telemetry endpoint for this provider.
@@ -294,10 +330,16 @@ class Provider:
                 self.store.record_statement(self, statement, command)
             return result
         try:
-            return self.execute_ast(statement)
+            result = self.execute_ast(statement)
         except BindError as exc:
             _attach_statement(exc, command)
             raise
+        if self.storage is not None and not self.storage.ephemeral and \
+                is_mutating_statement(statement):
+            # Paged-store durability: shadow-page commit (flush dirty,
+            # swap the catalog root) before the mutation is acknowledged.
+            self.storage.commit(self.database)
+        return result
 
     def execute_ast(self, statement: ast.Statement) -> Any:
         if isinstance(statement, ast.TraceStatement):
@@ -769,11 +811,13 @@ def connect(**kwargs) -> Connection:
 
     Keyword arguments (``batch_size``, ``caseset_cache_capacity``,
     ``caseset_cache_max_rows``, ``max_workers``, ``pool_mode``,
-    ``durable_path``, ``durable_checkpoint_interval``, ``slow_query_ms``,
-    ``telemetry_path``) are forwarded to :class:`Provider`.  Without
-    ``durable_path`` the provider is purely in-memory; with it, existing
-    state under that directory is recovered (snapshot + journal replay)
-    and every acknowledged mutation survives process death.
+    ``durable_path``, ``durable_checkpoint_interval``, ``storage_path``,
+    ``buffer_pages``, ``slow_query_ms``, ``telemetry_path``) are forwarded
+    to :class:`Provider`.  Without ``durable_path`` the provider is purely
+    in-memory; with it, existing state under that directory is recovered
+    (snapshot + journal replay) and every acknowledged mutation survives
+    process death.  ``storage_path``/``buffer_pages`` attach the paged row
+    store so base tables larger than the buffer pool spill to disk.
     ``telemetry_path``/``slow_query_ms`` attach the rotating JSONL
     slow-query sink.
     """

@@ -21,7 +21,10 @@ Queryable as ``SELECT * FROM $SYSTEM.<rowset>``:
   backing the ``CANCEL <id>`` verb;
 * DM_SESSIONS — the network sessions connected through the DMX server
   (:mod:`repro.server`): one row per live or recently-closed session with
-  its negotiated knobs and traffic accounting.
+  its negotiated knobs and traffic accounting;
+* DM_BUFFER_POOL, DM_INDEXES — the paged row store's buffer residency
+  (one row per cached page, LRU-first) and every user index with its
+  usage counters (:mod:`repro.sqlstore.storage`).
 """
 
 from __future__ import annotations
@@ -525,6 +528,60 @@ def dm_sessions_rowset(provider) -> Rowset:
     return Rowset(columns, rows)
 
 
+def dm_buffer_pool_rowset(provider) -> Rowset:
+    """``$SYSTEM.DM_BUFFER_POOL``: resident pages of the paged row store.
+
+    One row per buffered page, LRU-first (the first row is the next
+    eviction victim), plus the pool counters exposed through
+    ``DM_PROVIDER_METRICS`` as ``buffer.*``.  Empty when the provider runs
+    purely in memory (no ``storage_path``).
+    """
+    columns = [
+        RowsetColumn("TABLE_NAME", TEXT),
+        RowsetColumn("PAGE_ID", LONG),
+        RowsetColumn("ROWS", LONG),
+        RowsetColumn("DIRTY", BOOLEAN),
+        RowsetColumn("PINS", LONG),
+        RowsetColumn("SIZE_BYTES", LONG),
+    ]
+    storage = getattr(provider, "storage", None)
+    rows = [] if storage is None else storage.pool_rows(provider.database)
+    return Rowset(columns, rows)
+
+
+def dm_indexes_rowset(provider) -> Rowset:
+    """``$SYSTEM.DM_INDEXES``: every user index (CREATE INDEX) with its
+    shape and usage counters — seeks, range seeks, and join builds."""
+    columns = [
+        RowsetColumn("TABLE_NAME", TEXT),
+        RowsetColumn("INDEX_NAME", TEXT),
+        RowsetColumn("COLUMN_NAME", TEXT),
+        RowsetColumn("KIND", TEXT),
+        RowsetColumn("KEYS", LONG),
+        RowsetColumn("ENTRIES", LONG),
+        RowsetColumn("SEEKS", LONG),
+        RowsetColumn("RANGE_SEEKS", LONG),
+        RowsetColumn("JOIN_PROBES", LONG),
+    ]
+    rows = []
+    database = provider.database
+    for key in sorted(database.tables):
+        table = database.tables[key]
+        for index in table.indexes.values():
+            rows.append((
+                table.schema.name,
+                index.name,
+                index.column_name,
+                index.kind,
+                index.keys,
+                index.entries,
+                index.seeks,
+                index.range_seeks,
+                index.join_probes,
+            ))
+    return Rowset(columns, rows)
+
+
 SYSTEM_ROWSETS = {
     "MINING_MODELS": mining_models_rowset,
     "MINING_COLUMNS": mining_columns_rowset,
@@ -539,6 +596,8 @@ SYSTEM_ROWSETS = {
     "DM_STATEMENT_RESOURCES": dm_statement_resources_rowset,
     "DM_LOCK_WAITS": dm_lock_waits_rowset,
     "DM_SESSIONS": dm_sessions_rowset,
+    "DM_BUFFER_POOL": dm_buffer_pool_rowset,
+    "DM_INDEXES": dm_indexes_rowset,
 }
 
 

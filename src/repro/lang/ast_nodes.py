@@ -312,6 +312,23 @@ class DropTableStatement(Statement):
     if_exists: bool = False
 
 
+@dataclass
+class CreateIndexStatement(Statement):
+    """``CREATE INDEX <name> ON <table> (<column>)`` — a named secondary
+    index (hash + sorted) the engine uses for WHERE seeks and join builds."""
+    name: str
+    table: str = ""
+    column: str = ""
+
+
+@dataclass
+class DropIndexStatement(Statement):
+    """``DROP INDEX [IF EXISTS] <name> ON <table>``."""
+    name: str
+    table: str = ""
+    if_exists: bool = False
+
+
 # ---------------------------------------------------------------------------
 # DMX statements
 # ---------------------------------------------------------------------------

@@ -292,6 +292,14 @@ def parse_drop(parser) -> ast.Statement:
         if_exists = _accept_if_exists(parser)
         name = parser.expect_identifier("model name")
         return ast.DropMiningModelStatement(name=name, if_exists=if_exists)
+    if parser.peek().is_keyword("INDEX"):
+        parser.advance()
+        if_exists = _accept_if_exists(parser)
+        name = parser.expect_identifier("index name")
+        parser.expect_keyword("ON")
+        table = parser.expect_identifier("table name")
+        return ast.DropIndexStatement(name=name, table=table,
+                                      if_exists=if_exists)
     parser.expect_keyword("TABLE", "VIEW")
     if_exists = _accept_if_exists(parser)
     name = parser.expect_identifier("table name")

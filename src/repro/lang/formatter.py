@@ -288,6 +288,14 @@ def format_statement(statement: ast.Statement) -> str:
     if isinstance(statement, ast.DropTableStatement):
         exists = "IF EXISTS " if statement.if_exists else ""
         return f"DROP TABLE {exists}{quote_ident(statement.name)}"
+    if isinstance(statement, ast.CreateIndexStatement):
+        return (f"CREATE INDEX {quote_ident(statement.name)} "
+                f"ON {quote_ident(statement.table)} "
+                f"({quote_ident(statement.column)})")
+    if isinstance(statement, ast.DropIndexStatement):
+        exists = "IF EXISTS " if statement.if_exists else ""
+        return (f"DROP INDEX {exists}{quote_ident(statement.name)} "
+                f"ON {quote_ident(statement.table)}")
     if isinstance(statement, ast.CreateMiningModelStatement):
         columns = ", ".join(format_model_column(c) for c in statement.columns)
         text = (f"CREATE MINING MODEL {quote_ident(statement.name)} "

@@ -141,6 +141,8 @@ class Parser:
                 statement = dmx_parser.parse_create_mining_model(self)
             elif self.peek(1).is_keyword("VIEW"):
                 statement = self.parse_create_view()
+            elif self.peek(1).is_keyword("INDEX"):
+                statement = self.parse_create_index()
             else:
                 statement = self.parse_create_table()
         elif token.is_keyword("INSERT"):
@@ -488,6 +490,18 @@ class Parser:
                 column.nullable = False
             else:
                 return column
+
+    def parse_create_index(self) -> ast.CreateIndexStatement:
+        """``CREATE INDEX <name> ON <table> (<column>)``."""
+        self.expect_keyword("CREATE")
+        self.expect_keyword("INDEX")
+        name = self.expect_identifier("index name")
+        self.expect_keyword("ON")
+        table = self.expect_identifier("table name")
+        self.expect_symbol("(")
+        column = self.expect_identifier("column name")
+        self.expect_symbol(")")
+        return ast.CreateIndexStatement(name=name, table=table, column=column)
 
     def parse_create_view(self) -> ast.CreateViewStatement:
         self.expect_keyword("CREATE")

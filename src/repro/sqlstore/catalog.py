@@ -1,0 +1,83 @@
+"""The paged store's root pointer: one atomically-replaced JSON document.
+
+``catalog.json`` is the *only* mutable file in the storage directory —
+page files are immutable once written (see :mod:`repro.sqlstore.diskmgr`),
+so the catalog swap is the commit point: a statement's effects become
+durable exactly when the new catalog (referencing the new page versions)
+replaces the old one.  The swap goes through the shared
+:func:`~repro.store.atomic.atomic_write_text` helper with fault points at
+``catalog.before_write`` / ``catalog.before_replace`` /
+``catalog.after_replace``, so the crash suite can kill the writer at each
+station and assert the previous committed state survives byte-intact.
+
+Document layout (format 1)::
+
+    {"format": 1, "kind": "repro-paged-catalog",
+     "next_table_id": 3, "commit_seq": 17, "data_version": 42,
+     "tables": {"T": {"id": 1, "name": "T", "version": 5,
+                      "columns": [{"name", "type", "nullable",
+                                   "primary_key"}, ...],
+                      "pages": [{"id": 0, "rows": 120,
+                                 "file": "p0_v3.pg"}, ...],
+                      "indexes": [{"name": "ix", "column": "col"}, ...]}},
+     "views": {"V": "SELECT ..."}}
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, Optional
+
+from repro.sqlstore.diskmgr import StorageError
+from repro.store.atomic import atomic_write_text
+
+CATALOG_FORMAT = 1
+CATALOG_KIND = "repro-paged-catalog"
+
+
+class DiskCatalog:
+    """Loads and atomically replaces the storage root's catalog document."""
+
+    def __init__(self, path: str, faults=None):
+        self.path = path
+        self.faults = faults
+
+    def load(self) -> Optional[Dict[str, Any]]:
+        """The committed catalog, or None when the store is brand new.
+
+        A torn or foreign document raises :class:`StorageError`: the
+        catalog is replaced atomically, so anything unreadable here was
+        never produced by a crash of ours — refusing loudly beats silently
+        reinitialising over data.
+        """
+        if not os.path.exists(self.path):
+            return None
+        try:
+            with open(self.path, encoding="utf-8") as handle:
+                document = json.load(handle)
+        except (OSError, ValueError) as exc:
+            raise StorageError(
+                f"cannot read storage catalog {self.path!r}: {exc}") from exc
+        if not isinstance(document, dict) or \
+                document.get("kind") != CATALOG_KIND:
+            raise StorageError(
+                f"{self.path!r} is not a paged-store catalog")
+        if document.get("format") != CATALOG_FORMAT:
+            raise StorageError(
+                f"storage catalog format {document.get('format')!r} is not "
+                f"supported (this build reads format {CATALOG_FORMAT})")
+        return document
+
+    def save(self, document: Dict[str, Any]) -> None:
+        document = dict(document)
+        document["format"] = CATALOG_FORMAT
+        document["kind"] = CATALOG_KIND
+        atomic_write_text(self.path, json.dumps(document, sort_keys=True),
+                          faults=self.faults, fault_prefix="catalog")
+
+    def remove(self) -> None:
+        try:
+            os.unlink(self.path)
+        except OSError:
+            pass

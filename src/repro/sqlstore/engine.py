@@ -26,6 +26,7 @@ from repro.sqlstore.expressions import (
     is_aggregate_call,
 )
 from repro.sqlstore.functions import make_aggregate
+from repro.sqlstore.indexes import choose_index
 from repro.sqlstore.rowset import (
     DEFAULT_BATCH_SIZE,
     Rowset,
@@ -119,6 +120,11 @@ class Database:
         # Streaming pipeline granularity: operators exchange row batches of
         # (at most) this many rows; memory is O(batch_size), not O(rows).
         self.batch_size = max(1, int(batch_size))
+        # store_factory(schema) -> row store; installed by the provider when
+        # a paged StorageManager is attached, else tables use the in-memory
+        # list store.  metrics is the provider's registry (index counters).
+        self.store_factory: Optional[Callable] = None
+        self.metrics = None
         self._view_depth = 0
         self._catalog_version = 0
 
@@ -151,7 +157,8 @@ class Database:
         key = schema.name.upper()
         if key in self.tables or key in self.views:
             raise CatalogError(f"table or view {schema.name!r} already exists")
-        table = Table(schema)
+        store = self.store_factory(schema) if self.store_factory else None
+        table = Table(schema, store=store)
         self.tables[key] = table
         self._catalog_version += 1
         return table
@@ -162,6 +169,7 @@ class Database:
             # Fold the dropped table's mutation count into the catalog
             # counter so data_version never moves backwards.
             self._catalog_version += 1 + self.tables[key].version
+            self.tables[key].dispose()
             del self.tables[key]
         elif key in self.views:
             self._catalog_version += 1
@@ -207,6 +215,16 @@ class Database:
             return self._execute_update(statement)
         if isinstance(statement, ast.DropTableStatement):
             self.drop_table(statement.name, statement.if_exists)
+            return 0
+        if isinstance(statement, ast.CreateIndexStatement):
+            self.table(statement.table).create_index(statement.name,
+                                                     statement.column)
+            self._catalog_version += 1
+            return 0
+        if isinstance(statement, ast.DropIndexStatement):
+            self.table(statement.table).drop_index(statement.name,
+                                                   statement.if_exists)
+            self._catalog_version += 1
             return 0
         raise Error(
             f"statement {type(statement).__name__} is not supported by the "
@@ -385,8 +403,11 @@ class Database:
             result = self._select_without_from(statement)
             obs_trace.add_to(span, "rows_out", len(result.rows))
             return RowStream.from_rowset(result, batch_size)
-        relation = self.resolve_table_ref(statement.from_clause,
-                                          batch_size=batch_size)
+        relation = self._seek_relation(statement.from_clause,
+                                       statement.where, batch_size, span)
+        if relation is None:
+            relation = self.resolve_table_ref(statement.from_clause,
+                                              batch_size=batch_size)
         context = relation.context()
         context.subquery_executor = self.execute_select
 
@@ -737,7 +758,10 @@ class Database:
             node.strategy = "constant"
             node.est_rows = 1
             return node
-        child = self.plan_table_ref(statement.from_clause, external_planner)
+        child = self._plan_seek(statement.from_clause, statement.where)
+        if child is None:
+            child = self.plan_table_ref(statement.from_clause,
+                                        external_planner)
         node.add(child)
         est = None if grouped or statement.where is not None \
             else child.est_rows
@@ -767,6 +791,59 @@ class Database:
         if streaming and all(e is not None for e in ests):
             node.est_rows = sum(ests)
         return node
+
+    def _plan_seek(self, ref: ast.TableRef, where: Optional[ast.Expr]):
+        """EXPLAIN mirror of :meth:`_seek_relation` — read-only (candidate
+        positions are computed for the estimate, but no usage counter
+        moves).  On a paged store the detail also carries the buffer-hit
+        expectation: how many of the pages the seek will touch are
+        resident right now."""
+        from repro.obs.explain import PlanNode
+
+        if where is None:
+            return None
+        table = self._indexed_table(ref)
+        if table is None:
+            return None
+        choice = choose_index(where, table, ref.alias or ref.name)
+        if choice is None:
+            return None
+        detail = choice.detail
+        expectation = table.store.seek_expectation(choice.positions)
+        if expectation is not None:
+            detail = f"{detail}; {expectation}"
+        return PlanNode("index seek", target=ref.name,
+                        strategy=f"index {choice.index.name} "
+                                 f"({choice.access})",
+                        detail=detail,
+                        est_rows=len(choice.positions),
+                        match="parent",
+                        rows_counter="rows_scanned")
+
+    def _plan_join_build_index(self, ref: ast.TableRef, equalities):
+        """Best-effort EXPLAIN mirror of :meth:`_join_build_index`.
+
+        The executor resolves the build column with full two-sided name
+        resolution; here the first equality's column refs are matched
+        against the right-side base table by name (right-side spelling
+        first).  Ambiguous orientations may diverge — that affects the
+        plan text only, never execution.
+        """
+        table = self._indexed_table(ref)
+        if table is None:
+            return None
+        qualifier = (ref.alias or ref.name).upper()
+        a, b = equalities[0]
+        for column_ref in (b, a):
+            parts = column_ref.parts
+            if len(parts) > 1 and parts[0].upper() != qualifier:
+                continue
+            if not table.schema.has_column(parts[-1]):
+                continue
+            index = table.index_on(table.schema.index_of(parts[-1]))
+            if index is not None:
+                return index
+        return None
 
     def plan_table_ref(self, ref: ast.TableRef,
                        external_planner: Optional[Callable] = None):
@@ -811,6 +888,12 @@ class Database:
                 equalities, _ = _split_equi_condition(ref.condition)
                 strategy = ("hash join (right side build)" if equalities
                             else "nested loop (right side materialized)")
+                if equalities:
+                    index = self._plan_join_build_index(ref.right,
+                                                        equalities)
+                    if index is not None:
+                        strategy = (f"hash join (right side index "
+                                    f"{index.name})")
             node = PlanNode("join", target=ref.kind.lower(),
                             strategy=strategy, est_rows=est,
                             span_name="engine.join",
@@ -820,6 +903,64 @@ class Database:
             return node
         raise BindError(
             f"FROM source {type(ref).__name__} requires the mining provider")
+
+    def _indexed_table(self, ref: ast.TableRef) -> Optional[Table]:
+        """The base table behind a NamedTable FROM source, if it carries
+        user indexes.  Views expand through SELECT and models never share
+        a key with ``self.tables`` (the provider enforces one namespace),
+        so a plain dict probe is a complete claim check."""
+        if not isinstance(ref, ast.NamedTable):
+            return None
+        key = ref.name.upper()
+        if key in self.views:
+            return None
+        table = self.tables.get(key)
+        if table is None or not table.indexes:
+            return None
+        return table
+
+    def _join_build_index(self, ref: ast.TableRef, build_column: int):
+        """``(table, index)`` when an equi-join's right side is a base
+        table with a user index on the build column ordinal, else None.
+        (For a base table the relation's column ordinals are exactly the
+        schema ordinals, so ``build_column`` indexes both.)"""
+        table = self._indexed_table(ref)
+        if table is None:
+            return None
+        index = table.index_on(build_column)
+        if index is None:
+            return None
+        return table, index
+
+    def _seek_relation(self, ref: ast.TableRef, where: Optional[ast.Expr],
+                       batch_size: int, span) -> Optional[SourceRelation]:
+        """Answer a filtered base-table scan with an index seek, if legal.
+
+        Candidate positions come from the leftmost sargable AND-conjunct
+        (point, IN, or range — see :func:`choose_index`); the full WHERE
+        clause is still re-applied by the filter stage, so a seek only
+        narrows the scan.  Positions stream in ascending order, keeping
+        output rows byte-identical to the sequential plan.
+        """
+        if where is None:
+            return None
+        table = self._indexed_table(ref)
+        if table is None:
+            return None
+        qualifier = ref.alias or ref.name
+        choice = choose_index(where, table, qualifier)
+        if choice is None:
+            return None
+        choice.note_use()
+        if self.metrics is not None:
+            name = ("index.range_seeks" if choice.access == "range"
+                    else "index.seeks")
+            self.metrics.counter(name).inc()
+        obs_trace.add_to(span, "index_seeks", 1)
+        columns = [(qualifier, c) for c in table.rowset_columns()]
+        return SourceRelation(
+            columns,
+            batches=table.store.iter_positions(choice.positions, batch_size))
 
     def resolve_table_ref(self, ref: ast.TableRef,
                           batch_size: Optional[int] = None) -> SourceRelation:
@@ -870,12 +1011,13 @@ class Database:
         with span:
             left = self.resolve_table_ref(ref.left, batch_size)
             right = self.resolve_table_ref(ref.right, batch_size)
-            right_rows = right.rows  # build side
-            obs_trace.add_to(span, "join_rows_in", len(right_rows))
             columns = left.columns + right.columns
             right_width = len(right.columns)
 
             if ref.kind == "CROSS":
+                right_rows = right.rows  # build side
+                obs_trace.add_to(span, "join_rows_in", len(right_rows))
+
                 def produce_cross():
                     for batch in left.batches(batch_size):
                         obs_trace.add_to(span, "join_rows_in", len(batch))
@@ -901,6 +1043,28 @@ class Database:
                     continue
                 pairs.append((a_index, b_index))
 
+            # Build side: a user index on the first equi column of a
+            # base-table right side already holds the hash buckets the
+            # scan would build — positions per key are in insertion
+            # order, so the bucket lists (and thus output order) are
+            # identical to the scan-built dict.
+            right_rows: List[tuple] = []
+            prebuilt: Optional[Dict[Any, List[tuple]]] = None
+            if pairs:
+                build_source = self._join_build_index(ref.right, pairs[0][1])
+                if build_source is not None:
+                    build_table, build_index = build_source
+                    prebuilt = {
+                        key: build_table.store.fetch_rows(positions)
+                        for key, positions in build_index.hash.items()}
+                    build_index.join_probes += 1
+                    if self.metrics is not None:
+                        self.metrics.counter("index.join_probes").inc()
+                    obs_trace.add_to(span, "join_rows_in", len(build_table))
+            if prebuilt is None:
+                right_rows = right.rows  # build side
+                obs_trace.add_to(span, "join_rows_in", len(right_rows))
+
             joined_context = SourceRelation(columns, []).context()
 
         def residual_ok(row):
@@ -912,11 +1076,15 @@ class Database:
             build: Optional[Dict[Any, List[tuple]]] = None
             if pairs:
                 # Hash join on the first equi pair; verify the rest per
-                # candidate.
-                build = {}
-                first_right = pairs[0][1]
-                for r in right_rows:
-                    build.setdefault(V.group_key(r[first_right]), []).append(r)
+                # candidate.  An index-built dict (prebuilt) short-cuts
+                # the build scan.
+                build = prebuilt
+                if build is None:
+                    build = {}
+                    first_right = pairs[0][1]
+                    for r in right_rows:
+                        build.setdefault(
+                            V.group_key(r[first_right]), []).append(r)
             for batch in left.batches(batch_size):
                 obs_trace.add_to(span, "join_rows_in", len(batch))
                 out = []

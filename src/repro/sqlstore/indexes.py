@@ -1,0 +1,314 @@
+"""Secondary indexes: hash (point/join) plus sorted (range) structures.
+
+A user-created index (``CREATE INDEX ix ON T (col)``) maintains two views
+of one column:
+
+* a **hash** map from :func:`~repro.sqlstore.values.group_key` to the row
+  positions holding that key — serving WHERE equality/IN seeks and the
+  build side of hash joins (the join probe hashes with the same
+  ``group_key``, so index-built and scan-built hash tables are identical);
+* a **sorted** run of ``(order key, position)`` pairs — serving range
+  predicates via bisection, for column classes with a total order.
+
+Index *selection* must be conservative: the engine re-applies the full
+WHERE to every candidate, so an index may return a superset of the true
+matches but never miss one.  The subtlety is mixed-type comparison
+semantics — ``sql_compare`` falls back to *string* comparison for
+mismatched types (a LONG column against the literal ``'5'`` matches by
+string compare, which a numeric range scan would miss), and ``group_key``
+separates ``bool`` from numbers while ``sql_equal`` normalises them.  So
+:func:`choose_index` only fires when the literal's type class strictly
+matches the column's declared class (str literals on TEXT, non-bool
+numbers on LONG/DOUBLE, bools — equality only — on BOOLEAN), and DATE
+columns never seek from literals (SQL literals are never date objects;
+they compare as strings).  Everything else scans, exactly as before.
+
+Candidate positions are always returned in ascending order, so an
+index-driven scan yields rows in base-table order and the differential
+suites see byte-identical output with and without the index.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.lang import ast_nodes as ast
+from repro.sqlstore.values import group_key
+
+# Column classes eligible for the sorted (range) structure.  DATE is
+# excluded: a WHERE literal can never be a date object, so range seeks on
+# DATE columns would compare dates against strings — semantics the scan
+# path resolves by string comparison, which toordinal bisection does not
+# reproduce.
+_RANGE_TYPES = ("LONG", "DOUBLE", "TEXT")
+
+
+def _order_key(type_name: str, value: Any):
+    """Monotonic (w.r.t. ``sql_compare`` within the class) bisection key."""
+    if type_name in ("LONG", "DOUBLE"):
+        return float(value)
+    return value  # TEXT: str compares natively
+
+
+def _literal_matches(type_name: str, value: Any) -> bool:
+    """Strict type-class match between a WHERE literal and a column."""
+    if value is None:
+        return False
+    if type_name == "TEXT":
+        return isinstance(value, str)
+    if type_name in ("LONG", "DOUBLE"):
+        return isinstance(value, (int, float)) and not isinstance(value, bool)
+    if type_name == "BOOLEAN":
+        return isinstance(value, bool)
+    return False
+
+
+class TableIndex:
+    """One named single-column index: hash + (where ordered) sorted runs."""
+
+    __slots__ = ("name", "column_name", "column_index", "type_name",
+                 "hash", "_ordered", "_has_nan",
+                 "seeks", "range_seeks", "join_probes")
+
+    def __init__(self, name: str, column_name: str, column_index: int,
+                 type_name: str):
+        self.name = name
+        self.column_name = column_name
+        self.column_index = column_index
+        self.type_name = type_name
+        self.hash: Dict[Any, List[int]] = {}
+        # (order_key, position) tuples, sorted; None for non-range classes.
+        self._ordered: Optional[List[Tuple[Any, int]]] = \
+            [] if type_name in _RANGE_TYPES else None
+        self._has_nan = False
+        self.seeks = 0
+        self.range_seeks = 0
+        self.join_probes = 0
+
+    @property
+    def kind(self) -> str:
+        return "hash+sorted" if self._ordered is not None else "hash"
+
+    @property
+    def entries(self) -> int:
+        return sum(len(p) for p in self.hash.values())
+
+    @property
+    def keys(self) -> int:
+        return len(self.hash)
+
+    # -- maintenance ----------------------------------------------------------
+
+    def note_insert(self, row: Tuple, position: int) -> None:
+        value = row[self.column_index]
+        self.hash.setdefault(group_key(value), []).append(position)
+        if self._ordered is not None and value is not None:
+            if isinstance(value, float) and value != value:
+                # NaN has no place in a total order; range seeks are
+                # disabled for this index (NaN satisfies >=/<= under
+                # sql_compare's three-way fallback, so a bisected slice
+                # could no longer be a superset of the scan's matches).
+                self._has_nan = True
+            else:
+                bisect.insort(self._ordered,
+                              (_order_key(self.type_name, value), position))
+
+    def rebuild(self, rows) -> None:
+        self.hash = {}
+        if self._ordered is not None:
+            self._ordered = []
+        self._has_nan = False
+        for position, row in enumerate(rows):
+            self.note_insert(row, position)
+
+    # -- seeks ----------------------------------------------------------------
+
+    def range_capable(self) -> bool:
+        return self._ordered is not None and not self._has_nan
+
+    def positions_equal(self, literal: Any) -> List[int]:
+        return list(self.hash.get(group_key(literal), ()))
+
+    def positions_in(self, literals) -> List[int]:
+        positions: List[int] = []
+        seen = set()
+        for literal in literals:
+            key = group_key(literal)
+            if key in seen:
+                continue
+            seen.add(key)
+            positions.extend(self.hash.get(key, ()))
+        positions.sort()
+        return positions
+
+    def positions_range(self, low: Any = None, high: Any = None) -> List[int]:
+        """Positions with order key in ``[low, high]`` (bounds inclusive).
+
+        Bounds are applied *inclusively* regardless of the predicate's
+        strictness — deliberately conservative: the order key may collapse
+        distinct values (it only promises monotonicity), and the full WHERE
+        re-filters, so over-inclusion at the boundary is free correctness.
+        """
+        ordered = self._ordered or []
+        lo = 0
+        hi = len(ordered)
+        if low is not None:
+            lo = bisect.bisect_left(
+                ordered, (_order_key(self.type_name, low),))
+        if high is not None:
+            hi = bisect.bisect_right(
+                ordered, (_order_key(self.type_name, high), float("inf")))
+        return sorted(position for _, position in ordered[lo:hi])
+
+
+class IndexChoice:
+    """The outcome of :func:`choose_index`: which index, how, and the
+    candidate positions (ascending)."""
+
+    __slots__ = ("index", "access", "detail", "positions")
+
+    def __init__(self, index: TableIndex, access: str, detail: str,
+                 positions: List[int]):
+        self.index = index
+        self.access = access  # "point" | "in" | "range"
+        self.detail = detail
+        self.positions = positions
+
+    def note_use(self) -> None:
+        if self.access == "range":
+            self.index.range_seeks += 1
+        else:
+            self.index.seeks += 1
+
+
+def _conjuncts(expr: Optional[ast.Expr]) -> List[ast.Expr]:
+    """Flatten a top-level AND tree into its conjunct list."""
+    out: List[ast.Expr] = []
+
+    def walk(node):
+        if isinstance(node, ast.BinaryOp) and node.op == "AND":
+            walk(node.left)
+            walk(node.right)
+        elif node is not None:
+            out.append(node)
+
+    walk(expr)
+    return out
+
+
+def _column_of(expr: ast.Expr, table, qualifier: str) -> Optional[int]:
+    """Resolve a ColumnRef to this table's column ordinal, else None."""
+    if not isinstance(expr, ast.ColumnRef):
+        return None
+    parts = expr.parts
+    if len(parts) == 1:
+        name = parts[0]
+    elif len(parts) == 2 and parts[0].upper() == qualifier.upper():
+        name = parts[1]
+    else:
+        return None
+    if not table.schema.has_column(name):
+        return None
+    return table.schema.index_of(name)
+
+
+def _literal_value(expr: ast.Expr):
+    """The literal's value, or a no-match sentinel for non-literals."""
+    if isinstance(expr, ast.Literal):
+        return True, expr.value
+    return False, None
+
+
+def choose_index(where: Optional[ast.Expr], table,
+                 qualifier: str) -> Optional[IndexChoice]:
+    """Pick an index seek for the leftmost sargable AND-conjunct, if any.
+
+    Sargable forms (column and literal may appear on either side):
+    ``col = lit``, ``col </<=/>/>= lit``, ``col IN (lit, ...)``,
+    ``col BETWEEN lit AND lit`` — all under the strict type-class rule in
+    the module docstring.  Returns ``None`` when nothing qualifies (the
+    caller falls back to a sequential scan).
+    """
+    if where is None or not getattr(table, "indexes", None):
+        return None
+    for conjunct in _conjuncts(where):
+        choice = _try_conjunct(conjunct, table, qualifier)
+        if choice is not None:
+            return choice
+    return None
+
+
+def _index_for(table, column_index: int) -> Optional[TableIndex]:
+    for index in table.indexes.values():
+        if index.column_index == column_index:
+            return index
+    return None
+
+
+def _try_conjunct(expr: ast.Expr, table,
+                  qualifier: str) -> Optional[IndexChoice]:
+    if isinstance(expr, ast.BinaryOp) and expr.op in ("=", "<", "<=",
+                                                      ">", ">="):
+        column = _column_of(expr.left, table, qualifier)
+        literal_side = expr.right
+        op = expr.op
+        if column is None:
+            column = _column_of(expr.right, table, qualifier)
+            literal_side = expr.left
+            # Mirror the operator when the literal is on the left.
+            op = {"<": ">", "<=": ">=", ">": "<", ">=": "<="}.get(op, op)
+        if column is None:
+            return None
+        ok, value = _literal_value(literal_side)
+        if not ok:
+            return None
+        index = _index_for(table, column)
+        if index is None or not _literal_matches(index.type_name, value):
+            return None
+        if op == "=":
+            return IndexChoice(
+                index, "point",
+                f"point lookup on {index.column_name}",
+                index.positions_equal(value))
+        if index.type_name == "BOOLEAN" or not index.range_capable():
+            return None
+        low = value if op in (">", ">=") else None
+        high = value if op in ("<", "<=") else None
+        return IndexChoice(
+            index, "range", f"range on {index.column_name}",
+            index.positions_range(low, high))
+    if isinstance(expr, ast.InList) and not expr.negated:
+        column = _column_of(expr.operand, table, qualifier)
+        if column is None:
+            return None
+        index = _index_for(table, column)
+        if index is None:
+            return None
+        values = []
+        for item in expr.items:
+            ok, value = _literal_value(item)
+            if not ok or not _literal_matches(index.type_name, value):
+                return None
+            values.append(value)
+        return IndexChoice(
+            index, "in", f"in-list lookup on {index.column_name}",
+            index.positions_in(values))
+    if isinstance(expr, ast.Between) and not expr.negated:
+        column = _column_of(expr.operand, table, qualifier)
+        if column is None:
+            return None
+        index = _index_for(table, column)
+        if index is None or index.type_name == "BOOLEAN" or \
+                not index.range_capable():
+            return None
+        ok_low, low = _literal_value(expr.low)
+        ok_high, high = _literal_value(expr.high)
+        if not (ok_low and ok_high) or \
+                not _literal_matches(index.type_name, low) or \
+                not _literal_matches(index.type_name, high):
+            return None
+        return IndexChoice(
+            index, "range", f"range on {index.column_name}",
+            index.positions_range(low, high))
+    return None

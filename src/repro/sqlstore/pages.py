@@ -1,0 +1,200 @@
+"""Fixed-budget row pages: the on-disk unit of the paged sqlstore.
+
+A *page* is the unit the buffer pool caches and the disk manager writes: a
+bounded run of consecutive table rows with a deterministic byte encoding.
+Pages target :data:`DEFAULT_PAGE_BYTES` of encoded payload — a page accepts
+rows until the next row would push it past the budget (a single oversized
+row still gets a page of its own, so arbitrarily wide rows never wedge the
+store).
+
+The encoding is byte-deterministic so the differential suites can compare
+page-level state across processes:
+
+======  ======================================================
+offset  field
+======  ======================================================
+0       magic ``b"RPG1"``
+4       page id (u32 big-endian)
+8       row count (u32)
+12      payload length (u32)
+16      CRC-32 of the payload (u32)
+20      payload: UTF-8 JSON array of row arrays
+======  ======================================================
+
+Scalar cells reuse the persistence tag scheme (``{"$datetime": iso}`` /
+``{"$date": iso}`` — the same tags the snapshot format and the wire
+protocol use), and TABLE-typed cells nest as ``{"$rowset": ...}``.  The
+CRC makes a torn or bit-flipped page detectable on read:
+:func:`decode_page` raises :class:`PageFormatError` rather than ever
+serving half a page.
+"""
+
+from __future__ import annotations
+
+import datetime
+import json
+import struct
+import zlib
+from typing import Any, List, Optional, Tuple
+
+from repro.errors import Error
+
+PAGE_MAGIC = b"RPG1"
+HEADER = struct.Struct(">4sIIII")
+DEFAULT_PAGE_BYTES = 4096
+
+
+class PageFormatError(Error):
+    """A page's bytes are torn, truncated, or fail their checksum."""
+
+
+def encode_scalar(value: Any) -> Any:
+    """Tag temporal scalars for JSON (``$datetime``/``$date``, ISO strings).
+
+    This is the canonical scalar codec shared by provider snapshots
+    (:mod:`repro.core.persistence`), the wire protocol, and page payloads —
+    one tag scheme, so every layer round-trips temporal values identically.
+    datetime subclasses date: test it first, else a datetime would be
+    tagged ``$date`` and its time part lost on decode.
+    """
+    if isinstance(value, datetime.datetime):
+        return {"$datetime": value.isoformat()}
+    if isinstance(value, datetime.date):
+        return {"$date": value.isoformat()}
+    return value
+
+
+def decode_scalar(value: Any) -> Any:
+    if isinstance(value, dict):
+        if "$datetime" in value:
+            return datetime.datetime.fromisoformat(value["$datetime"])
+        if "$date" in value:
+            return datetime.date.fromisoformat(value["$date"])
+    return value
+
+
+def _encode_cell(value: Any) -> Any:
+    # Local import: Rowset lives above the page layer in the module graph.
+    from repro.sqlstore.rowset import Rowset
+    if isinstance(value, Rowset):
+        return {"$rowset": {
+            "columns": [{"name": c.name,
+                         "type": c.type.name if c.type else None}
+                        for c in value.columns],
+            "rows": [[_encode_cell(v) for v in row] for row in value.rows],
+        }}
+    return encode_scalar(value)
+
+
+def _decode_cell(value: Any) -> Any:
+    if isinstance(value, dict) and "$rowset" in value:
+        from repro.sqlstore.rowset import Rowset, RowsetColumn
+        from repro.sqlstore.types import type_from_name
+        entry = value["$rowset"]
+        columns = [RowsetColumn(c["name"],
+                                type_from_name(c["type"]) if c["type"]
+                                else None)
+                   for c in entry["columns"]]
+        rows = [tuple(_decode_cell(v) for v in row) for row in entry["rows"]]
+        return Rowset(columns, rows)
+    return decode_scalar(value)
+
+
+def encode_row(row: Tuple) -> bytes:
+    """One row as canonical UTF-8 JSON bytes (deterministic key order)."""
+    return json.dumps([_encode_cell(v) for v in row], sort_keys=True,
+                      ensure_ascii=False,
+                      separators=(",", ":")).encode("utf-8")
+
+
+def decode_row(data: bytes) -> Tuple:
+    return tuple(_decode_cell(v) for v in json.loads(data.decode("utf-8")))
+
+
+class Page:
+    """A resident page: decoded rows plus buffer-pool bookkeeping.
+
+    ``rows`` is append-only while the page is live (DELETE/UPDATE build
+    replacement pages instead of mutating), so concurrent readers can slice
+    a stable prefix without locking.  ``payload_size`` tracks the encoded
+    byte size incrementally so admission checks never re-encode the page.
+    """
+
+    __slots__ = ("page_id", "rows", "payload_size", "dirty", "pins",
+                 "handle")
+
+    def __init__(self, page_id: int, rows: Optional[List[Tuple]] = None,
+                 payload_size: Optional[int] = None):
+        self.page_id = page_id
+        self.rows: List[Tuple] = rows if rows is not None else []
+        if payload_size is None:
+            sizes = [len(encode_row(r)) for r in self.rows]
+            payload_size = 2 + sum(sizes) + max(0, len(sizes) - 1)
+        self.payload_size = payload_size
+        self.dirty = False
+        self.pins = 0
+        self.handle = None  # set by the storage layer
+
+    def has_room(self, row_bytes: int, budget: int) -> bool:
+        """Admission rule: fits in the budget, or the page is still empty."""
+        if not self.rows:
+            return True
+        return self.payload_size + row_bytes + 1 <= budget
+
+    def append(self, row: Tuple, row_bytes: int) -> None:
+        self.payload_size += row_bytes + (1 if self.rows else 0)
+        self.rows.append(row)
+        self.dirty = True
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __repr__(self) -> str:
+        flags = "dirty" if self.dirty else "clean"
+        return (f"Page(id={self.page_id}, rows={len(self.rows)}, "
+                f"{flags}, pins={self.pins})")
+
+
+def encode_page(page_id: int, rows: List[Tuple]) -> bytes:
+    """Serialise rows into the deterministic page byte layout."""
+    payload = b"[" + b",".join(encode_row(r) for r in rows) + b"]"
+    header = HEADER.pack(PAGE_MAGIC, page_id, len(rows), len(payload),
+                         zlib.crc32(payload) & 0xFFFFFFFF)
+    return header + payload
+
+
+def decode_page(data: bytes, expect_page_id: Optional[int] = None) -> Page:
+    """Parse page bytes, verifying magic, lengths, and the CRC.
+
+    Any mismatch raises :class:`PageFormatError` — the caller must treat
+    the page as torn and fail the read, never serve a partial row set.
+    """
+    if len(data) < HEADER.size:
+        raise PageFormatError(
+            f"page truncated: {len(data)} bytes is shorter than the "
+            f"{HEADER.size}-byte header")
+    magic, page_id, row_count, payload_len, crc = HEADER.unpack_from(data)
+    if magic != PAGE_MAGIC:
+        raise PageFormatError(f"bad page magic {magic!r}")
+    payload = data[HEADER.size:]
+    if len(payload) != payload_len:
+        raise PageFormatError(
+            f"torn page {page_id}: header promises {payload_len} payload "
+            f"bytes, file holds {len(payload)}")
+    if zlib.crc32(payload) & 0xFFFFFFFF != crc:
+        raise PageFormatError(f"page {page_id} failed its CRC check")
+    if expect_page_id is not None and page_id != expect_page_id:
+        raise PageFormatError(
+            f"page id mismatch: expected {expect_page_id}, file says "
+            f"{page_id}")
+    try:
+        raw_rows = json.loads(payload.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise PageFormatError(
+            f"page {page_id} payload is not valid JSON: {exc}") from exc
+    if len(raw_rows) != row_count:
+        raise PageFormatError(
+            f"page {page_id} row-count mismatch: header says {row_count}, "
+            f"payload holds {len(raw_rows)}")
+    rows = [tuple(_decode_cell(v) for v in row) for row in raw_rows]
+    return Page(page_id, rows, payload_size=payload_len)

@@ -1,0 +1,550 @@
+"""Row storage behind :class:`~repro.sqlstore.table.Table`: list or paged.
+
+Two interchangeable row stores implement the same small contract
+(``append`` / ``replace_all`` / ``iter_batches`` / ``iter_positions`` /
+``row_at`` / ``snapshot``):
+
+* :class:`ListRowStore` — the original in-memory list.  The default, and
+  the behavioural reference: DELETE/UPDATE swap in a fresh list so scans
+  started earlier keep reading pre-mutation rows.
+* :class:`PagedRowStore` — rows packed into fixed-budget pages, cached by
+  the shared :class:`~repro.sqlstore.buffer.BufferPool` and spilled to
+  versioned files by the :class:`~repro.sqlstore.diskmgr.DiskManager`.
+  Scans snapshot ``(handle, row_count)`` pairs, so the same
+  pre-mutation-stability contract holds: appends beyond the snapshot are
+  invisible, and replaced pages stay readable from their retired files
+  (deleted only at open/close, never at commit).
+
+:class:`StorageManager` owns the shared pool, the disk layout, and the
+commit protocol — shadow paging: flush dirty pages to *new* versioned
+files, then atomically swap ``catalog.json`` to reference them.  A crash
+at any byte offset leaves the old catalog pointing at old, intact files.
+
+With a durable journal attached (``connect(durable_path=...,
+storage_path=...)``) the manager runs *ephemeral*: journal replay is the
+authority on open, so the storage directory is wiped and serves purely as
+spill space.  ``storage_path`` alone makes the paged store itself the
+authoritative, restart-surviving database.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from repro.sqlstore.buffer import DEFAULT_BUFFER_PAGES, BufferPool
+from repro.sqlstore.catalog import DiskCatalog
+from repro.sqlstore.diskmgr import DiskManager, StorageError
+from repro.sqlstore.pages import DEFAULT_PAGE_BYTES, Page, encode_row
+
+
+class ListRowStore:
+    """The in-memory reference store: one Python list."""
+
+    __slots__ = ("rows",)
+
+    def __init__(self, rows: Optional[List[Tuple]] = None):
+        self.rows: List[Tuple] = rows if rows is not None else []
+
+    def append(self, row: Tuple) -> None:
+        self.rows.append(row)
+
+    def replace_all(self, rows: Iterable[Tuple]) -> None:
+        # A fresh list, never in-place: scans holding the old list keep
+        # reading pre-mutation rows.
+        self.rows = list(rows)
+
+    def truncate(self) -> None:
+        self.rows = []
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def snapshot(self) -> List[Tuple]:
+        return self.rows
+
+    def row_at(self, position: int) -> Tuple:
+        return self.rows[position]
+
+    def fetch_rows(self, positions: List[int]) -> List[Tuple]:
+        rows = self.rows
+        return [rows[position] for position in positions]
+
+    def iter_batches(self, batch_size: int) -> Iterable[List[Tuple]]:
+        rows = self.rows
+        for start in range(0, len(rows), batch_size):
+            yield rows[start:start + batch_size]
+
+    def iter_positions(self, positions: List[int],
+                       batch_size: int) -> Iterable[List[Tuple]]:
+        rows = self.rows
+        for start in range(0, len(positions), batch_size):
+            yield [rows[p] for p in positions[start:start + batch_size]]
+
+    def seek_expectation(self, positions: List[int]) -> Optional[str]:
+        """No buffer to expect anything of — memory rows are always hot."""
+        return None
+
+    def dispose(self) -> None:
+        pass
+
+
+class PageHandle:
+    """Durable identity of one page: where its current bytes live.
+
+    The handle outlives buffer-pool residency: evict the page and the
+    handle still knows the (immutable, versioned) file to reload from.
+    """
+
+    __slots__ = ("uid", "table_id", "page_id", "version", "row_count",
+                 "current_file")
+
+    def __init__(self, uid: int, table_id: int, page_id: int,
+                 version: int = 0, row_count: int = 0,
+                 current_file: Optional[str] = None):
+        self.uid = uid
+        self.table_id = table_id
+        self.page_id = page_id
+        self.version = version
+        self.row_count = row_count
+        self.current_file = current_file
+
+
+class PagedRowStore:
+    """Rows packed into pages, resident only while the pool caches them."""
+
+    def __init__(self, manager: "StorageManager", table_id: int,
+                 next_page_id: int = 0, next_version: int = 1,
+                 handles: Optional[List[PageHandle]] = None,
+                 row_total: int = 0):
+        self.manager = manager
+        self.table_id = table_id
+        self.handles: List[PageHandle] = handles if handles is not None \
+            else []
+        self._next_page_id = next_page_id
+        self._next_version = next_version
+        self._rows = row_total
+        self._lock = manager.pool.lock
+
+    # -- page access ----------------------------------------------------------
+
+    def _page(self, handle: PageHandle, pin: bool = False) -> Page:
+        def loader() -> Page:
+            if handle.current_file is None:
+                raise StorageError(
+                    f"page {handle.page_id} of table {self.table_id} was "
+                    f"never flushed and is no longer resident")
+            page = self.manager.disk.read_page(
+                handle.table_id, handle.current_file,
+                expect_page_id=handle.page_id)
+            page.handle = handle
+            return page
+        return self.manager.pool.get(handle.uid, loader, pin=pin)
+
+    def bump_version(self) -> int:
+        version = self._next_version
+        self._next_version += 1
+        return version
+
+    # -- mutation -------------------------------------------------------------
+
+    def append(self, row: Tuple) -> None:
+        data = encode_row(row)
+        with self._lock:
+            if self.handles:
+                last = self.handles[-1]
+                page = self._page(last)
+                if page.has_room(len(data), self.manager.page_bytes):
+                    page.append(row, len(data))
+                    last.row_count += 1
+                    self._rows += 1
+                    return
+            self._new_page([row], [len(data)])
+            self._rows += 1
+
+    def _new_page(self, rows: List[Tuple], sizes: List[int]) -> None:
+        page = Page(self._next_page_id)
+        self._next_page_id += 1
+        for row, size in zip(rows, sizes):
+            page.append(row, size)
+        handle = PageHandle(self.manager.new_uid(), self.table_id,
+                            page.page_id, row_count=len(rows))
+        page.handle = handle
+        self.handles.append(handle)
+        self.manager.pool.put(handle.uid, page)
+
+    def replace_all(self, rows: Iterable[Tuple]) -> None:
+        with self._lock:
+            self._retire_handles()
+            pending: List[Tuple] = []
+            sizes: List[int] = []
+            budget = self.manager.page_bytes
+            payload = 2
+            total = 0
+            for row in rows:
+                data = encode_row(row)
+                grown = payload + len(data) + (1 if pending else 0)
+                if pending and grown > budget:
+                    self._new_page(pending, sizes)
+                    pending, sizes, payload = [], [], 2
+                    grown = payload + len(data)
+                pending.append(row)
+                sizes.append(len(data))
+                payload = grown
+                total += 1
+            if pending:
+                self._new_page(pending, sizes)
+            self._rows = total
+
+    def truncate(self) -> None:
+        self.replace_all([])
+
+    def dispose(self) -> None:
+        with self._lock:
+            self._retire_handles()
+            self._rows = 0
+            self.manager.forget_store(self.table_id)
+
+    def _retire_handles(self) -> None:
+        """Drop every current page, keeping retired bytes readable.
+
+        A dirty resident page is flushed first so an in-flight scan that
+        snapshotted its handle can still reload a consistent version; the
+        superseded files are garbage-collected at open/close, never here.
+        """
+        pool = self.manager.pool
+        resident = dict(pool.resident())
+        for handle in self.handles:
+            page = resident.get(handle.uid)
+            if page is not None and page.dirty:
+                self.manager.flush_page(page)
+                page.dirty = False
+            pool.discard(handle.uid)
+        self.handles = []
+
+    # -- reads ----------------------------------------------------------------
+
+    def __len__(self) -> int:
+        with self._lock:
+            return self._rows
+
+    def snapshot(self) -> List[Tuple]:
+        rows: List[Tuple] = []
+        for batch in self.iter_batches(4096):
+            rows.extend(batch)
+        return rows
+
+    def row_at(self, position: int) -> Tuple:
+        with self._lock:
+            base = 0
+            for handle in self.handles:
+                if position < base + handle.row_count:
+                    page = self._page(handle)
+                    return page.rows[position - base]
+                base += handle.row_count
+        raise IndexError(position)
+
+    def fetch_rows(self, positions: List[int]) -> List[Tuple]:
+        out: List[Tuple] = []
+        for batch in self.iter_positions(positions, 4096):
+            out.extend(batch)
+        return out
+
+    def seek_expectation(self, positions: List[int]) -> Optional[str]:
+        """EXPLAIN detail: of the pages this seek will touch, how many are
+        buffer-resident right now (the plan's buffer-hit expectation)."""
+        with self._lock:
+            needed = set()
+            base = 0
+            cursor = 0
+            for position in positions:
+                while cursor < len(self.handles) and \
+                        position >= base + self.handles[cursor].row_count:
+                    base += self.handles[cursor].row_count
+                    cursor += 1
+                if cursor >= len(self.handles):
+                    break
+                needed.add(self.handles[cursor].uid)
+            resident = {uid for uid, _ in self.manager.pool.resident()}
+            hot = len(needed & resident)
+            return f"{hot}/{len(needed)} pages buffered"
+
+    def _scan_snapshot(self) -> List[Tuple[PageHandle, int]]:
+        with self._lock:
+            return [(handle, handle.row_count) for handle in self.handles]
+
+    def iter_batches(self, batch_size: int) -> Iterable[List[Tuple]]:
+        """Scan in exact ``batch_size`` chunks (mirrors the list store).
+
+        The current page stays pinned between yields — a consumer that
+        abandons the generator (TOP, CANCEL, a closed wire session)
+        releases the pin through the ``finally``.
+        """
+        snapshot = self._scan_snapshot()
+        pool = self.manager.pool
+
+        def produce():
+            pending: List[Tuple] = []
+            current: Optional[Page] = None
+            try:
+                for handle, count in snapshot:
+                    if count == 0:
+                        continue
+                    page = self._page(handle, pin=True)
+                    if current is not None:
+                        pool.unpin(current)
+                    current = page
+                    rows = page.rows
+                    index = 0
+                    while index < count:
+                        take = min(batch_size - len(pending), count - index)
+                        pending.extend(rows[index:index + take])
+                        index += take
+                        if len(pending) == batch_size:
+                            yield pending
+                            pending = []
+                if pending:
+                    yield pending
+            finally:
+                if current is not None:
+                    pool.unpin(current)
+        return produce()
+
+    def iter_positions(self, positions: List[int],
+                       batch_size: int) -> Iterable[List[Tuple]]:
+        """Fetch specific row positions (ascending) in exact-size batches."""
+        snapshot = self._scan_snapshot()
+        pool = self.manager.pool
+
+        def produce():
+            pending: List[Tuple] = []
+            current: Optional[Page] = None
+            cursor = 0  # index into snapshot
+            base = 0    # first position of snapshot[cursor]
+            rows: List[Tuple] = []
+            try:
+                for position in positions:
+                    while cursor < len(snapshot) and \
+                            position >= base + snapshot[cursor][1]:
+                        base += snapshot[cursor][1]
+                        cursor += 1
+                        rows = []
+                    if cursor >= len(snapshot):
+                        break
+                    if not rows:
+                        page = self._page(snapshot[cursor][0], pin=True)
+                        if current is not None:
+                            pool.unpin(current)
+                        current = page
+                        rows = page.rows
+                    pending.append(rows[position - base])
+                    if len(pending) == batch_size:
+                        yield pending
+                        pending = []
+                if pending:
+                    yield pending
+            finally:
+                if current is not None:
+                    pool.unpin(current)
+        return produce()
+
+
+class StorageManager:
+    """Owns one storage directory: pool + disk manager + catalog + commit.
+
+    One manager serves every table of a provider; ``buffer_pages`` is the
+    *global* page budget, shared across tables, so a pathologically small
+    budget (the forced-spill differential grid uses 2) exercises eviction
+    on every statement.
+    """
+
+    def __init__(self, root: str, buffer_pages: int = DEFAULT_BUFFER_PAGES,
+                 faults=None, metrics=None, ephemeral: bool = False,
+                 page_bytes: int = DEFAULT_PAGE_BYTES):
+        self.root = os.path.abspath(root)
+        self.ephemeral = ephemeral
+        self.page_bytes = max(64, int(page_bytes))
+        self.disk = DiskManager(self.root, faults=faults)
+        self.catalog = DiskCatalog(os.path.join(self.root, "catalog.json"),
+                                   faults=faults)
+        self.pool = BufferPool(buffer_pages, flusher=self.flush_page,
+                               metrics=metrics)
+        self.metrics = metrics
+        self.next_table_id = 1
+        self.commit_seq = 0
+        self._uid = 0
+        self._stores: Dict[int, PagedRowStore] = {}
+        self._restore_entries: Dict[str, dict] = {}
+        if ephemeral:
+            # Journal replay is authoritative: whatever a previous process
+            # spilled here is dead weight.
+            self.catalog.remove()
+            self.disk.sweep({})
+
+    # -- identities -----------------------------------------------------------
+
+    def new_uid(self) -> int:
+        with self.pool.lock:
+            self._uid += 1
+            return self._uid
+
+    def forget_store(self, table_id: int) -> None:
+        self._stores.pop(table_id, None)
+
+    # -- store factory (plugged into Database.create_table) -------------------
+
+    def make_store(self, schema) -> PagedRowStore:
+        with self.pool.lock:
+            entry = self._restore_entries.pop(schema.name.upper(), None)
+            if entry is None:
+                table_id = self.next_table_id
+                self.next_table_id += 1
+                store = PagedRowStore(self, table_id)
+            else:
+                store = self._restore_store(entry)
+            self._stores[store.table_id] = store
+            return store
+
+    def _restore_store(self, entry: dict) -> PagedRowStore:
+        handles = []
+        total = 0
+        max_page = -1
+        max_version = 0
+        for page in entry["pages"]:
+            handle = PageHandle(self.new_uid(), entry["id"], page["id"],
+                                version=page["version"],
+                                row_count=page["rows"],
+                                current_file=page["file"])
+            handles.append(handle)
+            total += page["rows"]
+            max_page = max(max_page, page["id"])
+            max_version = max(max_version, page["version"])
+        return PagedRowStore(self, entry["id"], next_page_id=max_page + 1,
+                             next_version=max_version + 1, handles=handles,
+                             row_total=total)
+
+    # -- flush / commit (shadow paging) ---------------------------------------
+
+    def flush_page(self, page: Page) -> None:
+        """Write a dirty page to a fresh versioned file (never overwrite)."""
+        handle = page.handle
+        store = self._stores.get(handle.table_id)
+        version = store.bump_version() if store is not None \
+            else handle.version + 1
+        filename = self.disk.write_page(handle.table_id, handle.page_id,
+                                        version, list(page.rows))
+        handle.version = version
+        handle.current_file = filename
+
+    def commit(self, database) -> None:
+        """Make the current logical state durable: flush, then swap root."""
+        with self.pool.lock:
+            self.pool.flush_dirty()
+            self.commit_seq += 1
+            document = self._document(database)
+        self.catalog.save(document)
+        if self.metrics is not None:
+            self.metrics.counter("buffer.commits").inc()
+
+    def _document(self, database) -> dict:
+        from repro.lang.formatter import format_statement
+
+        tables = {}
+        for key in sorted(database.tables):
+            table = database.tables[key]
+            store = table.store
+            tables[key] = {
+                "id": store.table_id,
+                "name": table.schema.name,
+                "version": table.version,
+                "columns": [
+                    {"name": c.name, "type": c.type.name,
+                     "nullable": c.nullable, "primary_key": c.primary_key}
+                    for c in table.schema.columns],
+                "pages": [
+                    {"id": h.page_id, "version": h.version,
+                     "rows": h.row_count, "file": h.current_file}
+                    for h in store.handles],
+                "indexes": [
+                    {"name": index.name, "column": index.column_name}
+                    for index in table.indexes.values()],
+            }
+        views = {key: format_statement(select)
+                 for key, select in sorted(database.views.items())}
+        return {
+            "next_table_id": self.next_table_id,
+            "commit_seq": self.commit_seq,
+            "data_version": database.data_version,
+            "tables": tables,
+            "views": views,
+        }
+
+    @staticmethod
+    def _referenced(document: dict) -> Dict[int, set]:
+        return {entry["id"]: {page["file"] for page in entry["pages"]}
+                for entry in document["tables"].values()}
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def open_into(self, database) -> None:
+        """Load the committed catalog into an empty database, then GC.
+
+        Ephemeral managers skip the load (the directory was wiped at
+        construction).  The sweep removes superseded page versions and
+        torn temp files a crashed writer left behind.
+        """
+        if self.ephemeral:
+            return
+        document = self.catalog.load()
+        if document is None:
+            self.disk.sweep({})
+            return
+        from repro.lang.parser import parse_statement
+        from repro.sqlstore.schema import ColumnSchema, TableSchema
+        from repro.sqlstore.types import type_from_name
+
+        self.next_table_id = document["next_table_id"]
+        self.commit_seq = document["commit_seq"]
+        self._restore_entries = dict(document["tables"])
+        for key in sorted(document["tables"]):
+            entry = document["tables"][key]
+            schema = TableSchema(entry["name"], [
+                ColumnSchema(c["name"], type_from_name(c["type"]),
+                             nullable=c["nullable"],
+                             primary_key=c["primary_key"])
+                for c in entry["columns"]])
+            table = database.create_table(schema)
+            table.version = entry["version"]
+            table.rebuild_indexes()
+            for index in entry.get("indexes", []):
+                table.create_index(index["name"], index["column"])
+        for key, sql in sorted(document.get("views", {}).items()):
+            database.views[key.upper()] = parse_statement(sql)
+        database.advance_data_version(document.get("data_version", 0))
+        self.disk.sweep(self._referenced(document))
+
+    def close(self, database) -> None:
+        """Final commit plus garbage collection of superseded versions."""
+        if self.ephemeral:
+            self.catalog.remove()
+            self.disk.sweep({})
+            return
+        self.commit(database)
+        self.disk.sweep(self._referenced(self._document(database)))
+
+    # -- introspection ($SYSTEM.DM_BUFFER_POOL) --------------------------------
+
+    def pool_rows(self, database) -> List[tuple]:
+        """(table, page id, rows, dirty, pins, bytes) per resident page,
+        LRU-first — the DM_BUFFER_POOL schema rowset's data."""
+        names = {table.store.table_id: table.schema.name
+                 for table in database.tables.values()
+                 if isinstance(table.store, PagedRowStore)}
+        out = []
+        for uid, page in self.pool.resident():
+            handle = page.handle
+            table_name = names.get(handle.table_id,
+                                   f"t{handle.table_id}") if handle else "?"
+            out.append((table_name, page.page_id, len(page.rows),
+                        page.dirty, page.pins, page.payload_size))
+        return out

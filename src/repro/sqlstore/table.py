@@ -1,30 +1,46 @@
-"""In-memory table storage with optional primary-key and hash indexes."""
+"""Base tables: schema + pluggable row storage + primary/secondary indexes.
+
+Row bytes live behind a *row store* (:mod:`repro.sqlstore.storage`) — the
+in-memory list by default, or the paged/buffered store when the provider is
+opened with ``storage_path=...``.  The table keeps everything semantic:
+type coercion, PRIMARY KEY uniqueness, the legacy positional hash indexes,
+and the named user indexes (``CREATE INDEX``) the engine consults for
+WHERE seeks and join builds.  All index structures are in-memory and are
+rebuilt from the store on open — only rows and index *definitions* are
+persisted.
+"""
 
 from __future__ import annotations
 
 from typing import Any, Dict, Iterable, List, Optional, Tuple
 
-from repro.errors import SchemaError, TypeError_
+from repro.errors import CatalogError, SchemaError, TypeError_
+from repro.sqlstore.indexes import TableIndex
 from repro.sqlstore.schema import TableSchema
 from repro.sqlstore.rowset import Rowset, RowsetColumn
+from repro.sqlstore.storage import ListRowStore
 from repro.sqlstore.values import group_key
 
 
 class Table:
-    """A stored base table: schema + row storage + secondary hash indexes.
+    """A stored base table: schema + row store + indexes.
 
-    Rows are tuples aligned with the schema.  A declared PRIMARY KEY column is
-    enforced unique through a hash map; callers may additionally build
-    secondary (non-unique) hash indexes to accelerate equi-joins.
+    Rows are tuples aligned with the schema.  A declared PRIMARY KEY column
+    is enforced unique through a hash map; named secondary indexes (hash +
+    sorted) are created with CREATE INDEX and accelerate WHERE seeks and
+    equi-join builds.
     """
 
-    def __init__(self, schema: TableSchema):
+    def __init__(self, schema: TableSchema, store=None):
         self.schema = schema
-        self.rows: List[Tuple] = []
+        self.store = store if store is not None else ListRowStore()
         # Monotonic mutation counter; the caseset cache keys on the sum of
         # these across the catalog so cached shapes can never serve stale
         # rows after a mutation.
         self.version = 0
+        # Named user indexes (CREATE INDEX), keyed by upper-cased name,
+        # insertion-ordered — the engine picks the first index on a column.
+        self.indexes: Dict[str, TableIndex] = {}
         self._pk_index: Optional[Dict[Any, int]] = None
         self._secondary: Dict[int, Dict[Any, List[int]]] = {}
         if schema.primary_key_index() is not None:
@@ -34,8 +50,13 @@ class Table:
     def name(self) -> str:
         return self.schema.name
 
+    @property
+    def rows(self) -> List[Tuple]:
+        """All rows, materialised (page reads for a paged store)."""
+        return self.store.snapshot()
+
     def __len__(self) -> int:
-        return len(self.rows)
+        return len(self.store)
 
     # -- mutation -------------------------------------------------------------
 
@@ -56,17 +77,19 @@ class Table:
             coerced.append(value)
         row = tuple(coerced)
         pk = self.schema.primary_key_index()
+        position = len(self.store)
         if pk is not None:
             key = group_key(row[pk])
             if key in self._pk_index:
                 raise SchemaError(
                     f"duplicate primary key {row[pk]!r} in table {self.name!r}")
-            self._pk_index[key] = len(self.rows)
-        position = len(self.rows)
-        self.rows.append(row)
+            self._pk_index[key] = position
+        self.store.append(row)
         self.version += 1
         for column_index, index in self._secondary.items():
             index.setdefault(group_key(row[column_index]), []).append(position)
+        for index in self.indexes.values():
+            index.note_insert(row, position)
 
     def insert_many(self, rows: Iterable[Iterable[Any]]) -> int:
         """Insert many rows; returns the count inserted."""
@@ -78,12 +101,13 @@ class Table:
 
     def delete_where(self, predicate) -> int:
         """Delete rows where ``predicate(row)`` is truthy; returns the count."""
-        kept = [row for row in self.rows if not predicate(row)]
-        removed = len(self.rows) - len(kept)
+        rows = self.rows
+        kept = [row for row in rows if not predicate(row)]
+        removed = len(rows) - len(kept)
         if removed:
-            self.rows = kept
+            self.store.replace_all(kept)
             self.version += 1
-            self._rebuild_indexes()
+            self.rebuild_indexes()
         return removed
 
     def update_where(self, predicate, updater) -> int:
@@ -100,17 +124,50 @@ class Table:
             else:
                 new_rows.append(row)
         if changed:
-            self.rows = new_rows
+            self.store.replace_all(new_rows)
             self.version += 1
-            self._rebuild_indexes()
+            self.rebuild_indexes()
         return changed
 
     def truncate(self) -> None:
-        self.rows = []
+        self.store.truncate()
         self.version += 1
-        self._rebuild_indexes()
+        self.rebuild_indexes()
 
-    # -- indexes --------------------------------------------------------------
+    def dispose(self) -> None:
+        """Release storage resources (DROP TABLE on a paged store)."""
+        self.store.dispose()
+
+    # -- named (CREATE INDEX) indexes -----------------------------------------
+
+    def create_index(self, name: str, column_name: str) -> TableIndex:
+        key = name.upper()
+        if key in self.indexes:
+            raise CatalogError(
+                f"index {name!r} already exists on table {self.name!r}")
+        column_index = self.schema.index_of(column_name)
+        column = self.schema.columns[column_index]
+        index = TableIndex(name, column.name, column_index, column.type.name)
+        index.rebuild(self.rows)
+        self.indexes[key] = index
+        return index
+
+    def drop_index(self, name: str, if_exists: bool = False) -> None:
+        key = name.upper()
+        if key in self.indexes:
+            del self.indexes[key]
+        elif not if_exists:
+            raise CatalogError(
+                f"no index named {name!r} on table {self.name!r}")
+
+    def index_on(self, column_index: int) -> Optional[TableIndex]:
+        """The first user index on a column ordinal, or None."""
+        for index in self.indexes.values():
+            if index.column_index == column_index:
+                return index
+        return None
+
+    # -- legacy positional indexes --------------------------------------------
 
     def ensure_index(self, column_name: str) -> Dict[Any, List[int]]:
         """Build (or fetch) a non-unique hash index on one column."""
@@ -127,19 +184,29 @@ class Table:
         if self._pk_index is None:
             raise SchemaError(f"table {self.name!r} has no primary key")
         position = self._pk_index.get(group_key(value))
-        return None if position is None else self.rows[position]
+        return None if position is None else self.store.row_at(position)
 
-    def _rebuild_indexes(self) -> None:
+    def rebuild_indexes(self) -> None:
+        """Re-derive every index structure from the stored rows.
+
+        Called after positional shifts (DELETE/UPDATE/TRUNCATE) and when a
+        paged table is reopened from its catalog (indexes are in-memory;
+        only their definitions persist).
+        """
         pk = self.schema.primary_key_index()
+        needs_rows = (pk is not None or self._secondary or self.indexes)
+        rows = self.rows if needs_rows else []
         if pk is not None:
             self._pk_index = {
                 group_key(row[pk]): position
-                for position, row in enumerate(self.rows)}
+                for position, row in enumerate(rows)}
         for column_index in list(self._secondary):
             index: Dict[Any, List[int]] = {}
-            for position, row in enumerate(self.rows):
+            for position, row in enumerate(rows):
                 index.setdefault(group_key(row[column_index]), []).append(position)
             self._secondary[column_index] = index
+        for index in self.indexes.values():
+            index.rebuild(rows)
 
     # -- export ---------------------------------------------------------------
 
@@ -153,11 +220,9 @@ class Table:
     def iter_batches(self, batch_size: int = 1024) -> Iterable[List[Tuple]]:
         """Scan the stored rows in batches (length snapshot at start).
 
-        The row list itself is never mutated in place by DELETE/UPDATE (both
-        swap in a fresh list), so a scan started before a mutation keeps
-        reading the pre-mutation rows; only same-statement INSERT ... SELECT
-        style self-reads go through a fully materialised snapshot instead.
+        Storage is never mutated in place by DELETE/UPDATE (both swap in
+        fresh storage), so a scan started before a mutation keeps reading
+        the pre-mutation rows; only same-statement INSERT ... SELECT style
+        self-reads go through a fully materialised snapshot instead.
         """
-        rows = self.rows
-        for start in range(0, len(rows), batch_size):
-            yield rows[start:start + batch_size]
+        return self.store.iter_batches(batch_size)

@@ -234,6 +234,8 @@ MUTATING_STATEMENTS = (
     ast.ImportModelStatement,
     ast.CreateTableStatement,
     ast.CreateViewStatement,
+    ast.CreateIndexStatement,
+    ast.DropIndexStatement,
     ast.UpdateStatement,
 )
 

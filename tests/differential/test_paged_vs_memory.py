@@ -1,0 +1,190 @@
+"""Differential harness: paged storage under forced spill vs in-memory.
+
+Two providers hold identical data.  One keeps rows in plain lists (the
+behavioural reference); the other runs the paged row store with a buffer
+pool of TWO frames and 512-byte pages, so every table spans multiple pages
+and almost every scan crosses an eviction — rows are continuously spilled
+to disk and reloaded.  For every statement shape in the 40-shape grid the
+canonical :func:`~repro.server.protocol.rowset_dump` must be
+*byte-identical*: paging, eviction, and reload are execution details,
+never observable ones.
+
+The sweep also covers plain EXPLAIN (byte-identical — plan text carries no
+storage detail unless an index exists), EXPLAIN ANALYZE (actuals equal,
+wall-clock masked), the wire transport over a paged provider, and an
+indexed run where both sides carry the same CREATE INDEX set so seeks and
+index-built joins are in play on both.
+"""
+
+import pytest
+
+import repro
+from repro.server.protocol import rowset_dump
+
+from tests.differential.test_stream_vs_materialize import (
+    STATEMENTS,
+    TINY_BATCH,
+    _load,
+)
+
+FORCED_BUFFER_PAGES = 2
+TINY_PAGE_BYTES = 512
+
+# Indexes on the grid's hot WHERE/JOIN columns: point + range seeks on
+# Customers, join build sides on Orders.cid and Stores.city.
+INDEX_DDL = [
+    "CREATE INDEX ix_cust_city ON Customers (city)",
+    "CREATE INDEX ix_cust_age ON Customers (age)",
+    "CREATE INDEX ix_orders_cid ON Orders (cid)",
+    "CREATE INDEX ix_stores_city ON Stores (city)",
+]
+
+
+def _memory_conn():
+    conn = repro.connect(batch_size=TINY_BATCH, caseset_cache_capacity=0)
+    _load(conn)
+    return conn
+
+
+def _paged_conn(tmp_path_factory, name):
+    root = tmp_path_factory.mktemp(name)
+    conn = repro.connect(batch_size=TINY_BATCH, caseset_cache_capacity=0,
+                         storage_path=str(root),
+                         buffer_pages=FORCED_BUFFER_PAGES,
+                         storage_page_bytes=TINY_PAGE_BYTES)
+    _load(conn)
+    return conn
+
+
+@pytest.fixture(scope="module")
+def memory():
+    conn = _memory_conn()
+    yield conn
+    conn.close()
+
+
+@pytest.fixture(scope="module")
+def paged(tmp_path_factory):
+    conn = _paged_conn(tmp_path_factory, "paged-grid")
+    yield conn
+    conn.close()
+
+
+@pytest.fixture(scope="module")
+def indexed_pair(tmp_path_factory):
+    """A separate memory/paged pair carrying the same user indexes (kept
+    apart from the plain fixtures so index-seek plan text never leaks into
+    the EXPLAIN byte-identity sweep)."""
+    left = _memory_conn()
+    right = _paged_conn(tmp_path_factory, "paged-grid-indexed")
+    for conn in (left, right):
+        for ddl in INDEX_DDL:
+            conn.execute(ddl)
+    yield left, right
+    left.close()
+    right.close()
+
+
+# -- the spill is real ---------------------------------------------------------
+
+def test_forced_spill_really_spills(paged):
+    """The pool holds at most 2 frames while the tables span many pages —
+    the grid genuinely runs larger-than-memory."""
+    storage = paged.provider.storage
+    assert len(storage.pool) <= FORCED_BUFFER_PAGES
+    total_pages = sum(len(table.store.handles)
+                      for table in paged.database.tables.values())
+    assert total_pages > 3 * FORCED_BUFFER_PAGES
+    assert storage.pool.evictions > 0
+
+
+# -- the 40-shape grid, byte for byte ------------------------------------------
+
+@pytest.mark.parametrize("statement", STATEMENTS)
+def test_paged_dump_matches_memory(memory, paged, statement):
+    assert rowset_dump(paged.execute(statement)) == \
+        rowset_dump(memory.execute(statement))
+
+
+@pytest.mark.parametrize("statement", STATEMENTS)
+def test_paged_explain_matches_memory(memory, paged, statement):
+    """Plain EXPLAIN is storage-blind without indexes: byte-identical."""
+    command = f"EXPLAIN {statement}"
+    assert rowset_dump(paged.execute(command)) == \
+        rowset_dump(memory.execute(command))
+
+
+def _masked_plan(rowset):
+    names = [c.name for c in rowset.columns]
+    wall = names.index("WALL_MS")
+    return names, [tuple(None if i == wall else v
+                         for i, v in enumerate(row)) for row in rowset.rows]
+
+
+@pytest.mark.parametrize("statement", STATEMENTS[::4])
+def test_paged_explain_analyze_matches_memory(memory, paged, statement):
+    """ANALYZE executes for real on both stores; every actual except
+    wall-clock must agree (rows scanned, batches, join rows...)."""
+    command = f"EXPLAIN ANALYZE {statement}"
+    left_names, left_rows = _masked_plan(paged.execute(command))
+    right_names, right_rows = _masked_plan(memory.execute(command))
+    assert left_names == right_names
+    assert left_rows == right_rows
+
+
+# -- indexed run: seeks and index-built joins on both sides --------------------
+
+@pytest.mark.parametrize("statement", STATEMENTS)
+def test_indexed_paged_dump_matches_indexed_memory(indexed_pair, statement):
+    left, right = indexed_pair
+    assert rowset_dump(right.execute(statement)) == \
+        rowset_dump(left.execute(statement))
+
+
+def test_indexed_run_actually_used_indexes(indexed_pair):
+    """Guard against the sweep silently degrading to sequential scans."""
+    for conn in indexed_pair:
+        rows = conn.execute(
+            "SELECT SEEKS, RANGE_SEEKS, JOIN_PROBES "
+            "FROM $SYSTEM.DM_INDEXES").rows
+        assert sum(seeks + ranges + probes
+                   for seeks, ranges, probes in rows) > 0
+
+
+def test_indexed_dm_indexes_counters_match(indexed_pair):
+    """Same statements, same index decisions: the usage counters of both
+    providers must agree exactly (storage never changes index choice)."""
+    left, right = indexed_pair
+    query = ("SELECT TABLE_NAME, INDEX_NAME, COLUMN_NAME, KIND, KEYS, "
+             "ENTRIES, SEEKS, RANGE_SEEKS, JOIN_PROBES "
+             "FROM $SYSTEM.DM_INDEXES")
+    assert rowset_dump(left.execute(query)) == \
+        rowset_dump(right.execute(query))
+
+
+# -- wire transport over a paged provider --------------------------------------
+
+@pytest.fixture(scope="module")
+def paged_wire(paged):
+    from repro.client import connect as net_connect
+    from repro.server import DmxServer
+    with DmxServer(paged.provider, port=0) as server:
+        with net_connect("127.0.0.1", server.port) as conn:
+            yield conn
+    assert server.thread_errors == []
+
+
+@pytest.mark.parametrize("statement", STATEMENTS[::3])
+def test_wire_over_paged_matches_embedded(memory, paged_wire, statement):
+    """The full stack — wire protocol over paged storage under forced
+    spill — still reproduces the in-memory reference byte for byte."""
+    assert rowset_dump(paged_wire.execute(statement)) == \
+        rowset_dump(memory.execute(statement))
+
+
+def test_wire_stream_over_paged_matches(memory, paged_wire):
+    statement = ("SELECT c.name, o.product, o.qty FROM Customers AS c "
+                 "JOIN Orders AS o ON c.cid = o.cid")
+    streamed = paged_wire.execute_stream(statement,
+                                         batch_size=5).materialize()
+    assert rowset_dump(streamed) == rowset_dump(memory.execute(statement))

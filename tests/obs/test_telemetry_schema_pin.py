@@ -116,6 +116,27 @@ DM_SESSIONS_SCHEMA = [
     ("LAST_STATEMENT", "TEXT"),
 ]
 
+DM_BUFFER_POOL_SCHEMA = [
+    ("TABLE_NAME", "TEXT"),
+    ("PAGE_ID", "LONG"),
+    ("ROWS", "LONG"),
+    ("DIRTY", "BOOLEAN"),
+    ("PINS", "LONG"),
+    ("SIZE_BYTES", "LONG"),
+]
+
+DM_INDEXES_SCHEMA = [
+    ("TABLE_NAME", "TEXT"),
+    ("INDEX_NAME", "TEXT"),
+    ("COLUMN_NAME", "TEXT"),
+    ("KIND", "TEXT"),
+    ("KEYS", "LONG"),
+    ("ENTRIES", "LONG"),
+    ("SEEKS", "LONG"),
+    ("RANGE_SEEKS", "LONG"),
+    ("JOIN_PROBES", "LONG"),
+]
+
 # The pool metric names the parallel subsystem promises to operators.
 POOL_METRIC_FAMILY = [
     "pool.max_workers",
@@ -171,6 +192,8 @@ def _schema(conn, rowset_name):
     ("DM_STATEMENT_RESOURCES", DM_STATEMENT_RESOURCES_SCHEMA),
     ("DM_LOCK_WAITS", DM_LOCK_WAITS_SCHEMA),
     ("DM_SESSIONS", DM_SESSIONS_SCHEMA),
+    ("DM_BUFFER_POOL", DM_BUFFER_POOL_SCHEMA),
+    ("DM_INDEXES", DM_INDEXES_SCHEMA),
 ])
 def test_telemetry_rowset_schema_is_pinned(conn, rowset_name, expected):
     assert _schema(conn, rowset_name) == expected, (
@@ -191,6 +214,47 @@ def test_pool_metric_family_is_pinned(conn):
     missing = [name for name in POOL_METRIC_FAMILY if name not in published]
     assert not missing, (
         f"pool metrics vanished from DM_PROVIDER_METRICS: {missing}")
+
+
+# The storage metric names the paged-store subsystem promises to
+# operators.  (buffer.pin_overflow exists too, but only materializes when
+# every frame is pinned at once — asserted in the buffer-pool unit suite.)
+BUFFER_METRIC_FAMILY = [
+    "buffer.hits",
+    "buffer.misses",
+    "buffer.evictions",
+    "buffer.flushes",
+    "buffer.commits",
+    "buffer.pages_resident",
+    "index.seeks",
+    "index.range_seeks",
+    "index.join_probes",
+]
+
+
+def test_storage_metric_family_is_pinned(tmp_path):
+    connection = repro.connect(storage_path=str(tmp_path / "store"),
+                               buffer_pages=2, storage_page_bytes=256)
+    try:
+        connection.execute("CREATE TABLE S (id INT, v TEXT)")
+        connection.execute("INSERT INTO S VALUES " + ", ".join(
+            f"({i}, 'value-{i:04d}-xxxxxxxxxx')" for i in range(40)))
+        connection.execute("CREATE INDEX IX_ID ON S (id)")
+        connection.execute("SELECT * FROM S WHERE id = 7")
+        connection.execute("SELECT * FROM S WHERE id > 30")
+        connection.execute("CREATE TABLE O (sid INT)")
+        connection.execute("INSERT INTO O VALUES (1), (2)")
+        connection.execute("CREATE INDEX IX_SID ON O (sid)")
+        connection.execute("SELECT s.id FROM S AS s JOIN O AS o "
+                           "ON s.id = o.sid")
+        published = {row[0] for row in connection.execute(
+            "SELECT METRIC FROM $SYSTEM.DM_PROVIDER_METRICS").rows}
+    finally:
+        connection.close()
+    missing = [name for name in BUFFER_METRIC_FAMILY
+               if name not in published]
+    assert not missing, (
+        f"storage metrics vanished from DM_PROVIDER_METRICS: {missing}")
 
 
 def test_pool_metrics_carry_sane_values(conn):

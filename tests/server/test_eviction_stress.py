@@ -1,0 +1,166 @@
+"""Concurrent eviction stress: wire readers vs a journaled writer on a
+tiny buffer pool.
+
+Several client sessions stream scans of a multi-page table while another
+session appends rows through the journal, all against a pool of FOUR
+frames — every scan crosses evictions, and reader pins constantly collide
+with the writer's page loads.  The invariants:
+
+* no reader ever observes a torn row (every row is self-consistent) and
+  every scan sees exactly the ordered prefix ``0..seen-1`` — appends are
+  ordered, so skips, duplicates, or rewinds all fail loudly;
+* a reader that abandons its stream mid-scan and drops the connection
+  (the wire cancel path) releases its pins — after the storm every
+  resident page has zero pins and the pool is back within budget;
+* the buffer accounting adds up and the forced evictions really happened.
+"""
+
+import threading
+import time
+
+import pytest
+
+import repro
+from repro.client import connect as net_connect
+from repro.server import DmxServer
+
+BUFFER_PAGES = 4
+PAGE_BYTES = 256
+BASE_ROWS = 120
+READERS = 4
+ROUNDS = 4
+ABANDONS = 2
+WRITE_BATCHES = 8
+BATCH_ROWS = 10
+
+
+def _value(i):
+    return f"val-{i:05d}-xxxxxxxxxx"
+
+
+@pytest.fixture
+def served(tmp_path):
+    conn = repro.connect(durable_path=str(tmp_path / "journal"),
+                         storage_path=str(tmp_path / "spill"),
+                         buffer_pages=BUFFER_PAGES,
+                         storage_page_bytes=PAGE_BYTES,
+                         pool_mode="thread", max_workers=2)
+    conn.execute("CREATE TABLE Stream (id INT, val TEXT)")
+    conn.execute("INSERT INTO Stream VALUES " + ", ".join(
+        f"({i}, '{_value(i)}')" for i in range(BASE_ROWS)))
+    server = DmxServer(conn.provider, port=0,
+                       max_sessions=2 * READERS + 3)
+    yield conn, server
+    server.close()
+    conn.close()
+    assert server.thread_errors == []
+
+
+def _verify_prefix_scan(client, stop_after=None):
+    """Consume a streamed scan, checking row integrity and prefix order;
+    returns the number of rows seen."""
+    seen = 0
+    for row_id, value in client.execute_stream(
+            "SELECT id, val FROM Stream", batch_size=7):
+        assert value == _value(row_id), f"torn row served: {row_id!r}"
+        # Appends are ordered, so any scan must see exactly the prefix
+        # 0..seen-1 — no skips, duplicates, or rewinds.
+        assert row_id == seen, \
+            f"scan out of order: id {row_id} at ordinal {seen}"
+        seen += 1
+        if stop_after is not None and seen >= stop_after:
+            break
+    return seen
+
+
+def _reader_body(port, index, failures):
+    try:
+        with net_connect("127.0.0.1", port) as client:
+            for _ in range(ROUNDS):
+                seen = _verify_prefix_scan(client)
+                assert seen >= BASE_ROWS, \
+                    f"scan lost rows: {seen} < {BASE_ROWS}"
+        for _ in range(ABANDONS):
+            # Abandon a stream mid-scan and drop the connection: the wire
+            # cancel path.  The server must unwind the scan and its pins.
+            abandoned = net_connect("127.0.0.1", port)
+            try:
+                assert _verify_prefix_scan(abandoned, stop_after=20) == 20
+            finally:
+                abandoned.close()
+    except BaseException as exc:  # noqa: BLE001 - collected for the assert
+        failures.append((index, exc))
+
+
+def _writer_body(port, failures):
+    try:
+        with net_connect("127.0.0.1", port) as client:
+            for batch_no in range(WRITE_BATCHES):
+                start = BASE_ROWS + batch_no * BATCH_ROWS
+                client.execute("INSERT INTO Stream VALUES " + ", ".join(
+                    f"({i}, '{_value(i)}')"
+                    for i in range(start, start + BATCH_ROWS)))
+    except BaseException as exc:  # noqa: BLE001
+        failures.append(("writer", exc))
+
+
+def _wait_for_unpinned(pool, timeout=10.0):
+    """Server session threads unwind asynchronously after a client drop;
+    give the pins a moment to drain before asserting on them."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if all(page.pins == 0 for _, page in pool.resident()):
+            return
+        time.sleep(0.02)
+
+
+def test_readers_and_writer_storm_the_pool(served):
+    conn, server = served
+    failures = []
+    threads = [threading.Thread(target=_reader_body,
+                                args=(server.port, i, failures))
+               for i in range(READERS)]
+    threads.append(threading.Thread(target=_writer_body,
+                                    args=(server.port, failures)))
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=120)
+    assert failures == []
+    assert all(not thread.is_alive() for thread in threads)
+
+    total = BASE_ROWS + WRITE_BATCHES * BATCH_ROWS
+    rows = conn.execute("SELECT id, val FROM Stream").rows
+    assert len(rows) == total
+    assert all(value == _value(row_id) for row_id, value in rows)
+
+    pool = conn.provider.storage.pool
+    _wait_for_unpinned(pool)
+    assert len(pool) <= BUFFER_PAGES, "pool did not return to budget"
+    assert all(page.pins == 0 for _, page in pool.resident()), \
+        "an abandoned or finished scan leaked a pin"
+    assert pool.evictions > 0, "the storm never actually evicted"
+    assert pool.misses > 0 and pool.hits > 0
+    # Metrics mirror the pool's own counters exactly.
+    metrics = conn.provider.metrics
+    assert metrics.value("buffer.evictions") == pool.evictions
+    assert metrics.value("buffer.misses") == pool.misses
+
+
+def test_buffer_pool_rowset_is_live_during_storm(served):
+    """$SYSTEM.DM_BUFFER_POOL reflects residency while a scan is
+    mid-flight, and the abandoned scan's pins drain after the drop."""
+    conn, server = served
+    with net_connect("127.0.0.1", server.port) as client:
+        stream = iter(client.execute_stream("SELECT id FROM Stream",
+                                            batch_size=5))
+        next(stream)
+        rows = conn.execute(
+            "SELECT TABLE_NAME, ROWS, PINS FROM $SYSTEM.DM_BUFFER_POOL"
+        ).rows
+        assert rows and len(rows) <= BUFFER_PAGES
+        assert all(name == "Stream" and count > 0
+                   for name, count, _ in rows)
+    pool = conn.provider.storage.pool
+    _wait_for_unpinned(pool)
+    assert all(page.pins == 0 for _, page in pool.resident())

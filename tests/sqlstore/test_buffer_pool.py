@@ -1,0 +1,132 @@
+"""BufferPool unit behaviour: LRU order, pins, dirty-victim flushing."""
+
+from repro.sqlstore.buffer import BufferPool
+from repro.sqlstore.pages import Page
+
+
+def _page(page_id, dirty=False):
+    page = Page(page_id, [(page_id, f"row-{page_id}")])
+    page.dirty = dirty
+    return page
+
+
+def _fill(pool, uids):
+    pages = {}
+    for uid in uids:
+        pages[uid] = pool.get(uid, lambda uid=uid: _page(uid))
+    return pages
+
+
+def test_hit_and_miss_counters():
+    pool = BufferPool(budget_pages=4)
+    pool.get(1, lambda: _page(1))
+    pool.get(1, lambda: _page(1))
+    pool.get(2, lambda: _page(2))
+    assert (pool.misses, pool.hits) == (2, 1)
+
+
+def test_loader_not_called_on_hit():
+    pool = BufferPool(budget_pages=4)
+    pool.get(1, lambda: _page(1))
+    calls = []
+    pool.get(1, lambda: calls.append(1) or _page(1))
+    assert calls == []
+
+
+def test_lru_eviction_order():
+    pool = BufferPool(budget_pages=2)
+    _fill(pool, [1, 2])
+    pool.get(1, lambda: _page(1))       # 1 becomes most recent
+    pool.get(3, lambda: _page(3))       # evicts 2, the LRU
+    assert [uid for uid, _ in pool.resident()] == [1, 3]
+    assert pool.evictions == 1
+
+
+def test_resident_is_lru_first():
+    pool = BufferPool(budget_pages=3)
+    _fill(pool, [1, 2, 3])
+    pool.get(1, lambda: _page(1))
+    assert [uid for uid, _ in pool.resident()] == [2, 3, 1]
+
+
+def test_eviction_skips_pinned_pages():
+    pool = BufferPool(budget_pages=2)
+    pinned = pool.get(1, lambda: _page(1), pin=True)
+    pool.get(2, lambda: _page(2))
+    pool.get(3, lambda: _page(3))       # LRU is 1, but it is pinned
+    uids = [uid for uid, _ in pool.resident()]
+    assert 1 in uids and 2 not in uids
+    pool.unpin(pinned)
+
+
+def test_pin_overflow_when_everything_is_pinned():
+    pool = BufferPool(budget_pages=2)
+    a = pool.get(1, lambda: _page(1), pin=True)
+    b = pool.get(2, lambda: _page(2), pin=True)
+    c = pool.get(3, lambda: _page(3), pin=True)
+    assert len(pool) == 3               # over budget, but no deadlock
+    assert pool.pin_overflow >= 1
+    for page in (a, b, c):
+        pool.unpin(page)
+    assert len(pool) == 2               # unpin re-runs eviction
+
+
+def test_get_with_pin_is_atomic_at_budget_one():
+    """The freshly admitted page must never evict itself: pin lands before
+    admission on the miss path."""
+    pool = BufferPool(budget_pages=1)
+    page = pool.get(1, lambda: _page(1), pin=True)
+    assert page.pins == 1
+    assert [uid for uid, _ in pool.resident()] == [1]
+    pool.unpin(page)
+
+
+def test_dirty_victim_is_flushed_before_eviction():
+    flushed = []
+    pool = BufferPool(budget_pages=1, flusher=flushed.append)
+    dirty = pool.get(1, lambda: _page(1, dirty=True))
+    pool.get(2, lambda: _page(2))
+    assert flushed == [dirty]
+    assert not dirty.dirty              # flush cleared the flag
+    assert pool.flushes == 1
+
+
+def test_clean_victim_is_not_flushed():
+    flushed = []
+    pool = BufferPool(budget_pages=1, flusher=flushed.append)
+    pool.get(1, lambda: _page(1))
+    pool.get(2, lambda: _page(2))
+    assert flushed == [] and pool.evictions == 1
+
+
+def test_flush_dirty_keeps_pages_resident():
+    flushed = []
+    pool = BufferPool(budget_pages=4, flusher=flushed.append)
+    _fill(pool, [1, 2, 3])
+    for uid, page in pool.resident():
+        if uid != 2:
+            page.dirty = True
+    assert pool.flush_dirty() == 2
+    assert len(flushed) == 2
+    assert len(pool) == 3
+    assert all(not page.dirty for _, page in pool.resident())
+
+
+def test_discard_drops_without_flushing():
+    flushed = []
+    pool = BufferPool(budget_pages=4, flusher=flushed.append)
+    page = pool.get(1, lambda: _page(1, dirty=True))
+    pool.discard(1)
+    assert flushed == [] and len(pool) == 0 and page.dirty
+
+
+def test_put_admits_and_respects_budget():
+    pool = BufferPool(budget_pages=2)
+    for uid in (1, 2, 3):
+        pool.put(uid, _page(uid))
+    assert [uid for uid, _ in pool.resident()] == [2, 3]
+
+
+def test_budget_floor_is_one_page():
+    assert BufferPool(budget_pages=0).budget == 1
+    assert BufferPool(budget_pages=-5).budget == 1

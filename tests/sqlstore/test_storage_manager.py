@@ -1,0 +1,236 @@
+"""StorageManager + PagedRowStore: packing, scan stability, commit/reopen."""
+
+import os
+
+import pytest
+
+from repro.lang.parser import parse_statement
+from repro.sqlstore.engine import Database
+from repro.sqlstore.schema import ColumnSchema, TableSchema
+from repro.sqlstore.storage import ListRowStore, StorageManager
+from repro.sqlstore.types import LONG, TEXT
+
+PAGE_BYTES = 256
+
+
+def _manager(tmp_path, buffer_pages=2, **kwargs):
+    return StorageManager(str(tmp_path), buffer_pages=buffer_pages,
+                          page_bytes=PAGE_BYTES, **kwargs)
+
+
+def _database(manager):
+    database = Database()
+    database.store_factory = manager.make_store
+    return database
+
+
+def _schema(name="T"):
+    return TableSchema(name, [ColumnSchema("id", LONG),
+                              ColumnSchema("name", TEXT)])
+
+
+def _rows(n, tag="row"):
+    return [(i, f"{tag}-{i:04d}-" + "x" * 30) for i in range(n)]
+
+
+def _fill(table, n, tag="row"):
+    for row in _rows(n, tag):
+        table.insert(list(row))
+
+
+def _page_files(root):
+    found = []
+    for dirpath, _, filenames in os.walk(os.path.join(root, "pages")):
+        found.extend(name for name in filenames if name.endswith(".pg"))
+    return sorted(found)
+
+
+# -- packing and reads ---------------------------------------------------------
+
+def test_appends_span_pages_and_snapshot_preserves_order(tmp_path):
+    manager = _manager(tmp_path)
+    table = _database(manager).create_table(_schema())
+    _fill(table, 40)
+    assert len(table.store.handles) > 3, "rows must spill across pages"
+    assert table.rows == _rows(40)
+    assert len(table.store) == 40
+
+
+def test_pool_stays_within_budget_under_load(tmp_path):
+    manager = _manager(tmp_path, buffer_pages=2)
+    table = _database(manager).create_table(_schema())
+    _fill(table, 60)
+    assert table.rows == _rows(60)
+    assert len(manager.pool) <= 2
+    assert manager.pool.evictions > 0
+
+
+def test_row_at_and_fetch_rows_cross_page_boundaries(tmp_path):
+    manager = _manager(tmp_path)
+    table = _database(manager).create_table(_schema())
+    _fill(table, 35)
+    store = table.store
+    expected = _rows(35)
+    assert store.row_at(0) == expected[0]
+    assert store.row_at(34) == expected[34]
+    picks = [0, 7, 8, 20, 34]
+    assert store.fetch_rows(picks) == [expected[p] for p in picks]
+    with pytest.raises(IndexError):
+        store.row_at(35)
+
+
+def test_iter_positions_batches_exactly(tmp_path):
+    manager = _manager(tmp_path)
+    table = _database(manager).create_table(_schema())
+    _fill(table, 30)
+    batches = list(table.store.iter_positions(list(range(0, 30, 2)), 4))
+    assert [len(b) for b in batches] == [4, 4, 4, 3]
+    assert [row[0] for batch in batches for row in batch] == \
+        list(range(0, 30, 2))
+
+
+def test_replace_all_repacks(tmp_path):
+    manager = _manager(tmp_path)
+    table = _database(manager).create_table(_schema())
+    _fill(table, 30)
+    replacement = _rows(9, tag="new")
+    table.store.replace_all(replacement)
+    assert table.rows == replacement
+    assert len(table.store) == 9
+
+
+# -- scan stability ------------------------------------------------------------
+
+def test_scan_does_not_see_concurrent_appends(tmp_path):
+    manager = _manager(tmp_path)
+    table = _database(manager).create_table(_schema())
+    _fill(table, 20)
+    scan = table.store.iter_batches(6)
+    collected = list(next(scan))
+    _fill(table, 10, tag="late")      # arrives after the scan snapshot
+    for batch in scan:
+        collected.extend(batch)
+    assert collected == _rows(20)
+    assert len(table.store) == 30
+
+
+def test_scan_survives_replace_all_mid_flight(tmp_path):
+    """A scan started before DELETE/UPDATE keeps reading the pre-mutation
+    rows: retired page files stay on disk until open/close GC."""
+    manager = _manager(tmp_path, buffer_pages=2)
+    table = _database(manager).create_table(_schema())
+    _fill(table, 30)
+    scan = table.store.iter_batches(6)
+    collected = list(next(scan))
+    table.store.replace_all(_rows(3, tag="post"))
+    for batch in scan:
+        collected.extend(batch)
+    assert collected == _rows(30)
+    assert table.rows == _rows(3, tag="post")
+
+
+def test_abandoned_scan_releases_its_pin(tmp_path):
+    manager = _manager(tmp_path, buffer_pages=2)
+    table = _database(manager).create_table(_schema())
+    _fill(table, 30)
+    scan = table.store.iter_batches(5)
+    next(scan)
+    assert any(page.pins > 0 for _, page in manager.pool.resident())
+    scan.close()                       # TOP / CANCEL / dropped wire session
+    assert all(page.pins == 0 for _, page in manager.pool.resident())
+
+
+# -- commit / reopen (shadow paging) -------------------------------------------
+
+def test_commit_then_reopen_round_trips(tmp_path):
+    manager = _manager(tmp_path)
+    database = _database(manager)
+    table = database.create_table(_schema())
+    _fill(table, 25)
+    table.create_index("IX_NAME", "name")
+    database.views["V"] = parse_statement("SELECT id FROM T")
+    committed_version = database.data_version
+    manager.close(database)
+
+    reopened = _manager(tmp_path)
+    database2 = _database(reopened)
+    reopened.open_into(database2)
+    table2 = database2.table("T")
+    assert table2.rows == _rows(25)
+    assert "IX_NAME" in table2.indexes
+    assert table2.indexes["IX_NAME"].entries == 25
+    assert "V" in database2.views
+    # advance_data_version is a floor: a restored catalog can never hand
+    # out a data version older than the one it committed.
+    assert database2.data_version >= committed_version
+
+
+def test_close_sweeps_superseded_page_versions(tmp_path):
+    manager = _manager(tmp_path)
+    database = _database(manager)
+    table = database.create_table(_schema())
+    _fill(table, 30)
+    manager.commit(database)
+    before = _page_files(str(tmp_path))
+    table.store.replace_all(_rows(30, tag="v2"))   # every page superseded
+    manager.close(database)
+    after = _page_files(str(tmp_path))
+    assert not set(before) & set(after), \
+        "close() must garbage-collect retired page versions"
+    assert {h.current_file for h in table.store.handles} == set(after)
+
+
+def test_dropped_table_files_are_swept_at_close(tmp_path):
+    manager = _manager(tmp_path)
+    database = _database(manager)
+    table = database.create_table(_schema())
+    _fill(table, 30)
+    manager.commit(database)
+    database.drop_table("T")
+    manager.close(database)
+    assert _page_files(str(tmp_path)) == []
+
+
+def test_ephemeral_manager_wipes_and_leaves_nothing(tmp_path):
+    manager = _manager(tmp_path)
+    database = _database(manager)
+    _fill(database.create_table(_schema()), 20)
+    manager.close(database)
+    assert _page_files(str(tmp_path)) != []
+
+    ephemeral = _manager(tmp_path, ephemeral=True)
+    assert _page_files(str(tmp_path)) == [], \
+        "ephemeral storage is spill space only: prior contents wiped"
+    database2 = _database(ephemeral)
+    _fill(database2.create_table(_schema()), 20)
+    ephemeral.close(database2)
+    assert _page_files(str(tmp_path)) == []
+    assert not os.path.exists(os.path.join(str(tmp_path), "catalog.json"))
+
+
+# -- introspection -------------------------------------------------------------
+
+def test_pool_rows_names_tables_lru_first(tmp_path):
+    manager = _manager(tmp_path, buffer_pages=4)
+    database = _database(manager)
+    table = database.create_table(_schema())
+    _fill(table, 30)
+    rows = manager.pool_rows(database)
+    assert rows and len(rows) <= 4
+    for name, page_id, row_count, dirty, pins, size in rows:
+        assert name == "T"
+        assert isinstance(page_id, int) and row_count > 0
+        assert isinstance(dirty, bool) and pins == 0 and size > 0
+
+
+def test_seek_expectation_counts_buffered_pages(tmp_path):
+    manager = _manager(tmp_path, buffer_pages=2)
+    table = _database(manager).create_table(_schema())
+    _fill(table, 40)
+    store = table.store
+    detail = store.seek_expectation(list(range(40)))
+    hot, total = detail.split(" ")[0].split("/")
+    assert detail.endswith("pages buffered")
+    assert int(total) == len(store.handles)
+    assert int(hot) <= 2
+    assert ListRowStore([(1,)]).seek_expectation([0]) is None
