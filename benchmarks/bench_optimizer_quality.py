@@ -1,0 +1,141 @@
+"""Optimizer quality — cardinality q-error and the misordered-join case.
+
+Two questions the cost-based planner must answer honestly:
+
+1. **Estimation quality**: across the full differential statement grid,
+   how far off are the root-node cardinality estimates?  The standard
+   metric is the *q-error* — ``max(est/actual, actual/est)``, clamped to
+   1 when both sides agree — and the gate is relative: the median q-error
+   with statistics must be no worse than the heuristic defaults produce.
+   Statistics that estimate *worse* than guessing would be a regression
+   the differential suite cannot see (rows stay identical either way).
+2. **Misordered-join cost**: a hash join written with the tiny table on
+   the left and the big one on the right.  The heuristic always builds
+   the right side — here the expensive choice; statistics swap the build
+   to the estimated-smaller left side.  The swap is asserted from the
+   plan (deterministic); wall-clock is reported and loosely gated.
+
+Run directly under pytest (no pytest-benchmark fixture needed):
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_optimizer_quality.py -s
+
+Set ``REPRO_BENCH_QUICK=1`` to shrink the workloads for CI smoke runs.
+"""
+
+import os
+import statistics as pystats
+import time
+
+import repro
+from repro.obs.explain import is_plan_rowset
+
+from tests.differential.test_stream_vs_materialize import (
+    STATEMENTS,
+    _load,
+)
+
+QUICK = bool(os.environ.get("REPRO_BENCH_QUICK"))
+BIG_ROWS = 2_000 if QUICK else 20_000
+SMALL_ROWS = 40
+REPEATS = 3 if QUICK else 5
+# Wall-clock gate for the misordered join: generous because the absolute
+# times are milliseconds and CI machines are noisy.  The deterministic
+# assertion is the plan swap itself.
+MAX_SLOWDOWN = 1.5
+
+
+def _root(conn, statement):
+    rowset = conn.execute(f"EXPLAIN ANALYZE {statement}")
+    assert is_plan_rowset(rowset)
+    names = [c.name for c in rowset.columns]
+    return dict(zip(names, rowset.rows[0]))
+
+
+def _q_error(estimate, actual):
+    estimate = max(float(estimate), 1.0)
+    actual = max(float(actual), 1.0)
+    return max(estimate / actual, actual / estimate)
+
+
+def _grid_conn(**kwargs):
+    conn = repro.connect(caseset_cache_capacity=0, **kwargs)
+    _load(conn)
+    return conn
+
+
+def test_bench_grid_q_error():
+    with_stats = _grid_conn()
+    without = _grid_conn(statistics=False)
+    errors = {"stats": [], "default": []}
+    for statement in STATEMENTS:
+        for label, conn in (("stats", with_stats), ("default", without)):
+            root = _root(conn, statement)
+            if root["EST_ROWS"] is None or root["ACTUAL_ROWS"] is None:
+                continue
+            errors[label].append(_q_error(root["EST_ROWS"],
+                                          root["ACTUAL_ROWS"]))
+    with_stats.close()
+    without.close()
+
+    medians = {label: pystats.median(values)
+               for label, values in errors.items()}
+    worst = {label: max(values) for label, values in errors.items()}
+    print(f"\n[q-error] {len(errors['stats'])} grid statements: "
+          f"median {medians['stats']:.2f} with statistics vs "
+          f"{medians['default']:.2f} heuristic defaults "
+          f"(worst {worst['stats']:.1f} vs {worst['default']:.1f})")
+    assert errors["stats"], "grid produced no measurable estimates"
+    assert medians["stats"] <= medians["default"], (
+        "statistics estimate worse than guessing")
+
+
+def _join_workload(conn):
+    conn.execute("CREATE TABLE Tiny (k INT, tag TEXT)")
+    conn.execute("CREATE TABLE Huge (k INT, payload TEXT)")
+    tiny = ", ".join(f"({i}, 't{i}')" for i in range(SMALL_ROWS))
+    conn.execute(f"INSERT INTO Tiny VALUES {tiny}")
+    for start in range(0, BIG_ROWS, 1000):
+        chunk = ", ".join(
+            f"({i % 500}, 'p{i:05d}')"
+            for i in range(start, min(start + 1000, BIG_ROWS)))
+        conn.execute(f"INSERT INTO Huge VALUES {chunk}")
+
+
+MISORDERED = ("SELECT t.tag, COUNT(*) AS n FROM Tiny AS t "
+              "JOIN Huge AS h ON t.k = h.k GROUP BY t.tag")
+
+
+def test_bench_misordered_join_speedup():
+    with_stats = repro.connect()
+    without = repro.connect(statistics=False)
+    for conn in (with_stats, without):
+        _join_workload(conn)
+
+    def join_strategy(conn):
+        plan = conn.execute(f"EXPLAIN {MISORDERED}")
+        names = [c.name for c in plan.columns]
+        rows = [dict(zip(names, row)) for row in plan.rows]
+        return next(r["STRATEGY"] for r in rows if r["OPERATOR"] == "join")
+
+    assert "left side build" in join_strategy(with_stats)
+    assert "right side build" in join_strategy(without)
+
+    def best_of(conn):
+        elapsed = []
+        for _ in range(REPEATS):
+            started = time.perf_counter()
+            conn.execute(MISORDERED)
+            elapsed.append(time.perf_counter() - started)
+        return min(elapsed)
+
+    stats_s = best_of(with_stats)
+    default_s = best_of(without)
+    with_stats.close()
+    without.close()
+
+    print(f"\n[misordered join] Tiny({SMALL_ROWS}) x Huge({BIG_ROWS}): "
+          f"left-build {stats_s * 1000:.1f} ms vs "
+          f"right-build {default_s * 1000:.1f} ms "
+          f"({default_s / max(stats_s, 1e-9):.2f}x)")
+    assert stats_s <= default_s * MAX_SLOWDOWN, (
+        "cost-chosen build side slower than the misordered heuristic plan")

@@ -36,8 +36,11 @@ from repro.sqlstore.schema import ColumnSchema, TableSchema
 from repro.sqlstore.types import type_from_name
 from repro.store.atomic import atomic_write_text
 
-FORMAT_VERSION = 2
-SUPPORTED_FORMATS = (1, FORMAT_VERSION)
+# Format 3 added the optional per-table "statistics" flag (cost-model
+# statistics re-derive from rows on load); 2 added durability metadata.
+# Older formats stay readable: absent keys simply mean the feature was off.
+FORMAT_VERSION = 3
+SUPPORTED_FORMATS = (1, 2, FORMAT_VERSION)
 
 
 # The scalar tag scheme lives in repro.sqlstore.pages (the leaf of the
@@ -103,6 +106,11 @@ def dump_provider(provider, last_seq: int = 0) -> str:
             tables[-1]["indexes"] = [
                 {"name": index.name, "column": index.column_name}
                 for index in table.indexes.values()]
+        if table.stats is not None:
+            # Flag only — statistics content re-derives deterministically
+            # from the restored rows (restore_into inserts row by row, so
+            # the incremental path rebuilds them as a side effect).
+            tables[-1]["statistics"] = True
     views = {key: format_statement(select)
              for key, select in sorted(provider.database.views.items())}
     models = []
@@ -169,6 +177,10 @@ def restore_into(provider, text: str) -> int:
                          primary_key=column["primary_key"])
             for column in entry["columns"]])
         table = database.create_table(schema)
+        if entry.get("statistics") and table.stats is None:
+            # Snapshot came from a statistics-enabled catalog; honour it
+            # even if this provider was opened with statistics=False.
+            table.rebuild_statistics()
         for row in entry["rows"]:
             table.insert([_decode_value(v) for v in row])
         for index in entry.get("indexes", []):

@@ -188,6 +188,59 @@ def split_on_condition(model_name: str, alias: Optional[str],
     return pairs
 
 
+#: Expression nodes a pushed-down source predicate may contain.  Function
+#: calls are excluded (prediction functions evaluate against the bound
+#: case, not the source row) and so are subqueries of either kind.
+_PUSHABLE_NODES = (ast.BinaryOp, ast.UnaryOp, ast.IsNull, ast.InList,
+                   ast.Between, ast.Like, ast.Literal, ast.ColumnRef)
+
+
+def _source_only_conjuncts(where: Optional[ast.Expr],
+                           alias: Optional[str]) -> List[ast.Expr]:
+    """Top-level WHERE conjuncts decidable from the join source row alone.
+
+    A conjunct qualifies when every column reference is explicitly
+    qualified by the source alias and the expression stays within a
+    whitelist of row-local node types.  Decidability is judged from the
+    AST alone, so the EXPLAIN mirror and the executor can never diverge.
+    Dropping source rows where such a conjunct is not True is exact:
+    the full WHERE is an AND over the conjuncts, and an AND with a
+    False/NULL operand can never evaluate to True.
+    """
+    from repro.sqlstore.engine import _children
+
+    if where is None or not alias:
+        return []
+    conjuncts: List[ast.Expr] = []
+
+    def split(expr: ast.Expr) -> None:
+        if isinstance(expr, ast.BinaryOp) and expr.op == "AND":
+            split(expr.left)
+            split(expr.right)
+        else:
+            conjuncts.append(expr)
+    split(where)
+
+    def pushable(expr: ast.Expr) -> bool:
+        if isinstance(expr, ast.ColumnRef):
+            return len(expr.parts) > 1 and \
+                expr.parts[0].upper() == alias.upper()
+        if not isinstance(expr, _PUSHABLE_NODES):
+            return False
+        return all(pushable(child) for child in _children(expr))
+    return [conjunct for conjunct in conjuncts if pushable(conjunct)]
+
+
+def _pushdown_conjuncts(provider, statement: ast.SelectStatement,
+                        alias: Optional[str]) -> List[ast.Expr]:
+    """The source predicates this statement will push below case binding.
+    Cost-based planning only — without statistics the original bind-all
+    path is kept (the differential suite's baseline)."""
+    if not getattr(provider.database, "stats_enabled", False):
+        return []
+    return _source_only_conjuncts(statement.where, alias)
+
+
 def _prediction_case_batches(provider, statement: ast.SelectStatement,
                              batch_size: Optional[int] = None):
     """Resolve the join source and compile binding; stream (row, case) pairs.
@@ -209,12 +262,14 @@ def _prediction_case_batches(provider, statement: ast.SelectStatement,
     # Pin counters onto the enclosing span (the ``predict`` span) so they
     # stay attributed to it even when batches are consumed after it closes.
     pin = obs_trace.current_span()
+    pushed = _pushdown_conjuncts(provider, statement, alias)
     cache = getattr(provider, "caseset_cache", None)
     key = None
     if cache is not None and cache.enabled:
         key = ("prediction", model.name.upper(),
                definition_fingerprint(model.definition),
                repr(join.source), bool(join.natural), repr(join.condition),
+               tuple(repr(conjunct) for conjunct in pushed),
                database.data_version)
         hit = cache.get(key)
         if hit is not None:
@@ -240,11 +295,22 @@ def _prediction_case_batches(provider, statement: ast.SelectStatement,
         pairs = split_on_condition(model.name, alias, join.condition)
         mapper = pair_mapper(model.definition, stream, pairs, alias)
     columns = list(stream.columns)
+    push_context = _source_context(columns, alias) if pushed else None
+
+    def survives_pushdown(row):
+        return all(
+            evaluate(conjunct, push_context.with_row(row)) is True
+            for conjunct in pushed)
 
     def produce():
         collected = ([], []) if key is not None else None
         total = 0
         for batch in stream.batches():
+            if pushed:
+                # Filter before binding: the full WHERE is still applied
+                # per case downstream, so output rows are unchanged — only
+                # the binding work for doomed rows is saved.
+                batch = [row for row in batch if survives_pushdown(row)]
             mapped = [(row, mapper(row)) for row in batch]
             total += len(mapped)
             obs_trace.add_to(pin, "cases_bound", len(mapped))
@@ -342,6 +408,11 @@ def plan_prediction(provider, statement: ast.SelectStatement):
                      else "positional join")]
     if not model.is_trained:
         details.append("model not trained")
+    pushed = _pushdown_conjuncts(provider, statement,
+                                 _source_alias(join.source))
+    if pushed:
+        details.append(
+            f"pushed {len(pushed)} source predicate(s) below binding")
     node = PlanNode("prediction join", target=model.name,
                     strategy=f"{flow}; {parallelism} ({reason})",
                     span_name="predict", rows_counter="rows_out",
@@ -373,7 +444,9 @@ def plan_prediction(provider, statement: ast.SelectStatement):
             key = ("prediction", model.name.upper(),
                    definition_fingerprint(model.definition),
                    repr(join.source), bool(join.natural),
-                   repr(join.condition), database.data_version)
+                   repr(join.condition),
+                   tuple(repr(conjunct) for conjunct in pushed),
+                   database.data_version)
             node.cache = ("hit expected" if cache.contains(key)
                           else "miss expected")
         stage = node.add(PlanNode("bind cases", target=model.name,
@@ -382,13 +455,24 @@ def plan_prediction(provider, statement: ast.SelectStatement):
                                   rows_counter="cases_bound"))
     stage.add(source)
     stage.est_rows = source.est_rows
-    est = None if statement.where is not None else source.est_rows
+    stage.cost = float(source.est_rows or 0) + (source.cost or 0.0)
+    est = source.est_rows
+    if est is not None and statement.where is not None:
+        # Estimate WHERE selectivity from the source table's statistics;
+        # conjuncts over predicted values fall back to the default
+        # constant inside estimate_selectivity.
+        from repro.sqlstore import stats as stats_mod
+        resolver = database._stats_resolver(join.source) \
+            if isinstance(join.source, ast.TableRef) else None
+        est = max(0, int(round(est * stats_mod.estimate_selectivity(
+            statement.where, resolver))))
     if statement.top is not None:
         est = statement.top if est is None and statement.where is None \
             else est
         if est is not None:
             est = min(est, statement.top)
     node.est_rows = est
+    node.cost = stage.cost
     return node
 
 

@@ -147,9 +147,11 @@ class Provider:
                  storage_page_bytes: Optional[int] = None,
                  storage_faults=None,
                  slow_query_ms: Optional[float] = None,
-                 telemetry_path: Optional[str] = None):
+                 telemetry_path: Optional[str] = None,
+                 statistics: bool = True):
         self.database = Database(external_resolver=self._resolve_external,
-                                 batch_size=batch_size)
+                                 batch_size=batch_size,
+                                 statistics=statistics)
         self.models: Dict[str, MiningModel] = {}
         self.tracer = Tracer()
         self.metrics = MetricsRegistry()
@@ -812,8 +814,11 @@ def connect(**kwargs) -> Connection:
     Keyword arguments (``batch_size``, ``caseset_cache_capacity``,
     ``caseset_cache_max_rows``, ``max_workers``, ``pool_mode``,
     ``durable_path``, ``durable_checkpoint_interval``, ``storage_path``,
-    ``buffer_pages``, ``slow_query_ms``, ``telemetry_path``) are forwarded
-    to :class:`Provider`.  Without ``durable_path`` the provider is purely
+    ``buffer_pages``, ``slow_query_ms``, ``telemetry_path``,
+    ``statistics``) are forwarded to :class:`Provider`.
+    ``statistics=False`` disables table statistics and pins the planner to
+    the pre-statistics heuristics (the cost-based planner's differential
+    baseline).  Without ``durable_path`` the provider is purely
     in-memory; with it, existing state under that directory is recovered
     (snapshot + journal replay) and every acknowledged mutation survives
     process death.  ``storage_path``/``buffer_pages`` attach the paged row

@@ -582,6 +582,51 @@ def dm_indexes_rowset(provider) -> Rowset:
     return Rowset(columns, rows)
 
 
+def dm_column_statistics_rowset(provider) -> Rowset:
+    """``$SYSTEM.DM_COLUMN_STATISTICS``: optimizer statistics per column —
+    row count, NDV, null fraction, min/max, and the equi-depth histogram
+    (rendered as ``lo..hi:rows/ndv`` bucket triples)."""
+    columns = [
+        RowsetColumn("TABLE_NAME", TEXT),
+        RowsetColumn("COLUMN_NAME", TEXT),
+        RowsetColumn("ROW_COUNT", LONG),
+        RowsetColumn("NDV", LONG),
+        RowsetColumn("NULL_COUNT", LONG),
+        RowsetColumn("NULL_FRACTION", DOUBLE),
+        RowsetColumn("MIN_VALUE", TEXT),
+        RowsetColumn("MAX_VALUE", TEXT),
+        RowsetColumn("HISTOGRAM_BUCKETS", LONG),
+        RowsetColumn("HISTOGRAM", TEXT),
+    ]
+
+    def render(value):
+        return None if value is None else str(value)
+
+    rows = []
+    database = provider.database
+    for key in sorted(database.tables):
+        table = database.tables[key]
+        table_stats = table.statistics()   # lazily rebuilt after reopen
+        if table_stats is None:
+            continue
+        for stats in table_stats.columns:
+            histogram = stats.histogram
+            rows.append((
+                table.schema.name,
+                stats.name,
+                table_stats.row_count,
+                stats.ndv,
+                stats.null_count,
+                round(stats.null_fraction(table_stats.row_count), 6),
+                render(stats.min_value),
+                render(stats.max_value),
+                len(histogram),
+                "; ".join(f"{render(lo)}..{render(hi)}:{bucket_rows}/{ndv}"
+                          for lo, hi, bucket_rows, ndv in histogram),
+            ))
+    return Rowset(columns, rows)
+
+
 SYSTEM_ROWSETS = {
     "MINING_MODELS": mining_models_rowset,
     "MINING_COLUMNS": mining_columns_rowset,
@@ -598,6 +643,7 @@ SYSTEM_ROWSETS = {
     "DM_SESSIONS": dm_sessions_rowset,
     "DM_BUFFER_POOL": dm_buffer_pool_rowset,
     "DM_INDEXES": dm_indexes_rowset,
+    "DM_COLUMN_STATISTICS": dm_column_statistics_rowset,
 }
 
 

@@ -112,6 +112,23 @@ def training_parallelism_preview(model, pool, dop: int):
             f"dop={dop}; space and caseset-size checks at run time")
 
 
+def source_rows_estimate(provider, statement) -> Optional[int]:
+    """Estimated PREDICTION JOIN source cardinality for the parallel gate.
+
+    Only statistics-backed estimates count (``stats_enabled``) — without
+    them the original always-parallel behaviour is kept, which is the
+    differential suite's baseline.  Read-only, so the EXPLAIN preview may
+    call it too.
+    """
+    database = provider.database
+    if not getattr(database, "stats_enabled", False):
+        return None
+    try:
+        return database._estimate_ref_rows(statement.from_clause.source)
+    except Exception:
+        return None
+
+
 def prediction_parallelism_preview(provider, statement, dop: int):
     """``(strategy, reason)`` for a PREDICTION JOIN, without side effects."""
     pool = provider.pool
@@ -126,6 +143,9 @@ def prediction_parallelism_preview(provider, statement, dop: int):
         roots.append(statement.where)
     if _contains_subquery(roots):
         return "serial", "subquery in projection or WHERE"
+    est = source_rows_estimate(provider, statement)
+    if est is not None and est < 2 * dop:
+        return "serial", f"small input (~{est} rows < 2*dop={2 * dop})"
     reason = f"dop={dop}"
     if pool.mode == "process":
         reason += "; pickle check at run time"
@@ -292,6 +312,11 @@ def parallel_prediction_plan(provider, statement, dop: int,
         roots.append(statement.where)
     if _contains_subquery(roots):
         pool.note_serial_fallback("subquery")
+        return None
+    est = source_rows_estimate(provider, statement)
+    if est is not None and est < 2 * dop:
+        # Fan-out overhead dominates on tiny sources; run serially.
+        pool.note_serial_fallback("small_input")
         return None
 
     model = provider.model(join.model)

@@ -307,6 +307,13 @@ class UpdateStatement(Statement):
 
 
 @dataclass
+class UpdateStatisticsStatement(Statement):
+    """``UPDATE STATISTICS [<table>]`` — rebuild optimizer statistics from
+    the stored rows; with no table, every base table is refreshed."""
+    table: Optional[str] = None
+
+
+@dataclass
 class DropTableStatement(Statement):
     name: str
     if_exists: bool = False

@@ -285,6 +285,10 @@ def format_statement(statement: ast.Statement) -> str:
         if statement.where is not None:
             text += f" WHERE {format_expression(statement.where)}"
         return text
+    if isinstance(statement, ast.UpdateStatisticsStatement):
+        if statement.table is None:
+            return "UPDATE STATISTICS"
+        return f"UPDATE STATISTICS {quote_ident(statement.table)}"
     if isinstance(statement, ast.DropTableStatement):
         exists = "IF EXISTS " if statement.if_exists else ""
         return f"DROP TABLE {exists}{quote_ident(statement.name)}"

@@ -150,7 +150,10 @@ class Parser:
         elif token.is_keyword("DELETE"):
             statement = dmx_parser.parse_delete(self)
         elif token.is_keyword("UPDATE"):
-            statement = self.parse_update()
+            if self.peek(1).is_keyword("STATISTICS"):
+                statement = self.parse_update_statistics()
+            else:
+                statement = self.parse_update()
         elif token.is_keyword("DROP"):
             statement = dmx_parser.parse_drop(self)
         elif token.is_keyword("EXPORT"):
@@ -524,6 +527,15 @@ class Parser:
         where = self.parse_expression() if self.accept_keyword("WHERE") else None
         return ast.UpdateStatement(table=table, assignments=assignments,
                                    where=where)
+
+    def parse_update_statistics(self) -> ast.UpdateStatisticsStatement:
+        """``UPDATE STATISTICS [<table>]`` (bare form refreshes every table)."""
+        self.expect_keyword("UPDATE")
+        self.expect_keyword("STATISTICS")
+        table = None
+        if not self.at_end():
+            table = self.expect_identifier("table name")
+        return ast.UpdateStatisticsStatement(table=table)
 
     # -- expressions ----------------------------------------------------------
 

@@ -46,10 +46,10 @@ class PlanNode:
       enclosing ``engine.select`` span).
     """
 
-    __slots__ = ("operator", "target", "strategy", "est_rows", "detail",
-                 "children", "span_name", "rows_counter", "match", "cache",
-                 "actual_rows", "actual_batches", "wall_ms", "pool_tasks",
-                 "cache_actual")
+    __slots__ = ("operator", "target", "strategy", "est_rows", "cost",
+                 "detail", "children", "span_name", "rows_counter", "match",
+                 "cache", "actual_rows", "actual_batches", "wall_ms",
+                 "pool_tasks", "cache_actual")
 
     def __init__(self, operator: str, target: Optional[str] = None,
                  strategy: Optional[str] = None,
@@ -58,11 +58,16 @@ class PlanNode:
                  span_name: Optional[str] = None,
                  rows_counter: Optional[str] = None,
                  match: str = "one",
-                 cache: Optional[str] = None):
+                 cache: Optional[str] = None,
+                 cost: Optional[float] = None):
         self.operator = operator
         self.target = target
         self.strategy = strategy
         self.est_rows = est_rows
+        # Estimated cumulative cost (abstract row/page units) of producing
+        # this operator's output, children included.  Like est_rows it is
+        # an estimate, so plain EXPLAIN shows it too.
+        self.cost = cost
         self.detail = detail
         self.children: List[PlanNode] = []
         self.span_name = span_name
@@ -149,6 +154,19 @@ def build_plan(provider, statement: ast.Statement) -> PlanNode:
         return PlanNode("update", target=statement.table,
                         strategy="scan + predicate update",
                         est_rows=_table_size(database, statement.table))
+    if isinstance(statement, ast.UpdateStatisticsStatement):
+        if statement.table is not None:
+            targets = [statement.table]
+            est = _table_size(database, statement.table)
+        else:
+            targets = sorted(
+                table.schema.name for table in database.tables.values())
+            est = sum(len(table) for table in database.tables.values())
+        return PlanNode("update statistics",
+                        target=statement.table or "(all tables)",
+                        strategy="full rebuild from stored rows",
+                        est_rows=est,
+                        detail=f"{len(targets)} table(s)")
     if isinstance(statement, ast.DropMiningModelStatement):
         return PlanNode("drop mining model", target=statement.name,
                         strategy="catalog only", est_rows=0)
@@ -347,6 +365,7 @@ PLAN_COLUMNS = [
     RowsetColumn("TARGET", TEXT),
     RowsetColumn("STRATEGY", TEXT),
     RowsetColumn("EST_ROWS", LONG),
+    RowsetColumn("COST", DOUBLE),
     RowsetColumn("ACTUAL_ROWS", LONG),
     RowsetColumn("ACTUAL_BATCHES", LONG),
     RowsetColumn("WALL_MS", DOUBLE),
@@ -379,6 +398,7 @@ def explain_rowset(plan: PlanNode, analyzed: bool) -> Rowset:
         rows.append((
             op_id, parent_id, depth, node.operator, node.target,
             node.strategy, node.est_rows,
+            None if node.cost is None else round(node.cost, 3),
             node.actual_rows if analyzed else None,
             node.actual_batches if analyzed else None,
             None if not analyzed or node.wall_ms is None

@@ -159,6 +159,8 @@ def _describe_plan_row(row: dict) -> str:
         parts.append(str(row["STRATEGY"]))
     if row.get("EST_ROWS") is not None:
         parts.append(f"est={row['EST_ROWS']}")
+    if row.get("COST") is not None:
+        parts.append(f"cost={row['COST']:g}")
     if row.get("ACTUAL_ROWS") is not None:
         parts.append(f"actual={row['ACTUAL_ROWS']}")
     if row.get("ACTUAL_BATCHES") is not None:

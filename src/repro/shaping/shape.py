@@ -95,12 +95,15 @@ def plan_shape(shape: ast.ShapeExpr, database, external_planner=None):
     master.target = master.target or "master"
     node.add(master)
     node.est_rows = master.est_rows
+    cost = master.cost or 0.0
     for append in shape.appends:
         child = _plan_source(append.child, database, external_planner)
         child.operator = f"append [{append.alias}]"
         child.strategy = (f"{child.strategy}; bucketed on "
                           f"{append.relate_child}")
         node.add(child)
+        cost += (child.cost or 0.0) + float(child.est_rows or 0)
+    node.cost = cost
     return node
 
 

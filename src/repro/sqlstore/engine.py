@@ -26,6 +26,7 @@ from repro.sqlstore.expressions import (
     is_aggregate_call,
 )
 from repro.sqlstore.functions import make_aggregate
+from repro.sqlstore import stats as stats_mod
 from repro.sqlstore.indexes import choose_index
 from repro.sqlstore.rowset import (
     DEFAULT_BATCH_SIZE,
@@ -112,7 +113,8 @@ class Database:
     MAX_VIEW_DEPTH = 32
 
     def __init__(self, external_resolver: Optional[Callable] = None,
-                 batch_size: int = DEFAULT_BATCH_SIZE):
+                 batch_size: int = DEFAULT_BATCH_SIZE,
+                 statistics: bool = True):
         self.tables: Dict[str, Table] = {}
         self.views: Dict[str, ast.SelectStatement] = {}
         # external_resolver(table_ref) -> SourceRelation | None
@@ -120,12 +122,22 @@ class Database:
         # Streaming pipeline granularity: operators exchange row batches of
         # (at most) this many rows; memory is O(batch_size), not O(rows).
         self.batch_size = max(1, int(batch_size))
+        # Cost-based planning switch.  When off, tables carry no statistics
+        # and every execution-affecting decision (join build side, seek vs
+        # scan, parallel gating, prediction pushdown) falls back to the
+        # original heuristics — the baseline the differential suite compares
+        # against.  Display-only estimates (EST_ROWS/COST) are always
+        # computed.
+        self.stats_enabled = bool(statistics)
         # store_factory(schema) -> row store; installed by the provider when
         # a paged StorageManager is attached, else tables use the in-memory
         # list store.  metrics is the provider's registry (index counters).
         self.store_factory: Optional[Callable] = None
         self.metrics = None
         self._view_depth = 0
+        # Separate depth guard for cardinality estimation, which recurses
+        # through view definitions the same way execution does.
+        self._est_depth = 0
         self._catalog_version = 0
 
     @property
@@ -158,7 +170,7 @@ class Database:
         if key in self.tables or key in self.views:
             raise CatalogError(f"table or view {schema.name!r} already exists")
         store = self.store_factory(schema) if self.store_factory else None
-        table = Table(schema, store=store)
+        table = Table(schema, store=store, with_stats=self.stats_enabled)
         self.tables[key] = table
         self._catalog_version += 1
         return table
@@ -226,6 +238,8 @@ class Database:
                                                    statement.if_exists)
             self._catalog_version += 1
             return 0
+        if isinstance(statement, ast.UpdateStatisticsStatement):
+            return self._execute_update_statistics(statement)
         raise Error(
             f"statement {type(statement).__name__} is not supported by the "
             f"relational engine (is it a DMX statement issued without a "
@@ -240,6 +254,19 @@ class Database:
             for c in statement.columns]
         self.create_table(TableSchema(statement.name, columns))
         return 0
+
+    def _execute_update_statistics(
+            self, statement: ast.UpdateStatisticsStatement) -> int:
+        """Rebuild optimizer statistics from stored rows; returns the table
+        count refreshed.  A rebuild changes no stored data, so the data
+        version is left alone (cached casesets stay valid)."""
+        if statement.table is not None:
+            targets = [self.table(statement.table)]
+        else:
+            targets = list(self.tables.values())
+        for table in targets:
+            table.rebuild_statistics()
+        return len(targets)
 
     def _execute_insert(self, statement: ast.InsertValuesStatement) -> int:
         table = self.table(statement.table)
@@ -719,6 +746,189 @@ class Database:
         directions = [item.ascending for item in statement.order_by]
         return _multi_key_sort(output_rows, keys, directions)
 
+    # -- cardinality estimation (repro.sqlstore.stats) -------------------------
+
+    def _stats_resolver(self, ref: ast.TableRef):
+        """``resolver(parts) -> (ColumnStats, row_count) | None`` for
+        :func:`stats.estimate_selectivity`, honouring alias qualifiers.
+
+        Joins try the left side first, then the right; views and external
+        sources resolve nothing (selectivity falls back to defaults).
+        """
+        if isinstance(ref, ast.NamedTable):
+            key = ref.name.upper()
+            if key in self.views:
+                return lambda parts: None
+            table = self.tables.get(key)
+            if table is None or table.stats is None:
+                return lambda parts: None
+            qualifier = (ref.alias or ref.name).upper()
+
+            def resolve(parts):
+                if len(parts) > 1 and parts[0].upper() != qualifier:
+                    return None
+                try:
+                    # May lazily rebuild after a paged reopen — and that
+                    # rebuild reads pages, so estimation degrades to the
+                    # defaults rather than surfacing a storage error here.
+                    table_stats = table.statistics()
+                except Exception:
+                    return None
+                if table_stats is None:
+                    return None
+                column = table_stats.column(parts[-1])
+                if column is None:
+                    return None
+                return column, table_stats.row_count
+            return resolve
+        if isinstance(ref, ast.Join):
+            left = self._stats_resolver(ref.left)
+            right = self._stats_resolver(ref.right)
+
+            def resolve(parts):
+                found = left(parts)
+                return found if found is not None else right(parts)
+            return resolve
+        return lambda parts: None
+
+    def _estimate_ref_rows(self, ref: ast.TableRef) -> Optional[int]:
+        """Estimated source cardinality, or None when unknown (external
+        sources).  Exact for base tables; views, subqueries and joins
+        estimate through the selectivity/grouping rules in stats.py."""
+        if self._est_depth >= self.MAX_VIEW_DEPTH:
+            return None
+        if isinstance(ref, ast.NamedTable):
+            key = ref.name.upper()
+            if key in self.views:
+                self._est_depth += 1
+                try:
+                    return self._estimate_select_rows(self.views[key])
+                finally:
+                    self._est_depth -= 1
+            if key in self.tables:
+                return len(self.tables[key])
+            return None
+        if isinstance(ref, ast.SubquerySource):
+            self._est_depth += 1
+            try:
+                return self._estimate_select_rows(ref.select)
+            finally:
+                self._est_depth -= 1
+        if isinstance(ref, ast.Join):
+            return self._estimate_join(ref)[2]
+        return None
+
+    def _estimate_join(self, ref: ast.Join, left_est: Optional[int] = None,
+                       right_est: Optional[int] = None):
+        """``(left_est, right_est, join_est)`` — each None when unknown.
+
+        Callers that already planned the sides (EXPLAIN over external
+        sources) may pass their estimates in; otherwise the sides are
+        estimated here.
+        """
+        if left_est is None:
+            left_est = self._estimate_ref_rows(ref.left)
+        if right_est is None:
+            right_est = self._estimate_ref_rows(ref.right)
+        if ref.kind == "CROSS":
+            return left_est, right_est, stats_mod.estimate_join_rows(
+                "CROSS", left_est, right_est, False)
+        equalities, residual = _split_equi_condition(ref.condition)
+        ndvs = (None, None)
+        if equalities:
+            ndvs = (self._equi_key_ndv(ref.left, equalities),
+                    self._equi_key_ndv(ref.right, equalities))
+        est = stats_mod.estimate_join_rows(
+            ref.kind, left_est, right_est, bool(equalities), ndvs)
+        if est is not None and residual:
+            resolver = self._stats_resolver(ref)
+            selectivity = 1.0
+            for condition in residual:
+                selectivity *= stats_mod.estimate_selectivity(
+                    condition, resolver)
+            est = int(round(est * selectivity))
+        return left_est, right_est, est
+
+    def _equi_key_ndv(self, ref: ast.TableRef, equalities) -> Optional[int]:
+        """NDV of one join side's first equi-key column, when its stats
+        are known (the equality may spell either side first)."""
+        resolver = self._stats_resolver(ref)
+        a, b = equalities[0]
+        for column_ref in (a, b):
+            found = resolver(column_ref.parts)
+            if found is not None:
+                return found[0].ndv
+        return None
+
+    def _expr_ndv(self, expr: ast.Expr, resolver) -> Optional[int]:
+        if isinstance(expr, ast.ColumnRef):
+            found = resolver(expr.parts)
+            if found is not None:
+                return found[0].ndv
+        return None
+
+    def _estimate_select_rows(self, statement: ast.SelectStatement,
+                              source_est: Optional[int] = None
+                              ) -> Optional[int]:
+        """Estimated SELECT output rows, or None when the source
+        cardinality is unknown and no override is given."""
+        if statement.from_clause is None:
+            return 1
+        if source_est is None:
+            source_est = self._estimate_ref_rows(statement.from_clause)
+        if source_est is None:
+            return None
+        resolver = self._stats_resolver(statement.from_clause)
+        est = float(source_est)
+        if statement.where is not None:
+            est *= stats_mod.estimate_selectivity(statement.where, resolver)
+        grouped = bool(statement.group_by) or any(
+            contains_aggregate(item.expr) for item in statement.select_list)
+        if grouped:
+            ndvs = [self._expr_ndv(expr, resolver)
+                    for expr in statement.group_by]
+            est = float(stats_mod.estimate_group_rows(int(round(est)), ndvs))
+        elif statement.distinct:
+            exprs = [item.expr for item in statement.select_list]
+            if not any(isinstance(expr, ast.Star) for expr in exprs):
+                ndvs = [self._expr_ndv(expr, resolver) for expr in exprs]
+                est = float(stats_mod.estimate_group_rows(
+                    int(round(est)), ndvs))
+        if statement.top is not None:
+            est = min(est, float(statement.top))
+        return max(0, int(round(est)))
+
+    # -- cost-based decisions --------------------------------------------------
+
+    def _cost_estimate_ref(self, ref: ast.TableRef) -> Optional[int]:
+        """Estimate backing execution-affecting decisions.  None unless
+        statistics are enabled, so heuristic planning stays bit-for-bit
+        intact without them (the differential suite's baseline)."""
+        if not self.stats_enabled:
+            return None
+        try:
+            return self._estimate_ref_rows(ref)
+        except Exception:
+            return None
+
+    def _hash_build_side(self, ref: ast.Join) -> str:
+        """``"left"`` when estimates say the left side is strictly smaller
+        (and both are known), else ``"right"`` — the original behaviour.
+        Shared by the executor and the EXPLAIN mirror."""
+        left = self._cost_estimate_ref(ref.left)
+        right = self._cost_estimate_ref(ref.right)
+        if left is None or right is None or left >= right:
+            return "right"
+        return "left"
+
+    def _seek_is_beneficial(self, table: Table, positions) -> bool:
+        """Cost-gate an index seek against the sequential scan (page-aware
+        on a paged store).  Without statistics the original always-seek
+        behaviour is kept."""
+        if not self.stats_enabled:
+            return True
+        return table.store.seek_cost(positions) < table.store.scan_cost()
+
     # -- FROM resolution ------------------------------------------------------
 
     # -- EXPLAIN planning ------------------------------------------------------
@@ -757,20 +967,22 @@ class Database:
         if statement.from_clause is None:
             node.strategy = "constant"
             node.est_rows = 1
+            node.cost = 0.0
             return node
         child = self._plan_seek(statement.from_clause, statement.where)
         if child is None:
             child = self.plan_table_ref(statement.from_clause,
                                         external_planner)
         node.add(child)
-        est = None if grouped or statement.where is not None \
-            else child.est_rows
-        if statement.top is not None and est is not None:
-            est = min(est, statement.top)
-        elif statement.top is not None and statement.where is None \
-                and not grouped:
-            est = statement.top
+        est = self._estimate_select_rows(statement)
+        if est is None and child.est_rows is not None:
+            # External source (mining provider): feed the planned child's
+            # own estimate through the same selectivity/grouping rules.
+            est = self._estimate_select_rows(statement,
+                                             source_est=child.est_rows)
         node.est_rows = est
+        examined = child.est_rows if child.est_rows is not None else est
+        node.cost = (child.cost or 0.0) + float(examined or 0)
         return node
 
     def plan_union(self, statement: ast.UnionStatement,
@@ -784,12 +996,18 @@ class Database:
             strategy="streamed (all branches ALL)" if streaming
             else "materialized (dedup)")
         ests = []
+        cost = 0.0
         for branch in statement.branches:
             child = self.plan_select(branch, external_planner)
             node.add(child)
             ests.append(child.est_rows)
-        if streaming and all(e is not None for e in ests):
-            node.est_rows = sum(ests)
+            cost += (child.cost or 0.0) + float(child.est_rows or 0)
+        node.cost = cost
+        if all(e is not None for e in ests):
+            total = sum(ests)
+            # Dedup branches can only thin the output; keep the ALL total
+            # as the (upper-bound) estimate either way.
+            node.est_rows = total
         return node
 
     def _plan_seek(self, ref: ast.TableRef, where: Optional[ast.Expr]):
@@ -808,17 +1026,23 @@ class Database:
         choice = choose_index(where, table, ref.alias or ref.name)
         if choice is None:
             return None
+        if not self._seek_is_beneficial(table, choice.positions):
+            # The executor will fall back to the sequential scan; mirror
+            # that by declining the seek node here too.
+            return None
         detail = choice.detail
         expectation = table.store.seek_expectation(choice.positions)
         if expectation is not None:
             detail = f"{detail}; {expectation}"
-        return PlanNode("index seek", target=ref.name,
+        node = PlanNode("index seek", target=ref.name,
                         strategy=f"index {choice.index.name} "
                                  f"({choice.access})",
                         detail=detail,
                         est_rows=len(choice.positions),
                         match="parent",
                         rows_counter="rows_scanned")
+        node.cost = float(table.store.seek_cost(choice.positions))
+        return node
 
     def _plan_join_build_index(self, ref: ast.TableRef, equalities):
         """Best-effort EXPLAIN mirror of :meth:`_join_build_index`.
@@ -862,14 +1086,18 @@ class Database:
                 child = self.plan_select(self.views[key], external_planner)
                 node.add(child)
                 node.est_rows = child.est_rows
+                node.cost = child.cost
                 return node
             if key in self.tables:
-                return PlanNode("table scan", target=ref.name,
+                table = self.tables[key]
+                node = PlanNode("table scan", target=ref.name,
                                 strategy=f"sequential "
                                          f"(batch {self.batch_size})",
-                                est_rows=len(self.tables[key]),
+                                est_rows=len(table),
                                 match="parent",
                                 rows_counter="rows_scanned")
+                node.cost = float(table.store.scan_cost())
+                return node
             raise BindError(f"no table, view, or model named {ref.name!r}")
         if isinstance(ref, ast.SubquerySource):
             node = self.plan_select(ref.select, external_planner)
@@ -879,25 +1107,32 @@ class Database:
         if isinstance(ref, ast.Join):
             left = self.plan_table_ref(ref.left, external_planner)
             right = self.plan_table_ref(ref.right, external_planner)
-            est = None
+            left_est, right_est, est = self._estimate_join(
+                ref, left_est=left.est_rows, right_est=right.est_rows)
             if ref.kind == "CROSS":
                 strategy = "cross product (right side materialized)"
-                if left.est_rows is not None and right.est_rows is not None:
-                    est = left.est_rows * right.est_rows
+                work = float((left_est or 0) * (right_est or 0))
             else:
                 equalities, _ = _split_equi_condition(ref.condition)
-                strategy = ("hash join (right side build)" if equalities
-                            else "nested loop (right side materialized)")
                 if equalities:
+                    strategy = "hash join (right side build)"
                     index = self._plan_join_build_index(ref.right,
                                                         equalities)
                     if index is not None:
                         strategy = (f"hash join (right side index "
                                     f"{index.name})")
+                    elif self._hash_build_side(ref) == "left":
+                        strategy = "hash join (left side build)"
+                    work = float((left_est or 0) + (right_est or 0)
+                                 + (est or 0))
+                else:
+                    strategy = "nested loop (right side materialized)"
+                    work = float((left_est or 0) * (right_est or 0))
             node = PlanNode("join", target=ref.kind.lower(),
                             strategy=strategy, est_rows=est,
                             span_name="engine.join",
                             rows_counter="join_rows_out")
+            node.cost = (left.cost or 0.0) + (right.cost or 0.0) + work
             node.add(left)
             node.add(right)
             return node
@@ -950,6 +1185,11 @@ class Database:
         qualifier = ref.alias or ref.name
         choice = choose_index(where, table, qualifier)
         if choice is None:
+            return None
+        if not self._seek_is_beneficial(table, choice.positions):
+            # Wide seeks (most of the table, or cold pages a scan would
+            # read anyway) cost more than the sequential scan; positions
+            # stream ascending, so either path yields identical rows.
             return None
         choice.note_use()
         if self.metrics is not None:
@@ -1061,7 +1301,12 @@ class Database:
                     if self.metrics is not None:
                         self.metrics.counter("index.join_probes").inc()
                     obs_trace.add_to(span, "join_rows_in", len(build_table))
-            if prebuilt is None:
+            # Cost-based build side: when statistics say the left side is
+            # strictly smaller (and no right-side index already holds the
+            # buckets), build over the left and stream the right.
+            build_left = bool(pairs) and prebuilt is None \
+                and self._hash_build_side(ref) == "left"
+            if prebuilt is None and not build_left:
                 right_rows = right.rows  # build side
                 obs_trace.add_to(span, "join_rows_in", len(right_rows))
 
@@ -1071,6 +1316,55 @@ class Database:
             return all(
                 evaluate(condition, joined_context.with_row(row)) is True
                 for condition in residual)
+
+        def produce_left_build():
+            # Cost-chosen swap: the (estimated-smaller) left side builds
+            # the hash, the right side streams as the probe.  Output stays
+            # byte-identical to the right-build plan: matches accumulate
+            # per left position in right-arrival order — exactly the order
+            # a right-build bucket would replay them — and rows are emitted
+            # left-major over the original left batch boundaries.
+            first_left, first_right = pairs[0]
+            left_flat: List[tuple] = []
+            boundaries: List[int] = []
+            build: Dict[Any, List[int]] = {}
+            for batch in left.batches(batch_size):
+                obs_trace.add_to(span, "join_rows_in", len(batch))
+                boundaries.append(len(batch))
+                for l in batch:
+                    position = len(left_flat)
+                    left_flat.append(l)
+                    if l[first_left] is not None:
+                        build.setdefault(
+                            V.group_key(l[first_left]), []).append(position)
+            matches: List[List[tuple]] = [[] for _ in left_flat]
+            probed = 0
+            for right_batch in right.batches(batch_size):
+                probed += len(right_batch)
+                for r in right_batch:
+                    if r[first_right] is None:
+                        continue
+                    for position in build.get(
+                            V.group_key(r[first_right]), ()):
+                        l = left_flat[position]
+                        if all(V.sql_equal(l[a], r[b]) is True
+                               for a, b in pairs[1:]):
+                            if residual_ok(l + r):
+                                matches[position].append(r)
+            obs_trace.add_to(span, "join_rows_in", probed)
+            cursor = 0
+            for size in boundaries:
+                out = []
+                for position in range(cursor, cursor + size):
+                    l = left_flat[position]
+                    for r in matches[position]:
+                        out.append(l + r)
+                    if ref.kind == "LEFT" and not matches[position]:
+                        out.append(l + tuple([None] * right_width))
+                cursor += size
+                obs_trace.add_to(span, "join_rows_out", len(out))
+                if out:
+                    yield out
 
         def produce():
             build: Optional[Dict[Any, List[tuple]]] = None
@@ -1117,6 +1411,8 @@ class Database:
                 obs_trace.add_to(span, "join_rows_out", len(out))
                 if out:
                     yield out
+        if build_left:
+            return SourceRelation(columns, batches=produce_left_build())
         return SourceRelation(columns, batches=produce())
 
 

@@ -1,0 +1,457 @@
+"""Table and column statistics: the planner's estimate source.
+
+The paper's integration argument (section 2) is that mining primitives
+should sit *inside* the SQL engine precisely so they benefit from
+database-style query processing.  Query processing without cardinality
+estimates is guesswork, so this module maintains, per table:
+
+* the row count;
+* per column: distinct-value count (NDV), null fraction, min/max, and an
+  equi-depth histogram over the non-null values.
+
+Statistics are maintained incrementally: every INSERT adds to an exact
+per-column value counter, every DELETE/UPDATE subtracts (the table calls
+:meth:`TableStatistics.rebuild` after positional rewrites, which re-derives
+the same counter from the stored rows — the hypothesis suite pins
+incremental == rebuilt).  NDV, min/max, and the histogram are *derived*
+lazily from the counter and cached against a mutation version, so reads
+are cheap and writes stay O(changed rows).
+
+The second half of the module is the estimation vocabulary the engine's
+cost model consumes: predicate selectivity (:func:`estimate_selectivity`),
+equi-join cardinality (:func:`estimate_join_rows`), and grouping output
+size (:func:`estimate_group_rows`).  Every function degrades to a
+documented default constant when statistics are absent — estimates are
+advisory and must never raise out of a planning pass.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.lang import ast_nodes as ast
+from repro.sqlstore import values as V
+
+# -- fallback constants (documented in docs/internals.md) ----------------------
+
+#: WHERE-clause conjunct with no usable statistics (LIKE, subqueries,
+#: expressions over functions): assume a third of the input survives.
+DEFAULT_SELECTIVITY = 1.0 / 3.0
+#: Equality against an un-statistics'd column.
+DEFAULT_EQ_SELECTIVITY = 0.1
+#: Range comparison against an un-statistics'd column.
+DEFAULT_RANGE_SELECTIVITY = 1.0 / 3.0
+#: IS NULL against an un-statistics'd column.
+DEFAULT_NULL_SELECTIVITY = 0.1
+#: Distinct-value count assumed for grouping keys without statistics.
+DEFAULT_NDV = 10
+#: Equi-depth histogram resolution (buckets hold ~rows/32 rows each).
+HISTOGRAM_BUCKETS = 32
+#: Page-touch cost of a buffer-resident page relative to a cold page.
+BUFFERED_PAGE_COST = 0.25
+
+
+class ColumnStats:
+    """Exact value statistics for one column, maintained incrementally.
+
+    The backbone is a counter ``group_key -> [representative value, count]``
+    (the same NULL-safe keying GROUP BY uses), plus a null counter.  NDV,
+    min/max, and the equi-depth histogram are derived views over the
+    counter, cached until the next mutation.
+    """
+
+    __slots__ = ("name", "null_count", "counter", "version",
+                 "_derived_version", "_min", "_max", "_histogram")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.null_count = 0
+        self.counter: Dict[Any, List[Any]] = {}
+        self.version = 0
+        self._derived_version = -1
+        self._min = None
+        self._max = None
+        self._histogram: List[Tuple[Any, Any, int, int]] = []
+
+    # -- incremental maintenance ----------------------------------------------
+
+    def note_insert(self, value: Any) -> None:
+        self.version += 1
+        if value is None:
+            self.null_count += 1
+            return
+        entry = self.counter.get(V.group_key(value))
+        if entry is None:
+            self.counter[V.group_key(value)] = [value, 1]
+        else:
+            entry[1] += 1
+
+    def note_delete(self, value: Any) -> None:
+        self.version += 1
+        if value is None:
+            self.null_count = max(0, self.null_count - 1)
+            return
+        key = V.group_key(value)
+        entry = self.counter.get(key)
+        if entry is None:
+            return
+        entry[1] -= 1
+        if entry[1] <= 0:
+            del self.counter[key]
+
+    def rebuild(self, column_values) -> None:
+        self.version += 1
+        self.null_count = 0
+        self.counter = {}
+        for value in column_values:
+            if value is None:
+                self.null_count += 1
+                continue
+            entry = self.counter.get(V.group_key(value))
+            if entry is None:
+                self.counter[V.group_key(value)] = [value, 1]
+            else:
+                entry[1] += 1
+
+    # -- derived statistics ----------------------------------------------------
+
+    @property
+    def non_null_count(self) -> int:
+        return sum(entry[1] for entry in self.counter.values())
+
+    @property
+    def ndv(self) -> int:
+        return len(self.counter)
+
+    def null_fraction(self, row_count: int) -> float:
+        if row_count <= 0:
+            return 0.0
+        return self.null_count / row_count
+
+    def _refresh_derived(self) -> None:
+        if self._derived_version == self.version:
+            return
+        ordered = sorted(self.counter.values(),
+                         key=lambda entry: V.sort_key(entry[0]))
+        self._min = ordered[0][0] if ordered else None
+        self._max = ordered[-1][0] if ordered else None
+        self._histogram = _equi_depth(ordered, HISTOGRAM_BUCKETS)
+        self._derived_version = self.version
+
+    @property
+    def min_value(self) -> Any:
+        self._refresh_derived()
+        return self._min
+
+    @property
+    def max_value(self) -> Any:
+        self._refresh_derived()
+        return self._max
+
+    @property
+    def histogram(self) -> List[Tuple[Any, Any, int, int]]:
+        """Equi-depth buckets ``(lo, hi, rows, ndv)`` over non-null values."""
+        self._refresh_derived()
+        return self._histogram
+
+    # -- selectivity ----------------------------------------------------------
+
+    def eq_selectivity(self, value: Any, row_count: int) -> float:
+        """Fraction of rows equal to ``value`` (exact: counter probe)."""
+        if row_count <= 0:
+            return 0.0
+        if value is None:
+            return 0.0  # SQL: column = NULL never matches
+        entry = self.counter.get(V.group_key(value))
+        return (entry[1] / row_count) if entry is not None else 0.0
+
+    def range_selectivity(self, op: str, bound: Any,
+                          row_count: int) -> float:
+        """Fraction of rows with ``column <op> bound`` via the histogram.
+
+        Full buckets on the matching side count whole; the bucket
+        straddling the bound contributes a linearly interpolated share
+        (half a bucket for non-numeric values).  NULLs never match.
+        """
+        if row_count <= 0 or bound is None:
+            return 0.0
+        total = self.non_null_count
+        if total == 0:
+            return 0.0
+        matching = 0.0
+        for lo, hi, rows, _ in self.histogram:
+            try:
+                cmp_lo = V.sql_compare(lo, bound)
+                cmp_hi = V.sql_compare(hi, bound)
+            except Exception:
+                return DEFAULT_RANGE_SELECTIVITY
+            if cmp_lo is None or cmp_hi is None:
+                return DEFAULT_RANGE_SELECTIVITY
+            matching += rows * _bucket_overlap(op, lo, hi, cmp_lo, cmp_hi,
+                                               bound)
+        return _clamp(matching / row_count)
+
+    def snapshot(self, row_count: int) -> dict:
+        """Canonical view for tests and ``$SYSTEM.DM_COLUMN_STATISTICS``."""
+        return {
+            "column": self.name,
+            "rows": row_count,
+            "ndv": self.ndv,
+            "nulls": self.null_count,
+            "null_fraction": round(self.null_fraction(row_count), 6),
+            "min": self.min_value,
+            "max": self.max_value,
+            "histogram": list(self.histogram),
+        }
+
+
+def _bucket_overlap(op: str, lo, hi, cmp_lo, cmp_hi, bound) -> float:
+    """Share of one histogram bucket matching ``value <op> bound``."""
+    if op in ("<", "<="):
+        if cmp_hi < 0 or (cmp_hi == 0 and op == "<="):
+            return 1.0
+        if cmp_lo > 0 or (cmp_lo == 0 and op == "<"):
+            return 0.0
+    else:  # ">", ">="
+        if cmp_lo > 0 or (cmp_lo == 0 and op == ">="):
+            return 1.0
+        if cmp_hi < 0 or (cmp_hi == 0 and op == ">"):
+            return 0.0
+    # Bound falls inside the bucket: interpolate for numerics, halve else.
+    numeric = all(isinstance(v, (int, float)) and not isinstance(v, bool)
+                  for v in (lo, hi, bound))
+    if numeric and hi != lo:
+        below = (float(bound) - float(lo)) / (float(hi) - float(lo))
+    else:
+        below = 0.5
+    return _clamp(below if op in ("<", "<=") else 1.0 - below)
+
+
+def _equi_depth(ordered: List[List[Any]],
+                buckets: int) -> List[Tuple[Any, Any, int, int]]:
+    """Equi-depth buckets from sorted ``[value, count]`` pairs."""
+    total = sum(entry[1] for entry in ordered)
+    if total == 0:
+        return []
+    depth = max(1, -(-total // buckets))  # ceil(total / buckets)
+    out: List[Tuple[Any, Any, int, int]] = []
+    lo = None
+    rows = 0
+    ndv = 0
+    hi = None
+    for value, count in ordered:
+        if lo is None:
+            lo = value
+        hi = value
+        rows += count
+        ndv += 1
+        if rows >= depth:
+            out.append((lo, hi, rows, ndv))
+            lo, rows, ndv = None, 0, 0
+    if rows:
+        out.append((lo, hi, rows, ndv))
+    return out
+
+
+class TableStatistics:
+    """Row count plus per-column :class:`ColumnStats` for one table."""
+
+    __slots__ = ("row_count", "columns", "_by_name")
+
+    def __init__(self, schema):
+        self.row_count = 0
+        self.columns: List[ColumnStats] = [
+            ColumnStats(column.name) for column in schema.columns]
+        self._by_name = {column.name.upper(): index
+                         for index, column in enumerate(schema.columns)}
+
+    def note_insert(self, row) -> None:
+        self.row_count += 1
+        for stats, value in zip(self.columns, row):
+            stats.note_insert(value)
+
+    def note_delete(self, row) -> None:
+        self.row_count = max(0, self.row_count - 1)
+        for stats, value in zip(self.columns, row):
+            stats.note_delete(value)
+
+    def rebuild(self, rows) -> None:
+        rows = list(rows)
+        self.row_count = len(rows)
+        for position, stats in enumerate(self.columns):
+            stats.rebuild(row[position] for row in rows)
+
+    def column(self, name: str) -> Optional[ColumnStats]:
+        index = self._by_name.get(name.upper())
+        return None if index is None else self.columns[index]
+
+    def snapshot(self) -> List[dict]:
+        return [stats.snapshot(self.row_count) for stats in self.columns]
+
+
+# ---------------------------------------------------------------------------
+# Predicate selectivity
+# ---------------------------------------------------------------------------
+#
+# ``resolver(parts) -> (ColumnStats, row_count) | None`` maps a column
+# reference onto statistics; the engine supplies one per FROM source.  All
+# estimation is read-only and exception-safe: anything unrecognised falls
+# back to a constant, never an error.
+
+def estimate_selectivity(expr: Optional[ast.Expr], resolver) -> float:
+    """Estimated fraction of rows satisfying ``expr`` (1.0 when absent)."""
+    if expr is None:
+        return 1.0
+    try:
+        return _clamp(_selectivity(expr, resolver))
+    except Exception:
+        return DEFAULT_SELECTIVITY
+
+
+def _selectivity(expr: ast.Expr, resolver) -> float:
+    if isinstance(expr, ast.BinaryOp):
+        if expr.op == "AND":
+            return (_selectivity(expr.left, resolver) *
+                    _selectivity(expr.right, resolver))
+        if expr.op == "OR":
+            a = _selectivity(expr.left, resolver)
+            b = _selectivity(expr.right, resolver)
+            return a + b - a * b  # inclusion–exclusion
+        if expr.op in ("=", "<>", "<", "<=", ">", ">="):
+            return _comparison_selectivity(expr, resolver)
+        return DEFAULT_SELECTIVITY
+    if isinstance(expr, ast.UnaryOp) and expr.op.upper() == "NOT":
+        return 1.0 - _selectivity(expr.operand, resolver)
+    if isinstance(expr, ast.IsNull):
+        stats = _column_stats(expr.operand, resolver)
+        if stats is None:
+            fraction = DEFAULT_NULL_SELECTIVITY
+        else:
+            column, rows = stats
+            fraction = column.null_fraction(rows)
+        return 1.0 - fraction if expr.negated else fraction
+    if isinstance(expr, ast.InList):
+        fraction = sum(_eq_fraction(expr.operand, item, resolver)
+                       for item in expr.items)
+        fraction = _clamp(fraction)
+        return 1.0 - fraction if expr.negated else fraction
+    if isinstance(expr, ast.Between):
+        low = _selectivity(
+            ast.BinaryOp(">=", expr.operand, expr.low), resolver)
+        high = _selectivity(
+            ast.BinaryOp("<=", expr.operand, expr.high), resolver)
+        fraction = _clamp(max(0.0, low + high - 1.0))
+        return 1.0 - fraction if expr.negated else fraction
+    if isinstance(expr, ast.Like):
+        return DEFAULT_SELECTIVITY
+    return DEFAULT_SELECTIVITY
+
+
+def _comparison_selectivity(expr: ast.BinaryOp, resolver) -> float:
+    column, literal = _column_vs_literal(expr.left, expr.right)
+    op = expr.op
+    if column is None:
+        column, literal = _column_vs_literal(expr.right, expr.left)
+        op = {"<": ">", "<=": ">=", ">": "<", ">=": "<="}.get(op, op)
+    if column is None:
+        return (DEFAULT_EQ_SELECTIVITY if expr.op == "="
+                else DEFAULT_RANGE_SELECTIVITY)
+    if op == "=":
+        return _eq_fraction(column, literal, resolver)
+    if op == "<>":
+        return 1.0 - _eq_fraction(column, literal, resolver)
+    stats = _column_stats(column, resolver)
+    if stats is None:
+        return DEFAULT_RANGE_SELECTIVITY
+    column_stats, rows = stats
+    return column_stats.range_selectivity(op, _literal_value(literal), rows)
+
+
+def _eq_fraction(column_expr, literal_expr, resolver) -> float:
+    if not isinstance(column_expr, ast.ColumnRef) or \
+            not _is_literal(literal_expr):
+        return DEFAULT_EQ_SELECTIVITY
+    stats = _column_stats(column_expr, resolver)
+    if stats is None:
+        return DEFAULT_EQ_SELECTIVITY
+    column_stats, rows = stats
+    return column_stats.eq_selectivity(_literal_value(literal_expr), rows)
+
+
+def _column_vs_literal(a, b):
+    if isinstance(a, ast.ColumnRef) and _is_literal(b):
+        return a, b
+    return None, None
+
+
+def _is_literal(expr) -> bool:
+    if isinstance(expr, ast.Literal):
+        return True
+    return (isinstance(expr, ast.UnaryOp) and expr.op == "-" and
+            isinstance(expr.operand, ast.Literal))
+
+
+def _literal_value(expr):
+    if isinstance(expr, ast.Literal):
+        return expr.value
+    value = expr.operand.value  # UnaryOp("-", Literal)
+    return -value if isinstance(value, (int, float)) else value
+
+
+def _column_stats(expr, resolver):
+    if not isinstance(expr, ast.ColumnRef) or resolver is None:
+        return None
+    return resolver(expr.parts)
+
+
+def _clamp(fraction: float) -> float:
+    return min(1.0, max(0.0, fraction))
+
+
+# ---------------------------------------------------------------------------
+# Cardinality estimates for joins and grouping
+# ---------------------------------------------------------------------------
+
+def estimate_join_rows(kind: str, left_rows: Optional[int],
+                       right_rows: Optional[int],
+                       equi: bool,
+                       key_ndvs: Tuple[Optional[int], Optional[int]] =
+                       (None, None)) -> Optional[int]:
+    """Estimated output cardinality of one join operator.
+
+    * CROSS: ``|L| * |R|``.
+    * Equi join with key NDVs: ``|L| * |R| / max(ndv_l, ndv_r)`` — the
+      textbook containment assumption.
+    * Equi join without key statistics: ``max(|L|, |R|)`` (foreign-key
+      shape, the common case).
+    * Non-equi (nested loop): ``|L| * |R| * DEFAULT_SELECTIVITY``.
+    * LEFT joins never drop a left row: the estimate is floored at ``|L|``.
+    """
+    if left_rows is None or right_rows is None:
+        return None
+    if kind == "CROSS":
+        return left_rows * right_rows
+    if equi:
+        ndv = max((n for n in key_ndvs if n), default=0)
+        if ndv > 0:
+            est = left_rows * right_rows / ndv
+        else:
+            est = float(max(left_rows, right_rows))
+    else:
+        est = left_rows * right_rows * DEFAULT_SELECTIVITY
+    if kind == "LEFT":
+        est = max(est, float(left_rows))
+    return int(round(min(est, float(left_rows * right_rows))))
+
+
+def estimate_group_rows(input_rows: int,
+                        key_ndvs: List[Optional[int]]) -> int:
+    """Estimated group count: product of key NDVs, capped by the input."""
+    if not key_ndvs:
+        return 1  # global aggregate: one output row
+    product = 1
+    for ndv in key_ndvs:
+        product *= ndv if ndv and ndv > 0 else DEFAULT_NDV
+        if product >= input_rows:
+            return max(0, input_rows)
+    return max(0, min(product, input_rows))

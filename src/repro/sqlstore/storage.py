@@ -37,6 +37,10 @@ from repro.sqlstore.catalog import DiskCatalog
 from repro.sqlstore.diskmgr import DiskManager, StorageError
 from repro.sqlstore.pages import DEFAULT_PAGE_BYTES, Page, encode_row
 
+# Cost discount for a buffer-resident page relative to a cold one: CPU work
+# to walk the rows without the disk read.
+RESIDENT_PAGE_COST = 0.25
+
 
 class ListRowStore:
     """The in-memory reference store: one Python list."""
@@ -84,6 +88,15 @@ class ListRowStore:
     def seek_expectation(self, positions: List[int]) -> Optional[str]:
         """No buffer to expect anything of — memory rows are always hot."""
         return None
+
+    def seek_cost(self, positions: List[int]) -> float:
+        """Optimizer cost of fetching these positions: rows touched (every
+        row is equally hot in memory)."""
+        return float(len(positions))
+
+    def scan_cost(self) -> float:
+        """Optimizer cost of the full sequential scan: rows stored."""
+        return float(len(self.rows))
 
     def dispose(self) -> None:
         pass
@@ -153,12 +166,22 @@ class PagedRowStore:
         with self._lock:
             if self.handles:
                 last = self.handles[-1]
-                page = self._page(last)
-                if page.has_room(len(data), self.manager.page_bytes):
-                    page.append(row, len(data))
-                    last.row_count += 1
-                    self._rows += 1
-                    return
+                # Pinned: on a miss, admission runs eviction, and with every
+                # other frame pinned by concurrent scans the freshly loaded
+                # page is the only candidate — unpinned it would be dropped
+                # (clean, no flush) and the rows below would mutate an
+                # orphan object the pool no longer tracks: never flushed,
+                # handle.row_count diverging from the on-disk page, and
+                # concurrent scans silently skipping the phantom rows.
+                page = self._page(last, pin=True)
+                try:
+                    if page.has_room(len(data), self.manager.page_bytes):
+                        page.append(row, len(data))
+                        last.row_count += 1
+                        self._rows += 1
+                        return
+                finally:
+                    self.manager.pool.unpin(page)
             self._new_page([row], [len(data)])
             self._rows += 1
 
@@ -268,6 +291,41 @@ class PagedRowStore:
             resident = {uid for uid, _ in self.manager.pool.resident()}
             hot = len(needed & resident)
             return f"{hot}/{len(needed)} pages buffered"
+
+    def _needed_pages(self, positions: List[int]) -> set:
+        """UIDs of the pages holding the given (ascending) positions."""
+        needed = set()
+        base = 0
+        cursor = 0
+        for position in positions:
+            while cursor < len(self.handles) and \
+                    position >= base + self.handles[cursor].row_count:
+                base += self.handles[cursor].row_count
+                cursor += 1
+            if cursor >= len(self.handles):
+                break
+            needed.add(self.handles[cursor].uid)
+        return needed
+
+    def _page_cost(self, uids: Iterable[int], resident: set) -> float:
+        return sum(RESIDENT_PAGE_COST if uid in resident else 1.0
+                   for uid in uids)
+
+    def seek_cost(self, positions: List[int]) -> float:
+        """Optimizer cost of fetching these positions: pages touched,
+        buffer-resident pages discounted (no disk read needed)."""
+        with self._lock:
+            needed = self._needed_pages(positions)
+            resident = {uid for uid, _ in self.manager.pool.resident()}
+            return self._page_cost(needed, resident)
+
+    def scan_cost(self) -> float:
+        """Optimizer cost of the full sequential scan, page-weighted the
+        same way as :meth:`seek_cost`."""
+        with self._lock:
+            resident = {uid for uid, _ in self.manager.pool.resident()}
+            return self._page_cost(
+                (handle.uid for handle in self.handles), resident)
 
     def _scan_snapshot(self) -> List[Tuple[PageHandle, int]]:
         with self._lock:
@@ -468,6 +526,9 @@ class StorageManager:
                 "indexes": [
                     {"name": index.name, "column": index.column_name}
                     for index in table.indexes.values()],
+                # Like indexes, statistics persist as a flag only; the
+                # content re-derives deterministically from rows on open.
+                "statistics": table.stats is not None,
             }
         views = {key: format_statement(select)
                  for key, select in sorted(database.views.items())}
@@ -518,6 +579,12 @@ class StorageManager:
             table.rebuild_indexes()
             for index in entry.get("indexes", []):
                 table.create_index(index["name"], index["column"])
+            # Pages bypass table.insert on reopen, so incremental stats
+            # never saw these rows.  Marked stale, not rebuilt: open must
+            # stay free of page reads (the rebuild scans every page), so
+            # the first consumer re-derives them lazily.
+            if table.stats is not None or entry.get("statistics"):
+                table.mark_statistics_stale()
         for key, sql in sorted(document.get("views", {}).items()):
             database.views[key.upper()] = parse_statement(sql)
         database.advance_data_version(document.get("data_version", 0))

@@ -18,6 +18,7 @@ from repro.errors import CatalogError, SchemaError, TypeError_
 from repro.sqlstore.indexes import TableIndex
 from repro.sqlstore.schema import TableSchema
 from repro.sqlstore.rowset import Rowset, RowsetColumn
+from repro.sqlstore.stats import TableStatistics
 from repro.sqlstore.storage import ListRowStore
 from repro.sqlstore.values import group_key
 
@@ -31,7 +32,8 @@ class Table:
     equi-join builds.
     """
 
-    def __init__(self, schema: TableSchema, store=None):
+    def __init__(self, schema: TableSchema, store=None,
+                 with_stats: bool = False):
         self.schema = schema
         self.store = store if store is not None else ListRowStore()
         # Monotonic mutation counter; the caseset cache keys on the sum of
@@ -41,6 +43,15 @@ class Table:
         # Named user indexes (CREATE INDEX), keyed by upper-cased name,
         # insertion-ordered — the engine picks the first index on a column.
         self.indexes: Dict[str, TableIndex] = {}
+        # Optimizer statistics (repro.sqlstore.stats): maintained inline by
+        # insert/delete/update below, rebuilt wholesale by
+        # rebuild_statistics (UPDATE STATISTICS, paged reopen).
+        self.stats: Optional[TableStatistics] = \
+            TableStatistics(schema) if with_stats else None
+        # True after a paged reopen: page reads are deferred, so statistics
+        # re-derive lazily on first use instead of at open (open must never
+        # touch page bytes — a torn page surfaces at first read, not open).
+        self.stats_stale = False
         self._pk_index: Optional[Dict[Any, int]] = None
         self._secondary: Dict[int, Dict[Any, List[int]]] = {}
         if schema.primary_key_index() is not None:
@@ -76,6 +87,8 @@ class Table:
                     f"is NOT NULL")
             coerced.append(value)
         row = tuple(coerced)
+        if self.stats is not None and self.stats_stale:
+            self.rebuild_statistics()    # before the append: exact baseline
         pk = self.schema.primary_key_index()
         position = len(self.store)
         if pk is not None:
@@ -90,6 +103,8 @@ class Table:
             index.setdefault(group_key(row[column_index]), []).append(position)
         for index in self.indexes.values():
             index.note_insert(row, position)
+        if self.stats is not None:
+            self.stats.note_insert(row)
 
     def insert_many(self, rows: Iterable[Iterable[Any]]) -> int:
         """Insert many rows; returns the count inserted."""
@@ -102,8 +117,18 @@ class Table:
     def delete_where(self, predicate) -> int:
         """Delete rows where ``predicate(row)`` is truthy; returns the count."""
         rows = self.rows
-        kept = [row for row in rows if not predicate(row)]
-        removed = len(rows) - len(kept)
+        if self.stats is not None and self.stats_stale:
+            self.stats.rebuild(rows)
+            self.stats_stale = False
+        kept = []
+        removed = 0
+        for row in rows:
+            if predicate(row):
+                removed += 1
+                if self.stats is not None:
+                    self.stats.note_delete(row)
+            else:
+                kept.append(row)
         if removed:
             self.store.replace_all(kept)
             self.version += 1
@@ -114,13 +139,20 @@ class Table:
         """Apply ``updater(row) -> row`` to rows matching ``predicate``."""
         changed = 0
         new_rows = []
-        for row in self.rows:
+        rows = self.rows
+        if self.stats is not None and self.stats_stale:
+            self.stats.rebuild(rows)
+            self.stats_stale = False
+        for row in rows:
             if predicate(row):
                 new_row = tuple(
                     column.type.coerce(value)
                     for value, column in zip(updater(row), self.schema.columns))
                 new_rows.append(new_row)
                 changed += 1
+                if self.stats is not None:
+                    self.stats.note_delete(row)
+                    self.stats.note_insert(new_row)
             else:
                 new_rows.append(row)
         if changed:
@@ -133,6 +165,9 @@ class Table:
         self.store.truncate()
         self.version += 1
         self.rebuild_indexes()
+        if self.stats is not None:
+            self.stats.rebuild([])
+            self.stats_stale = False
 
     def dispose(self) -> None:
         """Release storage resources (DROP TABLE on a paged store)."""
@@ -207,6 +242,38 @@ class Table:
             self._secondary[column_index] = index
         for index in self.indexes.values():
             index.rebuild(rows)
+
+    # -- optimizer statistics --------------------------------------------------
+
+    def rebuild_statistics(self) -> TableStatistics:
+        """(Re)derive optimizer statistics from the stored rows.
+
+        Backs the ``UPDATE STATISTICS`` verb and the paged-store reopen
+        path; creates the statistics object when the table was built
+        without one, so the verb also enables statistics on demand.
+        """
+        if self.stats is None:
+            self.stats = TableStatistics(self.schema)
+        self.stats.rebuild(self.rows)
+        self.stats_stale = False
+        return self.stats
+
+    def mark_statistics_stale(self) -> None:
+        """Enable statistics without deriving them yet (paged reopen).
+
+        The rebuild costs a full scan, so it is deferred to the first
+        consumer — :meth:`statistics` or the next mutation — keeping open
+        free of page reads.
+        """
+        if self.stats is None:
+            self.stats = TableStatistics(self.schema)
+        self.stats_stale = True
+
+    def statistics(self) -> Optional[TableStatistics]:
+        """Current statistics, lazily re-derived after a paged reopen."""
+        if self.stats is not None and self.stats_stale:
+            self.rebuild_statistics()
+        return self.stats
 
     # -- export ---------------------------------------------------------------
 

@@ -237,6 +237,10 @@ MUTATING_STATEMENTS = (
     ast.CreateIndexStatement,
     ast.DropIndexStatement,
     ast.UpdateStatement,
+    # Rebuilds no stored rows, but replay must re-run it so a recovered
+    # catalog carries the same statistics objects (UPDATE STATISTICS can
+    # enable statistics on tables created without them).
+    ast.UpdateStatisticsStatement,
 )
 
 

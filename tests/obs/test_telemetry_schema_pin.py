@@ -137,6 +137,19 @@ DM_INDEXES_SCHEMA = [
     ("JOIN_PROBES", "LONG"),
 ]
 
+DM_COLUMN_STATISTICS_SCHEMA = [
+    ("TABLE_NAME", "TEXT"),
+    ("COLUMN_NAME", "TEXT"),
+    ("ROW_COUNT", "LONG"),
+    ("NDV", "LONG"),
+    ("NULL_COUNT", "LONG"),
+    ("NULL_FRACTION", "DOUBLE"),
+    ("MIN_VALUE", "TEXT"),
+    ("MAX_VALUE", "TEXT"),
+    ("HISTOGRAM_BUCKETS", "LONG"),
+    ("HISTOGRAM", "TEXT"),
+]
+
 # The pool metric names the parallel subsystem promises to operators.
 POOL_METRIC_FAMILY = [
     "pool.max_workers",
@@ -194,6 +207,7 @@ def _schema(conn, rowset_name):
     ("DM_SESSIONS", DM_SESSIONS_SCHEMA),
     ("DM_BUFFER_POOL", DM_BUFFER_POOL_SCHEMA),
     ("DM_INDEXES", DM_INDEXES_SCHEMA),
+    ("DM_COLUMN_STATISTICS", DM_COLUMN_STATISTICS_SCHEMA),
 ])
 def test_telemetry_rowset_schema_is_pinned(conn, rowset_name, expected):
     assert _schema(conn, rowset_name) == expected, (

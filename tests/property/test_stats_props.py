@@ -1,0 +1,115 @@
+"""Optimizer-statistics invariants over random mutation histories.
+
+The cost model trusts incrementally maintained statistics (note_insert /
+note_delete inline in Table mutations) to be *exactly* what a wholesale
+rebuild from the stored rows would derive — row counts, NDVs, null counts,
+min/max, and the equi-depth histograms.  Any drift would mean UPDATE
+STATISTICS changes plans, which the differential suite forbids.  The
+estimator helpers are additionally pinned to their documented ranges so a
+malformed estimate can never turn into a negative or exploding plan cost.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sqlstore.schema import ColumnSchema, TableSchema
+from repro.sqlstore.stats import (
+    TableStatistics,
+    estimate_group_rows,
+    estimate_join_rows,
+)
+from repro.sqlstore.table import Table
+from repro.sqlstore.types import DOUBLE, LONG, TEXT
+
+
+def _schema():
+    return TableSchema("P", [ColumnSchema("id", LONG),
+                             ColumnSchema("name", TEXT),
+                             ColumnSchema("score", DOUBLE)])
+
+
+row_strategy = st.tuples(
+    st.one_of(st.none(), st.integers(min_value=-50, max_value=50)),
+    st.one_of(st.none(), st.sampled_from(["ann", "bob", "cy", "dee", "ed"])),
+    st.one_of(st.none(), st.floats(min_value=-8, max_value=8,
+                                   allow_nan=False)),
+)
+
+operation_strategy = st.lists(
+    st.one_of(
+        st.tuples(st.just("insert"), row_strategy),
+        st.tuples(st.just("delete"),
+                  st.integers(min_value=-50, max_value=50)),
+        st.tuples(st.just("update"),
+                  st.integers(min_value=-50, max_value=50), row_strategy),
+        st.tuples(st.just("truncate")),
+    ),
+    max_size=40,
+)
+
+
+def _apply(table, operations):
+    for operation in operations:
+        if operation[0] == "insert":
+            table.insert(operation[1])
+        elif operation[0] == "delete":
+            threshold = operation[1]
+            table.delete_where(
+                lambda row: row[0] is not None and row[0] < threshold)
+        elif operation[0] == "update":
+            threshold, replacement = operation[1], operation[2]
+            table.update_where(
+                lambda row: row[0] is not None and row[0] >= threshold,
+                lambda row: replacement)
+        else:
+            table.truncate()
+
+
+@given(operation_strategy)
+@settings(max_examples=80, deadline=None)
+def test_incremental_stats_match_wholesale_rebuild(operations):
+    table = Table(_schema(), with_stats=True)
+    _apply(table, operations)
+    rebuilt = TableStatistics(table.schema)
+    rebuilt.rebuild(table.rows)
+    assert table.stats.snapshot() == rebuilt.snapshot()
+
+
+@given(operation_strategy, operation_strategy)
+@settings(max_examples=40, deadline=None)
+def test_stale_statistics_recover_then_stay_incremental(first, second):
+    """A reopen-style staleness mark (lazy rebuild) must leave statistics
+    on the same trajectory as never having gone stale."""
+    table = Table(_schema(), with_stats=True)
+    _apply(table, first)
+    table.mark_statistics_stale()
+    _apply(table, second)
+    rebuilt = TableStatistics(table.schema)
+    rebuilt.rebuild(table.rows)
+    assert table.statistics().snapshot() == rebuilt.snapshot()
+
+
+@given(st.integers(min_value=0, max_value=10**6),
+       st.integers(min_value=0, max_value=10**6),
+       st.one_of(st.none(), st.lists(
+           st.integers(min_value=1, max_value=1000), max_size=3)),
+       st.sampled_from(["INNER", "LEFT", "CROSS"]))
+@settings(max_examples=120, deadline=None)
+def test_join_estimates_stay_in_bounds(left, right, ndvs, kind):
+    equi = ndvs is not None
+    estimate = estimate_join_rows(kind, left, right, equi, ndvs or [])
+    assert 0 <= estimate <= max(left * right, left, right)
+    if kind == "LEFT":
+        assert estimate >= left or left * right < left
+    if kind == "CROSS":
+        assert estimate == left * right
+
+
+@given(st.integers(min_value=0, max_value=10**6),
+       st.lists(st.one_of(st.none(),
+                          st.integers(min_value=1, max_value=100)),
+                max_size=4))
+@settings(max_examples=120, deadline=None)
+def test_group_estimates_never_exceed_input(rows, ndvs):
+    estimate = estimate_group_rows(rows, ndvs)
+    assert 0 <= estimate <= max(rows, 1)

@@ -129,6 +129,29 @@ def test_scan_survives_replace_all_mid_flight(tmp_path):
     assert table.rows == _rows(3, tag="post")
 
 
+def test_append_survives_pin_pressure(tmp_path):
+    """Append while every other frame is pinned must not lose the row.
+
+    With a one-frame pool and a scan pinning the first page, the append's
+    load of the last page overflows the budget and eviction's only
+    unpinned candidate is that freshly loaded page itself.  Unpinned, it
+    would be dropped clean and the append would mutate an orphan object —
+    never flushed, ``row_count`` diverging from the on-disk page, and
+    later scans silently skipping the phantom row.  The append must pin
+    the page for the duration instead.
+    """
+    manager = _manager(tmp_path, buffer_pages=1)
+    table = _database(manager).create_table(_schema())
+    _fill(table, 21)                   # last page holds one row: has room
+    scan = table.store.iter_batches(3)
+    next(scan)                         # pins the first page; last is evicted
+    extra = (21, "row-0021-" + "x" * 30)
+    table.store.append(extra)          # loads last page under full pins
+    scan.close()
+    assert table.rows == _rows(21) + [extra]
+    assert len(table.store) == 22
+
+
 def test_abandoned_scan_releases_its_pin(tmp_path):
     manager = _manager(tmp_path, buffer_pages=2)
     table = _database(manager).create_table(_schema())

@@ -29,11 +29,11 @@ GOLDEN_JOURNAL = (
 
 # The exact snapshot document for the same provider at last_seq=2.
 GOLDEN_SNAPSHOT = (
-    '{"format": 2, "kind": "repro-provider-snapshot", "last_seq": 2, '
+    '{"format": 3, "kind": "repro-provider-snapshot", "last_seq": 2, '
     '"data_version": 3, "tables": [{"name": "G1", "columns": '
     '[{"name": "Id", "type": "LONG", "nullable": true, '
-    '"primary_key": false}], "rows": [[1], [2]]}], "views": {}, '
-    '"models": []}'
+    '"primary_key": false}], "rows": [[1], [2]], "statistics": true}], '
+    '"views": {}, "models": []}'
 )
 
 
@@ -83,6 +83,21 @@ def test_old_build_can_be_simulated_reading_golden(tmp_path):
     conn.close()
 
 
+def test_format_2_snapshot_still_loads():
+    """Backward compatibility: pre-statistics (format 2) snapshots load;
+    the absent "statistics" key means the flag was off."""
+    from repro.core.persistence import load_provider
+    snapshot = (
+        '{"format": 2, "kind": "repro-provider-snapshot", "last_seq": 2, '
+        '"data_version": 3, "tables": [{"name": "G1", "columns": '
+        '[{"name": "Id", "type": "LONG", "nullable": true, '
+        '"primary_key": false}], "rows": [[1], [2]]}], "views": {}, '
+        '"models": []}'
+    )
+    provider = load_provider(snapshot)
+    assert provider.database.table("G1").rows == [(1,), (2,)]
+
+
 def test_format_1_snapshot_still_loads():
     """Backward compatibility: pre-durability (format 1) snapshots load."""
     from repro.core.persistence import load_provider
@@ -97,5 +112,5 @@ def test_format_1_snapshot_still_loads():
     assert provider.database.table("Old").rows == [(7,)]
 
 
-def test_format_version_is_two():
-    assert FORMAT_VERSION == 2
+def test_format_version_is_three():
+    assert FORMAT_VERSION == 3
