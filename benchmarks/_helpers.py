@@ -31,9 +31,9 @@ FROM [{name}] NATURAL PREDICTION JOIN
 """
 
 
-def make_warehouse(customers, seed=7):
+def make_warehouse(customers, seed=7, **connect_kwargs):
     """Fresh connection with a generated warehouse loaded."""
-    connection = repro.connect()
+    connection = repro.connect(**connect_kwargs)
     data = load_warehouse(connection.database,
                           WarehouseConfig(customers=customers, seed=seed))
     return connection, data

@@ -25,6 +25,12 @@ gate compares a row-heavy streaming scan with the registry on (shipping
 default) against ``provider.workload.enabled = False`` and bounds the
 added cost at 10%.
 
+The workload repository (DM_STATEMENT_STATS fingerprinting + plan
+capture) also rides the dispatch path.  Its steady state is two memo
+hits (text -> fingerprint, plan key -> hash) plus one locked aggregate
+fold per statement, so its gate is the tightest: a streaming scan with
+the repository on vs ``connect(repository=False)`` must stay under 5%.
+
 Set ``REPRO_BENCH_QUICK=1`` to shrink the timing loops for CI smoke runs;
 the overhead bounds are asserted either way, which is what the CI
 quick-bench gate relies on.
@@ -139,6 +145,37 @@ def test_workload_accounting_overhead_is_bounded():
     assert ratio < 1.10, (
         f"workload accounting adds {(ratio - 1) * 100:.0f}% to a streaming "
         f"scan; the checkpoint/accounting hot path has grown a real cost")
+
+
+def test_repository_overhead_is_bounded():
+    """Fingerprinting + plan capture vs ``connect(repository=False)``.
+
+    The repeated-statement steady state is the case that matters: after
+    the first execution the fingerprint and plan memos are warm, so each
+    statement should pay two dict hits and one locked aggregate fold.
+    """
+    scan = "SELECT * FROM Customers"
+    observed = _fresh_connection(customers=2000)
+    unobserved, _ = make_warehouse(2000, repository=False)
+
+    for connection in (observed, unobserved):
+        for _ in range(10):
+            connection.execute(scan)
+
+    # Interleave the timing rounds: a 5% gate is inside the drift two
+    # back-to-back min-of-N blocks can show on a busy CI machine.
+    baseline = observed_time = float("inf")
+    for _ in range(2 * REPEATS):
+        baseline = min(baseline, _min_time(unobserved, scan, repeats=1))
+        observed_time = min(observed_time, _min_time(observed, scan,
+                                                     repeats=1))
+    ratio = observed_time / baseline
+    print(f"\nrepository overhead: repository-off {baseline:.4f}s, "
+          f"default {observed_time:.4f}s, ratio {ratio:.2f}x")
+    assert ratio < 1.05, (
+        f"the workload repository adds {(ratio - 1) * 100:.0f}% to a "
+        f"streaming scan; annotate/observe has grown a real per-statement "
+        f"cost (memo miss on the hot path?)")
 
 
 def test_bench_explain_analyze(benchmark, conn_default):

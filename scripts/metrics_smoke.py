@@ -3,8 +3,8 @@
 Starts ``python -m repro --metrics-port 0`` (the real CLI path) with its
 stdin held open so the REPL — and with it the telemetry server — stays
 alive, reads the announced endpoint URL, runs a few statements through
-the REPL, then fetches ``/metrics``, ``/healthz``, ``/queries``, and
-``/active`` over real HTTP.  The exposition is validated with the same strict text-format
+the REPL, then fetches ``/metrics``, ``/healthz``, ``/queries``,
+``/active``, and ``/statements`` over real HTTP.  The exposition is validated with the same strict text-format
 parser the test suite uses.
 
 Exit code 0 on success; raises (non-zero exit) on any failure.
@@ -91,8 +91,21 @@ def main() -> int:
         assert status == 200, f"/active returned {status}"
         assert isinstance(json.loads(body), list), "/active is not a list"
 
+        # /statements serves the workload repository: the REPL statements
+        # above must already have aggregated under their fingerprints.
+        status, body = fetch(url + "/statements")
+        assert status == 200, f"/statements returned {status}"
+        workload = json.loads(body)
+        stats = workload["statements"]
+        assert stats, "/statements reported an empty repository"
+        assert all(s["fingerprint"] for s in stats)
+        select = [s for s in stats if s["kind"] == "SELECT" and s["calls"]]
+        assert select, f"no retired SELECT fingerprint in {stats!r}"
+        assert "plan_changes" in workload
+
         print(f"metrics smoke OK: {len(families)} metric families, "
-              f"{total:g} statements recorded, healthz ok, active ok")
+              f"{total:g} statements recorded, healthz ok, active ok, "
+              f"{len(stats)} statement fingerprints")
         return 0
     finally:
         try:

@@ -54,6 +54,8 @@ Meta-commands:
     .tables      list tables and views
     .describe M  render a trained model's content as a report
     .checkpoint  snapshot the durable store now (requires --durable)
+    .top [N]     the N hottest statement fingerprints (default 10) from
+                 the workload repository ($SYSTEM.DM_STATEMENT_STATS)
     .kill ID     cancel a live statement (ids: $SYSTEM.DM_ACTIVE_STATEMENTS)
     .tracefile F export the trace ring to F as Chrome-trace JSON (Perfetto)
     .quit        exit
@@ -67,6 +69,7 @@ Statement surface (paper section 3):
     SELECT * FROM $SYSTEM.DM_QUERY_LOG | DM_TRACE_EVENTS | DM_PROVIDER_METRICS
     SELECT * FROM $SYSTEM.DM_ACTIVE_STATEMENTS | DM_STATEMENT_RESOURCES
     SELECT * FROM $SYSTEM.DM_LOCK_WAITS
+    SELECT * FROM $SYSTEM.DM_STATEMENT_STATS | DM_PLAN_HISTORY | DM_PLAN_CHANGES
     TRACE ON | OFF | LAST | STATUS
     CANCEL <statement id>           -- stop a live statement cooperatively
     EXPLAIN [ANALYZE] <statement>   -- plan tree, with actuals under ANALYZE
@@ -107,7 +110,7 @@ def _print_trace(connection: Connection, command: str, out) -> None:
 
 
 _EMBEDDED_META = (".models", ".describe", ".checkpoint", ".tracefile",
-                  ".tables")
+                  ".tables", ".top")
 
 
 def run_meta(connection, command: str, out=None) -> bool:
@@ -155,6 +158,15 @@ def run_meta(connection, command: str, out=None) -> bool:
                 out.write(connection.cancel(int(argument)) + "\n")
             except Error as exc:
                 out.write(f"error: {exc}\n")
+    elif word.startswith(".top"):
+        argument = command.strip()[len(".top"):].strip()
+        if argument and not argument.isdigit():
+            out.write("usage: .top [count]\n")
+        else:
+            from repro.reporting import render_top_statements
+            out.write(render_top_statements(
+                connection.provider.repository,
+                limit=int(argument) if argument else 10) + "\n")
     elif word.startswith(".tracefile"):
         path = command.strip()[len(".tracefile"):].strip()
         if not path:

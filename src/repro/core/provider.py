@@ -23,6 +23,7 @@ from repro.lang.parser import parse_statement
 from repro.obs import MetricsRegistry, Tracer, WorkloadRegistry
 from repro.obs import trace as obs_trace
 from repro.obs import workload as obs_workload
+from repro.obs.repository import WorkloadRepository
 from repro.shaping.shape import (
     execute_shape_stream,
     flatten_rowset,
@@ -131,7 +132,16 @@ class Provider:
     statement whose latency reaches ``slow_query_ms`` (default 0 — log
     everything) is appended as one JSON record, including its span tree
     when span capture was on.  :meth:`serve_metrics` starts the HTTP
-    telemetry endpoint (``/metrics``, ``/healthz``, ``/queries``).
+    telemetry endpoint (``/metrics``, ``/healthz``, ``/queries``,
+    ``/statements``).
+
+    ``repository`` gates the workload repository
+    (:mod:`repro.obs.repository`): per-fingerprint statement aggregates
+    and plan history behind ``$SYSTEM.DM_STATEMENT_STATS`` /
+    ``DM_PLAN_HISTORY`` / ``DM_PLAN_CHANGES``.  On by default
+    (observation-only, pinned by the differential suite); with a
+    ``durable_path`` it persists to ``workload_repository.json`` in that
+    directory.
     """
 
     def __init__(self, batch_size: int = DEFAULT_BATCH_SIZE,
@@ -148,7 +158,8 @@ class Provider:
                  storage_faults=None,
                  slow_query_ms: Optional[float] = None,
                  telemetry_path: Optional[str] = None,
-                 statistics: bool = True):
+                 statistics: bool = True,
+                 repository: bool = True):
         self.database = Database(external_resolver=self._resolve_external,
                                  batch_size=batch_size,
                                  statistics=statistics)
@@ -163,6 +174,13 @@ class Provider:
         self.pool = WorkerPool(max_workers=max_workers, mode=pool_mode,
                                metrics=self.metrics)
         self.workload = WorkloadRegistry(metrics=self.metrics)
+        repo_path = None
+        if durable_path is not None:
+            import os
+            repo_path = os.path.join(durable_path, "workload_repository.json")
+        self.repository = WorkloadRepository(path=repo_path,
+                                             metrics=self.metrics)
+        self.repository.enabled = bool(repository)
         self.tracer.on_statement = self._observe_statement
         self.slow_sink = None
         if telemetry_path is not None:
@@ -218,6 +236,7 @@ class Provider:
             self._metrics_server.close()
             self._metrics_server = None
         self.pool.shutdown()
+        self.repository.save()
         if self.store is not None:
             self.store.close()
         if self.storage is not None:
@@ -256,6 +275,7 @@ class Provider:
                 self.store.checkpoint(self)
         else:
             self.store.checkpoint(self)
+        self.repository.save()
 
     # -- catalog ----------------------------------------------------------------
 
@@ -300,6 +320,8 @@ class Provider:
                     record.kind = _statement_kind(statement, self)
                     if active is not None:
                         active.kind = record.kind
+                    self.repository.annotate(record, self, statement,
+                                             command)
                     return self._execute_statement(statement, command)
                 finally:
                     obs_workload.deactivate(prior)
@@ -501,6 +523,7 @@ class Provider:
     def _observe_statement(self, record) -> None:
         """Tracer callback: fold each finished statement into the metrics."""
         self.workload.observe(record)
+        self.repository.observe(record)
         metrics = self.metrics
         metrics.counter("statements.total").inc()
         kind = (record.kind or "UNKNOWN").lower()
@@ -664,6 +687,8 @@ class Provider:
                     record.kind = _statement_kind(statement, self)
                     if active is not None:
                         active.kind = record.kind
+                    self.repository.annotate(record, self, statement,
+                                             command)
                     try:
                         if isinstance(statement, ast.UnionStatement):
                             return self.database.execute_union_stream(
@@ -815,7 +840,9 @@ def connect(**kwargs) -> Connection:
     ``caseset_cache_max_rows``, ``max_workers``, ``pool_mode``,
     ``durable_path``, ``durable_checkpoint_interval``, ``storage_path``,
     ``buffer_pages``, ``slow_query_ms``, ``telemetry_path``,
-    ``statistics``) are forwarded to :class:`Provider`.
+    ``statistics``, ``repository``) are forwarded to :class:`Provider`.
+    ``repository=False`` disables the workload repository (per-fingerprint
+    statement aggregates and plan history; observation-only either way).
     ``statistics=False`` disables table statistics and pins the planner to
     the pre-statistics heuristics (the cost-based planner's differential
     baseline).  Without ``durable_path`` the provider is purely

@@ -24,7 +24,11 @@ Queryable as ``SELECT * FROM $SYSTEM.<rowset>``:
   its negotiated knobs and traffic accounting;
 * DM_BUFFER_POOL, DM_INDEXES — the paged row store's buffer residency
   (one row per cached page, LRU-first) and every user index with its
-  usage counters (:mod:`repro.sqlstore.storage`).
+  usage counters (:mod:`repro.sqlstore.storage`);
+* DM_STATEMENT_STATS, DM_PLAN_HISTORY, DM_PLAN_CHANGES — the workload
+  repository (:mod:`repro.obs.repository`): per-fingerprint statement
+  aggregates, captured plan skeletons with q-error, and plan-change
+  events.
 """
 
 from __future__ import annotations
@@ -627,6 +631,130 @@ def dm_column_statistics_rowset(provider) -> Rowset:
     return Rowset(columns, rows)
 
 
+def _timestamp(value) -> Optional[str]:
+    if value is None:
+        return None
+    return datetime.fromtimestamp(value).isoformat(timespec="milliseconds")
+
+
+def _rounded(value, digits: int = 3):
+    return None if value is None else round(value, digits)
+
+
+def dm_statement_stats_rowset(provider) -> Rowset:
+    """``$SYSTEM.DM_STATEMENT_STATS``: per-fingerprint workload aggregates.
+
+    One row per statement *shape* (literals blanked, identifiers
+    case-folded), hottest by total time first: call/error/cancel counts,
+    latency aggregates with sketched p50/p95/p99, rows returned, CPU,
+    cache and buffer traffic, and the currently active plan hash.
+    """
+    columns = [
+        RowsetColumn("FINGERPRINT", TEXT),
+        RowsetColumn("STATEMENT", TEXT),
+        RowsetColumn("EXEMPLAR", TEXT),
+        RowsetColumn("KIND", TEXT),
+        RowsetColumn("CALLS", LONG),
+        RowsetColumn("ERRORS", LONG),
+        RowsetColumn("CANCELS", LONG),
+        RowsetColumn("TOTAL_MS", DOUBLE),
+        RowsetColumn("MEAN_MS", DOUBLE),
+        RowsetColumn("MIN_MS", DOUBLE),
+        RowsetColumn("MAX_MS", DOUBLE),
+        RowsetColumn("P50_MS", DOUBLE),
+        RowsetColumn("P95_MS", DOUBLE),
+        RowsetColumn("P99_MS", DOUBLE),
+        RowsetColumn("ROWS_RETURNED", LONG),
+        RowsetColumn("CPU_MS", DOUBLE),
+        RowsetColumn("CACHE_HITS", LONG),
+        RowsetColumn("CACHE_MISSES", LONG),
+        RowsetColumn("BUFFER_READS", LONG),
+        RowsetColumn("POOL_TASKS", LONG),
+        RowsetColumn("PLANS", LONG),
+        RowsetColumn("PLAN_HASH", TEXT),
+        RowsetColumn("FIRST_AT", TEXT),
+        RowsetColumn("LAST_AT", TEXT),
+    ]
+    rows = []
+    for stat in provider.repository.statement_stats():
+        rows.append((
+            stat["fingerprint"], stat["statement"], stat["exemplar"],
+            stat["kind"], stat["calls"], stat["errors"], stat["cancels"],
+            _rounded(stat["total_ms"]), _rounded(stat["mean_ms"]),
+            _rounded(stat["min_ms"]), _rounded(stat["max_ms"]),
+            _rounded(stat["p50_ms"]), _rounded(stat["p95_ms"]),
+            _rounded(stat["p99_ms"]), stat["rows_returned"],
+            _rounded(stat["cpu_ms"]), stat["cache_hits"],
+            stat["cache_misses"], stat["buffer_reads"], stat["pool_tasks"],
+            stat["plans"], stat["plan_hash"],
+            _timestamp(stat["first_at"]), _timestamp(stat["last_at"]),
+        ))
+    return Rowset(columns, rows)
+
+
+def dm_plan_history_rowset(provider) -> Rowset:
+    """``$SYSTEM.DM_PLAN_HISTORY``: captured plans per fingerprint.
+
+    One row per (fingerprint, plan hash) with execution counts, mean
+    latency, est-vs-actual q-error aggregates, and the plan skeleton
+    (operator/target/strategy tree, actuals excluded).
+    """
+    columns = [
+        RowsetColumn("FINGERPRINT", TEXT),
+        RowsetColumn("PLAN_HASH", TEXT),
+        RowsetColumn("IS_ACTIVE", BOOLEAN),
+        RowsetColumn("FIRST_SEEN", TEXT),
+        RowsetColumn("LAST_SEEN", TEXT),
+        RowsetColumn("EXECUTIONS", LONG),
+        RowsetColumn("MEAN_MS", DOUBLE),
+        RowsetColumn("Q_SAMPLES", LONG),
+        RowsetColumn("MEAN_Q_ERROR", DOUBLE),
+        RowsetColumn("MAX_Q_ERROR", DOUBLE),
+        RowsetColumn("SKELETON", TEXT),
+    ]
+    rows = []
+    for plan in provider.repository.plan_history_rows():
+        rows.append((
+            plan["fingerprint"], plan["plan_hash"], plan["active"],
+            _timestamp(plan["first_seen"]), _timestamp(plan["last_seen"]),
+            plan["executions"], _rounded(plan["mean_ms"]),
+            plan["q_count"], _rounded(plan["mean_q_error"]),
+            _rounded(plan["max_q_error"]), plan["skeleton"],
+        ))
+    return Rowset(columns, rows)
+
+
+def dm_plan_changes_rowset(provider) -> Rowset:
+    """``$SYSTEM.DM_PLAN_CHANGES``: plan-regression events, oldest first.
+
+    One row each time a fingerprint's active plan hash moved: old and new
+    hash, the most recent schema-affecting statement (the likely trigger),
+    the old plan's mean latency frozen at the change, and the new plan's
+    current mean latency.
+    """
+    columns = [
+        RowsetColumn("CHANGE_ID", LONG),
+        RowsetColumn("FINGERPRINT", TEXT),
+        RowsetColumn("STATEMENT", TEXT),
+        RowsetColumn("CHANGED_AT", TEXT),
+        RowsetColumn("OLD_PLAN_HASH", TEXT),
+        RowsetColumn("NEW_PLAN_HASH", TEXT),
+        RowsetColumn("TRIGGER_STATEMENT", TEXT),
+        RowsetColumn("BEFORE_MEAN_MS", DOUBLE),
+        RowsetColumn("AFTER_MEAN_MS", DOUBLE),
+    ]
+    rows = []
+    for change in provider.repository.plan_changes():
+        rows.append((
+            change["change_id"], change["fingerprint"],
+            change["statement"], _timestamp(change["changed_at"]),
+            change["old_plan_hash"], change["new_plan_hash"],
+            change["trigger"], _rounded(change["before_mean_ms"]),
+            _rounded(change["after_mean_ms"]),
+        ))
+    return Rowset(columns, rows)
+
+
 SYSTEM_ROWSETS = {
     "MINING_MODELS": mining_models_rowset,
     "MINING_COLUMNS": mining_columns_rowset,
@@ -644,6 +772,9 @@ SYSTEM_ROWSETS = {
     "DM_BUFFER_POOL": dm_buffer_pool_rowset,
     "DM_INDEXES": dm_indexes_rowset,
     "DM_COLUMN_STATISTICS": dm_column_statistics_rowset,
+    "DM_STATEMENT_STATS": dm_statement_stats_rowset,
+    "DM_PLAN_HISTORY": dm_plan_history_rowset,
+    "DM_PLAN_CHANGES": dm_plan_changes_rowset,
 }
 
 

@@ -9,8 +9,12 @@ as the ``$SYSTEM.DM_QUERY_LOG``, ``$SYSTEM.DM_TRACE_EVENTS``, and
 
 :mod:`repro.obs.explain` is the ``EXPLAIN [ANALYZE]`` plan profiler;
 :mod:`repro.obs.export` renders Prometheus text exposition and serves the
-``/metrics`` / ``/healthz`` / ``/queries`` HTTP endpoint;
-:mod:`repro.obs.sink` is the rotating JSONL slow-query sink.
+``/metrics`` / ``/healthz`` / ``/queries`` / ``/statements`` HTTP
+endpoint; :mod:`repro.obs.sink` is the rotating JSONL slow-query sink;
+:mod:`repro.obs.repository` is the workload repository — per-fingerprint
+statement aggregates and plan history behind the
+``$SYSTEM.DM_STATEMENT_STATS`` / ``DM_PLAN_HISTORY`` /
+``DM_PLAN_CHANGES`` rowsets.
 """
 
 from repro.obs.trace import (
@@ -28,6 +32,12 @@ from repro.obs.explain import (
     reconcile_plan,
 )
 from repro.obs.export import TelemetryServer, render_prometheus
+from repro.obs.repository import (
+    QuantileSketch,
+    WorkloadRepository,
+    plan_skeleton,
+    q_error,
+)
 from repro.obs.sink import SlowQuerySink, statement_record_dict
 from repro.obs.workload import (
     ActiveStatement,
@@ -56,4 +66,8 @@ __all__ = [
     "render_prometheus",
     "SlowQuerySink",
     "statement_record_dict",
+    "QuantileSketch",
+    "WorkloadRepository",
+    "plan_skeleton",
+    "q_error",
 ]

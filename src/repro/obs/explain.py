@@ -367,6 +367,7 @@ PLAN_COLUMNS = [
     RowsetColumn("EST_ROWS", LONG),
     RowsetColumn("COST", DOUBLE),
     RowsetColumn("ACTUAL_ROWS", LONG),
+    RowsetColumn("Q_ERROR", DOUBLE),
     RowsetColumn("ACTUAL_BATCHES", LONG),
     RowsetColumn("WALL_MS", DOUBLE),
     RowsetColumn("CACHE", TEXT),
@@ -377,6 +378,7 @@ PLAN_COLUMNS = [
 
 def explain_rowset(plan: PlanNode, analyzed: bool) -> Rowset:
     """Flatten a plan tree into the EXPLAIN rowset (pre-order)."""
+    from repro.obs.repository import q_error
     rows: List[tuple] = []
     ids: Dict[int, int] = {}
     parents: Dict[int, Optional[int]] = {}
@@ -395,11 +397,15 @@ def explain_rowset(plan: PlanNode, analyzed: bool) -> Rowset:
         if analyzed and node.cache_actual is not None:
             cache = (f"{cache}, actual {node.cache_actual}"
                      if cache else node.cache_actual)
+        q_err = None
+        if analyzed:
+            q_err = q_error(node.est_rows, node.actual_rows)
         rows.append((
             op_id, parent_id, depth, node.operator, node.target,
             node.strategy, node.est_rows,
             None if node.cost is None else round(node.cost, 3),
             node.actual_rows if analyzed else None,
+            None if q_err is None else round(q_err, 3),
             node.actual_batches if analyzed else None,
             None if not analyzed or node.wall_ms is None
             else round(node.wall_ms, 3),

@@ -14,7 +14,14 @@ eviction).  Everything is stdlib-only — no client library.
   the durable store has turned read-only after a durability failure;
 * ``GET /queries``  — the recent ``$SYSTEM.DM_QUERY_LOG`` ring as JSON;
 * ``GET /active``   — the live ``$SYSTEM.DM_ACTIVE_STATEMENTS`` view as
-  JSON (phase, progress, pending cancels).
+  JSON (phase, progress, pending cancels);
+* ``GET /statements`` — the workload repository as JSON: per-fingerprint
+  aggregates (``DM_STATEMENT_STATS``) and plan-change events
+  (``DM_PLAN_CHANGES``).
+
+``/metrics`` additionally exposes the ``repro_statement_*`` families —
+per-fingerprint calls/errors/latency-quantiles for the hottest statement
+shapes, labelled by fingerprint.
 
 Started with ``connect(...).provider.serve_metrics(port)`` or
 ``dmxsh --metrics-port N``.
@@ -107,6 +114,70 @@ def render_prometheus(registry, namespace: str = "repro",
     return "\n".join(lines) + "\n"
 
 
+#: Fingerprints exposed through the ``repro_statement_*`` families —
+#: hottest (most total time) first; the full set stays queryable via
+#: ``$SYSTEM.DM_STATEMENT_STATS`` and ``/statements``.
+STATEMENT_FAMILY_TOP = 5
+
+
+def render_statement_families(repository, namespace: str = "repro",
+                              top: int = STATEMENT_FAMILY_TOP) -> str:
+    """The workload repository's ``<namespace>_statement_*`` exposition.
+
+    Per-fingerprint counters and a latency summary for the ``top`` hottest
+    statement shapes, plus the monotonic plan-change event counter.
+    Returns "" when the repository is disabled or empty.
+    """
+    if not repository.enabled:
+        return ""
+    stats = repository.statement_stats()
+    if not stats:
+        return ""
+    prefix = metric_name("statement", namespace)
+    lines = []
+
+    def family(suffix: str, kind: str, help_text: str) -> str:
+        name = f"{prefix}_{suffix}"
+        lines.append(f"# HELP {name} {help_text}")
+        lines.append(f"# TYPE {name} {kind}")
+        return name
+
+    hottest = stats[:max(0, top)]
+    name = family("calls_total", "counter",
+                  "statement executions per fingerprint")
+    for stat in hottest:
+        lines.append(f'{name}{{fingerprint="{stat["fingerprint"]}"}} '
+                     f"{_format_value(stat['calls'])}")
+    name = family("errors_total", "counter",
+                  "failed statement executions per fingerprint")
+    for stat in hottest:
+        lines.append(f'{name}{{fingerprint="{stat["fingerprint"]}"}} '
+                     f"{_format_value(stat['errors'])}")
+    name = family("rows_returned_total", "counter",
+                  "rows returned per fingerprint")
+    for stat in hottest:
+        lines.append(f'{name}{{fingerprint="{stat["fingerprint"]}"}} '
+                     f"{_format_value(stat['rows_returned'])}")
+    name = family("latency_ms", "summary",
+                  "statement latency quantiles per fingerprint (sketched)")
+    for stat in hottest:
+        fp = stat["fingerprint"]
+        for label, key in (("0.5", "p50_ms"), ("0.95", "p95_ms"),
+                           ("0.99", "p99_ms")):
+            if stat.get(key) is not None:
+                lines.append(f'{name}{{fingerprint="{fp}",'
+                             f'quantile="{label}"}} '
+                             f"{_format_value(stat[key])}")
+        lines.append(f'{name}_count{{fingerprint="{fp}"}} '
+                     f"{_format_value(stat['calls'])}")
+        lines.append(f'{name}_sum{{fingerprint="{fp}"}} '
+                     f"{_format_value(stat['total_ms'])}")
+    name = family("plan_changes_total", "counter",
+                  "active-plan changes observed across all fingerprints")
+    lines.append(f"{name} {_format_value(len(repository.plan_changes()))}")
+    return "\n".join(lines) + "\n"
+
+
 def provider_info(provider) -> Dict[str, str]:
     """The constant labels for the ``provider_info`` series."""
     import repro
@@ -140,6 +211,9 @@ class _Handler(BaseHTTPRequestHandler):
         if parsed.path == "/metrics":
             body = render_prometheus(provider.metrics,
                                      info=provider_info(provider))
+            repository = getattr(provider, "repository", None)
+            if repository is not None:
+                body += render_statement_families(repository)
             self._reply(200, body, CONTENT_TYPE)
             return
         if parsed.path == "/healthz":
@@ -167,6 +241,14 @@ class _Handler(BaseHTTPRequestHandler):
             body = json.dumps([statement.active_dict()
                                for statement in provider.workload.active()],
                               default=str)
+            self._reply(200, body, "application/json")
+            return
+        if parsed.path == "/statements":
+            repository = provider.repository
+            body = json.dumps({
+                "statements": repository.statement_stats(),
+                "plan_changes": repository.plan_changes(),
+            }, default=str)
             self._reply(200, body, "application/json")
             return
         self._reply(404, json.dumps({"error": f"no route {parsed.path!r}"}),

@@ -60,6 +60,14 @@ def statement_record_dict(record) -> Dict[str, Any]:
     session = getattr(record, "session", None)
     if session is not None:
         out["session"] = session
+    # Workload-repository attribution, so log pipelines can join these
+    # records against $SYSTEM.DM_STATEMENT_STATS / DM_PLAN_HISTORY.
+    fingerprint = getattr(record, "fingerprint", None)
+    if fingerprint is not None:
+        out["fingerprint"] = fingerprint
+    plan_hash = getattr(record, "plan_hash", None)
+    if plan_hash is not None:
+        out["plan_hash"] = plan_hash
     resources = getattr(record, "resources", None)
     if resources is not None:
         out["resources"] = resources

@@ -120,7 +120,7 @@ class StatementRecord:
 
     __slots__ = ("statement_id", "text", "kind", "status", "error",
                  "started_at", "duration_ms", "root", "thread", "session",
-                 "resources")
+                 "resources", "fingerprint", "plan_hash", "plan_est_rows")
 
     def __init__(self, statement_id: int, text: str, kind: str = "UNKNOWN"):
         self.statement_id = statement_id
@@ -139,6 +139,12 @@ class StatementRecord:
         # (CPU-ms, lock-wait-ms, rows, partitions, ...); None when the
         # workload layer is disabled.
         self.resources: Optional[Dict[str, Any]] = None
+        # Workload-repository attribution, stamped by the dispatcher after
+        # parse: statement fingerprint, captured plan-skeleton hash, and
+        # the plan root's estimated cardinality (for q-error at retire).
+        self.fingerprint: Optional[str] = None
+        self.plan_hash: Optional[str] = None
+        self.plan_est_rows: Optional[float] = None
 
     def totals(self) -> Dict[str, float]:
         return self.root.totals() if self.root is not None else {}
@@ -163,6 +169,9 @@ class _NullRecord:
     status = None
     error = None
     resources = None
+    fingerprint = None
+    plan_hash = None
+    plan_est_rows = None
 
     def __setattr__(self, name: str, value: Any) -> None:
         pass  # swallow kind/status assignments from the dispatcher

@@ -227,3 +227,28 @@ def render_trace(record) -> str:
         for position, child in enumerate(root.children):
             walk(child, "", position == len(root.children) - 1)
     return "\n".join(lines)
+
+
+def render_top_statements(repository, limit: int = 10) -> str:
+    """The hottest statement fingerprints as a text table (``.top``)."""
+    stats = repository.statement_stats()[:max(1, limit)]
+    if not stats:
+        return ("(workload repository is empty"
+                if repository.enabled
+                else "(workload repository is disabled"
+                ) + " - execute some statements first)"
+    lines = [f"{'FINGERPRINT':<18}{'CALLS':>7}{'ERR':>5}{'TOTAL_MS':>10}"
+             f"{'MEAN_MS':>9}{'P99_MS':>9}{'ROWS':>9}  STATEMENT"]
+    for stat in stats:
+        text = stat["statement"]
+        if len(text) > 48:
+            text = text[:45] + "..."
+        p99 = stat["p99_ms"]
+        mean = stat["mean_ms"]
+        lines.append(
+            f"{stat['fingerprint']:<18}{stat['calls']:>7}"
+            f"{stat['errors']:>5}{stat['total_ms']:>10.2f}"
+            f"{0.0 if mean is None else mean:>9.3f}"
+            f"{0.0 if p99 is None else p99:>9.3f}"
+            f"{stat['rows_returned']:>9}  {text}")
+    return "\n".join(lines)

@@ -21,6 +21,7 @@ import threading
 from collections import OrderedDict
 from typing import Callable, Optional
 
+from repro.obs import trace as obs_trace
 from repro.sqlstore.pages import Page
 
 DEFAULT_BUFFER_PAGES = 64
@@ -75,6 +76,9 @@ class BufferPool:
             else:
                 self.misses += 1
                 self._count("buffer.misses")
+                # Per-statement attribution: the miss is a real page read,
+                # rolled up into DM_STATEMENT_STATS buffer_reads.
+                obs_trace.add("buffer_reads", 1)
                 page = loader()
                 if pin:
                     # Pin before admission: with a tiny budget the admitted

@@ -258,14 +258,19 @@ class Database:
     def _execute_update_statistics(
             self, statement: ast.UpdateStatisticsStatement) -> int:
         """Rebuild optimizer statistics from stored rows; returns the table
-        count refreshed.  A rebuild changes no stored data, so the data
-        version is left alone (cached casesets stay valid)."""
+        count refreshed.  A rebuild changes no stored data, so cached
+        casesets stay valid — but the verb also enables cost-based
+        planning on a database opened with ``statistics=False``, and a
+        planning-input change must be visible to plan-capture consumers,
+        so the catalog version is bumped."""
         if statement.table is not None:
             targets = [self.table(statement.table)]
         else:
             targets = list(self.tables.values())
         for table in targets:
             table.rebuild_statistics()
+        self.stats_enabled = True
+        self._catalog_version += 1
         return len(targets)
 
     def _execute_insert(self, statement: ast.InsertValuesStatement) -> int:

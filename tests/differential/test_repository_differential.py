@@ -1,0 +1,80 @@
+"""Differential harness: workload repository on vs off.
+
+The repository is observation-only — it fingerprints, captures plans, and
+aggregates, but must never influence planning or execution.  Two providers
+hold identical data, one with the repository enabled and one with
+``repository=False``; for every statement shape in the grid the canonical
+:func:`~repro.server.protocol.rowset_dump` must be byte-identical, both
+through the embedded API and over the wire.
+"""
+
+import pytest
+
+import repro
+from repro.client import connect as net_connect
+from repro.server import DmxServer
+from repro.server.protocol import rowset_dump
+
+from tests.differential.test_stream_vs_materialize import STATEMENTS, _load
+
+
+def _make(repository):
+    conn = repro.connect(repository=repository, caseset_cache_capacity=0)
+    _load(conn)
+    return conn
+
+
+@pytest.fixture(scope="module")
+def observed():
+    conn = _make(True)
+    yield conn
+    conn.close()
+
+
+@pytest.fixture(scope="module")
+def unobserved():
+    conn = _make(False)
+    yield conn
+    conn.close()
+
+
+@pytest.mark.parametrize("statement", STATEMENTS)
+def test_repository_is_observation_only_embedded(observed, unobserved,
+                                                 statement):
+    assert rowset_dump(observed.execute(statement)) == \
+        rowset_dump(unobserved.execute(statement))
+
+
+@pytest.mark.parametrize("statement", STATEMENTS)
+def test_repository_is_observation_only_explain(observed, unobserved,
+                                                statement):
+    """Plan capture must not perturb the planner: EXPLAIN output is
+    byte-identical with the repository on and off."""
+    command = f"EXPLAIN {statement}"
+    assert rowset_dump(observed.execute(command)) == \
+        rowset_dump(unobserved.execute(command))
+
+
+@pytest.fixture(scope="module")
+def observed_wire(observed):
+    with DmxServer(observed.provider, port=0) as srv:
+        with net_connect("127.0.0.1", srv.port) as conn:
+            yield conn
+    assert srv.thread_errors == []
+
+
+@pytest.mark.parametrize("statement", STATEMENTS[::3])
+def test_repository_is_observation_only_over_wire(observed_wire, unobserved,
+                                                  statement):
+    """Wire sessions annotate/observe on their own threads; results still
+    match a repository-free provider byte for byte."""
+    assert rowset_dump(observed_wire.execute(statement)) == \
+        rowset_dump(unobserved.execute(statement))
+
+
+def test_observed_provider_actually_observed(observed):
+    """Sanity for the whole module: the observed side really collected —
+    otherwise the equalities above prove nothing."""
+    stats = observed.provider.repository.statement_stats()
+    assert len(stats) >= 10
+    assert sum(row["calls"] for row in stats) >= len(STATEMENTS)

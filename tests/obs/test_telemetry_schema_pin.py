@@ -150,6 +150,59 @@ DM_COLUMN_STATISTICS_SCHEMA = [
     ("HISTOGRAM", "TEXT"),
 ]
 
+DM_STATEMENT_STATS_SCHEMA = [
+    ("FINGERPRINT", "TEXT"),
+    ("STATEMENT", "TEXT"),
+    ("EXEMPLAR", "TEXT"),
+    ("KIND", "TEXT"),
+    ("CALLS", "LONG"),
+    ("ERRORS", "LONG"),
+    ("CANCELS", "LONG"),
+    ("TOTAL_MS", "DOUBLE"),
+    ("MEAN_MS", "DOUBLE"),
+    ("MIN_MS", "DOUBLE"),
+    ("MAX_MS", "DOUBLE"),
+    ("P50_MS", "DOUBLE"),
+    ("P95_MS", "DOUBLE"),
+    ("P99_MS", "DOUBLE"),
+    ("ROWS_RETURNED", "LONG"),
+    ("CPU_MS", "DOUBLE"),
+    ("CACHE_HITS", "LONG"),
+    ("CACHE_MISSES", "LONG"),
+    ("BUFFER_READS", "LONG"),
+    ("POOL_TASKS", "LONG"),
+    ("PLANS", "LONG"),
+    ("PLAN_HASH", "TEXT"),
+    ("FIRST_AT", "TEXT"),
+    ("LAST_AT", "TEXT"),
+]
+
+DM_PLAN_HISTORY_SCHEMA = [
+    ("FINGERPRINT", "TEXT"),
+    ("PLAN_HASH", "TEXT"),
+    ("IS_ACTIVE", "BOOLEAN"),
+    ("FIRST_SEEN", "TEXT"),
+    ("LAST_SEEN", "TEXT"),
+    ("EXECUTIONS", "LONG"),
+    ("MEAN_MS", "DOUBLE"),
+    ("Q_SAMPLES", "LONG"),
+    ("MEAN_Q_ERROR", "DOUBLE"),
+    ("MAX_Q_ERROR", "DOUBLE"),
+    ("SKELETON", "TEXT"),
+]
+
+DM_PLAN_CHANGES_SCHEMA = [
+    ("CHANGE_ID", "LONG"),
+    ("FINGERPRINT", "TEXT"),
+    ("STATEMENT", "TEXT"),
+    ("CHANGED_AT", "TEXT"),
+    ("OLD_PLAN_HASH", "TEXT"),
+    ("NEW_PLAN_HASH", "TEXT"),
+    ("TRIGGER_STATEMENT", "TEXT"),
+    ("BEFORE_MEAN_MS", "DOUBLE"),
+    ("AFTER_MEAN_MS", "DOUBLE"),
+]
+
 # The pool metric names the parallel subsystem promises to operators.
 POOL_METRIC_FAMILY = [
     "pool.max_workers",
@@ -208,6 +261,9 @@ def _schema(conn, rowset_name):
     ("DM_BUFFER_POOL", DM_BUFFER_POOL_SCHEMA),
     ("DM_INDEXES", DM_INDEXES_SCHEMA),
     ("DM_COLUMN_STATISTICS", DM_COLUMN_STATISTICS_SCHEMA),
+    ("DM_STATEMENT_STATS", DM_STATEMENT_STATS_SCHEMA),
+    ("DM_PLAN_HISTORY", DM_PLAN_HISTORY_SCHEMA),
+    ("DM_PLAN_CHANGES", DM_PLAN_CHANGES_SCHEMA),
 ])
 def test_telemetry_rowset_schema_is_pinned(conn, rowset_name, expected):
     assert _schema(conn, rowset_name) == expected, (
